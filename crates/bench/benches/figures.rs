@@ -1,0 +1,128 @@
+//! Criterion benches: one group per paper figure.
+//!
+//! Each bench measures the *simulated* execution time of the relevant
+//! query/mode pair on a freshly loaded (small) TPC-D instance, so the
+//! numbers Criterion reports are wall-clock proxies for the
+//! deterministic simulated costs the `figures` binary prints. Run the
+//! binary for the paper-style tables; run these benches to track
+//! regressions in the engine itself:
+//!
+//! ```text
+//! cargo bench -p mq-bench
+//! cargo run --release -p mq-bench --bin figures
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midq::common::EngineConfig;
+use mq_bench::{fig03_memory_realloc, run_query, BenchSetup};
+use midq::ReoptMode;
+
+/// Small, fast setup for criterion iterations.
+fn bench_setup() -> BenchSetup {
+    BenchSetup {
+        scale: 0.002,
+        analyze_after_fraction: 0.5,
+        cfg: EngineConfig {
+            buffer_pool_pages: 64,
+            query_memory_bytes: 256 * 1024,
+            ..EngineConfig::default()
+        },
+        ..BenchSetup::default()
+    }
+}
+
+/// Figure 10: Normal vs Re-Optimized per query.
+fn bench_fig10(c: &mut Criterion) {
+    let setup = bench_setup();
+    let db = setup.database();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for query in ["Q1", "Q3", "Q5", "Q6", "Q7", "Q8", "Q10"] {
+        for (mode, name) in [(ReoptMode::Off, "normal"), (ReoptMode::Full, "reopt")] {
+            group.bench_with_input(
+                BenchmarkId::new(query, name),
+                &(query, mode),
+                |b, &(q, m)| b.iter(|| run_query(&db, q, m).time_ms),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 11: the mode ablation on the medium/complex queries.
+fn bench_fig11(c: &mut Criterion) {
+    let setup = bench_setup();
+    let db = setup.database();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for query in ["Q3", "Q10", "Q5", "Q7", "Q8"] {
+        for (mode, name) in [
+            (ReoptMode::MemoryOnly, "memory_only"),
+            (ReoptMode::PlanOnly, "plan_only"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(query, name),
+                &(query, mode),
+                |b, &(q, m)| b.iter(|| run_query(&db, q, m).time_ms),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 12: skewed data (z = 0.3 and 0.6), Full mode.
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for z in [0.3f64, 0.6] {
+        let setup = BenchSetup {
+            zipf_z: Some(z),
+            ..bench_setup()
+        };
+        let db = setup.database();
+        for query in ["Q5", "Q8"] {
+            group.bench_with_input(
+                BenchmarkId::new(query, format!("z{z}")),
+                &query,
+                |b, &q| b.iter(|| run_query(&db, q, ReoptMode::Full).time_ms),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 3 worked example: memory re-allocation avoiding spill passes.
+fn bench_fig03(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03");
+    group.sample_size(10);
+    group.bench_function("memory_realloc", |b| b.iter(|| fig03_memory_realloc().mem_ms));
+    group.finish();
+}
+
+/// §2.5 overhead bound: simple queries with collectors forced on.
+fn bench_overhead(c: &mut Criterion) {
+    let setup = bench_setup();
+    let db = setup.database();
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    for query in ["Q1", "Q6"] {
+        for (mode, name) in [(ReoptMode::Off, "off"), (ReoptMode::Full, "full")] {
+            group.bench_with_input(
+                BenchmarkId::new(query, name),
+                &(query, mode),
+                |b, &(q, m)| b.iter(|| run_query(&db, q, m).time_ms),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig03,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_overhead
+);
+criterion_main!(benches);

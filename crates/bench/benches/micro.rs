@@ -1,0 +1,209 @@
+//! Operator- and substrate-level microbenchmarks.
+//!
+//! The `figures` benches track end-to-end query behaviour; these track
+//! the building blocks — B+-tree operations, hash join build/probe,
+//! external sort, histogram construction (including the O(D²B)
+//! V-optimal dynamic program), and expression evaluation — so a
+//! regression can be localized before it shows up as a smeared Fig. 10.
+//!
+//! ```text
+//! cargo bench -p mq-bench --bench micro
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use midq::common::{DataType, DetRng, EngineConfig, Row, SimClock, Value};
+use midq::expr::{and, cmp, col, lit, CmpOp};
+use midq::stats::{Histogram, HistogramKind, Reservoir};
+use midq::storage::Storage;
+use midq::{Database, ReoptMode};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = EngineConfig::default();
+                let st = Storage::new(&cfg, SimClock::new());
+                let idx = st.create_index().unwrap();
+                let mut rng = DetRng::new(7);
+                for i in 0..n {
+                    let k = rng.gen_range(n * 4) as i64;
+                    st.index_insert(idx, &Value::Int(k), mq_common_rid(i)).unwrap();
+                }
+                black_box(idx)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lookup", n), &n, |b, &n| {
+            let cfg = EngineConfig::default();
+            let st = Storage::new(&cfg, SimClock::new());
+            let idx = st.create_index().unwrap();
+            for i in 0..n {
+                st.index_insert(idx, &Value::Int(i as i64), mq_common_rid(i))
+                    .unwrap();
+            }
+            let mut rng = DetRng::new(11);
+            b.iter(|| {
+                let k = rng.gen_range(n) as i64;
+                black_box(st.index_lookup(idx, &Value::Int(k)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// RIDs for index benches: fabricate distinct page/slot pairs.
+fn mq_common_rid(i: u64) -> midq::common::Rid {
+    midq::common::Rid {
+        page: midq::common::PageId(i / 64),
+        slot: (i % 64) as u16,
+    }
+}
+
+fn join_db(rows: i64) -> (Database, midq::LogicalPlan) {
+    let db = Database::new(EngineConfig::default()).unwrap();
+    db.create_table("r", vec![("k", DataType::Int), ("v", DataType::Int)])
+        .unwrap();
+    db.create_table("s", vec![("k", DataType::Int), ("w", DataType::Int)])
+        .unwrap();
+    for i in 0..rows {
+        db.insert("r", Row::new(vec![Value::Int(i % (rows / 4)), Value::Int(i)]))
+            .unwrap();
+    }
+    for i in 0..rows / 4 {
+        db.insert("s", Row::new(vec![Value::Int(i), Value::Int(i * 2)]))
+            .unwrap();
+    }
+    for t in ["r", "s"] {
+        db.analyze(t).unwrap();
+    }
+    let q = midq::LogicalPlan::scan("s").join(midq::LogicalPlan::scan("r"), vec![("s.k", "r.k")]);
+    (db, q)
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join");
+    group.sample_size(10);
+    for rows in [4_000i64, 16_000] {
+        let (db, q) = join_db(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(db.run(&q, ReoptMode::Off).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    for rows in [5_000i64, 20_000] {
+        let db = Database::new(EngineConfig {
+            query_memory_bytes: 128 * 1024, // force multi-run merging at 20k
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        db.create_table("t", vec![("a", DataType::Int), ("b", DataType::Int)])
+            .unwrap();
+        let mut rng = DetRng::new(3);
+        for _ in 0..rows {
+            db.insert(
+                "t",
+                Row::new(vec![
+                    Value::Int(rng.gen_range(1 << 30) as i64),
+                    Value::Int(1),
+                ]),
+            )
+            .unwrap();
+        }
+        db.analyze("t").unwrap();
+        let q = midq::LogicalPlan::scan("t").sort(vec![("t.a", true)]);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(db.run(&q, ReoptMode::Off).unwrap().rows.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_build");
+    // A realistic ANALYZE input: one reservoir's worth of skewed ranks.
+    let mut rng = DetRng::new(5);
+    let sample: Vec<f64> = (0..1024)
+        .map(|_| (rng.gen_range(10_000) as f64).sqrt().floor())
+        .collect();
+    for kind in [
+        HistogramKind::EquiWidth,
+        HistogramKind::EquiDepth,
+        HistogramKind::MaxDiff,
+        HistogramKind::EndBiased,
+        HistogramKind::VOptimal,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind}")),
+            &kind,
+            |b, &kind| b.iter(|| black_box(Histogram::build(kind, &sample, 32, 0.0, 100.0))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("reservoir");
+    group.bench_function("observe_100k", |b| {
+        b.iter(|| {
+            let mut r: Reservoir<i64> = Reservoir::new(1024, 9);
+            for i in 0..100_000i64 {
+                r.observe(i);
+            }
+            black_box(r.items().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_expr_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expr_eval");
+    let schema = midq::common::Schema::new(vec![
+        midq::common::Field::qualified("t", "a", DataType::Int),
+        midq::common::Field::qualified("t", "b", DataType::Int),
+        midq::common::Field::qualified("t", "c", DataType::Float),
+    ])
+    .unwrap();
+    let pred = and(vec![
+        cmp(CmpOp::Lt, col("t.a"), lit(500i64)),
+        cmp(CmpOp::Ge, col("t.b"), lit(10i64)),
+        cmp(CmpOp::Lt, col("t.c"), lit(0.75)),
+    ]);
+    let bound = pred.bind(&schema).unwrap();
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i % 1000),
+                Value::Int(i % 37),
+                Value::Float((i % 100) as f64 / 100.0),
+            ])
+        })
+        .collect();
+    group.bench_function("conjunction_1k_rows", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for r in &rows {
+                if bound.eval_predicate(r).unwrap_or(false) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_btree,
+    bench_hash_join,
+    bench_sort,
+    bench_histograms,
+    bench_expr_eval
+);
+criterion_main!(micro);

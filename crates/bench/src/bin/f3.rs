@@ -1,0 +1,4 @@
+fn main() {
+    let f = mq_bench::fig03_memory_realloc();
+    println!("{f:?}");
+}

@@ -1,0 +1,151 @@
+//! Regenerate every figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p mq-bench --bin figures            # all figures
+//! cargo run --release -p mq-bench --bin figures -- fig10   # one figure
+//! ```
+
+use mq_bench::{
+    ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin,
+    fig03_memory_realloc, fig10, fig11, fig12, overhead, render_pairs, sensitivity, BenchSetup,
+    Knob,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let setup = BenchSetup::default();
+
+    if want("fig03") {
+        let f = fig03_memory_realloc();
+        println!("== FIG 3 (memory re-allocation worked example) ==");
+        println!("time without re-allocation : {:.1} ms ({} spill writes)", f.off_ms, f.off_writes);
+        println!("time with re-allocation    : {:.1} ms ({} spill writes)", f.mem_ms, f.mem_writes);
+        println!("grant re-allocations       : {}", f.reallocs);
+        println!();
+    }
+
+    if want("fig10") {
+        let pairs = fig10(&setup);
+        println!("{}", render_pairs("FIG 10: normal vs re-optimized (uniform data)", &pairs));
+    }
+
+    if want("fig11") {
+        let rows = fig11(&setup);
+        println!("== FIG 11: isolating memory management vs plan modification ==");
+        println!(
+            "{:<5} {:>12} {:>14} {:>14} {:>10} {:>10}",
+            "query", "normal(ms)", "mem-only(ms)", "plan-only(ms)", "mem-gain%", "plan-gain%"
+        );
+        for (off, mem, plan) in rows {
+            println!(
+                "{:<5} {:>12.1} {:>14.1} {:>14.1} {:>10.1} {:>10.1}",
+                off.query,
+                off.time_ms,
+                mem.time_ms,
+                plan.time_ms,
+                (off.time_ms - mem.time_ms) / off.time_ms * 100.0,
+                (off.time_ms - plan.time_ms) / off.time_ms * 100.0,
+            );
+        }
+        println!();
+    }
+
+    if want("fig12") {
+        for z in [0.3, 0.6] {
+            let pairs = fig12(&setup, z);
+            println!("== FIG 12: skewed data, z = {z} (normalized reopt/normal) ==");
+            println!("{:<5} {:>10} {:>9} {:>9}", "query", "ratio", "switches", "reallocs");
+            for (off, full) in pairs {
+                println!(
+                    "{:<5} {:>10.3} {:>9} {:>9}",
+                    off.query,
+                    full.time_ms / off.time_ms,
+                    full.switches,
+                    full.reallocs
+                );
+            }
+            println!();
+        }
+    }
+
+    if want("overhead") {
+        let pairs = overhead(&setup);
+        println!("{}", render_pairs("OVERHEAD: simple queries, collectors on", &pairs));
+    }
+
+    if want("ablate") {
+        println!("== ABLATION: switch acceptance margin (PlanOnly) ==");
+        for (m, rows) in ablation_switch_margin(&setup, &[1.0, 1.5, 2.5]) {
+            for (off, plan) in rows {
+                println!(
+                    "  margin={m:<4} {:<4} off={:>9.1} plan-only={:>9.1} gain={:>6.1}% switches={}",
+                    off.query,
+                    off.time_ms,
+                    plan.time_ms,
+                    (off.time_ms - plan.time_ms) / off.time_ms * 100.0,
+                    plan.switches
+                );
+            }
+        }
+        println!();
+        println!("== ABLATION: re-allocation demand headroom (MemoryOnly) ==");
+        for (h, rows) in ablation_realloc_headroom(&setup, &[1.0, 1.5, 2.0]) {
+            for (off, mem) in rows {
+                println!(
+                    "  headroom={h:<4} {:<4} off={:>9.1} mem-only={:>9.1} gain={:>6.1}% reallocs={}",
+                    off.query,
+                    off.time_ms,
+                    mem.time_ms,
+                    (off.time_ms - mem.time_ms) / off.time_ms * 100.0,
+                    mem.reallocs
+                );
+            }
+        }
+        println!();
+    }
+
+    if want("hist") {
+        // Uniform data renders the classes nearly indistinguishable
+        // (bucket boundaries barely matter when frequencies are flat);
+        // the z = 0.6 skew of Figure 12 is where they separate.
+        let setup = BenchSetup {
+            zipf_z: Some(0.6),
+            ..setup.clone()
+        };
+        println!("== ABLATION: catalog histogram class (§2.5 potentials), Q5, skew z=0.6 ==");
+        println!(
+            "{:<12} {:>12} {:>12} {:>8} {:>9} {:>9}",
+            "class", "off(ms)", "full(ms)", "gain%", "switches", "reallocs"
+        );
+        for (kind, off, full) in ablation_histogram_class(&setup, "Q5") {
+            println!(
+                "{:<12} {:>12.1} {:>12.1} {:>8.1} {:>9} {:>9}",
+                kind.to_string(),
+                off.time_ms,
+                full.time_ms,
+                (off.time_ms - full.time_ms) / off.time_ms * 100.0,
+                full.switches,
+                full.reallocs
+            );
+        }
+        println!();
+    }
+
+    if want("sens") {
+        println!("== SENSITIVITY (Q5, Full mode) ==");
+        for (knob, name, values) in [
+            (Knob::Mu, "mu", vec![0.0, 0.01, 0.05, 0.1, 0.2]),
+            (Knob::Theta1, "theta1", vec![0.0, 0.05, 0.2, 0.5]),
+            (Knob::Theta2, "theta2", vec![0.0, 0.1, 0.2, 0.5, 1.0]),
+        ] {
+            println!("-- {name} --");
+            for (v, m) in sensitivity(&setup, "Q5", knob, &values) {
+                println!(
+                    "  {name}={v:<5} time={:>10.1}ms switches={} reallocs={}",
+                    m.time_ms, m.switches, m.reallocs
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! # mq-bench — the experiment harness
+//!
+//! Regenerates every quantitative figure of the paper's evaluation
+//! (§3.2). Each experiment is a pure function of its parameters —
+//! deterministic data, deterministic simulated costs — so the output
+//! tables in EXPERIMENTS.md can be reproduced bit-for-bit with
+//! `cargo run --release -p mq-bench --bin figures`.
+//!
+//! | Paper figure | Function |
+//! |---|---|
+//! | Figure 3 (worked example) | [`fig03_memory_realloc`] |
+//! | Figure 10 (normal vs re-optimized) | [`fig10`] |
+//! | Figure 11 (isolating the mechanisms) | [`fig11`] |
+//! | Figure 12 (skew z = 0.3, 0.6) | [`fig12`] |
+//! | §2.5 overhead claim | [`overhead`] |
+//! | sensitivity to μ, θ1, θ2 (cited to \[12\]) | [`sensitivity`] |
+
+use midq::common::EngineConfig;
+use midq::tpcd::{queries, TpcdConfig};
+use midq::{Database, QueryOutcome, ReoptMode};
+
+/// The experiment scale and error regime, shared by all figures.
+///
+/// The paper ran a 3 GB database against a 32 MB buffer pool
+/// (ratio ≈ 1%) on an optimizer whose estimates suffered from catalog
+/// staleness and error compounding over 4+ joins. We scale both sides
+/// down together and recreate the error sources honestly: the catalog
+/// is analyzed part-way through the load (stale), and errors compound
+/// through the join estimates exactly as \[9\] describes.
+#[derive(Debug, Clone)]
+pub struct BenchSetup {
+    /// TPC-D scale factor.
+    pub scale: f64,
+    /// Zipf skew (None = uniform).
+    pub zipf_z: Option<f64>,
+    /// Fraction loaded before ANALYZE (the staleness knob).
+    pub analyze_after_fraction: f64,
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+}
+
+impl Default for BenchSetup {
+    fn default() -> Self {
+        // Pool/data ratio ≈ 2% (the paper ran 32 MB against 3 GB ≈ 1%):
+        // caching must stay marginal or the cost model's cold-I/O
+        // assumptions — and with them the re-optimization decisions —
+        // drift from reality.
+        let cfg = EngineConfig {
+            buffer_pool_pages: 64,
+            query_memory_bytes: 512 * 1024,
+            ..EngineConfig::default()
+        };
+        BenchSetup {
+            scale: 0.008,
+            zipf_z: None,
+            analyze_after_fraction: 0.5,
+            cfg,
+        }
+    }
+}
+
+impl BenchSetup {
+    /// Build and load a database for this setup.
+    pub fn database(&self) -> Database {
+        let db = Database::new(self.cfg.clone()).expect("engine");
+        db.load_tpcd(&TpcdConfig {
+            scale: self.scale,
+            zipf_z: self.zipf_z,
+            analyze_after_fraction: self.analyze_after_fraction,
+            ..TpcdConfig::default()
+        })
+        .expect("load");
+        db
+    }
+}
+
+/// One measured query execution.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Query name (Q1, Q3, ...).
+    pub query: &'static str,
+    /// Mode it ran under.
+    pub mode: ReoptMode,
+    /// Simulated time (ms).
+    pub time_ms: f64,
+    /// Plan switches performed.
+    pub switches: u32,
+    /// Memory re-allocations performed.
+    pub reallocs: u32,
+    /// Result cardinality (sanity).
+    pub rows: usize,
+}
+
+/// Run one named query under one mode.
+pub fn run_query(db: &Database, name: &'static str, mode: ReoptMode) -> Measurement {
+    let q = queries::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown query {name}"))
+        .1;
+    let out: QueryOutcome = db.run(&q, mode).unwrap_or_else(|e| panic!("{name}: {e}"));
+    Measurement {
+        query: name,
+        mode,
+        time_ms: out.time_ms,
+        switches: out.plan_switches,
+        reallocs: out.memory_reallocs,
+        rows: out.rows.len(),
+    }
+}
+
+/// The paper's query set, in reporting order.
+pub const QUERIES: [&str; 7] = ["Q1", "Q3", "Q5", "Q6", "Q7", "Q8", "Q10"];
+
+/// Figure 10: every query under Normal (Off) and Re-Optimized (Full).
+pub fn fig10(setup: &BenchSetup) -> Vec<(Measurement, Measurement)> {
+    let db = setup.database();
+    QUERIES
+        .iter()
+        .map(|q| {
+            (
+                run_query(&db, q, ReoptMode::Off),
+                run_query(&db, q, ReoptMode::Full),
+            )
+        })
+        .collect()
+}
+
+/// Figure 11: medium and complex queries under MemoryOnly and PlanOnly.
+pub fn fig11(setup: &BenchSetup) -> Vec<(Measurement, Measurement, Measurement)> {
+    let db = setup.database();
+    ["Q3", "Q10", "Q5", "Q7", "Q8"]
+        .iter()
+        .map(|q| {
+            (
+                run_query(&db, q, ReoptMode::Off),
+                run_query(&db, q, ReoptMode::MemoryOnly),
+                run_query(&db, q, ReoptMode::PlanOnly),
+            )
+        })
+        .collect()
+}
+
+/// Figure 12: normalized Full/Off time under Zipfian skew.
+pub fn fig12(setup: &BenchSetup, z: f64) -> Vec<(Measurement, Measurement)> {
+    let skewed = BenchSetup {
+        zipf_z: Some(z),
+        ..setup.clone()
+    };
+    let db = skewed.database();
+    ["Q3", "Q10", "Q5", "Q7", "Q8"]
+        .iter()
+        .map(|q| {
+            (
+                run_query(&db, q, ReoptMode::Off),
+                run_query(&db, q, ReoptMode::Full),
+            )
+        })
+        .collect()
+}
+
+/// §2.5 overhead study: the simple queries with collection forced on.
+pub fn overhead(setup: &BenchSetup) -> Vec<(Measurement, Measurement)> {
+    let db = setup.database();
+    ["Q1", "Q6"]
+        .iter()
+        .map(|q| {
+            (
+                run_query(&db, q, ReoptMode::Off),
+                run_query(&db, q, ReoptMode::Full),
+            )
+        })
+        .collect()
+}
+
+/// Sensitivity sweep over one knob for one query; returns
+/// (knob value, Full time, switches).
+pub fn sensitivity(
+    setup: &BenchSetup,
+    query: &'static str,
+    knob: Knob,
+    values: &[f64],
+) -> Vec<(f64, Measurement)> {
+    values
+        .iter()
+        .map(|&v| {
+            let mut s = setup.clone();
+            match knob {
+                Knob::Mu => s.cfg.mu = v,
+                Knob::Theta1 => s.cfg.theta1 = v,
+                Knob::Theta2 => s.cfg.theta2 = v,
+            }
+            let db = s.database();
+            (v, run_query(&db, query, ReoptMode::Full))
+        })
+        .collect()
+}
+
+/// The Dynamic Re-Optimization knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// μ — collection-overhead budget.
+    Mu,
+    /// θ1 — Equation 1 threshold.
+    Theta1,
+    /// θ2 — Equation 2 threshold.
+    Theta2,
+}
+
+/// Figure 3 (worked example): the optimizer *under*-estimates a
+/// correlated filter 4x, so the second hash join is granted a quarter
+/// of the memory it needs and would run "in two passes" (spill). The
+/// collector on the filter reveals the truth when the first join's
+/// build completes; re-allocation re-sizes the unstarted join into the
+/// unused budget and it runs in one pass.
+pub fn fig03_memory_realloc() -> Fig03 {
+    use midq::common::{DataType, Row, Value};
+    use midq::expr::{and, cmp, col, lit, CmpOp};
+    use midq::plan::{AggExpr, AggFunc};
+    use midq::LogicalPlan;
+    let cfg = EngineConfig {
+        query_memory_bytes: 256 * 1024,
+        buffer_pool_pages: 32,
+        ..EngineConfig::default()
+    };
+    let db = Database::new(cfg).expect("engine");
+    db.create_table(
+        "r",
+        vec![
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+            ("k", DataType::Int),
+        ],
+    ).unwrap();
+    db.create_table("s", vec![("k", DataType::Int), ("m", DataType::Int)]).unwrap();
+    db.create_table("t", vec![("m", DataType::Int), ("z", DataType::Int)]).unwrap();
+    // a, b and c are perfectly correlated: the three-way conjunction
+    // below actually keeps 50% of r, but independence predicts 12.5%,
+    // so every operator downstream of the filter is sized 4x too small.
+    for i in 0..4_000i64 {
+        let a = i % 1_000;
+        db.insert(
+            "r",
+            Row::new(vec![Value::Int(a), Value::Int(a), Value::Int(a), Value::Int(i % 2_000)]),
+        ).unwrap();
+    }
+    // s covers only 60% of the key domain: the actual join
+    // multiplicity (0.35 for the filtered rows) is *below* the
+    // estimated one, so the ratio-scaled correction over-provisions
+    // rather than undershooting.
+    for i in 0..1_200i64 {
+        db.insert("s", Row::new(vec![Value::Int(i), Value::Int(i % 50)])).unwrap();
+    }
+    for i in 0..50i64 {
+        db.insert("t", Row::new(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+    }
+    for name in ["r", "s", "t"] {
+        db.engine()
+            .catalog()
+            .analyze(db.engine().storage(), name, midq::stats::HistogramKind::MaxDiff, 16, 512, 5)
+            .unwrap();
+    }
+
+    let q = LogicalPlan::scan_filtered(
+        "r",
+        and(vec![
+            cmp(CmpOp::Lt, col("r.a"), lit(500i64)),
+            cmp(CmpOp::Lt, col("r.b"), lit(500i64)),
+            cmp(CmpOp::Lt, col("r.c"), lit(500i64)),
+        ]),
+    )
+    .join(LogicalPlan::scan("s"), vec![("r.k", "s.k")])
+    .join(LogicalPlan::scan("t"), vec![("s.m", "t.m")])
+    .aggregate(
+        vec!["t.z"],
+        vec![AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            name: "n".into(),
+        }],
+    );
+
+    let off = db.run(&q, ReoptMode::Off).unwrap();
+    let mem = db.run(&q, ReoptMode::MemoryOnly).unwrap();
+    Fig03 {
+        off_ms: off.time_ms,
+        mem_ms: mem.time_ms,
+        off_writes: off.cost.pages_written,
+        mem_writes: mem.cost.pages_written,
+        reallocs: mem.memory_reallocs,
+        events: mem.events,
+    }
+}
+
+/// Figure 3 measurements.
+#[derive(Debug, Clone)]
+pub struct Fig03 {
+    /// Simulated time without re-optimization.
+    pub off_ms: f64,
+    /// Simulated time in MemoryOnly mode.
+    pub mem_ms: f64,
+    /// Spill writes without re-optimization.
+    pub off_writes: u64,
+    /// Spill writes with memory re-allocation.
+    pub mem_writes: u64,
+    /// Grant re-allocations performed.
+    pub reallocs: u32,
+    /// Controller event log of the MemoryOnly run.
+    pub events: Vec<String>,
+}
+
+/// Render a Figure-10-style table as text.
+pub fn render_pairs(title: &str, pairs: &[(Measurement, Measurement)]) -> String {
+    let mut out = format!("== {title} ==\n");
+    out.push_str(&format!(
+        "{:<5} {:>12} {:>12} {:>8} {:>9} {:>9} {:>7}\n",
+        "query", "normal(ms)", "reopt(ms)", "gain%", "switches", "reallocs", "rows"
+    ));
+    for (off, full) in pairs {
+        let gain = (off.time_ms - full.time_ms) / off.time_ms * 100.0;
+        out.push_str(&format!(
+            "{:<5} {:>12.1} {:>12.1} {:>8.1} {:>9} {:>9} {:>7}\n",
+            off.query, off.time_ms, full.time_ms, gain, full.switches, full.reallocs, full.rows
+        ));
+    }
+    out
+}
+
+/// Ablation: the plan-switch acceptance margin. `switch_margin = 1.0`
+/// reproduces the paper's bare `<` acceptance; the default hedges the
+/// winner's-curse bias. Returns (margin, per-query Full-mode
+/// measurements) so EXPERIMENTS.md can show why the margin exists.
+pub fn ablation_switch_margin(
+    setup: &BenchSetup,
+    margins: &[f64],
+) -> Vec<(f64, Vec<(Measurement, Measurement)>)> {
+    margins
+        .iter()
+        .map(|&m| {
+            let mut s = setup.clone();
+            s.cfg.switch_margin = m;
+            let db = s.database();
+            let rows = ["Q5", "Q7", "Q8"]
+                .iter()
+                .map(|q| {
+                    (
+                        run_query(&db, q, ReoptMode::Off),
+                        run_query(&db, q, ReoptMode::PlanOnly),
+                    )
+                })
+                .collect();
+            (m, rows)
+        })
+        .collect()
+}
+
+/// Ablation: re-allocation demand headroom (1.0 = trust the improved
+/// estimates exactly).
+pub fn ablation_realloc_headroom(
+    setup: &BenchSetup,
+    headrooms: &[f64],
+) -> Vec<(f64, Vec<(Measurement, Measurement)>)> {
+    headrooms
+        .iter()
+        .map(|&h| {
+            let mut s = setup.clone();
+            s.cfg.realloc_headroom = h;
+            let db = s.database();
+            let rows = ["Q3", "Q5", "Q8"]
+                .iter()
+                .map(|q| {
+                    (
+                        run_query(&db, q, ReoptMode::Off),
+                        run_query(&db, q, ReoptMode::MemoryOnly),
+                    )
+                })
+                .collect();
+            (h, rows)
+        })
+        .collect()
+}
+
+/// Ablation: the histogram class stored in the catalog (§2.5's
+/// inaccuracy-potential driver). Serial-class histograms (MaxDiff,
+/// end-biased, V-optimal) start estimates at low potential; bucket-class
+/// ones (equi-width/depth) at medium; the class also changes the
+/// optimizer's estimates themselves. Returns per-kind (Off, Full)
+/// measurements for the given query.
+pub fn ablation_histogram_class(
+    setup: &BenchSetup,
+    query: &'static str,
+) -> Vec<(midq::stats::HistogramKind, Measurement, Measurement)> {
+    use midq::stats::HistogramKind;
+    [
+        HistogramKind::EquiWidth,
+        HistogramKind::EquiDepth,
+        HistogramKind::MaxDiff,
+        HistogramKind::EndBiased,
+        HistogramKind::VOptimal,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let db = Database::new(setup.cfg.clone()).expect("engine");
+        db.load_tpcd(&TpcdConfig {
+            scale: setup.scale,
+            zipf_z: setup.zipf_z,
+            analyze_after_fraction: setup.analyze_after_fraction,
+            histogram: kind,
+            ..TpcdConfig::default()
+        })
+        .expect("load");
+        (
+            kind,
+            run_query(&db, query, ReoptMode::Off),
+            run_query(&db, query, ReoptMode::Full),
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchSetup {
+        // Small enough to load in well under a second; the harness
+        // mechanics (not the figure magnitudes) are under test here.
+        BenchSetup {
+            scale: 0.001,
+            ..BenchSetup::default()
+        }
+    }
+
+    #[test]
+    fn render_pairs_formats_gain() {
+        let m = |t: f64, mode| Measurement {
+            query: "Q5",
+            mode,
+            time_ms: t,
+            switches: 1,
+            reallocs: 2,
+            rows: 7,
+        };
+        let text = render_pairs(
+            "Fig X",
+            &[(m(200.0, ReoptMode::Off), m(100.0, ReoptMode::Full))],
+        );
+        assert!(text.contains("== Fig X =="));
+        assert!(text.contains("50.0"), "gain column: {text}");
+        assert!(text.contains("200.0") && text.contains("100.0"));
+        // One header + one data row.
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn default_setup_is_paper_regime() {
+        let s = BenchSetup::default();
+        assert!(s.zipf_z.is_none());
+        assert_eq!(s.analyze_after_fraction, 0.5);
+        // Pool must stay small relative to data or re-optimization
+        // decisions stop mattering.
+        assert!(s.cfg.buffer_pool_pages <= 64);
+        s.cfg.validate().expect("default bench config is valid");
+    }
+
+    #[test]
+    fn database_loads_and_runs_every_query() {
+        let db = tiny().database();
+        for q in QUERIES {
+            let m = run_query(&db, q, ReoptMode::Off);
+            assert!(m.time_ms > 0.0, "{q} took no time");
+            assert_eq!(m.switches, 0, "{q}: Off mode never switches");
+            assert_eq!(m.reallocs, 0, "{q}: Off mode never reallocates");
+        }
+    }
+
+    /// Two databases built from the same setup give bit-identical
+    /// measurements. (Re-running on the *same* database legitimately
+    /// differs — the buffer pool is warm — which is why every figure
+    /// runs its modes in a fixed order.)
+    #[test]
+    fn measurements_are_deterministic() {
+        let a = run_query(&tiny().database(), "Q3", ReoptMode::Full);
+        let b = run_query(&tiny().database(), "Q3", ReoptMode::Full);
+        assert_eq!(a.time_ms, b.time_ms);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.reallocs, b.reallocs);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown query")]
+    fn unknown_query_panics() {
+        let db = tiny().database();
+        let _ = run_query(&db, "Q99", ReoptMode::Off);
+    }
+}

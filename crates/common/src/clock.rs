@@ -1,0 +1,156 @@
+//! The simulated-cost clock.
+//!
+//! Paradise measured wall-clock seconds on a four-node cluster; this
+//! reproduction instead *counts* every physical page read/write (through
+//! the buffer pool), every tuple-level CPU operation, and every
+//! optimizer work unit, then converts the counts into a deterministic
+//! "simulated time" using the [`crate::EngineConfig`] cost constants.
+//! Determinism is what lets every figure in EXPERIMENTS.md be
+//! regenerated bit-for-bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::config::EngineConfig;
+
+/// Shared counters for the four cost dimensions. Cloning shares the
+/// underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    cpu_ops: AtomicU64,
+    opt_work: AtomicU64,
+}
+
+/// A point-in-time copy of the counters; subtract two snapshots to cost
+/// an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostSnapshot {
+    /// Physical page reads.
+    pub pages_read: u64,
+    /// Physical page writes.
+    pub pages_written: u64,
+    /// Tuple-level CPU operations.
+    pub cpu_ops: u64,
+    /// Optimizer work units (DP candidate costings).
+    pub opt_work: u64,
+}
+
+impl CostSnapshot {
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            pages_written: self.pages_written.saturating_sub(earlier.pages_written),
+            cpu_ops: self.cpu_ops.saturating_sub(earlier.cpu_ops),
+            opt_work: self.opt_work.saturating_sub(earlier.opt_work),
+        }
+    }
+
+    /// Convert counts into simulated milliseconds.
+    pub fn time_ms(&self, cfg: &EngineConfig) -> f64 {
+        self.pages_read as f64 * cfg.io_read_ms
+            + self.pages_written as f64 * cfg.io_write_ms
+            + self.cpu_ops as f64 * cfg.cpu_op_ms
+            + self.opt_work as f64 * cfg.opt_work_ms
+    }
+
+    /// Total physical I/O count.
+    pub fn io_total(&self) -> u64 {
+        self.pages_read + self.pages_written
+    }
+}
+
+impl SimClock {
+    /// A fresh clock with all counters at zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Record `n` physical page reads.
+    pub fn add_reads(&self, n: u64) {
+        self.inner.pages_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` physical page writes.
+    pub fn add_writes(&self, n: u64) {
+        self.inner.pages_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` tuple-level CPU operations.
+    pub fn add_cpu(&self, n: u64) {
+        self.inner.cpu_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` optimizer work units (used to charge `T_opt` when the
+    /// optimizer is re-invoked mid-query).
+    pub fn add_opt_work(&self, n: u64) {
+        self.inner.opt_work.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            pages_read: self.inner.pages_read.load(Ordering::Relaxed),
+            pages_written: self.inner.pages_written.load(Ordering::Relaxed),
+            cpu_ops: self.inner.cpu_ops.load(Ordering::Relaxed),
+            opt_work: self.inner.opt_work.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current simulated time since the clock was created.
+    pub fn elapsed_ms(&self, cfg: &EngineConfig) -> f64 {
+        self.snapshot().time_ms(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_costing() {
+        let clock = SimClock::new();
+        clock.add_reads(10);
+        clock.add_writes(5);
+        clock.add_cpu(1000);
+        clock.add_opt_work(20);
+
+        let cfg = EngineConfig::default();
+        let snap = clock.snapshot();
+        let expect = 10.0 * cfg.io_read_ms
+            + 5.0 * cfg.io_write_ms
+            + 1000.0 * cfg.cpu_op_ms
+            + 20.0 * cfg.opt_work_ms;
+        assert!((snap.time_ms(&cfg) - expect).abs() < 1e-9);
+        assert_eq!(snap.io_total(), 15);
+    }
+
+    #[test]
+    fn snapshots_diff() {
+        let clock = SimClock::new();
+        clock.add_reads(3);
+        let a = clock.snapshot();
+        clock.add_reads(4);
+        clock.add_cpu(7);
+        let b = clock.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.pages_read, 4);
+        assert_eq!(d.cpu_ops, 7);
+        assert_eq!(d.pages_written, 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let clock = SimClock::new();
+        let c2 = clock.clone();
+        c2.add_writes(2);
+        assert_eq!(clock.snapshot().pages_written, 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Engine-wide error type.
+//!
+//! One flat error enum keeps cross-crate plumbing simple: every layer
+//! of the engine (storage, catalog, optimizer, executor, SQL frontend)
+//! returns [`Result<T>`]. Variants carry enough context to diagnose a
+//! failure without backtraces.
+
+use std::fmt;
+
+/// The engine-wide result alias.
+pub type Result<T> = std::result::Result<T, MqError>;
+
+/// All errors the midq engine can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MqError {
+    /// A named catalog object (table, index, column) does not exist.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A value had the wrong [`crate::DataType`] for the operation.
+    TypeMismatch(String),
+    /// A schema-level inconsistency (arity mismatch, duplicate column, ...).
+    SchemaError(String),
+    /// The simulated disk or buffer pool failed an invariant
+    /// (out-of-range page, double free, pin-count underflow, ...).
+    Storage(String),
+    /// The executor detected an inconsistency at run time.
+    Execution(String),
+    /// The optimizer could not produce a plan for the query.
+    Plan(String),
+    /// The SQL frontend rejected the input text.
+    Parse(String),
+    /// The memory manager could not satisfy even minimum demands.
+    OutOfMemory(String),
+    /// A configuration knob was out of its legal range.
+    InvalidConfig(String),
+    /// Generic invariant violation — a bug in the engine, not the query.
+    Internal(String),
+    /// Not an error: a control-flow signal used by the Dynamic
+    /// Re-Optimization controller to unwind execution at a plan-switch
+    /// point (§2.4). Carries the plan node id of the cut. Operators
+    /// must propagate it untouched; only the controller catches it.
+    PlanSwitch(usize),
+}
+
+impl MqError {
+    /// Short machine-readable category name, used in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MqError::NotFound(_) => "not_found",
+            MqError::AlreadyExists(_) => "already_exists",
+            MqError::TypeMismatch(_) => "type_mismatch",
+            MqError::SchemaError(_) => "schema",
+            MqError::Storage(_) => "storage",
+            MqError::Execution(_) => "execution",
+            MqError::Plan(_) => "plan",
+            MqError::Parse(_) => "parse",
+            MqError::OutOfMemory(_) => "oom",
+            MqError::InvalidConfig(_) => "config",
+            MqError::Internal(_) => "internal",
+            MqError::PlanSwitch(_) => "plan_switch",
+        }
+    }
+}
+
+impl fmt::Display for MqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqError::NotFound(m) => write!(f, "not found: {m}"),
+            MqError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            MqError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            MqError::SchemaError(m) => write!(f, "schema error: {m}"),
+            MqError::Storage(m) => write!(f, "storage error: {m}"),
+            MqError::Execution(m) => write!(f, "execution error: {m}"),
+            MqError::Plan(m) => write!(f, "planning error: {m}"),
+            MqError::Parse(m) => write!(f, "parse error: {m}"),
+            MqError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
+            MqError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            MqError::Internal(m) => write!(f, "internal error: {m}"),
+            MqError::PlanSwitch(n) => write!(f, "plan switch requested at node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = MqError::NotFound("table lineitem".into());
+        assert_eq!(e.to_string(), "not found: table lineitem");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        use std::collections::HashSet;
+        let errs = [
+            MqError::NotFound(String::new()),
+            MqError::AlreadyExists(String::new()),
+            MqError::TypeMismatch(String::new()),
+            MqError::SchemaError(String::new()),
+            MqError::Storage(String::new()),
+            MqError::Execution(String::new()),
+            MqError::Plan(String::new()),
+            MqError::Parse(String::new()),
+            MqError::OutOfMemory(String::new()),
+            MqError::InvalidConfig(String::new()),
+            MqError::Internal(String::new()),
+            MqError::PlanSwitch(0),
+        ];
+        let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MqError>();
+    }
+}

@@ -1,0 +1,109 @@
+//! Strongly-typed identifiers used across the engine.
+//!
+//! Newtypes prevent the classic bug of passing a page number where a
+//! table id was expected. All ids are plain `u32`/`u64` wrappers with
+//! zero runtime cost.
+
+use std::fmt;
+
+/// Identifies a page on the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. end of a heap-file page chain).
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// Whether this id refers to a real page.
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "page#{}", self.0)
+        } else {
+            write!(f, "page#∅")
+        }
+    }
+}
+
+/// Identifies a heap file (a table's data or a temp file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// Identifies a table in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+/// Identifies a B+-tree index in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub u32);
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "index#{}", self.0)
+    }
+}
+
+/// A record id: the physical address of a tuple (page + slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page the tuple lives on.
+    pub page: PageId,
+    /// Slot number within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Construct a record id.
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_page_id() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(PageId::INVALID.to_string(), "page#∅");
+    }
+
+    #[test]
+    fn rid_ordering_is_page_major() {
+        let a = Rid::new(PageId(1), 9);
+        let b = Rid::new(PageId(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PageId(7).to_string(), "page#7");
+        assert_eq!(FileId(3).to_string(), "file#3");
+        assert_eq!(Rid::new(PageId(7), 2).to_string(), "page#7:2");
+    }
+}

@@ -1,0 +1,159 @@
+//! Rows: the unit of data flowing between operators.
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::value::Value;
+
+/// A tuple of values. Operators pass rows by value; string payloads are
+/// `Arc`-shared so cloning is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Construct a row from values.
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Column accessor.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the value vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row { values }
+    }
+
+    /// Project columns by index.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Encoded size in bytes (matches [`Row::encode`] exactly).
+    pub fn encoded_len(&self) -> usize {
+        2 + self.values.iter().map(Value::encoded_len).sum::<usize>()
+    }
+
+    /// Append the binary encoding (column count then each value).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.values.len() <= u16::MAX as usize);
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            v.encode(out);
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a row from `buf`, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Row, usize)> {
+        use crate::error::MqError;
+        let n = buf
+            .get(..2)
+            .map(|b| u16::from_le_bytes(b.try_into().unwrap()) as usize)
+            .ok_or_else(|| MqError::Storage("truncated row header".into()))?;
+        let mut values = Vec::with_capacity(n);
+        let mut off = 2;
+        for _ in 0..n {
+            let (v, used) = Value::decode(&buf[off..])?;
+            values.push(v);
+            off += used;
+        }
+        Ok((Row { values }, off))
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        Row::new(vec![
+            Value::Int(7),
+            Value::str("x"),
+            Value::Null,
+            Value::Float(0.5),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), r.encoded_len());
+        let (back, used) = Row::decode(&bytes).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Row::new(vec![Value::Int(3)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let r = sample();
+        let bytes = r.to_bytes();
+        assert!(Row::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Row::decode(&[]).is_err());
+    }
+}

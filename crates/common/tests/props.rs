@@ -1,0 +1,120 @@
+//! Property-based tests for the core value types.
+
+use mq_common::value::{civil_to_days, days_to_civil};
+use mq_common::{Row, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks equality on purpose elsewhere.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        (-1_000_000i64..1_000_000).prop_map(Value::Date),
+        "[a-zA-Z0-9 _-]{0,40}".prop_map(Value::str),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(arb_value(), 0..12).prop_map(Row::new)
+}
+
+proptest! {
+    /// Every value round-trips through the binary encoding.
+    #[test]
+    fn value_encode_roundtrip(v in arb_value()) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        prop_assert_eq!(buf.len(), v.encoded_len());
+        let (back, used) = Value::decode(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    /// Rows round-trip, including empty rows and NULL-heavy rows.
+    #[test]
+    fn row_encode_roundtrip(r in arb_row()) {
+        let bytes = r.to_bytes();
+        prop_assert_eq!(bytes.len(), r.encoded_len());
+        let (back, used) = Row::decode(&bytes).unwrap();
+        prop_assert_eq!(back, r);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Decoding arbitrary garbage never panics (errors are fine).
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Value::decode(&bytes);
+        let _ = Row::decode(&bytes);
+    }
+
+    /// The total order is consistent: sorting twice gives the same
+    /// result, equal values compare equal after a roundtrip, and the
+    /// order is antisymmetric.
+    #[test]
+    fn value_order_is_total(mut vs in prop::collection::vec(arb_value(), 0..30)) {
+        let mut once = vs.clone();
+        once.sort();
+        vs.sort();
+        vs.sort();
+        prop_assert_eq!(once, vs.clone());
+        for w in vs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+            if w[0] == w[1] {
+                prop_assert!((w[0] >= w[1]));
+            }
+        }
+    }
+
+    /// Hash agrees with equality (the hash-join contract).
+    #[test]
+    fn hash_agrees_with_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Civil-date conversion round-trips for every day in ±1 My range.
+    #[test]
+    fn civil_roundtrip(z in -1_000_000i64..1_000_000) {
+        let (y, m, d) = days_to_civil(z);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(civil_to_days(y, m, d), z);
+    }
+
+    /// SQL comparison is antisymmetric when defined.
+    #[test]
+    fn sql_cmp_antisymmetric(a in arb_value(), b in arb_value()) {
+        if let (Some(x), Some(y)) = (a.sql_cmp(&b), b.sql_cmp(&a)) {
+            prop_assert_eq!(x, y.reverse());
+        }
+    }
+
+    /// Arithmetic with NULL yields NULL; with finite floats it matches
+    /// f64 semantics.
+    #[test]
+    fn null_propagates(v in arb_value()) {
+        prop_assert!(Value::Null.add(&v).unwrap().is_null());
+        prop_assert!(v.mul(&Value::Null).unwrap().is_null());
+    }
+
+    /// Projection preserves the selected values.
+    #[test]
+    fn row_project(r in arb_row()) {
+        if r.is_empty() { return Ok(()); }
+        let idx: Vec<usize> = (0..r.len()).rev().collect();
+        let p = r.project(&idx);
+        for (out_pos, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(p.get(out_pos), r.get(src));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The top-level query engine with Dynamic Re-Optimization.
+//!
+//! [`Engine::run`] is the whole §2.6 summary in code: optimize →
+//! statistics-collectors insertion → memory allocation → execute with
+//! the controller attached; when the controller unwinds with a plan
+//! switch, materialize the cut subtree (reusing its surviving build
+//! artifacts), register the temp table with the *exact* statistics
+//! observed while writing it, re-optimize the remainder, and continue —
+//! "this process continues until the query completes execution" (§3.1).
+
+use std::rc::Rc;
+
+use mq_catalog::Catalog;
+use mq_common::{CostSnapshot, EngineConfig, MqError, Result, Row, SimClock};
+use mq_exec::{materialize, run_to_vec, ExecContext};
+use mq_memory::MemoryManager;
+use mq_optimizer::{recost, OptCalibration, Optimizer};
+use mq_plan::{LogicalPlan, NodeId, PhysPlan};
+use mq_storage::Storage;
+
+use crate::controller::ReoptController;
+use crate::scia::insert_collectors;
+use crate::ReoptMode;
+
+/// Everything a finished query reports.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Physical-cost delta for this query alone.
+    pub cost: CostSnapshot,
+    /// Simulated execution time in milliseconds.
+    pub time_ms: f64,
+    /// The mode the query ran under.
+    pub mode: ReoptMode,
+    /// Accepted plan switches.
+    pub plan_switches: u32,
+    /// Memory re-allocations that changed at least one grant.
+    pub memory_reallocs: u32,
+    /// Statistics-collector reports received.
+    pub collector_reports: u32,
+    /// Human-readable controller event log.
+    pub events: Vec<String>,
+    /// The plan that produced the final rows (last attempt).
+    pub final_plan: PhysPlan,
+}
+
+impl QueryOutcome {
+    /// Render a post-execution report in the spirit of
+    /// `EXPLAIN ANALYZE`: the headline counters, the controller's event
+    /// log (every collector report, grant change and switch decision),
+    /// and the annotated plan that produced the final rows. This is the
+    /// first thing to read when asking *why* a query did or did not
+    /// re-optimize.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== query report ({:?} mode) ==", self.mode);
+        let _ = writeln!(
+            out,
+            "rows: {}   simulated time: {:.1} ms",
+            self.rows.len(),
+            self.time_ms
+        );
+        let _ = writeln!(
+            out,
+            "I/O: {} page reads, {} page writes   cpu ops: {}   optimizer work: {}",
+            self.cost.pages_read, self.cost.pages_written, self.cost.cpu_ops, self.cost.opt_work
+        );
+        let _ = writeln!(
+            out,
+            "plan switches: {}   memory re-allocations: {}   collector reports: {}",
+            self.plan_switches, self.memory_reallocs, self.collector_reports
+        );
+        if self.events.is_empty() {
+            let _ = writeln!(out, "\n-- controller events: none --");
+        } else {
+            let _ = writeln!(out, "\n-- controller events --");
+            for (i, e) in self.events.iter().enumerate() {
+                let _ = writeln!(out, "{:>3}. {e}", i + 1);
+            }
+        }
+        let _ = writeln!(out, "\n-- final plan (of the last attempt) --");
+        let _ = write!(out, "{}", self.final_plan);
+        out
+    }
+}
+
+/// The engine: shared storage/catalog plus the re-optimization stack.
+pub struct Engine {
+    cfg: EngineConfig,
+    clock: SimClock,
+    storage: Storage,
+    catalog: Catalog,
+    optimizer: Optimizer,
+    mm: MemoryManager,
+    calibration: Rc<OptCalibration>,
+}
+
+impl Engine {
+    /// Build an engine (calibrating the optimizer for Equation 1).
+    pub fn new(cfg: EngineConfig) -> Result<Engine> {
+        cfg.validate()?;
+        let clock = SimClock::new();
+        let storage = Storage::new(&cfg, clock.clone());
+        let catalog = Catalog::new();
+        let optimizer = Optimizer::new(cfg.clone());
+        let mm = MemoryManager::new(&cfg);
+        let calibration = Rc::new(OptCalibration::run(&cfg, 6)?);
+        Ok(Engine {
+            cfg,
+            clock,
+            storage,
+            catalog,
+            optimizer,
+            mm,
+            calibration,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Override the configuration (e.g. per-experiment knobs). Takes
+    /// effect for subsequent queries.
+    pub fn set_config(&mut self, cfg: EngineConfig) -> Result<()> {
+        cfg.validate()?;
+        self.optimizer = Optimizer::new(cfg.clone());
+        self.mm = MemoryManager::new(&cfg);
+        self.cfg = cfg;
+        Ok(())
+    }
+
+    /// Shared storage handle (loaders use this).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Shared catalog handle.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Run a query under the given re-optimization mode.
+    pub fn run(&self, logical: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
+        let t0 = self.clock.snapshot();
+        let ctx = ExecContext::new(self.storage.clone(), self.clock.clone(), self.cfg.clone());
+        let controller = Rc::new(ReoptController::new(
+            mode,
+            self.cfg.clone(),
+            self.catalog.clone(),
+            self.storage.clone(),
+            self.optimizer.clone(),
+            Rc::clone(&self.calibration),
+            self.mm.clone(),
+            self.clock.clone(),
+            ctx.share_grants(),
+        ));
+        let ctx = if mode.collects() {
+            ctx.with_monitor(controller.clone())
+        } else {
+            ctx
+        };
+
+        let mut temp_tables: Vec<String> = Vec::new();
+        let mut current = logical.clone();
+        let outcome = loop {
+            let mut optimized = self.optimizer.optimize(&current, &self.catalog, &self.storage)?;
+            self.clock.add_opt_work(optimized.work_units);
+            if mode.collects() {
+                insert_collectors(&mut optimized.plan, &self.catalog, &self.cfg)?;
+            }
+            self.mm.allocate(&mut optimized.plan, &self.cfg)?;
+            recost(&mut optimized.plan, &self.cfg);
+            controller.begin_attempt(optimized.plan.clone());
+
+            match run_to_vec(&optimized.plan, &ctx) {
+                Ok(rows) => {
+                    let (memory_reallocs, collector_reports) = controller.counters();
+                    break QueryOutcome {
+                        rows,
+                        cost: self.clock.snapshot().since(&t0),
+                        time_ms: self.clock.snapshot().since(&t0).time_ms(&self.cfg),
+                        mode,
+                        plan_switches: controller.switches(),
+                        memory_reallocs,
+                        collector_reports,
+                        events: controller.take_events(),
+                        final_plan: optimized.plan,
+                    };
+                }
+                Err(MqError::PlanSwitch(raw)) => {
+                    let pending = controller.take_pending().ok_or_else(|| {
+                        MqError::Internal("plan switch without pending decision".into())
+                    })?;
+                    debug_assert_eq!(pending.cut, NodeId(raw));
+                    // Finish the cut subtree into the temp table. The
+                    // build artifact survived the unwind, so only the
+                    // probe phase (plus the write) is paid here — the
+                    // paper's "finish execution of the last operator
+                    // and write the result to a temporary file".
+                    controller.set_suppressed(true);
+                    let sub = optimized
+                        .plan
+                        .find(pending.cut)
+                        .ok_or_else(|| MqError::Internal("cut not in plan".into()))?
+                        .clone();
+                    let mat = materialize(&sub, &ctx)?;
+                    controller.set_suppressed(false);
+
+                    // Swap the placeholder for the real file + stats.
+                    let placeholder = self.catalog.drop_table(&pending.temp_name)?;
+                    let _ = self.storage.drop_file(placeholder.file);
+                    self.catalog.register_materialized(
+                        &pending.temp_name,
+                        mat.file,
+                        mat.schema,
+                        mat.stats,
+                    )?;
+                    temp_tables.push(pending.temp_name.clone());
+
+                    // Stale per-attempt state.
+                    ctx.clear_artifacts();
+                    ctx.clear_grants();
+                    current = pending.remainder;
+                    continue;
+                }
+                Err(other) => {
+                    self.cleanup_temps(&temp_tables);
+                    return Err(other);
+                }
+            }
+        };
+        if self.cfg.stats_feedback && mode.collects() {
+            self.apply_stats_feedback(&outcome.final_plan, &controller, &temp_tables);
+        }
+        self.cleanup_temps(&temp_tables);
+        Ok(outcome)
+    }
+
+    /// §2.2 statistics feedback: a collector that drained the complete,
+    /// unfiltered output of a base-table scan observed that table's
+    /// true row count and column distributions — write them back so the
+    /// next query plans against healed statistics. Filtered scans and
+    /// early-stopped collectors are skipped (their observations describe
+    /// a subset), as are the re-optimizer's own temp tables (about to be
+    /// dropped).
+    fn apply_stats_feedback(
+        &self,
+        plan: &PhysPlan,
+        controller: &ReoptController,
+        temp_tables: &[String],
+    ) {
+        let observations = controller.complete_observations();
+        if observations.is_empty() {
+            return;
+        }
+        plan.walk(&mut |node| {
+            if !matches!(node.op, mq_plan::PhysOp::StatsCollector { .. }) {
+                return;
+            }
+            let Some(child) = node.children.first() else { return };
+            let mq_plan::PhysOp::SeqScan { spec, filter: None } = &child.op else {
+                return;
+            };
+            if temp_tables.iter().any(|t| t == &spec.table) {
+                return;
+            }
+            let Some(obs) = observations.iter().find(|o| o.node == node.id) else {
+                return;
+            };
+            // Collector specs use qualified names; catalog column stats
+            // are keyed by bare name.
+            let columns = obs
+                .columns
+                .iter()
+                .map(|(k, v)| {
+                    let bare = k.rsplit('.').next().unwrap_or(k).to_string();
+                    (bare, v.clone())
+                })
+                .collect();
+            let pages = self.storage.file_pages(spec.file).unwrap_or(spec.pages as usize) as u64;
+            let _ = self.catalog.apply_observed(
+                &spec.table,
+                obs.rows,
+                pages,
+                obs.avg_row_bytes,
+                &columns,
+            );
+        });
+    }
+
+    fn cleanup_temps(&self, temps: &[String]) {
+        for name in temps {
+            if let Ok(entry) = self.catalog.drop_table(name) {
+                let _ = self.storage.drop_file(entry.file);
+            }
+        }
+    }
+}

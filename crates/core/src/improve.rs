@@ -1,0 +1,213 @@
+//! Improved estimates from runtime observations (§2.2–§2.3).
+//!
+//! Observed statistics are *facts*; the optimizer's annotations are
+//! guesses. This module rebuilds the annotation set of the remainder of
+//! a plan from the observations: a node whose subtree contains an
+//! observed collector has its cardinality scaled by the observation
+//! ratio (`observed / estimated`), compounding multiplicatively up the
+//! tree — the inverse of how the estimation error compounded in the
+//! first place. Costs and times are then re-derived with the current
+//! memory grants.
+
+use std::collections::HashMap;
+
+use mq_common::EngineConfig;
+use mq_exec::ObservedStats;
+use mq_optimizer::recost;
+use mq_plan::{NodeId, PhysPlan};
+
+/// Accumulates observations and produces improved plans.
+#[derive(Debug, Default, Clone)]
+pub struct ImprovedEstimates {
+    observations: HashMap<NodeId, ObservedStats>,
+}
+
+impl ImprovedEstimates {
+    /// Empty set of observations.
+    pub fn new() -> ImprovedEstimates {
+        ImprovedEstimates::default()
+    }
+
+    /// Record a collector's report.
+    pub fn record(&mut self, stats: ObservedStats) {
+        self.observations.insert(stats.node, stats);
+    }
+
+    /// Observations recorded so far.
+    pub fn observations(&self) -> &HashMap<NodeId, ObservedStats> {
+        &self.observations
+    }
+
+    /// The observation at a specific collector, if any.
+    pub fn at(&self, node: NodeId) -> Option<&ObservedStats> {
+        self.observations.get(&node)
+    }
+
+    /// Produce a copy of `orig` with improved annotations: observed
+    /// nodes get exact cardinalities; ancestors scale by the
+    /// observation ratios of their subtrees; costs/times re-derived.
+    pub fn improved_plan(&self, orig: &PhysPlan, cfg: &EngineConfig) -> PhysPlan {
+        let mut plan = orig.clone();
+        self.apply(&mut plan);
+        recost(&mut plan, cfg);
+        plan
+    }
+
+    /// Apply improvements in place (no recosting).
+    fn apply(&self, plan: &mut PhysPlan) -> f64 {
+        // Returns the cumulative observation ratio of this subtree.
+        let mut ratio = 1.0;
+        for c in &mut plan.children {
+            ratio *= self.apply(c);
+        }
+        if let Some(obs) = self.observations.get(&plan.id) {
+            // Exact: override and restart the ratio chain from here.
+            let orig_rows = plan.annot.est_rows.max(1e-9);
+            plan.annot.est_rows = obs.rows as f64;
+            if obs.avg_row_bytes > 0.0 {
+                plan.annot.est_row_bytes = obs.avg_row_bytes;
+            }
+            return obs.rows as f64 / orig_rows;
+        }
+        if ratio != 1.0 {
+            plan.annot.est_rows = (plan.annot.est_rows * ratio).max(0.0);
+        }
+        ratio
+    }
+
+    /// Improved remaining time: total of the improved plan minus the
+    /// parts already executed (`completed` node ids).
+    pub fn remaining_ms(
+        plan: &PhysPlan,
+        completed: &std::collections::HashSet<NodeId>,
+    ) -> f64 {
+        let mut total = 0.0;
+        plan.walk(&mut |n| {
+            if !completed.contains(&n.id) {
+                total += n.annot.est_time_ms;
+            }
+        });
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, Field, FileId, Schema};
+    use mq_plan::{PhysOp, ScanSpec};
+
+    fn scan(name: &str, rows: f64) -> PhysPlan {
+        let mut p = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: name.into(),
+                    file: FileId(0),
+                    pages: 10,
+                    rows: rows as u64,
+                },
+                filter: None,
+            },
+            vec![],
+            Schema::new(vec![Field::qualified(name, "a", DataType::Int)]).unwrap(),
+        );
+        p.annot.est_rows = rows;
+        p.annot.est_row_bytes = 20.0;
+        p
+    }
+
+    fn collector(input: PhysPlan) -> PhysPlan {
+        let schema = input.schema.clone();
+        let mut p = PhysPlan::new(
+            PhysOp::StatsCollector {
+                specs: vec![],
+                site: "t".into(),
+            },
+            vec![input],
+            schema,
+        );
+        p.annot.est_rows = p.children[0].annot.est_rows;
+        p.annot.est_row_bytes = 20.0;
+        p
+    }
+
+    fn join(l: PhysPlan, r: PhysPlan, rows: f64) -> PhysPlan {
+        let schema = l.schema.join(&r.schema);
+        let mut p = PhysPlan::new(
+            PhysOp::HashJoin {
+                build_keys: vec![0],
+                probe_keys: vec![0],
+            },
+            vec![l, r],
+            schema,
+        );
+        p.annot.est_rows = rows;
+        p.annot.est_row_bytes = 40.0;
+        p
+    }
+
+    fn obs(node: NodeId, rows: u64) -> ObservedStats {
+        ObservedStats {
+            node,
+            rows,
+            avg_row_bytes: 20.0,
+            columns: HashMap::new(),
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn observation_scales_ancestors() {
+        // join(collector(scan a, est 1000), scan b) est 5000.
+        let mut plan = join(collector(scan("a", 1000.0)), scan("b", 200.0), 5000.0);
+        plan.assign_ids();
+        let collector_id = plan.children[0].id;
+
+        let mut imp = ImprovedEstimates::new();
+        imp.record(obs(collector_id, 250)); // 4× fewer rows than estimated
+        let cfg = EngineConfig::default();
+        let improved = imp.improved_plan(&plan, &cfg);
+        // Collector: exact 250. Join: scaled 5000 × 0.25 = 1250.
+        assert!((improved.children[0].annot.est_rows - 250.0).abs() < 1e-9);
+        assert!((improved.annot.est_rows - 1250.0).abs() < 1e-6);
+        // Unobserved scan b untouched.
+        assert!((improved.children[1].annot.est_rows - 200.0).abs() < 1e-9);
+        // Times re-derived.
+        assert!(improved.annot.est_total_time_ms > 0.0);
+    }
+
+    #[test]
+    fn nested_observations_compound() {
+        // join2(collector2(join1(collector1(a), b)), c)
+        let inner = join(collector(scan("a", 100.0)), scan("b", 50.0), 1000.0);
+        let mid = collector(inner);
+        let mut plan = join(mid, scan("c", 10.0), 8000.0);
+        plan.assign_ids();
+        let c2 = plan.children[0].id;
+        let c1 = plan.children[0].children[0].children[0].id;
+
+        let mut imp = ImprovedEstimates::new();
+        // c1 observed 2× the estimate; c2 observed exactly (overriding
+        // the chain below it).
+        imp.record(obs(c1, 200));
+        imp.record(obs(c2, 500));
+        let cfg = EngineConfig::default();
+        let improved = imp.improved_plan(&plan, &cfg);
+        // c2 exact 500 → root scales by 500/1000 = 0.5 → 4000.
+        assert!((improved.annot.est_rows - 4000.0).abs() < 1e-6, "{}", improved.annot.est_rows);
+    }
+
+    #[test]
+    fn remaining_excludes_completed() {
+        let cfg = EngineConfig::default();
+        let mut plan = join(scan("a", 100.0), scan("b", 100.0), 100.0);
+        plan.assign_ids();
+        recost(&mut plan, &cfg);
+        let all: f64 = ImprovedEstimates::remaining_ms(&plan, &Default::default());
+        let mut done = std::collections::HashSet::new();
+        done.insert(plan.children[0].id);
+        let rem = ImprovedEstimates::remaining_ms(&plan, &done);
+        assert!(rem < all);
+        assert!(rem > 0.0);
+    }
+}

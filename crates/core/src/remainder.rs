@@ -1,0 +1,384 @@
+//! Remainder-query reconstruction (§2.4, Figure 6).
+//!
+//! When the controller decides to switch plans at a cut node, the
+//! "SQL corresponding to the remainder of the query is generated in
+//! terms of \[the\] temporary file" — here, a [`LogicalPlan`] in which
+//! the cut subtree is replaced by a scan of the temp table. The temp
+//! table keeps the cut output's *original column qualifiers*, so every
+//! upstream predicate, join pair and grouping column resolves
+//! unchanged.
+
+use mq_common::{MqError, Result};
+use mq_expr::{cmp, CmpOp, Expr};
+use mq_plan::{LogicalPlan, NodeId, PhysOp, PhysPlan};
+
+/// Convert the physical plan `plan` into the logical remainder query,
+/// replacing the subtree rooted at `cut` with a scan of `temp_table`.
+pub fn remainder_query(plan: &PhysPlan, cut: NodeId, temp_table: &str) -> Result<LogicalPlan> {
+    if plan.find(cut).is_none() {
+        return Err(MqError::Internal(format!("cut {cut} not in plan")));
+    }
+    convert(plan, cut, temp_table)
+}
+
+fn convert(p: &PhysPlan, cut: NodeId, temp: &str) -> Result<LogicalPlan> {
+    if p.id == cut {
+        return Ok(LogicalPlan::Scan {
+            table: temp.to_string(),
+            filter: None,
+        });
+    }
+    Ok(match &p.op {
+        PhysOp::SeqScan { spec, filter } => LogicalPlan::Scan {
+            table: spec.table.clone(),
+            filter: filter.as_ref().map(Expr::unbind),
+        },
+        PhysOp::IndexScan {
+            spec,
+            column,
+            lo,
+            hi,
+            residual,
+            ..
+        } => {
+            // Reconstruct the sargable predicate the index absorbed.
+            let colref = mq_expr::col(&format!("{}.{}", spec.table, column));
+            let mut conjs = Vec::new();
+            if let Some(lo) = lo {
+                conjs.push(cmp(CmpOp::Ge, colref.clone(), Expr::Literal(lo.clone())));
+            }
+            if let Some(hi) = hi {
+                conjs.push(cmp(CmpOp::Le, colref, Expr::Literal(hi.clone())));
+            }
+            if let Some(r) = residual {
+                conjs.push(r.unbind());
+            }
+            LogicalPlan::Scan {
+                table: spec.table.clone(),
+                filter: if conjs.is_empty() {
+                    None
+                } else {
+                    Some(mq_expr::and(conjs))
+                },
+            }
+        }
+        PhysOp::Filter { predicate } => LogicalPlan::Filter {
+            input: Box::new(convert(&p.children[0], cut, temp)?),
+            predicate: predicate.unbind(),
+        },
+        PhysOp::Project { exprs } => LogicalPlan::Project {
+            input: Box::new(convert(&p.children[0], cut, temp)?),
+            exprs: exprs
+                .iter()
+                .map(|(e, n)| (e.unbind(), n.clone()))
+                .collect(),
+        },
+        PhysOp::HashJoin {
+            build_keys,
+            probe_keys,
+        } => {
+            let left = convert(&p.children[0], cut, temp)?;
+            let right = convert(&p.children[1], cut, temp)?;
+            let on = build_keys
+                .iter()
+                .zip(probe_keys)
+                .map(|(&b, &pr)| {
+                    (
+                        p.children[0].schema.field(b).qualified_name(),
+                        p.children[1].schema.field(pr).qualified_name(),
+                    )
+                })
+                .collect();
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+            }
+        }
+        PhysOp::IndexNLJoin {
+            outer_key,
+            inner,
+            inner_column,
+            residual,
+            ..
+        } => {
+            let left = convert(&p.children[0], cut, temp)?;
+            let join = LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(LogicalPlan::Scan {
+                    table: inner.table.clone(),
+                    filter: None,
+                }),
+                on: vec![(
+                    p.children[0].schema.field(*outer_key).qualified_name(),
+                    format!("{}.{}", inner.table, inner_column),
+                )],
+            };
+            match residual {
+                Some(r) => LogicalPlan::Filter {
+                    input: Box::new(join),
+                    predicate: r.unbind(),
+                },
+                None => join,
+            }
+        }
+        PhysOp::Sort { keys } => LogicalPlan::Sort {
+            input: Box::new(convert(&p.children[0], cut, temp)?),
+            keys: keys
+                .iter()
+                .map(|&(k, asc)| (p.children[0].schema.field(k).qualified_name(), asc))
+                .collect(),
+        },
+        PhysOp::HashAggregate { group, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(convert(&p.children[0], cut, temp)?),
+            group_by: group
+                .iter()
+                .map(|&g| p.children[0].schema.field(g).qualified_name())
+                .collect(),
+            aggs: aggs
+                .iter()
+                .map(|a| mq_plan::AggExpr {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(Expr::unbind),
+                    name: a.name.clone(),
+                })
+                .collect(),
+        },
+        PhysOp::Limit { n } => LogicalPlan::Limit {
+            input: Box::new(convert(&p.children[0], cut, temp)?),
+            n: *n,
+        },
+        PhysOp::StatsCollector { .. } => convert(&p.children[0], cut, temp)?,
+    })
+}
+
+/// Count the joins in the remainder (for the Equation 1 `T_opt`
+/// calibration lookup): joins strictly outside the cut subtree.
+pub fn remainder_join_count(plan: &PhysPlan, cut: NodeId) -> usize {
+    fn rec(p: &PhysPlan, cut: NodeId) -> usize {
+        if p.id == cut {
+            return 0;
+        }
+        let own = usize::from(matches!(
+            p.op,
+            PhysOp::HashJoin { .. } | PhysOp::IndexNLJoin { .. }
+        ));
+        own + p.children.iter().map(|c| rec(c, cut)).sum::<usize>()
+    }
+    rec(plan, cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, Field, FileId, Schema};
+    use mq_plan::ScanSpec;
+
+    fn scan(name: &str) -> PhysPlan {
+        PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: name.into(),
+                    file: FileId(0),
+                    pages: 1,
+                    rows: 1,
+                },
+                filter: None,
+            },
+            vec![],
+            Schema::new(vec![Field::qualified(name, "k", DataType::Int)]).unwrap(),
+        )
+    }
+
+    fn join(l: PhysPlan, r: PhysPlan) -> PhysPlan {
+        let schema = l.schema.join(&r.schema);
+        PhysPlan::new(
+            PhysOp::HashJoin {
+                build_keys: vec![0],
+                probe_keys: vec![0],
+            },
+            vec![l, r],
+            schema,
+        )
+    }
+
+    #[test]
+    fn cut_replaced_by_temp_scan() {
+        let mut plan = join(join(scan("a"), scan("b")), scan("c"));
+        plan.assign_ids();
+        let cut = plan.children[0].id; // the a⋈b subtree
+        let logical = remainder_query(&plan, cut, "tmp1").unwrap();
+        match &logical {
+            LogicalPlan::Join { left, right, on } => {
+                assert!(matches!(
+                    left.as_ref(),
+                    LogicalPlan::Scan { table, .. } if table == "tmp1"
+                ));
+                assert!(matches!(
+                    right.as_ref(),
+                    LogicalPlan::Scan { table, .. } if table == "c"
+                ));
+                // Join keys keep their original qualified names.
+                assert_eq!(on[0].0, "a.k");
+                assert_eq!(on[0].1, "c.k");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn join_counting() {
+        let mut plan = join(join(scan("a"), scan("b")), scan("c"));
+        plan.assign_ids();
+        let cut = plan.children[0].id;
+        assert_eq!(remainder_join_count(&plan, cut), 1);
+        assert_eq!(remainder_join_count(&plan, plan.id), 0);
+    }
+
+    #[test]
+    fn collectors_are_transparent() {
+        let base = scan("a");
+        let schema = base.schema.clone();
+        let coll = PhysPlan::new(
+            PhysOp::StatsCollector {
+                specs: vec![],
+                site: "s".into(),
+            },
+            vec![base],
+            schema,
+        );
+        let mut plan = join(coll, scan("b"));
+        plan.assign_ids();
+        let logical = remainder_query(&plan, NodeId(usize::MAX - 1), "t");
+        // cut id not found → error
+        assert!(logical.is_err());
+        let logical = remainder_query(&plan, plan.children[1].id, "t").unwrap();
+        match logical {
+            LogicalPlan::Join { left, .. } => {
+                assert!(matches!(*left, LogicalPlan::Scan { ref table, .. } if table == "a"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_cut_errors() {
+        let mut plan = scan("a");
+        plan.assign_ids();
+        assert!(remainder_query(&plan, NodeId(99), "t").is_err());
+    }
+}
+
+#[cfg(test)]
+mod reconstruction_tests {
+    use super::*;
+    use mq_common::{DataType, Field, FileId, IndexId, Schema, Value};
+    use mq_plan::ScanSpec;
+
+    /// An IndexScan's absorbed sargable predicate must be reconstructed
+    /// in the remainder query (otherwise the re-planned query would
+    /// silently drop a filter).
+    #[test]
+    fn index_scan_predicate_reconstructed() {
+        let schema =
+            Schema::new(vec![Field::qualified("t", "k", DataType::Int)]).unwrap();
+        let scan = PhysPlan::new(
+            PhysOp::IndexScan {
+                spec: ScanSpec {
+                    table: "t".into(),
+                    file: FileId(0),
+                    pages: 1,
+                    rows: 10,
+                },
+                index: IndexId(0),
+                column: "k".into(),
+                lo: Some(Value::Int(5)),
+                hi: Some(Value::Int(9)),
+                residual: None,
+                index_height: 1,
+                clustering: 0.0,
+            },
+            vec![],
+            schema.clone(),
+        );
+        let other = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: "u".into(),
+                    file: FileId(1),
+                    pages: 1,
+                    rows: 10,
+                },
+                filter: None,
+            },
+            vec![],
+            Schema::new(vec![Field::qualified("u", "k", DataType::Int)]).unwrap(),
+        );
+        let joined_schema = scan.schema.join(&other.schema);
+        let mut plan = PhysPlan::new(
+            PhysOp::HashJoin {
+                build_keys: vec![0],
+                probe_keys: vec![0],
+            },
+            vec![scan, other],
+            joined_schema,
+        );
+        plan.assign_ids();
+        let cut = plan.children[1].id; // replace `u` with a temp
+        let logical = remainder_query(&plan, cut, "tmp").unwrap();
+        let text = logical.to_string();
+        assert!(text.contains("t.k >= 5"), "{text}");
+        assert!(text.contains("t.k <= 9"), "{text}");
+        assert!(text.contains("Scan tmp"), "{text}");
+    }
+
+    /// Sort keys and aggregate groups map back to qualified names.
+    #[test]
+    fn sort_and_aggregate_reconstructed() {
+        let schema =
+            Schema::new(vec![Field::qualified("t", "a", DataType::Int)]).unwrap();
+        let scan = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: "t".into(),
+                    file: FileId(0),
+                    pages: 1,
+                    rows: 1,
+                },
+                filter: None,
+            },
+            vec![],
+            schema.clone(),
+        );
+        let sort = PhysPlan::new(
+            PhysOp::Sort {
+                keys: vec![(0, false)],
+            },
+            vec![scan],
+            schema.clone(),
+        );
+        let out = Schema::new(vec![
+            Field::qualified("t", "a", DataType::Int),
+            Field::new("n", DataType::Int),
+        ])
+        .unwrap();
+        let mut plan = PhysPlan::new(
+            PhysOp::HashAggregate {
+                group: vec![0],
+                aggs: vec![mq_plan::AggExpr {
+                    func: mq_plan::AggFunc::Count,
+                    arg: None,
+                    name: "n".into(),
+                }],
+            },
+            vec![sort],
+            out,
+        );
+        plan.assign_ids();
+        let cut = plan.children[0].children[0].id; // the scan
+        let logical = remainder_query(&plan, cut, "tmp").unwrap();
+        let text = logical.to_string();
+        assert!(text.contains("Aggregate group=[t.a]"), "{text}");
+        assert!(text.contains("Sort [t.a DESC]"), "{text}");
+    }
+}

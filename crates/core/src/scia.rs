@@ -1,0 +1,712 @@
+//! The statistics-collectors insertion algorithm (SCIA, §2.5).
+//!
+//! After the conventional optimizer produces an annotated plan, the
+//! SCIA decides *where* to collect statistics and *which* statistics to
+//! collect:
+//!
+//! 1. **Sites** — collectors sit at pipeline ends that feed a blocking
+//!    phase: the build child of every hash join and the input of every
+//!    sort/aggregate. Statistics gathered there are complete exactly
+//!    when the dispatcher gets control back (§2.2's pipelining
+//!    limitation is honoured by construction). Cardinality and average
+//!    tuple size are always collected (their cost is negligible).
+//! 2. **Candidates** — a histogram on attribute `a` is potentially
+//!    useful if `a` appears in a join or selection predicate *above*
+//!    the site; a distinct count if `a` is a grouping column of an
+//!    aggregate above.
+//! 3. **Inaccuracy potentials** — each candidate's corresponding
+//!    optimizer estimate gets a low/medium/high potential via the
+//!    paper's rules (histogram class on the base table, staleness
+//!    bump, multi-attribute-selection bump, UDF ⇒ high, non-key-join
+//!    bump, distinct counts high at intermediate points).
+//! 4. **Budget** — candidates are ranked by (potential, affected plan
+//!    fraction) and dropped least-effective-first until the estimated
+//!    collection overhead is below `μ × T_plan`.
+
+use std::collections::HashMap;
+
+use mq_catalog::Catalog;
+use mq_common::{EngineConfig, Result};
+use mq_plan::{CollectorSpec, PhysOp, PhysPlan};
+use mq_stats::HistogramKind;
+
+/// The paper's low/medium/high inaccuracy-potential scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InaccuracyLevel {
+    /// The optimizer's estimate is probably accurate.
+    Low,
+    /// Moderate chance of error.
+    Medium,
+    /// High chance of error — collect!
+    High,
+}
+
+impl InaccuracyLevel {
+    /// Raise by one level (saturating).
+    pub fn bump(self) -> InaccuracyLevel {
+        match self {
+            InaccuracyLevel::Low => InaccuracyLevel::Medium,
+            _ => InaccuracyLevel::High,
+        }
+    }
+}
+
+/// What the SCIA decided, for diagnostics and tests.
+#[derive(Debug, Clone, Default)]
+pub struct SciaReport {
+    /// Collector sites inserted (parent blocking node, site label).
+    pub sites: Vec<String>,
+    /// Candidates kept: (site, column, kind, level, affected, cost_ms).
+    pub kept: Vec<CandidateInfo>,
+    /// Candidates dropped to fit the μ budget.
+    pub dropped: Vec<CandidateInfo>,
+    /// The μ budget in simulated ms.
+    pub budget_ms: f64,
+}
+
+/// One SCIA candidate statistic.
+#[derive(Debug, Clone)]
+pub struct CandidateInfo {
+    /// Site label.
+    pub site: String,
+    /// Column the statistic is over.
+    pub column: String,
+    /// `true` = histogram, `false` = distinct count.
+    pub histogram: bool,
+    /// Assigned inaccuracy potential.
+    pub level: InaccuracyLevel,
+    /// Number of unexecuted plan nodes the statistic can influence.
+    pub affected: usize,
+    /// Estimated collection cost (simulated ms).
+    pub cost_ms: f64,
+}
+
+/// A use of a column above some site.
+#[derive(Debug, Clone)]
+struct ColumnUse {
+    column: String,
+    /// Plan nodes at-or-above the first use (the "affected fraction").
+    affected: usize,
+    /// Grouping use (wants distinct) vs predicate use (wants histogram).
+    grouping: bool,
+}
+
+/// Insert statistics collectors into `plan` (in place), returning the
+/// decision report. `plan` must already be annotated and costed; ids
+/// are re-assigned afterwards.
+pub fn insert_collectors(
+    plan: &mut PhysPlan,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+) -> Result<SciaReport> {
+    let budget_ms = cfg.mu * plan.annot.est_total_time_ms;
+    let mut report = SciaReport {
+        budget_ms,
+        ..SciaReport::default()
+    };
+
+    // Total nodes for "affected fraction" context.
+    let staleness = table_staleness(catalog);
+
+    // Walk the tree; at each blocking phase input, compute candidates.
+    let mut site_counter = 0usize;
+    insert_rec(
+        plan,
+        &mut Vec::new(),
+        catalog,
+        cfg,
+        &staleness,
+        &mut report,
+        &mut site_counter,
+    )?;
+
+    // Enforce the μ budget globally: rank all kept candidates by
+    // effectiveness, drop the weakest until within budget.
+    let mut total: f64 = report.kept.iter().map(|c| c.cost_ms).sum();
+    if total > budget_ms {
+        let mut order: Vec<usize> = (0..report.kept.len()).collect();
+        // Least effective first: lowest level, then smallest affected.
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (&report.kept[a], &report.kept[b]);
+            ca.level
+                .cmp(&cb.level)
+                .then(ca.affected.cmp(&cb.affected))
+                .then(cb.cost_ms.total_cmp(&ca.cost_ms))
+        });
+        let mut to_drop = Vec::new();
+        for idx in order {
+            if total <= budget_ms {
+                break;
+            }
+            total -= report.kept[idx].cost_ms;
+            to_drop.push(idx);
+        }
+        to_drop.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in to_drop {
+            let dropped = report.kept.remove(idx);
+            remove_spec(plan, &dropped);
+            report.dropped.push(dropped);
+        }
+    }
+
+    plan.assign_ids();
+    Ok(report)
+}
+
+fn table_staleness(catalog: &Catalog) -> HashMap<String, f64> {
+    catalog
+        .table_names()
+        .into_iter()
+        .filter_map(|n| catalog.table(&n).ok().map(|t| (n, t.update_activity())))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn insert_rec(
+    plan: &mut PhysPlan,
+    ancestors: &mut Vec<AncestorUse>,
+    catalog: &Catalog,
+    cfg: &EngineConfig,
+    staleness: &HashMap<String, f64>,
+    report: &mut SciaReport,
+    site_counter: &mut usize,
+) -> Result<()> {
+    // Record this node's column uses for descendants.
+    ancestors.push(ancestor_use_of(plan));
+
+    // Which children feed a blocking phase?
+    let blocking_children: Vec<usize> = match &plan.op {
+        PhysOp::HashJoin { .. } => vec![0],
+        PhysOp::Sort { .. } | PhysOp::HashAggregate { .. } => vec![0],
+        _ => Vec::new(),
+    };
+
+    // Statistics feedback also wants eyes on unfiltered scans of stale
+    // tables feeding *streamed* (probe) inputs: useless for this query's
+    // decisions — the pipeline only completes at query end — but the
+    // complete observation heals the catalog for every later query.
+    let feedback_children: Vec<usize> = if cfg.stats_feedback {
+        let candidates: &[usize] = match &plan.op {
+            PhysOp::HashJoin { .. } => &[1],
+            PhysOp::IndexNLJoin { .. } => &[0],
+            _ => &[],
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| feedback_site(&plan.children[i], staleness))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let nchildren = plan.children.len();
+    for i in 0..nchildren {
+        insert_rec(
+            &mut plan.children[i],
+            ancestors,
+            catalog,
+            cfg,
+            staleness,
+            report,
+            site_counter,
+        )?;
+        if (blocking_children.contains(&i) && worth_a_site(&plan.children[i], cfg, staleness))
+            || feedback_children.contains(&i)
+        {
+            let child = &plan.children[i];
+            let uses = collect_uses(child, ancestors);
+            let site = format!("site{}@{}", *site_counter, plan.op.name());
+            *site_counter += 1;
+
+            let mut specs = Vec::new();
+            for u in uses {
+                let level = potential_for(child, &u, catalog, staleness);
+                let cost_ms = child.annot.est_rows * 2.0 * cfg.cpu_op_ms;
+                let cand = CandidateInfo {
+                    site: site.clone(),
+                    column: u.column.clone(),
+                    histogram: !u.grouping,
+                    level,
+                    affected: u.affected,
+                    cost_ms,
+                };
+                // Low-potential statistics are not worth observing at
+                // all (§2.5: "not much reason to actually observe").
+                if level == InaccuracyLevel::Low {
+                    report.dropped.push(cand);
+                    continue;
+                }
+                specs.push(CollectorSpec {
+                    column: u.column,
+                    histogram: !u.grouping,
+                    distinct: u.grouping,
+                });
+                report.kept.push(cand);
+            }
+            // Always insert the collector: cardinality and average
+            // tuple size are free and always useful.
+            let child_owned = plan.children[i].clone();
+            let schema = child_owned.schema.clone();
+            let mut node = PhysPlan::new(
+                PhysOp::StatsCollector {
+                    specs,
+                    site: site.clone(),
+                },
+                vec![child_owned],
+                schema,
+            );
+            node.annot = plan.children[i].annot.clone();
+            plan.children[i] = node;
+            report.sites.push(site);
+        }
+    }
+    ancestors.pop();
+    Ok(())
+}
+
+/// A site over a bare unfiltered base scan observes nothing the catalog
+/// does not already know *exactly* (file metadata gives cardinality);
+/// skip those to keep plans lean — unless statistics feedback is on and
+/// the table is stale, in which case observing the scan rebuilds that
+/// table's column statistics for every future query (§2.2 feedback).
+fn worth_a_site(
+    child: &PhysPlan,
+    cfg: &EngineConfig,
+    staleness: &HashMap<String, f64>,
+) -> bool {
+    match &child.op {
+        PhysOp::SeqScan { filter, .. } => {
+            filter.is_some() || (cfg.stats_feedback && feedback_site(child, staleness))
+        }
+        _ => true,
+    }
+}
+
+/// Whether a child is a feedback-worthy observation point: an
+/// unfiltered scan of a stale base table (the only shape whose complete
+/// observation describes the table itself rather than a subset).
+fn feedback_site(child: &PhysPlan, staleness: &HashMap<String, f64>) -> bool {
+    matches!(
+        &child.op,
+        PhysOp::SeqScan { filter: None, spec }
+            if staleness.get(&spec.table).copied().unwrap_or(1.0) > 0.1
+    )
+}
+
+/// Column uses contributed by one ancestor node.
+struct AncestorUse {
+    /// (column name, grouping?) pairs used by this node.
+    uses: Vec<(String, bool)>,
+    /// Subtree size at/above this node — proxy for affected fraction.
+    weight: usize,
+}
+
+fn ancestor_use_of(plan: &PhysPlan) -> AncestorUse {
+    let mut uses = Vec::new();
+    match &plan.op {
+        PhysOp::HashJoin {
+            build_keys,
+            probe_keys,
+        } => {
+            for &k in build_keys {
+                uses.push((plan.children[0].schema.field(k).qualified_name(), false));
+            }
+            for &k in probe_keys {
+                uses.push((plan.children[1].schema.field(k).qualified_name(), false));
+            }
+        }
+        PhysOp::IndexNLJoin {
+            outer_key,
+            inner,
+            inner_column,
+            residual,
+            ..
+        } => {
+            uses.push((
+                plan.children[0].schema.field(*outer_key).qualified_name(),
+                false,
+            ));
+            uses.push((format!("{}.{}", inner.table, inner_column), false));
+            if let Some(r) = residual {
+                for c in r.referenced_columns() {
+                    uses.push((c.to_string(), false));
+                }
+            }
+        }
+        PhysOp::Filter { predicate } => {
+            for c in predicate.referenced_columns() {
+                uses.push((c.to_string(), false));
+            }
+        }
+        PhysOp::HashAggregate { group, .. } => {
+            for &g in group {
+                uses.push((plan.children[0].schema.field(g).qualified_name(), true));
+            }
+        }
+        _ => {}
+    }
+    AncestorUse {
+        uses,
+        weight: plan.node_count(),
+    }
+}
+
+/// Candidates at a site: ancestor-used columns present in the site's
+/// output schema.
+fn collect_uses(site_child: &PhysPlan, ancestors: &[AncestorUse]) -> Vec<ColumnUse> {
+    let mut out: Vec<ColumnUse> = Vec::new();
+    for anc in ancestors {
+        for (col, grouping) in &anc.uses {
+            if site_child.schema.index_of(col).is_err() {
+                continue;
+            }
+            match out
+                .iter_mut()
+                .find(|u| &u.column == col && u.grouping == *grouping)
+            {
+                Some(existing) => existing.affected = existing.affected.max(anc.weight),
+                None => out.push(ColumnUse {
+                    column: col.clone(),
+                    affected: anc.weight,
+                    grouping: *grouping,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// The paper's inaccuracy-potential rules applied to one candidate.
+fn potential_for(
+    site_child: &PhysPlan,
+    u: &ColumnUse,
+    catalog: &Catalog,
+    staleness: &HashMap<String, f64>,
+) -> InaccuracyLevel {
+    // Distinct counts at any intermediate point are always high (§2.5).
+    if u.grouping && !matches!(site_child.op, PhysOp::SeqScan { filter: None, .. }) {
+        return InaccuracyLevel::High;
+    }
+    // Base level: the owning table's histogram class.
+    let (table, bare) = match u.column.rsplit_once('.') {
+        Some((t, b)) => (t.to_string(), b.to_string()),
+        None => return InaccuracyLevel::High,
+    };
+    let mut level = match catalog.table(&table) {
+        Ok(entry) => match entry.stats.as_ref().and_then(|s| s.columns.get(&bare)) {
+            Some(cs) => match cs.histogram_kind {
+                // The "serial"-class histograms (§2.5): accurate enough
+                // that their estimates start at low potential.
+                Some(
+                    HistogramKind::EndBiased | HistogramKind::MaxDiff | HistogramKind::VOptimal,
+                ) => InaccuracyLevel::Low,
+                Some(HistogramKind::EquiWidth | HistogramKind::EquiDepth) => {
+                    InaccuracyLevel::Medium
+                }
+                None => InaccuracyLevel::High,
+            },
+            None => InaccuracyLevel::High,
+        },
+        Err(_) => InaccuracyLevel::High,
+    };
+    // Staleness bump.
+    if staleness.get(&table).copied().unwrap_or(1.0) > 0.1 {
+        level = level.bump();
+    }
+    // Walk the site's subtree: selection/join rules.
+    site_child.walk(&mut |n| {
+        let preds: Vec<&mq_expr::Expr> = match &n.op {
+            PhysOp::SeqScan {
+                filter: Some(p), ..
+            }
+            | PhysOp::Filter { predicate: p } => vec![p],
+            PhysOp::IndexScan { residual, .. } => residual.iter().collect(),
+            _ => Vec::new(),
+        };
+        for p in preds {
+            if p.contains_udf() {
+                level = InaccuracyLevel::High;
+            } else {
+                let mut cols: Vec<_> = p.referenced_columns();
+                cols.sort();
+                cols.dedup();
+                if cols.len() >= 2 {
+                    level = level.bump();
+                }
+            }
+        }
+        // Joins below the site: non-key equi-joins bump a level.
+        if let PhysOp::HashJoin { build_keys, .. } = &n.op {
+            let key_side_unique = build_keys.iter().all(|&k| {
+                let f = n.children[0].schema.field(k);
+                is_unique_column(catalog, f)
+            });
+            if !key_side_unique {
+                level = level.bump();
+            }
+        }
+    });
+    level
+}
+
+fn is_unique_column(catalog: &Catalog, field: &mq_common::Field) -> bool {
+    let Some(q) = &field.qualifier else {
+        return false;
+    };
+    let Ok(entry) = catalog.table(q) else {
+        return false;
+    };
+    let Some(stats) = &entry.stats else {
+        return false;
+    };
+    match stats.columns.get(field.name.as_ref()) {
+        Some(cs) => stats.rows > 0 && cs.distinct >= 0.9 * stats.rows as f64,
+        None => false,
+    }
+}
+
+/// Remove a dropped candidate's spec from the plan.
+fn remove_spec(plan: &mut PhysPlan, cand: &CandidateInfo) {
+    plan.walk_mut(&mut |n| {
+        if let PhysOp::StatsCollector { specs, site } = &mut n.op {
+            if site == &cand.site {
+                specs.retain(|s| !(s.column == cand.column && s.histogram == cand.histogram));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, Row, SimClock, Value};
+    use mq_expr::{cmp, col, lit, CmpOp};
+    use mq_optimizer::Optimizer;
+    use mq_plan::LogicalPlan;
+    use mq_storage::Storage;
+
+    fn setup(analyze: bool) -> (Catalog, Storage, EngineConfig) {
+        let cfg = EngineConfig::default();
+        let storage = Storage::new(&cfg, SimClock::new());
+        let cat = Catalog::new();
+        cat.create_table(
+            &storage,
+            "f",
+            vec![
+                ("fk1", DataType::Int),
+                ("fk2", DataType::Int),
+                ("g", DataType::Int),
+                ("v", DataType::Int),
+            ],
+        )
+        .unwrap();
+        cat.create_table(&storage, "d1", vec![("pk", DataType::Int), ("x", DataType::Int)])
+            .unwrap();
+        cat.create_table(&storage, "d2", vec![("pk", DataType::Int), ("y", DataType::Int)])
+            .unwrap();
+        for i in 0..3000i64 {
+            cat.insert_row(
+                &storage,
+                "f",
+                Row::new(vec![
+                    Value::Int(i % 40),
+                    Value::Int(i % 25),
+                    Value::Int(i % 10),
+                    Value::Int(i % 100),
+                ]),
+            )
+            .unwrap();
+        }
+        for i in 0..40i64 {
+            cat.insert_row(&storage, "d1", Row::new(vec![Value::Int(i), Value::Int(i)]))
+                .unwrap();
+        }
+        for i in 0..25i64 {
+            cat.insert_row(&storage, "d2", Row::new(vec![Value::Int(i), Value::Int(i)]))
+                .unwrap();
+        }
+        if analyze {
+            for t in ["f", "d1", "d2"] {
+                cat.analyze(&storage, t, HistogramKind::MaxDiff, 16, 256, 3)
+                    .unwrap();
+            }
+        }
+        (cat, storage, cfg)
+    }
+
+    fn query() -> LogicalPlan {
+        LogicalPlan::scan_filtered(
+            "f",
+            mq_expr::and(vec![
+                cmp(CmpOp::Lt, col("f.v"), lit(50i64)),
+                cmp(CmpOp::Ge, col("f.v"), lit(10i64)),
+            ]),
+        )
+        .join(LogicalPlan::scan("d1"), vec![("f.fk1", "d1.pk")])
+        .join(LogicalPlan::scan("d2"), vec![("f.fk2", "d2.pk")])
+        .aggregate(
+            vec!["f.g"],
+            vec![mq_plan::AggExpr {
+                func: mq_plan::AggFunc::Avg,
+                arg: Some(col("f.v")),
+                name: "avg_v".into(),
+            }],
+        )
+    }
+
+    #[test]
+    fn collectors_inserted_at_build_sites() {
+        let (cat, st, cfg) = setup(true);
+        let opt = Optimizer::new(cfg.clone());
+        let mut result = opt.optimize(&query(), &cat, &st).unwrap();
+        let report = insert_collectors(&mut result.plan, &cat, &cfg).unwrap();
+        let collectors = result.plan.collectors();
+        assert!(!collectors.is_empty(), "plan:\n{}", result.plan);
+        assert_eq!(collectors.len(), report.sites.len());
+        // Ids must be fresh and unique after insertion.
+        let mut ids = Vec::new();
+        result.plan.walk(&mut |n| ids.push(n.id.0));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn multi_attribute_filter_earns_histogram_candidates() {
+        let (cat, st, cfg) = setup(true);
+        let opt = Optimizer::new(cfg.clone());
+        // Two-column (correlated) filter → bumped potential → the join
+        // attribute histogram should be kept.
+        let q = LogicalPlan::scan_filtered(
+            "f",
+            mq_expr::and(vec![
+                cmp(CmpOp::Lt, col("f.v"), lit(50i64)),
+                cmp(CmpOp::Lt, col("f.g"), lit(5i64)),
+            ]),
+        )
+        .join(LogicalPlan::scan("d1"), vec![("f.fk1", "d1.pk")])
+        .join(LogicalPlan::scan("d2"), vec![("f.fk2", "d2.pk")]);
+        let mut result = opt.optimize(&q, &cat, &st).unwrap();
+        let report = insert_collectors(&mut result.plan, &cat, &cfg).unwrap();
+        assert!(
+            report.kept.iter().any(|c| c.histogram),
+            "kept: {:?}",
+            report.kept
+        );
+        for c in &report.kept {
+            assert!(c.level >= InaccuracyLevel::Medium);
+        }
+    }
+
+    #[test]
+    fn group_by_earns_distinct_candidate() {
+        let (cat, st, cfg) = setup(true);
+        let opt = Optimizer::new(cfg.clone());
+        let mut result = opt.optimize(&query(), &cat, &st).unwrap();
+        let report = insert_collectors(&mut result.plan, &cat, &cfg).unwrap();
+        let has_distinct_spec = {
+            let mut found = false;
+            result.plan.walk(&mut |n| {
+                if let PhysOp::StatsCollector { specs, .. } = &n.op {
+                    if specs.iter().any(|s| s.distinct) {
+                        found = true;
+                    }
+                }
+            });
+            found
+        };
+        assert!(
+            has_distinct_spec || report.kept.iter().any(|c| !c.histogram),
+            "report: {report:?}"
+        );
+    }
+
+    #[test]
+    fn unanalyzed_tables_are_high_potential() {
+        let (cat, st, cfg) = setup(false);
+        let opt = Optimizer::new(cfg.clone());
+        let mut result = opt.optimize(&query(), &cat, &st).unwrap();
+        let report = insert_collectors(&mut result.plan, &cat, &cfg).unwrap();
+        for c in &report.kept {
+            assert_eq!(c.level, InaccuracyLevel::High, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_mu_drops_candidates() {
+        let (cat, st, _) = setup(true);
+        // No collection budget at all.
+        let cfg = EngineConfig { mu: 0.0, ..EngineConfig::default() };
+        let opt = Optimizer::new(cfg.clone());
+        let mut result = opt.optimize(&query(), &cat, &st).unwrap();
+        let report = insert_collectors(&mut result.plan, &cat, &cfg).unwrap();
+        assert!(report.kept.is_empty(), "kept: {:?}", report.kept);
+        // Collectors still exist (cardinality is free) but carry no specs.
+        result.plan.walk(&mut |n| {
+            if let PhysOp::StatsCollector { specs, .. } = &n.op {
+                assert!(specs.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn levels_order_and_bump() {
+        assert!(InaccuracyLevel::Low < InaccuracyLevel::Medium);
+        assert!(InaccuracyLevel::Medium < InaccuracyLevel::High);
+        assert_eq!(InaccuracyLevel::Low.bump(), InaccuracyLevel::Medium);
+        assert_eq!(InaccuracyLevel::High.bump(), InaccuracyLevel::High);
+    }
+}
+
+#[cfg(test)]
+mod ordering_tests {
+    use super::*;
+
+    #[test]
+    fn effectiveness_ordering_prefers_high_potential_then_reach() {
+        // Synthetic candidates exercising the drop ordering directly.
+        let mk = |site: &str, level, affected, cost_ms| CandidateInfo {
+            site: site.into(),
+            column: format!("{site}.c"),
+            histogram: true,
+            level,
+            affected,
+            cost_ms,
+        };
+        let mut report = SciaReport {
+            budget_ms: 3.0,
+            kept: vec![
+                mk("a", InaccuracyLevel::High, 10, 2.0),
+                mk("b", InaccuracyLevel::Medium, 50, 2.0),
+                mk("c", InaccuracyLevel::High, 2, 2.0),
+            ],
+            ..SciaReport::default()
+        };
+        // Reproduce the budget-enforcement logic: least effective first
+        // = lowest level, then smallest affected.
+        let mut order: Vec<usize> = (0..report.kept.len()).collect();
+        order.sort_by(|&x, &y| {
+            let (cx, cy) = (&report.kept[x], &report.kept[y]);
+            cx.level
+                .cmp(&cy.level)
+                .then(cx.affected.cmp(&cy.affected))
+                .then(cy.cost_ms.total_cmp(&cx.cost_ms))
+        });
+        // Medium ("b") must be dropped before either High candidate,
+        // and among Highs the smaller reach ("c") goes first.
+        assert_eq!(report.kept[order[0]].site, "b");
+        assert_eq!(report.kept[order[1]].site, "c");
+        assert_eq!(report.kept[order[2]].site, "a");
+        report.budget_ms = 0.0; // silence unused warnings
+    }
+
+    #[test]
+    fn report_defaults_are_empty() {
+        let r = SciaReport::default();
+        assert!(r.sites.is_empty());
+        assert!(r.kept.is_empty());
+        assert!(r.dropped.is_empty());
+    }
+}

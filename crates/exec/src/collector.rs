@@ -1,0 +1,161 @@
+//! The statistics-collector operator (§2.2, §3.1).
+//!
+//! "The statistics-collector operator was added as a regular streamed
+//! operator (similar to the filter operator). It took a stream of
+//! tuples as its input and produced exactly the same stream of tuples
+//! as its output." Collection is pure CPU: cardinality and average
+//! tuple size always; reservoir-sampled histograms and FM distinct
+//! sketches for the columns the SCIA selected. When the input is
+//! exhausted the collector finalizes and reports to the monitor — the
+//! paper's "message to the dispatcher containing the statistics".
+
+use std::collections::HashMap;
+
+use mq_common::{Result, Row, Schema};
+use mq_plan::{CollectorSpec, NodeId};
+use mq_stats::{ColumnAccumulator, HistogramKind, ObservedColumn};
+
+use crate::context::ExecContext;
+use crate::Operator;
+
+/// Statistics observed at one collection site.
+#[derive(Debug, Clone)]
+pub struct ObservedStats {
+    /// The collector's plan-node id.
+    pub node: NodeId,
+    /// Exact row count.
+    pub rows: u64,
+    /// Exact average encoded row width (bytes).
+    pub avg_row_bytes: f64,
+    /// Per-column observations, keyed by the spec's column name.
+    pub columns: HashMap<String, ObservedColumn>,
+    /// Whether the collector drained its input to exhaustion. `false`
+    /// when the consumer stopped early (e.g. a Limit above closed the
+    /// pipeline), in which case `rows` is only a lower bound. Statistics
+    /// feedback must ignore incomplete observations.
+    pub complete: bool,
+}
+
+/// Pass-through operator that observes the stream.
+pub struct StatsCollectorExec {
+    node: NodeId,
+    input: Box<dyn Operator>,
+    specs: Vec<(CollectorSpec, usize)>,
+    accs: Vec<ColumnAccumulator>,
+    rows: u64,
+    bytes: u64,
+    reported: bool,
+    bound: bool,
+    schema: Schema,
+    raw_specs: Vec<CollectorSpec>,
+}
+
+impl StatsCollectorExec {
+    /// Create a collector for the given specs over the input schema.
+    pub fn new(
+        node: NodeId,
+        input: Box<dyn Operator>,
+        specs: Vec<CollectorSpec>,
+        schema: Schema,
+    ) -> StatsCollectorExec {
+        StatsCollectorExec {
+            node,
+            input,
+            specs: Vec::new(),
+            accs: Vec::new(),
+            rows: 0,
+            bytes: 0,
+            reported: false,
+            bound: false,
+            schema,
+            raw_specs: specs,
+        }
+    }
+
+    fn bind(&mut self, ctx: &ExecContext) -> Result<()> {
+        if self.bound {
+            return Ok(());
+        }
+        for (i, spec) in self.raw_specs.iter().enumerate() {
+            let idx = self.schema.index_of(&spec.column)?;
+            self.specs.push((spec.clone(), idx));
+            self.accs.push(ColumnAccumulator::new(
+                ctx.cfg.reservoir_size,
+                0x5EED ^ (self.node.0 as u64) << 8 ^ i as u64,
+            ));
+        }
+        self.bound = true;
+        Ok(())
+    }
+
+    fn finalize(&mut self, ctx: &ExecContext, complete: bool) -> Result<()> {
+        if self.reported {
+            return Ok(());
+        }
+        self.reported = true;
+        let mut columns = HashMap::new();
+        for ((spec, _), acc) in self.specs.iter().zip(&self.accs) {
+            let mut obs = acc.finish(HistogramKind::MaxDiff, ctx.cfg.histogram_buckets);
+            if !spec.histogram {
+                obs.histogram = None;
+            }
+            // `distinct` stays populated either way: once the sketch
+            // exists the estimate is free, and extra information never
+            // hurts the controller.
+            columns.insert(spec.column.clone(), obs);
+        }
+        let stats = ObservedStats {
+            node: self.node,
+            rows: self.rows,
+            avg_row_bytes: if self.rows > 0 {
+                self.bytes as f64 / self.rows as f64
+            } else {
+                0.0
+            },
+            columns,
+            complete,
+        };
+        ctx.notify_collector(stats)
+    }
+}
+
+impl Operator for StatsCollectorExec {
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.bind(ctx)?;
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        match self.input.next(ctx)? {
+            Some(row) => {
+                self.rows += 1;
+                self.bytes += row.encoded_len() as u64;
+                ctx.clock.add_cpu(1);
+                for ((_, idx), acc) in self.specs.iter().zip(&mut self.accs) {
+                    let ops = acc.observe(row.get(*idx));
+                    ctx.clock.add_cpu(ops);
+                }
+                // Provisional progress: the observed count is a lower
+                // bound on the final cardinality — cheap, and it lets
+                // the controller react *before* a downstream build
+                // overflows (§2.3 extension).
+                if self.rows.is_multiple_of(1024) {
+                    ctx.notify_progress(self.node, self.rows)?;
+                }
+                Ok(Some(row))
+            }
+            None => {
+                self.finalize(ctx, true)?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        // Report even if the consumer stopped early (e.g. Limit):
+        // partial statistics are still observations — but flagged
+        // incomplete so feedback ignores them.
+        self.finalize(ctx, false)?;
+        self.input.close(ctx)
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared execution context: storage, clock, grants, artifacts, and
+//! the monitor hook the re-optimization controller plugs into.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mq_common::{EngineConfig, FileId, Result, Row, SimClock, Value};
+use mq_plan::NodeId;
+use mq_storage::Storage;
+
+use crate::collector::ObservedStats;
+
+/// Observer the Dynamic Re-Optimization controller implements.
+///
+/// Returning an `Err` — specifically
+/// [`mq_common::MqError::PlanSwitch`] — from `on_phase_complete`
+/// unwinds execution; operator state survives in the artifact store.
+pub trait ExecMonitor {
+    /// A statistics collector exhausted its input and reports.
+    fn on_collector(&self, stats: ObservedStats) -> Result<()>;
+    /// A blocking phase (hash-join build, sort run generation,
+    /// aggregate input) finished at `node`, before its output phase.
+    fn on_phase_complete(&self, node: NodeId) -> Result<()>;
+    /// Provisional progress from a still-running collector: `rows` is
+    /// a *lower bound* on the final cardinality, so memory decisions
+    /// based on it are always safe. Default: ignored. (This powers the
+    /// §2.3 extension — operators responding to grant changes in
+    /// mid-execution.)
+    fn on_collector_progress(&self, node: NodeId, rows: u64) -> Result<()> {
+        let _ = (node, rows);
+        Ok(())
+    }
+}
+
+/// State a blocking operator externalizes between phases (and across a
+/// plan switch).
+#[derive(Debug)]
+pub enum Artifact {
+    /// A hash-join build: in-memory table or spilled partitions.
+    HashBuild(HashBuild),
+    /// Sorted output, fully in memory (fits the grant).
+    SortedRows(Vec<Row>),
+    /// Sorted runs spilled to temp files (each file is sorted).
+    SortedRuns(Vec<FileId>),
+    /// A finished aggregation's output rows.
+    AggOutput(Vec<Row>),
+}
+
+/// Hash-join build state.
+#[derive(Debug)]
+pub struct HashBuild {
+    /// In-memory table (when the build fit its grant).
+    pub in_mem: Option<HashMap<Vec<Value>, Vec<Row>>>,
+    /// Spilled build partitions (when it did not).
+    pub parts: Option<Vec<FileId>>,
+    /// Build rows observed.
+    pub rows: u64,
+}
+
+/// Everything operators need at run time. Single-threaded by design
+/// (interior mutability via `RefCell`); the experiment harness runs
+/// queries back-to-back, as the paper's did.
+pub struct ExecContext {
+    /// Storage (buffer pool, heap files, indexes, temp files).
+    pub storage: Storage,
+    /// The simulated-cost clock.
+    pub clock: SimClock,
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// Blocking-operator state, keyed by plan-node id.
+    pub artifacts: RefCell<HashMap<NodeId, Artifact>>,
+    /// Memory grants, updatable mid-query for unstarted operators
+    /// (§2.3). Operators read their grant when their phase *starts*.
+    /// Shared (`Rc`) so the re-optimization controller can update it
+    /// from inside monitor callbacks.
+    pub grants: Rc<RefCell<HashMap<NodeId, usize>>>,
+    /// Optional observer (the re-optimization controller).
+    pub monitor: Option<Rc<dyn ExecMonitor>>,
+}
+
+impl ExecContext {
+    /// Context without a monitor (plain execution).
+    pub fn new(storage: Storage, clock: SimClock, cfg: EngineConfig) -> ExecContext {
+        ExecContext {
+            storage,
+            clock,
+            cfg,
+            artifacts: RefCell::new(HashMap::new()),
+            grants: Rc::new(RefCell::new(HashMap::new())),
+            monitor: None,
+        }
+    }
+
+    /// A shared handle to the grants table (for the controller).
+    pub fn share_grants(&self) -> Rc<RefCell<HashMap<NodeId, usize>>> {
+        Rc::clone(&self.grants)
+    }
+
+    /// Drop all grant overrides (after a plan switch re-numbers nodes).
+    pub fn clear_grants(&self) {
+        self.grants.borrow_mut().clear();
+    }
+
+    /// Attach a monitor.
+    pub fn with_monitor(mut self, monitor: Rc<dyn ExecMonitor>) -> ExecContext {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// The memory grant for `node`: the grants table if set, otherwise
+    /// `fallback` (the grant baked into the plan annotation), otherwise
+    /// the whole budget.
+    pub fn grant_for(&self, node: NodeId, fallback: usize) -> usize {
+        if let Some(&g) = self.grants.borrow().get(&node) {
+            return g;
+        }
+        if fallback > 0 {
+            fallback
+        } else {
+            self.cfg.query_memory_bytes
+        }
+    }
+
+    /// Update the grant of a (not yet started) operator.
+    pub fn set_grant(&self, node: NodeId, bytes: usize) {
+        self.grants.borrow_mut().insert(node, bytes);
+    }
+
+    /// Fire the collector hook.
+    pub fn notify_collector(&self, stats: ObservedStats) -> Result<()> {
+        match &self.monitor {
+            Some(m) => m.on_collector(stats),
+            None => Ok(()),
+        }
+    }
+
+    /// Fire the provisional-progress hook.
+    pub fn notify_progress(&self, node: NodeId, rows: u64) -> Result<()> {
+        match &self.monitor {
+            Some(m) => m.on_collector_progress(node, rows),
+            None => Ok(()),
+        }
+    }
+
+    /// Fire the phase-complete hook.
+    pub fn notify_phase(&self, node: NodeId) -> Result<()> {
+        match &self.monitor {
+            Some(m) => m.on_phase_complete(node),
+            None => Ok(()),
+        }
+    }
+
+    /// Take an artifact (consuming it).
+    pub fn take_artifact(&self, node: NodeId) -> Option<Artifact> {
+        self.artifacts.borrow_mut().remove(&node)
+    }
+
+    /// Store an artifact.
+    pub fn put_artifact(&self, node: NodeId, artifact: Artifact) {
+        self.artifacts.borrow_mut().insert(node, artifact);
+    }
+
+    /// Whether an artifact exists for `node`.
+    pub fn has_artifact(&self, node: NodeId) -> bool {
+        self.artifacts.borrow().contains_key(&node)
+    }
+
+    /// Drop all artifacts, freeing any spilled temp files.
+    pub fn clear_artifacts(&self) {
+        let drained: Vec<Artifact> = {
+            let mut map = self.artifacts.borrow_mut();
+            map.drain().map(|(_, a)| a).collect()
+        };
+        for a in drained {
+            self.free_artifact_files(&a);
+        }
+    }
+
+    fn free_artifact_files(&self, a: &Artifact) {
+        let files: Vec<FileId> = match a {
+            Artifact::HashBuild(h) => h.parts.clone().unwrap_or_default(),
+            Artifact::SortedRuns(fs) => fs.clone(),
+            _ => Vec::new(),
+        };
+        for f in files {
+            let _ = self.storage.drop_file(f);
+        }
+    }
+}
+
+/// Deterministic hash for partitioning and hash tables, salted by
+/// recursion level so sub-partitioning re-distributes.
+pub fn hash_key(key: &[Value], salt: u64) -> u64 {
+    use std::hash::{Hash, Hasher};
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for v in key {
+        v.hash(&mut h);
+    }
+    let mut z = std::hash::Hasher::finish(&h);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::Value;
+
+    #[test]
+    fn grant_fallback_chain() {
+        let cfg = EngineConfig::default();
+        let storage = Storage::new(&cfg, SimClock::new());
+        let ctx = ExecContext::new(storage, SimClock::new(), cfg.clone());
+        let n = NodeId(3);
+        assert_eq!(ctx.grant_for(n, 0), cfg.query_memory_bytes);
+        assert_eq!(ctx.grant_for(n, 1234), 1234);
+        ctx.set_grant(n, 777);
+        assert_eq!(ctx.grant_for(n, 1234), 777);
+    }
+
+    #[test]
+    fn artifact_lifecycle() {
+        let cfg = EngineConfig::default();
+        let storage = Storage::new(&cfg, SimClock::new());
+        let ctx = ExecContext::new(storage, SimClock::new(), cfg);
+        let n = NodeId(1);
+        assert!(!ctx.has_artifact(n));
+        ctx.put_artifact(n, Artifact::AggOutput(vec![]));
+        assert!(ctx.has_artifact(n));
+        assert!(ctx.take_artifact(n).is_some());
+        assert!(!ctx.has_artifact(n));
+    }
+
+    #[test]
+    fn hash_key_salt_changes_distribution() {
+        let key = vec![Value::Int(42), Value::str("x")];
+        let a = hash_key(&key, 0);
+        let b = hash_key(&key, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, hash_key(&key, 0), "deterministic");
+    }
+
+    #[test]
+    fn numeric_family_hashes_equal() {
+        // hash_key must agree with Value's Eq across Int/Float.
+        let a = hash_key(&[Value::Int(5)], 7);
+        let b = hash_key(&[Value::Float(5.0)], 7);
+        assert_eq!(a, b);
+    }
+}

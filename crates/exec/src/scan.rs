@@ -1,0 +1,139 @@
+//! Scan operators: sequential and B+-tree index scans.
+
+use mq_common::{IndexId, MqError, Result, Rid, Row, Value};
+use mq_expr::Expr;
+use mq_plan::{NodeId, ScanSpec};
+use mq_storage::RowScan;
+
+use crate::context::ExecContext;
+use crate::Operator;
+
+/// Sequential heap-file scan with an optional in-stream filter.
+pub struct SeqScanExec {
+    #[allow(dead_code)]
+    node: NodeId,
+    spec: ScanSpec,
+    filter: Option<Expr>,
+    iter: Option<RowScan>,
+    filter_ops: u64,
+}
+
+impl SeqScanExec {
+    /// Create a sequential scan.
+    pub fn new(node: NodeId, spec: ScanSpec, filter: Option<Expr>) -> SeqScanExec {
+        let filter_ops = filter.as_ref().map(|f| f.eval_cost_ops()).unwrap_or(0);
+        SeqScanExec {
+            node,
+            spec,
+            filter,
+            iter: None,
+            filter_ops,
+        }
+    }
+}
+
+impl Operator for SeqScanExec {
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.iter = Some(ctx.storage.scan_file(self.spec.file)?);
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        let iter = self
+            .iter
+            .as_mut()
+            .ok_or_else(|| MqError::Execution("scan not opened".into()))?;
+        for item in iter {
+            let (_, row) = item?;
+            ctx.clock.add_cpu(1 + self.filter_ops);
+            match &self.filter {
+                Some(f) => {
+                    if f.eval_predicate(&row)? {
+                        return Ok(Some(row));
+                    }
+                }
+                None => return Ok(Some(row)),
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.iter = None;
+        Ok(())
+    }
+}
+
+/// B+-tree index range scan with unclustered heap fetches.
+pub struct IndexScanExec {
+    #[allow(dead_code)]
+    node: NodeId,
+    #[allow(dead_code)]
+    spec: ScanSpec,
+    index: IndexId,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    residual: Option<Expr>,
+    rids: Vec<Rid>,
+    pos: usize,
+    residual_ops: u64,
+}
+
+impl IndexScanExec {
+    /// Create an index scan over `lo ≤ key ≤ hi`.
+    pub fn new(
+        node: NodeId,
+        spec: ScanSpec,
+        index: IndexId,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        residual: Option<Expr>,
+    ) -> IndexScanExec {
+        let residual_ops = residual.as_ref().map(|f| f.eval_cost_ops()).unwrap_or(0);
+        IndexScanExec {
+            node,
+            spec,
+            index,
+            lo,
+            hi,
+            residual,
+            rids: Vec::new(),
+            pos: 0,
+            residual_ops,
+        }
+    }
+}
+
+impl Operator for IndexScanExec {
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        // The range probe pays index-node I/O through the buffer pool.
+        self.rids = ctx
+            .storage
+            .index_range(self.index, self.lo.as_ref(), self.hi.as_ref())?;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        while self.pos < self.rids.len() {
+            let rid = self.rids[self.pos];
+            self.pos += 1;
+            let row = ctx.storage.fetch(rid)?;
+            ctx.clock.add_cpu(2 + self.residual_ops);
+            match &self.residual {
+                Some(f) => {
+                    if f.eval_predicate(&row)? {
+                        return Ok(Some(row));
+                    }
+                }
+                None => return Ok(Some(row)),
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        self.rids.clear();
+        Ok(())
+    }
+}

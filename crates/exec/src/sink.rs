@@ -1,0 +1,81 @@
+//! Materialization: drain a plan into a temp heap file, observing
+//! *exact* statistics on the way (the re-optimizer's temp tables have
+//! perfect cardinalities — that is the whole point of §2.4's Figure 6).
+
+use std::collections::HashMap;
+
+use mq_catalog::{ColumnStats, TableStats};
+use mq_common::{FileId, Result, Schema};
+use mq_plan::PhysPlan;
+use mq_stats::{ColumnAccumulator, HistogramKind};
+
+use crate::context::ExecContext;
+use crate::build_executor;
+
+/// A materialized intermediate result.
+#[derive(Debug, Clone)]
+pub struct MaterializedResult {
+    /// The temp heap file holding the rows.
+    pub file: FileId,
+    /// Row schema.
+    pub schema: Schema,
+    /// Exact statistics observed while writing.
+    pub stats: TableStats,
+}
+
+/// Execute `plan` to completion, writing every output row to a fresh
+/// temp file and building exact statistics (cardinality, min/max,
+/// distinct sketches, MaxDiff histograms) in the same pass.
+pub fn materialize(plan: &PhysPlan, ctx: &ExecContext) -> Result<MaterializedResult> {
+    let mut exec = build_executor(plan)?;
+    let schema = plan.schema.clone();
+    let file = ctx.storage.create_file();
+    let mut accs: Vec<ColumnAccumulator> = (0..schema.len())
+        .map(|i| ColumnAccumulator::new(ctx.cfg.reservoir_size, 0xFEED ^ i as u64))
+        .collect();
+    let mut rows = 0u64;
+    let mut bytes = 0u64;
+
+    exec.open(ctx)?;
+    while let Some(row) = exec.next(ctx)? {
+        rows += 1;
+        bytes += row.encoded_len() as u64;
+        for (i, acc) in accs.iter_mut().enumerate() {
+            let ops = acc.observe(row.get(i));
+            ctx.clock.add_cpu(ops);
+        }
+        ctx.storage.append_row(file, &row)?;
+    }
+    exec.close(ctx)?;
+    // No forced flush: like any write, materialized pages reach disk on
+    // eviction. Small results that stay pool-resident read back for
+    // free — honest behaviour for both the baseline and the switch.
+
+    let mut columns = HashMap::new();
+    for (i, acc) in accs.iter().enumerate() {
+        let obs = acc.finish(HistogramKind::MaxDiff, ctx.cfg.histogram_buckets);
+        columns.insert(
+            schema.field(i).name.to_string(),
+            ColumnStats {
+                min: obs.min,
+                max: obs.max,
+                distinct: obs.distinct,
+                null_frac: obs.null_frac,
+                histogram: obs.histogram,
+                histogram_kind: Some(HistogramKind::MaxDiff),
+                clustering: obs.clustering,
+            },
+        );
+    }
+    let pages = ctx.storage.file_pages(file)? as u64;
+    Ok(MaterializedResult {
+        file,
+        schema,
+        stats: TableStats {
+            rows,
+            pages,
+            avg_row_bytes: if rows > 0 { bytes as f64 / rows as f64 } else { 0.0 },
+            columns,
+        },
+    })
+}

@@ -1,0 +1,253 @@
+//! Property tests: every physical operator against an in-memory
+//! oracle, across random data and random memory grants (so both the
+//! in-memory and the spilling code paths are exercised).
+
+use mq_catalog::Catalog;
+use mq_common::{DataType, EngineConfig, Row, SimClock, Value};
+use mq_exec::{run_to_vec, ExecContext};
+use mq_plan::{AggExpr, AggFunc, PhysOp, PhysPlan, ScanSpec};
+use mq_storage::Storage;
+use proptest::prelude::*;
+
+struct Fx {
+    catalog: Catalog,
+    storage: Storage,
+    cfg: EngineConfig,
+}
+
+impl Fx {
+    fn new() -> Fx {
+        let cfg = EngineConfig {
+            buffer_pool_pages: 16,
+            ..EngineConfig::default()
+        };
+        let storage = Storage::new(&cfg, SimClock::new());
+        Fx {
+            catalog: Catalog::new(),
+            storage,
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn ctx(&self) -> ExecContext {
+        ExecContext::new(self.storage.clone(), SimClock::new(), self.cfg.clone())
+    }
+
+    fn table(&self, name: &str, rows: &[(i64, i64)]) -> PhysPlan {
+        self.catalog
+            .create_table(
+                &self.storage,
+                name,
+                vec![("k", DataType::Int), ("v", DataType::Int)],
+            )
+            .unwrap();
+        for &(k, v) in rows {
+            self.catalog
+                .insert_row(
+                    &self.storage,
+                    name,
+                    Row::new(vec![Value::Int(k), Value::Int(v)]),
+                )
+                .unwrap();
+        }
+        let entry = self.catalog.table(name).unwrap();
+        let mut p = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: name.into(),
+                    file: entry.file,
+                    pages: self.storage.file_pages(entry.file).unwrap() as u64,
+                    rows: rows.len() as u64,
+                },
+                filter: None,
+            },
+            vec![],
+            entry.schema,
+        );
+        p.annot.est_rows = rows.len() as f64;
+        p.annot.est_row_bytes = 20.0;
+        p
+    }
+}
+
+fn canon(rows: &[Row]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hybrid hash join (any grant) equals the nested-loop oracle.
+    #[test]
+    fn hash_join_oracle(
+        left in prop::collection::vec((0i64..20, any::<i64>()), 0..200),
+        right in prop::collection::vec((0i64..20, any::<i64>()), 0..200),
+        grant_pages in 2usize..64,
+    ) {
+        let fx = Fx::new();
+        let a = fx.table("a", &left);
+        let b = fx.table("b", &right);
+        let schema = a.schema.join(&b.schema);
+        let mut plan = PhysPlan::new(
+            PhysOp::HashJoin { build_keys: vec![0], probe_keys: vec![0] },
+            vec![a, b],
+            schema,
+        );
+        plan.annot.mem_grant_bytes = grant_pages * fx.cfg.page_size;
+        plan.assign_ids();
+        let got = run_to_vec(&plan, &fx.ctx()).unwrap();
+
+        let mut oracle = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rv) in &right {
+                if lk == rk {
+                    oracle.push(Row::new(vec![
+                        Value::Int(lk), Value::Int(lv), Value::Int(rk), Value::Int(rv),
+                    ]));
+                }
+            }
+        }
+        prop_assert_eq!(canon(&got), canon(&oracle));
+    }
+
+    /// External sort (any grant) equals `sort_by` on the oracle.
+    #[test]
+    fn sort_oracle(
+        rows in prop::collection::vec((-50i64..50, -50i64..50), 0..400),
+        grant_pages in 1usize..32,
+        desc in any::<bool>(),
+    ) {
+        let fx = Fx::new();
+        let input = fx.table("t", &rows);
+        let schema = input.schema.clone();
+        let mut plan = PhysPlan::new(
+            PhysOp::Sort { keys: vec![(0, !desc), (1, true)] },
+            vec![input],
+            schema,
+        );
+        plan.annot.mem_grant_bytes = grant_pages * fx.cfg.page_size;
+        plan.assign_ids();
+        let got: Vec<(i64, i64)> = run_to_vec(&plan, &fx.ctx())
+            .unwrap()
+            .iter()
+            .map(|r| (r.get(0).as_i64().unwrap(), r.get(1).as_i64().unwrap()))
+            .collect();
+        let mut oracle = rows.clone();
+        oracle.sort_by(|x, y| {
+            let k = if desc { y.0.cmp(&x.0) } else { x.0.cmp(&y.0) };
+            k.then(x.1.cmp(&y.1))
+        });
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Hash aggregation (any grant) equals a HashMap oracle.
+    #[test]
+    fn aggregate_oracle(
+        rows in prop::collection::vec((0i64..30, -100i64..100), 0..400),
+        grant_pages in 2usize..32,
+    ) {
+        let fx = Fx::new();
+        let input = fx.table("t", &rows);
+        let in_schema = input.schema.clone();
+        let out_schema = mq_common::Schema::new(vec![
+            mq_common::Field::qualified("t", "k", DataType::Int),
+            mq_common::Field::new("n", DataType::Int),
+            mq_common::Field::new("s", DataType::Int),
+            mq_common::Field::new("mx", DataType::Int),
+        ]).unwrap();
+        let arg = mq_expr::col("t.v").bind(&in_schema).unwrap();
+        let mut plan = PhysPlan::new(
+            PhysOp::HashAggregate {
+                group: vec![0],
+                aggs: vec![
+                    AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+                    AggExpr { func: AggFunc::Sum, arg: Some(arg.clone()), name: "s".into() },
+                    AggExpr { func: AggFunc::Max, arg: Some(arg), name: "mx".into() },
+                ],
+            },
+            vec![input],
+            out_schema,
+        );
+        plan.annot.mem_grant_bytes = grant_pages * fx.cfg.page_size;
+        plan.assign_ids();
+        let got = run_to_vec(&plan, &fx.ctx()).unwrap();
+
+        use std::collections::HashMap;
+        let mut model: HashMap<i64, (i64, i64, i64)> = HashMap::new();
+        for &(k, v) in &rows {
+            let e = model.entry(k).or_insert((0, 0, i64::MIN));
+            e.0 += 1;
+            e.1 += v;
+            e.2 = e.2.max(v);
+        }
+        prop_assert_eq!(got.len(), model.len());
+        for r in &got {
+            let k = r.get(0).as_i64().unwrap();
+            let (n, s, mx) = model[&k];
+            prop_assert_eq!(r.get(1).as_i64(), Some(n), "count for {}", k);
+            prop_assert_eq!(r.get(2).as_i64(), Some(s), "sum for {}", k);
+            prop_assert_eq!(r.get(3).as_i64(), Some(mx), "max for {}", k);
+        }
+    }
+
+    /// Index nested-loops join equals the hash join on the same input.
+    #[test]
+    fn inl_join_matches_hash(
+        outer in prop::collection::vec((0i64..25, any::<i64>()), 0..150),
+        inner in prop::collection::vec((0i64..25, any::<i64>()), 0..150),
+    ) {
+        let fx = Fx::new();
+        let a = fx.table("a", &outer);
+        let _b = fx.table("b", &inner);
+        fx.catalog.create_index(&fx.storage, "b", "k").unwrap();
+        let entry_b = fx.catalog.table("b").unwrap();
+
+        let schema = a.schema.join(&entry_b.schema);
+        let mut inl = PhysPlan::new(
+            PhysOp::IndexNLJoin {
+                outer_key: 0,
+                inner: ScanSpec {
+                    table: "b".into(),
+                    file: entry_b.file,
+                    pages: fx.storage.file_pages(entry_b.file).unwrap() as u64,
+                    rows: inner.len() as u64,
+                },
+                index: entry_b.indexes["k"],
+                inner_column: "k".into(),
+                index_height: fx.storage.index_height(entry_b.indexes["k"]).unwrap(),
+                clustering: 0.0,
+                residual: None,
+            },
+            vec![a],
+            schema.clone(),
+        );
+        inl.assign_ids();
+        let got = run_to_vec(&inl, &fx.ctx()).unwrap();
+
+        let a2 = fx.table("a2", &outer);
+        let b2 = fx.table("b2", &inner);
+        let schema2 = a2.schema.join(&b2.schema);
+        let mut hj = PhysPlan::new(
+            PhysOp::HashJoin { build_keys: vec![0], probe_keys: vec![0] },
+            vec![a2, b2],
+            schema2,
+        );
+        hj.assign_ids();
+        let expect = run_to_vec(&hj, &fx.ctx()).unwrap();
+        prop_assert_eq!(canon(&got), canon(&expect));
+    }
+
+    /// Limit returns a prefix of the unlimited stream.
+    #[test]
+    fn limit_is_prefix(rows in prop::collection::vec((0i64..10, 0i64..10), 0..100), n in 0u64..120) {
+        let fx = Fx::new();
+        let base = fx.table("t", &rows);
+        let schema = base.schema.clone();
+        let mut plan = PhysPlan::new(PhysOp::Limit { n }, vec![base], schema);
+        plan.assign_ids();
+        let got = run_to_vec(&plan, &fx.ctx()).unwrap();
+        prop_assert_eq!(got.len() as u64, (rows.len() as u64).min(n));
+    }
+}

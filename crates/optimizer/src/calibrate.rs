@@ -1,0 +1,136 @@
+//! Optimizer calibration for `T_opt,estimated`.
+//!
+//! §2.4: "Assuming the worst case, a query containing n joins requires
+//! the most time for optimization if it is a star-join query. The time
+//! taken to optimize a star-join query containing n joins is usually
+//! rather stable for a given optimizer and database system. Hence, an
+//! optimizer for a particular database system can be calibrated to
+//! obtain these estimates."
+//!
+//! We do exactly that: build star-join queries of 1..=`max_joins`
+//! joins over synthetic tables, optimize each, and record the DP work
+//! units. `estimate_ms` then prices a prospective re-optimization of a
+//! query with a given join count.
+
+use mq_catalog::Catalog;
+use mq_common::{DataType, EngineConfig, Result, Row, SimClock, Value};
+use mq_plan::LogicalPlan;
+use mq_storage::Storage;
+
+use crate::Optimizer;
+
+/// Calibrated optimizer-work table.
+#[derive(Debug, Clone)]
+pub struct OptCalibration {
+    /// work_units[n] = DP candidates costed for an n-join star
+    /// (index 0 = single-table query).
+    work_by_joins: Vec<u64>,
+}
+
+impl OptCalibration {
+    /// Calibrate by optimizing synthetic star joins up to `max_joins`.
+    pub fn run(cfg: &EngineConfig, max_joins: usize) -> Result<OptCalibration> {
+        let storage = Storage::new(cfg, SimClock::new());
+        let catalog = Catalog::new();
+        // Center table with one fk per satellite.
+        let mut center_cols: Vec<(String, DataType)> = vec![("id".to_string(), DataType::Int)];
+        for i in 0..max_joins {
+            center_cols.push((format!("fk{i}"), DataType::Int));
+        }
+        catalog.create_table(
+            &storage,
+            "center",
+            center_cols
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect(),
+        )?;
+        for r in 0..64i64 {
+            let mut vals = vec![Value::Int(r)];
+            for _ in 0..max_joins {
+                vals.push(Value::Int(r % 8));
+            }
+            catalog.insert_row(&storage, "center", Row::new(vals))?;
+        }
+        for i in 0..max_joins {
+            let name = format!("sat{i}");
+            catalog.create_table(
+                &storage,
+                &name,
+                vec![("pk", DataType::Int), ("payload", DataType::Int)],
+            )?;
+            for r in 0..8i64 {
+                catalog.insert_row(&storage, &name, Row::new(vec![Value::Int(r), Value::Int(r)]))?;
+            }
+        }
+
+        let optimizer = Optimizer::new(cfg.clone());
+        let mut work_by_joins = vec![0u64];
+        for n in 1..=max_joins {
+            let mut q = LogicalPlan::scan("center");
+            for i in 0..n {
+                let fk = format!("center.fk{i}");
+                let pk = format!("sat{i}.pk");
+                q = q.join(
+                    LogicalPlan::scan(&format!("sat{i}")),
+                    vec![(fk.as_str(), pk.as_str())],
+                );
+            }
+            let result = optimizer.optimize(&q, &catalog, &storage)?;
+            work_by_joins.push(result.work_units);
+        }
+        // Single-table "query": one access-path costing.
+        work_by_joins[0] = 1;
+        Ok(OptCalibration { work_by_joins })
+    }
+
+    /// Calibrated work units for a query with `joins` joins
+    /// (extrapolating geometrically beyond the measured range).
+    pub fn work_units(&self, joins: usize) -> u64 {
+        let max = self.work_by_joins.len() - 1;
+        if joins <= max {
+            return self.work_by_joins[joins];
+        }
+        // Extrapolate: multiply by the last observed growth ratio.
+        let last = self.work_by_joins[max] as f64;
+        let prev = self.work_by_joins[max.saturating_sub(1)].max(1) as f64;
+        let ratio = (last / prev).max(1.5);
+        (last * ratio.powi((joins - max) as i32)) as u64
+    }
+
+    /// `T_opt,estimated` in simulated milliseconds for a query with the
+    /// given join count.
+    pub fn estimate_ms(&self, joins: usize, cfg: &EngineConfig) -> f64 {
+        self.work_units(joins) as f64 * cfg.opt_work_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_grows_with_joins() {
+        let cfg = EngineConfig::default();
+        let cal = OptCalibration::run(&cfg, 5).unwrap();
+        let w: Vec<u64> = (0..=5).map(|n| cal.work_units(n)).collect();
+        for i in 1..w.len() {
+            assert!(w[i] > w[i - 1], "work not increasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn extrapolation_beyond_measurement() {
+        let cfg = EngineConfig::default();
+        let cal = OptCalibration::run(&cfg, 3).unwrap();
+        assert!(cal.work_units(6) > cal.work_units(3));
+    }
+
+    #[test]
+    fn estimate_prices_work() {
+        let cfg = EngineConfig::default();
+        let cal = OptCalibration::run(&cfg, 3).unwrap();
+        let ms = cal.estimate_ms(2, &cfg);
+        assert!((ms - cal.work_units(2) as f64 * cfg.opt_work_ms).abs() < 1e-9);
+    }
+}

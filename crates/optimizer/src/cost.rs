@@ -1,0 +1,364 @@
+//! The cost model.
+//!
+//! Costs are expressed as ([`CostEst`]) page I/Os plus tuple-level CPU
+//! operations, convertible to simulated milliseconds. Memory-dependent
+//! operators (hash join, sort, hash aggregate) model *passes*: a hash
+//! join whose build side exceeds its memory grant partitions both
+//! inputs to disk and pays `2 × (build + probe)` pages per extra pass —
+//! the exact mechanism behind Figure 3's "executes in two passes".
+//!
+//! [`recost`] re-derives every node's cost from its current
+//! annotations and memory grants; the optimizer costs candidate plans
+//! with an optimistic full-budget assumption, then the final plan is
+//! re-costed after the memory manager assigns real grants (and again
+//! at run time when the re-optimizer improves the estimates).
+
+use mq_common::EngineConfig;
+use mq_memory::{GROUP_OVERHEAD, HASH_OVERHEAD};
+use mq_plan::{CostEst, PhysOp, PhysPlan};
+
+/// Number of extra partitioning passes a hash join needs: 0 when the
+/// build side (plus hash-table overhead) fits in memory.
+pub fn hash_join_passes(build_bytes: f64, mem_bytes: f64, page: f64) -> u32 {
+    let need = build_bytes * HASH_OVERHEAD;
+    if need <= mem_bytes {
+        return 0;
+    }
+    // Fan-out per pass: one output buffer page per partition.
+    let fanout = (mem_bytes / page - 1.0).max(2.0);
+    let mut passes = 0u32;
+    let mut size = need;
+    while size > mem_bytes && passes < 8 {
+        size /= fanout;
+        passes += 1;
+    }
+    passes.max(1)
+}
+
+/// Hash join cost for given input sizes and memory grant.
+pub fn hash_join_cost(
+    build_rows: f64,
+    build_bytes: f64,
+    probe_rows: f64,
+    probe_bytes: f64,
+    out_rows: f64,
+    mem_bytes: f64,
+    cfg: &EngineConfig,
+) -> CostEst {
+    let page = cfg.page_size as f64;
+    let passes = hash_join_passes(build_bytes, mem_bytes, page) as f64;
+    let build_pages = (build_bytes / page).ceil().max(1.0);
+    let probe_pages = (probe_bytes / page).ceil().max(1.0);
+    // Building (insert + bucket chain) is pricier per row than probing,
+    // so the model strictly prefers the smaller input as build side.
+    CostEst {
+        io_pages: 2.0 * (build_pages + probe_pages) * passes,
+        cpu_ops: build_rows * 3.0
+            + probe_rows * 1.5
+            + (build_rows + probe_rows) * passes
+            + out_rows,
+    }
+}
+
+/// External merge-sort cost.
+pub fn sort_cost(rows: f64, bytes: f64, mem_bytes: f64, cfg: &EngineConfig) -> CostEst {
+    let page = cfg.page_size as f64;
+    let pages = (bytes / page).ceil().max(1.0);
+    let runs = (bytes / mem_bytes.max(page)).ceil();
+    // Run generation is pipelined; each merge level re-writes and
+    // re-reads the whole input once.
+    let fanin = (mem_bytes / page - 1.0).max(2.0);
+    let merge_passes = if runs <= 1.0 {
+        0.0
+    } else {
+        (runs.ln() / fanin.ln()).ceil().max(1.0)
+    };
+    CostEst {
+        io_pages: 2.0 * pages * merge_passes,
+        cpu_ops: rows * (rows.max(2.0).log2()),
+    }
+}
+
+/// Hash-aggregate cost: free when the group table fits, one
+/// write+read spill pass otherwise.
+pub fn hash_agg_cost(
+    in_rows: f64,
+    in_bytes: f64,
+    groups: f64,
+    group_row_bytes: f64,
+    mem_bytes: f64,
+    cfg: &EngineConfig,
+) -> CostEst {
+    let page = cfg.page_size as f64;
+    let need = groups * (group_row_bytes + GROUP_OVERHEAD);
+    if need <= mem_bytes {
+        CostEst {
+            io_pages: 0.0,
+            cpu_ops: in_rows * 2.0 + groups,
+        }
+    } else {
+        let in_pages = (in_bytes / page).ceil().max(1.0);
+        CostEst {
+            io_pages: 2.0 * in_pages,
+            cpu_ops: in_rows * 3.0 + groups,
+        }
+    }
+}
+
+/// Indexed nested-loops join cost: per-probe B+-tree descent plus heap
+/// fetches; capped by "inner becomes resident" when it fits in half the
+/// buffer pool.
+pub fn index_nl_cost(
+    outer_rows: f64,
+    matches_per_probe: f64,
+    inner_pages: f64,
+    inner_rows: f64,
+    index_height: f64,
+    clustering: f64,
+    cfg: &EngineConfig,
+) -> CostEst {
+    let leaf_pages = (inner_rows / 100.0).ceil().max(1.0);
+    let pool_pages = cfg.buffer_pool_pages as f64;
+    // Random probing: one leaf + one heap page per match, per probe.
+    let cold = outer_rows * (1.0 + matches_per_probe);
+    // Small inners become pool-resident after the first touches.
+    let resident_cap = inner_pages + leaf_pages + index_height;
+    // Probing a column the table is physically clustered on walks the
+    // leaf level and heap nearly sequentially — bounded by the sweep.
+    let sequential = index_height + leaf_pages + inner_pages;
+    let c = clustering.clamp(0.0, 1.0);
+    let blended = cold * (1.0 - c) + cold.min(sequential) * c;
+    let io = if resident_cap <= pool_pages * 0.5 {
+        resident_cap.min(blended)
+    } else {
+        blended
+    };
+    CostEst {
+        io_pages: io,
+        cpu_ops: outer_rows * (index_height * 8.0 + matches_per_probe + 1.0),
+    }
+}
+
+/// Sequential scan cost.
+pub fn seq_scan_cost(pages: f64, rows: f64, filter_ops: f64) -> CostEst {
+    CostEst {
+        io_pages: pages,
+        cpu_ops: rows * (1.0 + filter_ops),
+    }
+}
+
+/// Index range-scan cost: descent + leaf walk + unclustered fetches.
+pub fn index_scan_cost(
+    match_rows: f64,
+    index_height: f64,
+    clustering: f64,
+    residual_ops: f64,
+) -> CostEst {
+    let leaf_pages = (match_rows / 100.0).ceil().max(1.0);
+    let c = clustering.clamp(0.0, 1.0);
+    // Unclustered fetches pay a page per row; clustered ranges touch
+    // each heap page once (~100 rows/page).
+    let heap = match_rows * (1.0 - c) + (match_rows / 100.0).ceil().max(1.0) * c;
+    CostEst {
+        io_pages: index_height + leaf_pages + heap,
+        cpu_ops: match_rows * (2.0 + residual_ops),
+    }
+}
+
+/// Cost of materializing `bytes` to a temp file and reading it back —
+/// the `T_materialize` of the paper's Equation for plan switching.
+pub fn materialize_cost(bytes: f64, cfg: &EngineConfig) -> CostEst {
+    let pages = (bytes / cfg.page_size as f64).ceil().max(1.0);
+    CostEst {
+        io_pages: 2.0 * pages,
+        cpu_ops: 0.0,
+    }
+}
+
+/// Re-derive every node's per-operator cost from its current
+/// annotations (rows, widths, memory grants), then roll up cumulative
+/// times. A grant of zero is treated as the full budget (pre-allocation
+/// optimistic costing).
+pub fn recost(plan: &mut PhysPlan, cfg: &EngineConfig) {
+    for c in &mut plan.children {
+        recost(c, cfg);
+    }
+    let mem = if plan.annot.mem_grant_bytes == 0 {
+        cfg.query_memory_bytes as f64
+    } else {
+        plan.annot.mem_grant_bytes as f64
+    };
+    let out_rows = plan.annot.est_rows;
+    let cost = match &plan.op {
+        PhysOp::SeqScan { spec, filter } => seq_scan_cost(
+            spec.pages as f64,
+            spec.rows as f64,
+            filter.as_ref().map(|f| f.eval_cost_ops() as f64).unwrap_or(0.0),
+        ),
+        PhysOp::IndexScan {
+            index_height,
+            clustering,
+            residual,
+            ..
+        } => index_scan_cost(
+            out_rows.max(1.0),
+            *index_height as f64,
+            *clustering,
+            residual.as_ref().map(|f| f.eval_cost_ops() as f64).unwrap_or(0.0),
+        ),
+        PhysOp::Filter { predicate } => CostEst {
+            io_pages: 0.0,
+            cpu_ops: plan.children[0].annot.est_rows * predicate.eval_cost_ops() as f64,
+        },
+        PhysOp::Project { exprs } => CostEst {
+            io_pages: 0.0,
+            cpu_ops: plan.children[0].annot.est_rows * (exprs.len() as f64).max(1.0),
+        },
+        PhysOp::HashJoin { .. } => {
+            let b = &plan.children[0].annot;
+            let p = &plan.children[1].annot;
+            hash_join_cost(
+                b.est_rows,
+                b.est_bytes(),
+                p.est_rows,
+                p.est_bytes(),
+                out_rows,
+                mem,
+                cfg,
+            )
+        }
+        PhysOp::IndexNLJoin {
+            inner,
+            index_height,
+            clustering,
+            ..
+        } => {
+            let o = &plan.children[0].annot;
+            let matches = if o.est_rows > 0.0 {
+                (out_rows / o.est_rows).max(0.0)
+            } else {
+                0.0
+            };
+            index_nl_cost(
+                o.est_rows,
+                matches,
+                inner.pages as f64,
+                inner.rows as f64,
+                *index_height as f64,
+                *clustering,
+                cfg,
+            )
+        }
+        PhysOp::Sort { .. } => {
+            let c = &plan.children[0].annot;
+            sort_cost(c.est_rows, c.est_bytes(), mem, cfg)
+        }
+        PhysOp::HashAggregate { .. } => {
+            let c = &plan.children[0].annot;
+            hash_agg_cost(
+                c.est_rows,
+                c.est_bytes(),
+                out_rows,
+                plan.annot.est_row_bytes,
+                mem,
+                cfg,
+            )
+        }
+        PhysOp::Limit { .. } => CostEst {
+            io_pages: 0.0,
+            cpu_ops: out_rows,
+        },
+        PhysOp::StatsCollector { specs, .. } => {
+            let per_row: f64 = specs
+                .iter()
+                .map(|s| 1.0 + s.histogram as u64 as f64 * 2.0 + s.distinct as u64 as f64 * 2.0)
+                .sum::<f64>()
+                .max(1.0);
+            CostEst {
+                io_pages: 0.0,
+                cpu_ops: plan.children[0].annot.est_rows * per_row,
+            }
+        }
+    };
+    plan.annot.est_cost = cost;
+    plan.annot.est_time_ms = cost.time_ms(cfg);
+    plan.annot.est_total_time_ms = plan.annot.est_time_ms
+        + plan
+            .children
+            .iter()
+            .map(|c| c.annot.est_total_time_ms)
+            .sum::<f64>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    #[test]
+    fn hash_join_fits_no_extra_io() {
+        let c = cfg();
+        let cost = hash_join_cost(1000.0, 100_000.0, 5000.0, 500_000.0, 5000.0, 1_000_000.0, &c);
+        assert_eq!(cost.io_pages, 0.0);
+        assert!(cost.cpu_ops > 0.0);
+    }
+
+    #[test]
+    fn hash_join_spill_pays_two_passes_of_io() {
+        let c = cfg();
+        let build = 1_000_000.0; // 1 MB build, 0.5 MB memory
+        let probe = 4_000_000.0;
+        let cost = hash_join_cost(10_000.0, build, 40_000.0, probe, 40_000.0, 512.0 * 1024.0, &c);
+        let pages = (build + probe) / c.page_size as f64;
+        assert!((cost.io_pages - 2.0 * pages).abs() < 4.0, "io {}", cost.io_pages);
+    }
+
+    #[test]
+    fn passes_monotone_in_memory() {
+        let c = cfg();
+        let page = c.page_size as f64;
+        let p_small = hash_join_passes(10_000_000.0, 64.0 * 1024.0, page);
+        let p_big = hash_join_passes(10_000_000.0, 16.0 * 1024.0 * 1024.0, page);
+        assert!(p_small >= 1);
+        assert_eq!(p_big, 0);
+    }
+
+    #[test]
+    fn sort_in_memory_is_io_free() {
+        let c = cfg();
+        let cost = sort_cost(1000.0, 50_000.0, 512.0 * 1024.0, &c);
+        assert_eq!(cost.io_pages, 0.0);
+        let cost = sort_cost(100_000.0, 5_000_000.0, 256.0 * 1024.0, &c);
+        assert!(cost.io_pages > 0.0);
+    }
+
+    #[test]
+    fn agg_spills_when_groups_overflow() {
+        let c = cfg();
+        let fits = hash_agg_cost(10_000.0, 500_000.0, 100.0, 32.0, 512.0 * 1024.0, &c);
+        assert_eq!(fits.io_pages, 0.0);
+        let spills = hash_agg_cost(10_000.0, 500_000.0, 50_000.0, 32.0, 64.0 * 1024.0, &c);
+        assert!(spills.io_pages > 0.0);
+    }
+
+    #[test]
+    fn index_nl_cheap_for_resident_inner() {
+        let c = cfg();
+        // Tiny inner: resident after first touch.
+        let small = index_nl_cost(100_000.0, 1.0, 10.0, 1000.0, 2.0, 0.0, &c);
+        assert!(small.io_pages < 100.0, "io {}", small.io_pages);
+        // Huge inner: pays per probe.
+        let big = index_nl_cost(100_000.0, 1.0, 100_000.0, 10_000_000.0, 4.0, 0.0, &c);
+        assert!(big.io_pages > 100_000.0);
+    }
+
+    #[test]
+    fn materialize_counts_write_and_read() {
+        let c = cfg();
+        let m = materialize_cost(40_960.0, &c);
+        assert_eq!(m.io_pages, 20.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mq-plan — logical and annotated physical plans
+//!
+//! * [`logical::LogicalPlan`] — what the frontend (or the TPC-D query
+//!   builders) produce and what the optimizer consumes;
+//! * [`physical::PhysPlan`] — the executable operator tree. Every node
+//!   carries an [`physical::Annotation`]: the optimizer's estimated
+//!   cardinality, row width, cost and time. This is the paper's
+//!   *annotated query execution plan* (§2.1) — the baseline that
+//!   runtime-observed statistics are compared against to detect
+//!   sub-optimality;
+//! * [`physical::CollectorSpec`] — what a statistics-collector operator
+//!   at a given plan point gathers (§2.2/§2.5).
+
+pub mod logical;
+pub mod physical;
+
+pub use logical::{AggExpr, AggFunc, LogicalPlan};
+pub use physical::{
+    Annotation, CollectorSpec, CostEst, NodeId, PhysOp, PhysPlan, ScanSpec,
+};

@@ -1,0 +1,484 @@
+//! Logical query plans.
+//!
+//! A deliberately small algebra — scan, filter, project, equi-join,
+//! aggregate, sort — sufficient for the paper's TPC-D workload. Joins
+//! carry explicit equi-join column pairs; the optimizer is free to
+//! reorder the join graph, so `Join` nodes at this level express the
+//! *query*, not an execution order.
+
+use std::fmt;
+
+use mq_catalog::Catalog;
+use mq_common::{Field, MqError, Result, Schema};
+use mq_expr::Expr;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        })
+    }
+}
+
+/// One aggregate in an `Aggregate` node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument (`None` only for `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{}({a}) AS {}", self.func, self.name),
+            None => write!(f, "{}(*) AS {}", self.func, self.name),
+        }
+    }
+}
+
+/// A logical plan node.
+///
+/// ```
+/// use mq_plan::LogicalPlan;
+/// use mq_expr::{col, eq, lit};
+///
+/// let q = LogicalPlan::scan_filtered("orders", eq(col("orders.status"), lit("open")))
+///     .join(LogicalPlan::scan("customer"), vec![("orders.cust", "customer.id")])
+///     .limit(10);
+/// assert_eq!(q.join_count(), 1);
+/// assert_eq!(q.tables(), vec!["orders", "customer"]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base table, with an optional pushed-down filter.
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Pushed-down predicate over the table's columns.
+        filter: Option<Expr>,
+    },
+    /// Filter rows.
+    Filter {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Project / rename columns.
+    Project {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Output expressions with names.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Inner equi-join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Equi-join pairs (left column name, right column name).
+        on: Vec<(String, String)>,
+    },
+    /// Group-by aggregation (empty `group_by` = scalar aggregate).
+    Aggregate {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Grouping column names.
+        group_by: Vec<String>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Sort by columns (name, ascending?).
+    Sort {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<(String, bool)>,
+    },
+    /// First `n` rows.
+    Limit {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Row limit.
+        n: u64,
+    },
+}
+
+impl LogicalPlan {
+    /// Derive the output schema (resolving table names via the catalog).
+    pub fn schema(&self, catalog: &Catalog) -> Result<Schema> {
+        match self {
+            LogicalPlan::Scan { table, .. } => Ok(catalog.table(table)?.schema),
+            LogicalPlan::Filter { input, .. } => input.schema(catalog),
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema(catalog)?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    let dtype = infer_type(e, &in_schema)?;
+                    fields.push(Field::new(name.as_str(), dtype));
+                }
+                Schema::new(fields)
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                Ok(left.schema(catalog)?.join(&right.schema(catalog)?))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema(catalog)?;
+                let mut fields = Vec::new();
+                for g in group_by {
+                    let idx = in_schema.index_of(g)?;
+                    fields.push(in_schema.field(idx).clone());
+                }
+                for a in aggs {
+                    let dtype = match (a.func, &a.arg) {
+                        (AggFunc::Count, _) => mq_common::DataType::Int,
+                        (AggFunc::Avg, _) => mq_common::DataType::Float,
+                        (_, Some(e)) => infer_type(e, &in_schema)?,
+                        (f, None) => {
+                            return Err(MqError::Plan(format!("{f} requires an argument")))
+                        }
+                    };
+                    fields.push(Field::new(a.name.as_str(), dtype));
+                }
+                Schema::new(fields)
+            }
+            LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => {
+                input.schema(catalog)
+            }
+        }
+    }
+
+    /// All base tables referenced (in plan order).
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let LogicalPlan::Scan { table, .. } = p {
+                out.push(table.as_str());
+            }
+        });
+        out
+    }
+
+    /// Number of joins in the plan — the paper's query-complexity
+    /// classifier (§3.2: simple ≤1, medium 2–3, complex ≥4).
+    pub fn join_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |p| {
+            if matches!(p, LogicalPlan::Join { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a LogicalPlan)) {
+        f(self);
+        match self {
+            LogicalPlan::Scan { .. } => {}
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.walk(f),
+            LogicalPlan::Join { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table, filter } => {
+                write!(f, "{pad}Scan {table}")?;
+                if let Some(p) = filter {
+                    write!(f, " [{p}]")?;
+                }
+                writeln!(f)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{pad}Filter [{predicate}]")?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                write!(f, "{pad}Project [")?;
+                for (i, (e, n)) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e} AS {n}")?;
+                }
+                writeln!(f, "]")?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Join { left, right, on } => {
+                write!(f, "{pad}Join [")?;
+                for (i, (l, r)) in on.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{l} = {r}")?;
+                }
+                writeln!(f, "]")?;
+                left.fmt_indented(f, indent + 1)?;
+                right.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                write!(f, "{pad}Aggregate group=[{}] aggs=[", group_by.join(", "))?;
+                for (i, a) in aggs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                writeln!(f, "]")?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(k, asc)| format!("{k} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                writeln!(f, "{pad}Sort [{}]", ks.join(", "))?;
+                input.fmt_indented(f, indent + 1)
+            }
+            LogicalPlan::Limit { input, n } => {
+                writeln!(f, "{pad}Limit {n}")?;
+                input.fmt_indented(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// Infer the output type of an expression over a schema. Comparison
+/// and UDF predicates are Bool; arithmetic promotes to Float unless
+/// both sides are Int.
+fn infer_type(e: &Expr, schema: &Schema) -> Result<mq_common::DataType> {
+    use mq_common::DataType;
+    Ok(match e {
+        Expr::Column(name) => schema.field(schema.index_of(name)?).dtype,
+        Expr::BoundColumn { index, .. } => schema.field(*index).dtype,
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Int),
+        Expr::Cmp { .. } | Expr::And(_) | Expr::Or(_) | Expr::Not(_) | Expr::UdfPred { .. } => {
+            DataType::Bool
+        }
+        Expr::Arith { left, right, .. } => {
+            let l = infer_type(left, schema)?;
+            let r = infer_type(right, schema)?;
+            if l == DataType::Int && r == DataType::Int {
+                DataType::Int
+            } else {
+                DataType::Float
+            }
+        }
+    })
+}
+
+/// Fluent builder helpers.
+impl LogicalPlan {
+    /// Scan a table.
+    pub fn scan(table: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.to_string(),
+            filter: None,
+        }
+    }
+
+    /// Scan with a pushed-down filter.
+    pub fn scan_filtered(table: &str, filter: Expr) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.to_string(),
+            filter: Some(filter),
+        }
+    }
+
+    /// Add a filter on top.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Equi-join with another plan.
+    pub fn join(self, right: LogicalPlan, on: Vec<(&str, &str)>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on
+                .into_iter()
+                .map(|(l, r)| (l.to_string(), r.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Group-by aggregation.
+    pub fn aggregate(self, group_by: Vec<&str>, aggs: Vec<AggExpr>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.into_iter().map(String::from).collect(),
+            aggs,
+        }
+    }
+
+    /// Projection.
+    pub fn project(self, exprs: Vec<(Expr, &str)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e, n.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Sort.
+    pub fn sort(self, keys: Vec<(&str, bool)>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys: keys
+                .into_iter()
+                .map(|(k, asc)| (k.to_string(), asc))
+                .collect(),
+        }
+    }
+
+    /// Limit.
+    pub fn limit(self, n: u64) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, EngineConfig, SimClock};
+    use mq_expr::{col, eq, lit};
+    use mq_storage::Storage;
+
+    fn catalog() -> Catalog {
+        let cfg = EngineConfig::default();
+        let st = Storage::new(&cfg, SimClock::new());
+        let cat = Catalog::new();
+        cat.create_table(
+            &st,
+            "r",
+            vec![("a", DataType::Int), ("b", DataType::Float)],
+        )
+        .unwrap();
+        cat.create_table(
+            &st,
+            "s",
+            vec![("a", DataType::Int), ("c", DataType::Str)],
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn join_schema_concatenates() {
+        let cat = catalog();
+        let p = LogicalPlan::scan("r").join(LogicalPlan::scan("s"), vec![("r.a", "s.a")]);
+        let sch = p.schema(&cat).unwrap();
+        assert_eq!(sch.len(), 4);
+        assert_eq!(sch.index_of("r.a").unwrap(), 0);
+        assert_eq!(sch.index_of("s.c").unwrap(), 3);
+        assert_eq!(p.join_count(), 1);
+        assert_eq!(p.tables(), vec!["r", "s"]);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let cat = catalog();
+        let p = LogicalPlan::scan("r").aggregate(
+            vec!["r.a"],
+            vec![
+                AggExpr {
+                    func: AggFunc::Avg,
+                    arg: Some(col("r.b")),
+                    name: "avg_b".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: None,
+                    name: "n".into(),
+                },
+            ],
+        );
+        let sch = p.schema(&cat).unwrap();
+        assert_eq!(sch.len(), 3);
+        assert_eq!(sch.field(1).dtype, DataType::Float);
+        assert_eq!(sch.field(2).dtype, DataType::Int);
+    }
+
+    #[test]
+    fn project_infers_types() {
+        let cat = catalog();
+        let p = LogicalPlan::scan("r").project(vec![
+            (eq(col("r.a"), lit(1i64)), "flag"),
+            (col("r.b"), "b2"),
+        ]);
+        let sch = p.schema(&cat).unwrap();
+        assert_eq!(sch.field(0).dtype, DataType::Bool);
+        assert_eq!(sch.field(1).dtype, DataType::Float);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let cat = catalog();
+        assert!(LogicalPlan::scan("nope").schema(&cat).is_err());
+    }
+
+    #[test]
+    fn display_is_tree_shaped() {
+        let p = LogicalPlan::scan_filtered("r", eq(col("r.a"), lit(1i64)))
+            .join(LogicalPlan::scan("s"), vec![("r.a", "s.a")])
+            .aggregate(vec!["s.c"], vec![]);
+        let text = p.to_string();
+        assert!(text.contains("Aggregate"));
+        assert!(text.contains("Join"));
+        assert!(text.contains("Scan r [r.a = 1]"));
+    }
+}

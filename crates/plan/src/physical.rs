@@ -1,0 +1,652 @@
+//! Annotated physical plans.
+//!
+//! The optimizer emits a [`PhysPlan`] tree whose every node carries an
+//! [`Annotation`] — estimated cardinality, row width, I/O and CPU cost,
+//! and time. This is exactly the paper's *annotated query execution
+//! plan* (§2.1): "the plan produced by the optimizer should include
+//! information about the optimizer's estimates of the sizes of all the
+//! intermediate results in the query, and the execution cost/time for
+//! each operator". The Dynamic Re-Optimization controller later
+//! compares observed statistics against these annotations.
+
+use std::fmt;
+
+use mq_common::{EngineConfig, FileId, IndexId, Schema, Value};
+use mq_expr::Expr;
+
+use crate::logical::AggExpr;
+
+/// Identifies a node within one physical plan (pre-order numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// Estimated physical cost of one operator (excluding children).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostEst {
+    /// Page reads + writes.
+    pub io_pages: f64,
+    /// Tuple-level CPU operations.
+    pub cpu_ops: f64,
+}
+
+impl CostEst {
+    /// Convert to simulated milliseconds. I/O is priced at the read
+    /// rate (the model does not distinguish read/write mixes).
+    pub fn time_ms(&self, cfg: &EngineConfig) -> f64 {
+        self.io_pages * cfg.io_read_ms + self.cpu_ops * cfg.cpu_op_ms
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &CostEst) -> CostEst {
+        CostEst {
+            io_pages: self.io_pages + other.io_pages,
+            cpu_ops: self.cpu_ops + other.cpu_ops,
+        }
+    }
+}
+
+/// Optimizer estimates attached to a plan node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Annotation {
+    /// Estimated output cardinality.
+    pub est_rows: f64,
+    /// Estimated average output row width in bytes.
+    pub est_row_bytes: f64,
+    /// Estimated cost of this operator alone.
+    pub est_cost: CostEst,
+    /// Estimated time of this operator alone (ms).
+    pub est_time_ms: f64,
+    /// Estimated cumulative time of the subtree rooted here (ms).
+    pub est_total_time_ms: f64,
+    /// Memory granted to this operator by the memory manager (bytes);
+    /// zero until allocation runs.
+    pub mem_grant_bytes: usize,
+}
+
+impl Annotation {
+    /// Estimated output size in bytes.
+    pub fn est_bytes(&self) -> f64 {
+        self.est_rows * self.est_row_bytes
+    }
+
+    /// Estimated output size in pages.
+    pub fn est_pages(&self, cfg: &EngineConfig) -> f64 {
+        (self.est_bytes() / cfg.page_size as f64).max(1.0)
+    }
+}
+
+/// Static info a physical scan needs about its table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanSpec {
+    /// Catalog table name (for display and re-planning).
+    pub table: String,
+    /// Backing heap file.
+    pub file: FileId,
+    /// Page count at planning time.
+    pub pages: u64,
+    /// Row count at planning time.
+    pub rows: u64,
+}
+
+/// What one statistics collector gathers for one column (§2.5: the
+/// SCIA decides histograms and unique-value counts; cardinality and
+/// average tuple size are always collected for free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorSpec {
+    /// Column (qualified name in the collector's input schema).
+    pub column: String,
+    /// Build a histogram (reservoir-sampled)?
+    pub histogram: bool,
+    /// Estimate distinct values (FM sketch)?
+    pub distinct: bool,
+}
+
+/// A physical operator. Children live in the enclosing [`PhysPlan`];
+/// the comments note the expected child count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// Sequential scan (0 children). `filter` is bound to the table
+    /// schema and applied in-stream.
+    SeqScan {
+        /// Table info.
+        spec: ScanSpec,
+        /// Pushed-down predicate.
+        filter: Option<Expr>,
+    },
+    /// B+-tree index scan (0 children) over `lo ≤ column ≤ hi`.
+    IndexScan {
+        /// Table info.
+        spec: ScanSpec,
+        /// Index to probe.
+        index: IndexId,
+        /// Indexed column (bare name).
+        column: String,
+        /// Lower bound.
+        lo: Option<Value>,
+        /// Upper bound.
+        hi: Option<Value>,
+        /// Residual predicate applied after fetching rows.
+        residual: Option<Expr>,
+        /// Index height at planning time (cost model input).
+        index_height: usize,
+        /// Physical clustering of the indexed column in [0, 1].
+        clustering: f64,
+    },
+    /// Filter (1 child).
+    Filter {
+        /// Bound predicate.
+        predicate: Expr,
+    },
+    /// Projection (1 child).
+    Project {
+        /// Bound output expressions with names.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Hybrid hash join (2 children: build = child 0, probe = child 1).
+    HashJoin {
+        /// Build-side key column positions.
+        build_keys: Vec<usize>,
+        /// Probe-side key column positions.
+        probe_keys: Vec<usize>,
+    },
+    /// Indexed nested-loops join (1 child: the outer). The inner is
+    /// fetched through a B+-tree per outer row.
+    IndexNLJoin {
+        /// Outer key column position.
+        outer_key: usize,
+        /// Inner table info.
+        inner: ScanSpec,
+        /// Index on the inner join column.
+        index: IndexId,
+        /// Inner join column (bare name).
+        inner_column: String,
+        /// Index height at planning time.
+        index_height: usize,
+        /// Physical clustering of the inner column in [0, 1]
+        /// (sequential-vs-random blend for the cost model).
+        clustering: f64,
+        /// Residual predicate over the joined row.
+        residual: Option<Expr>,
+    },
+    /// External merge sort (1 child); keys are (position, ascending).
+    Sort {
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Hash aggregation (1 child).
+    HashAggregate {
+        /// Grouping column positions.
+        group: Vec<usize>,
+        /// Aggregates (args bound to the child schema).
+        aggs: Vec<AggExpr>,
+    },
+    /// First `n` rows (1 child).
+    Limit {
+        /// Row limit.
+        n: u64,
+    },
+    /// Statistics collector (1 child): passes rows through unchanged
+    /// while observing them (§2.2).
+    StatsCollector {
+        /// Per-column collection specs.
+        specs: Vec<CollectorSpec>,
+        /// Human-readable site label for diagnostics.
+        site: String,
+    },
+}
+
+impl PhysOp {
+    /// Short operator name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysOp::SeqScan { .. } => "SeqScan",
+            PhysOp::IndexScan { .. } => "IndexScan",
+            PhysOp::Filter { .. } => "Filter",
+            PhysOp::Project { .. } => "Project",
+            PhysOp::HashJoin { .. } => "HashJoin",
+            PhysOp::IndexNLJoin { .. } => "IndexNLJoin",
+            PhysOp::Sort { .. } => "Sort",
+            PhysOp::HashAggregate { .. } => "HashAggregate",
+            PhysOp::Limit { .. } => "Limit",
+            PhysOp::StatsCollector { .. } => "StatsCollector",
+        }
+    }
+
+    /// Whether this operator consumes its (first) input entirely
+    /// before producing output — a pipeline breaker. Hash join blocks
+    /// on the *build* child only (its probe streams), which the
+    /// executor's phase hooks account for separately.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            PhysOp::Sort { .. } | PhysOp::HashAggregate { .. }
+        )
+    }
+
+    /// Whether this operator holds a memory-hungry data structure whose
+    /// grant the memory manager must size (§2.3).
+    pub fn is_memory_consumer(&self) -> bool {
+        matches!(
+            self,
+            PhysOp::HashJoin { .. } | PhysOp::Sort { .. } | PhysOp::HashAggregate { .. }
+        )
+    }
+}
+
+/// A physical plan node: operator, children, output schema, estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysPlan {
+    /// Node id, unique within the plan after [`PhysPlan::assign_ids`].
+    pub id: NodeId,
+    /// The operator.
+    pub op: PhysOp,
+    /// Children (see [`PhysOp`] for expected counts).
+    pub children: Vec<PhysPlan>,
+    /// Output schema.
+    pub schema: Schema,
+    /// Optimizer estimates.
+    pub annot: Annotation,
+}
+
+impl PhysPlan {
+    /// Build a node with a default annotation and unassigned id.
+    pub fn new(op: PhysOp, children: Vec<PhysPlan>, schema: Schema) -> PhysPlan {
+        PhysPlan {
+            id: NodeId(usize::MAX),
+            op,
+            children,
+            schema,
+            annot: Annotation::default(),
+        }
+    }
+
+    /// Assign pre-order ids to every node. Returns the node count.
+    pub fn assign_ids(&mut self) -> usize {
+        fn rec(p: &mut PhysPlan, next: &mut usize) {
+            p.id = NodeId(*next);
+            *next += 1;
+            for c in &mut p.children {
+                rec(c, next);
+            }
+        }
+        let mut next = 0;
+        rec(self, &mut next);
+        next
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PhysPlan::node_count).sum::<usize>()
+    }
+
+    /// Pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a PhysPlan)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Mutable pre-order traversal.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut PhysPlan)) {
+        f(self);
+        for c in &mut self.children {
+            c.walk_mut(f);
+        }
+    }
+
+    /// Find a node by id.
+    pub fn find(&self, id: NodeId) -> Option<&PhysPlan> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(id))
+    }
+
+    /// Find a node by id, mutably.
+    pub fn find_mut(&mut self, id: NodeId) -> Option<&mut PhysPlan> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter_mut().find_map(|c| c.find_mut(id))
+    }
+
+    /// All statistics-collector nodes, pre-order.
+    pub fn collectors(&self) -> Vec<&PhysPlan> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if matches!(p.op, PhysOp::StatsCollector { .. }) {
+                out.push(p);
+            }
+        });
+        out
+    }
+
+    /// Number of joins below (and including) this node.
+    pub fn join_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |p| {
+            if matches!(p.op, PhysOp::HashJoin { .. } | PhysOp::IndexNLJoin { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Recompute cumulative times bottom-up from per-node costs.
+    pub fn roll_up_times(&mut self, cfg: &EngineConfig) {
+        for c in &mut self.children {
+            c.roll_up_times(cfg);
+        }
+        self.annot.est_time_ms = self.annot.est_cost.time_ms(cfg);
+        self.annot.est_total_time_ms = self.annot.est_time_ms
+            + self
+                .children
+                .iter()
+                .map(|c| c.annot.est_total_time_ms)
+                .sum::<f64>();
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        write!(f, "{pad}{} ", self.op.name())?;
+        match &self.op {
+            PhysOp::SeqScan { spec, filter } => {
+                write!(f, "{}", spec.table)?;
+                if let Some(p) = filter {
+                    write!(f, " [{p}]")?;
+                }
+            }
+            PhysOp::IndexScan {
+                spec, column, lo, hi, ..
+            } => {
+                write!(f, "{} on {column}", spec.table)?;
+                if let Some(lo) = lo {
+                    write!(f, " ≥{lo}")?;
+                }
+                if let Some(hi) = hi {
+                    write!(f, " ≤{hi}")?;
+                }
+            }
+            PhysOp::Filter { predicate } => write!(f, "[{predicate}]")?,
+            PhysOp::Project { exprs } => {
+                write!(f, "[{} exprs]", exprs.len())?;
+            }
+            PhysOp::HashJoin {
+                build_keys,
+                probe_keys,
+            } => write!(f, "build{build_keys:?} = probe{probe_keys:?}")?,
+            PhysOp::IndexNLJoin {
+                inner,
+                inner_column,
+                outer_key,
+                ..
+            } => write!(f, "outer[{outer_key}] = {}.{inner_column}", inner.table)?,
+            PhysOp::Sort { keys } => write!(f, "{keys:?}")?,
+            PhysOp::HashAggregate { group, aggs } => {
+                write!(f, "group={group:?} aggs={}", aggs.len())?
+            }
+            PhysOp::Limit { n } => write!(f, "{n}")?,
+            PhysOp::StatsCollector { specs, site } => {
+                let cols: Vec<&str> = specs.iter().map(|s| s.column.as_str()).collect();
+                write!(f, "@{site} [{}]", cols.join(", "))?;
+            }
+        }
+        writeln!(
+            f,
+            "  (rows≈{:.0}, time≈{:.1}ms, total≈{:.1}ms, mem={}KB)",
+            self.annot.est_rows,
+            self.annot.est_time_ms,
+            self.annot.est_total_time_ms,
+            self.annot.mem_grant_bytes / 1024
+        )?;
+        for c in &self.children {
+            c.fmt_indented(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PhysPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, Field};
+
+    fn leaf(table: &str) -> PhysPlan {
+        PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: table.into(),
+                    file: FileId(0),
+                    pages: 10,
+                    rows: 100,
+                },
+                filter: None,
+            },
+            vec![],
+            Schema::new(vec![Field::qualified(table, "a", DataType::Int)]).unwrap(),
+        )
+    }
+
+    fn join(l: PhysPlan, r: PhysPlan) -> PhysPlan {
+        let schema = l.schema.join(&r.schema);
+        PhysPlan::new(
+            PhysOp::HashJoin {
+                build_keys: vec![0],
+                probe_keys: vec![0],
+            },
+            vec![l, r],
+            schema,
+        )
+    }
+
+    #[test]
+    fn ids_are_preorder_unique() {
+        let mut p = join(join(leaf("a"), leaf("b")), leaf("c"));
+        let n = p.assign_ids();
+        assert_eq!(n, 5);
+        assert_eq!(p.id, NodeId(0));
+        let mut seen = Vec::new();
+        p.walk(&mut |n| seen.push(n.id.0));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert!(p.find(NodeId(3)).is_some());
+        assert!(p.find(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn roll_up_times_accumulates() {
+        let cfg = EngineConfig::default();
+        let mut p = join(leaf("a"), leaf("b"));
+        p.walk_mut(&mut |n| {
+            n.annot.est_cost = CostEst {
+                io_pages: 10.0,
+                cpu_ops: 0.0,
+            }
+        });
+        p.roll_up_times(&cfg);
+        let self_ms = 10.0 * cfg.io_read_ms;
+        assert!((p.annot.est_time_ms - self_ms).abs() < 1e-9);
+        assert!((p.annot.est_total_time_ms - 3.0 * self_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_and_memory_flags() {
+        assert!(PhysOp::Sort { keys: vec![] }.is_blocking());
+        assert!(!PhysOp::Filter {
+            predicate: mq_expr::lit(true)
+        }
+        .is_blocking());
+        assert!(PhysOp::HashJoin {
+            build_keys: vec![],
+            probe_keys: vec![]
+        }
+        .is_memory_consumer());
+    }
+
+    #[test]
+    fn collectors_enumeration() {
+        let base = leaf("a");
+        let schema = base.schema.clone();
+        let mut p = PhysPlan::new(
+            PhysOp::StatsCollector {
+                specs: vec![CollectorSpec {
+                    column: "a.a".into(),
+                    histogram: true,
+                    distinct: false,
+                }],
+                site: "after-scan".into(),
+            },
+            vec![base],
+            schema,
+        );
+        p.assign_ids();
+        assert_eq!(p.collectors().len(), 1);
+        assert_eq!(p.join_count(), 0);
+    }
+
+    #[test]
+    fn display_contains_annotations() {
+        let mut p = join(leaf("x"), leaf("y"));
+        p.assign_ids();
+        let text = p.to_string();
+        assert!(text.contains("HashJoin"));
+        assert!(text.contains("SeqScan x"));
+        assert!(text.contains("rows≈"));
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let cfg = EngineConfig::default();
+        let a = CostEst { io_pages: 5.0, cpu_ops: 1000.0 };
+        let b = CostEst { io_pages: 3.0, cpu_ops: 500.0 };
+        let c = a.plus(&b);
+        assert_eq!(c.io_pages, 8.0);
+        assert_eq!(c.cpu_ops, 1500.0);
+        let expected = 8.0 * cfg.io_read_ms + 1500.0 * cfg.cpu_op_ms;
+        assert!((c.time_ms(&cfg) - expected).abs() < 1e-12);
+        assert_eq!(CostEst::default().time_ms(&cfg), 0.0);
+    }
+
+    #[test]
+    fn annotation_size_helpers() {
+        let cfg = EngineConfig::default();
+        let a = Annotation {
+            est_rows: 1000.0,
+            est_row_bytes: 100.0,
+            ..Annotation::default()
+        };
+        assert_eq!(a.est_bytes(), 100_000.0);
+        let pages = 100_000.0 / cfg.page_size as f64;
+        assert!((a.est_pages(&cfg) - pages).abs() < 1e-12);
+        // Tiny outputs still cost at least one page.
+        let tiny = Annotation { est_rows: 1.0, est_row_bytes: 8.0, ..Annotation::default() };
+        assert_eq!(tiny.est_pages(&cfg), 1.0);
+    }
+
+    #[test]
+    fn find_mut_mutates_in_place() {
+        let mut p = join(leaf("a"), leaf("b"));
+        p.assign_ids();
+        let target = p.children[1].id;
+        p.find_mut(target).unwrap().annot.est_rows = 42.0;
+        assert_eq!(p.find(target).unwrap().annot.est_rows, 42.0);
+        assert!(p.find_mut(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn node_count_matches_assign_ids() {
+        let mut deep = leaf("a");
+        for t in ["b", "c", "d", "e"] {
+            deep = join(deep, leaf(t));
+        }
+        assert_eq!(deep.node_count(), 9);
+        assert_eq!(deep.assign_ids(), 9);
+        assert_eq!(deep.join_count(), 4);
+    }
+
+    #[test]
+    fn walk_mut_is_preorder() {
+        let mut p = join(join(leaf("a"), leaf("b")), leaf("c"));
+        p.assign_ids();
+        let mut order = Vec::new();
+        p.walk_mut(&mut |n| order.push(n.id.0));
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn op_names_are_distinct() {
+        use std::collections::HashSet;
+        let ops = [
+            leaf("t").op.name(),
+            PhysOp::Filter { predicate: mq_expr::lit(true) }.name(),
+            PhysOp::HashJoin { build_keys: vec![], probe_keys: vec![] }.name(),
+            PhysOp::Sort { keys: vec![] }.name(),
+            PhysOp::HashAggregate { group: vec![], aggs: vec![] }.name(),
+            PhysOp::Limit { n: 1 }.name(),
+            PhysOp::StatsCollector { specs: vec![], site: String::new() }.name(),
+        ];
+        let set: HashSet<&str> = ops.iter().copied().collect();
+        assert_eq!(set.len(), ops.len());
+    }
+
+    #[test]
+    fn index_scan_display_shows_bounds() {
+        let mut p = PhysPlan::new(
+            PhysOp::IndexScan {
+                spec: ScanSpec {
+                    table: "t".into(),
+                    file: FileId(0),
+                    pages: 10,
+                    rows: 100,
+                },
+                index: IndexId(0),
+                column: "k".into(),
+                lo: Some(Value::Int(5)),
+                hi: Some(Value::Int(9)),
+                residual: None,
+                index_height: 2,
+                clustering: 1.0,
+            },
+            vec![],
+            Schema::new(vec![Field::qualified("t", "k", DataType::Int)]).unwrap(),
+        );
+        p.assign_ids();
+        let text = p.to_string();
+        assert!(text.contains("IndexScan t on k"), "{text}");
+        assert!(text.contains("≥5") && text.contains("≤9"), "{text}");
+    }
+
+    #[test]
+    fn collector_display_shows_site_and_columns() {
+        let base = leaf("a");
+        let schema = base.schema.clone();
+        let mut p = PhysPlan::new(
+            PhysOp::StatsCollector {
+                specs: vec![CollectorSpec {
+                    column: "a.a".into(),
+                    histogram: true,
+                    distinct: true,
+                }],
+                site: "build-of-join-2".into(),
+            },
+            vec![base],
+            schema,
+        );
+        p.assign_ids();
+        let text = p.to_string();
+        assert!(text.contains("@build-of-join-2"), "{text}");
+        assert!(text.contains("a.a"), "{text}");
+    }
+}

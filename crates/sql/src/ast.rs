@@ -1,0 +1,81 @@
+//! The statement AST: single-block SELECT plus the small DDL/DML
+//! surface (`CREATE TABLE`, `CREATE INDEX`, `INSERT … VALUES`,
+//! `ANALYZE`) that makes the engine drivable from SQL alone.
+
+use mq_common::{DataType, Value};
+use mq_expr::Expr;
+use mq_plan::AggFunc;
+
+/// Any parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(Query),
+    /// `CREATE TABLE t (a INT, b FLOAT, …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// `(column, type)` pairs in declaration order.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `CREATE INDEX ON t (col)`.
+    CreateIndex {
+        /// Table name.
+        table: String,
+        /// Indexed column (bare name).
+        column: String,
+    },
+    /// `INSERT INTO t VALUES (…), (…), …` — literal rows only.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows in statement order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `ANALYZE t`.
+    Analyze {
+        /// Table to gather statistics for.
+        table: String,
+    },
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A scalar expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call with an optional alias. `arg = None` is
+    /// `COUNT(*)`.
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// The argument (`None` for `COUNT(*)`).
+        arg: Option<Expr>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A parsed single-block query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM tables (comma list; join predicates live in WHERE).
+    pub from: Vec<String>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY column names.
+    pub group_by: Vec<String>,
+    /// ORDER BY (column name, ascending) pairs.
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}

@@ -1,0 +1,186 @@
+//! Binder: AST → logical plan, resolved against the catalog.
+
+use mq_catalog::Catalog;
+use mq_common::{MqError, Result, Schema};
+use mq_expr::Expr;
+use mq_plan::{AggExpr, LogicalPlan};
+
+use crate::ast::{Query, SelectItem};
+
+/// Bind a parsed query into a [`LogicalPlan`].
+pub fn bind(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
+    if query.from.is_empty() {
+        return Err(MqError::Parse("FROM list is empty".into()));
+    }
+    // Combined schema for name resolution.
+    let mut combined = Schema::empty();
+    for t in &query.from {
+        let entry = catalog.table(t)?;
+        combined = combined.join(&entry.schema);
+    }
+
+    // FROM: fold into a join chain; the optimizer re-derives the join
+    // graph from the WHERE predicates, so the `on` lists stay empty.
+    let mut plan = LogicalPlan::scan(&query.from[0]);
+    for t in &query.from[1..] {
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(LogicalPlan::scan(t)),
+            on: Vec::new(),
+        };
+    }
+
+    if let Some(w) = &query.where_clause {
+        check_columns(w, &combined)?;
+        plan = plan.filter(w.clone());
+    }
+
+    // Split the select list into plain expressions and aggregates.
+    let mut aggs: Vec<AggExpr> = Vec::new();
+    let mut plain: Vec<(Expr, String)> = Vec::new();
+    let mut has_wildcard = false;
+    let mut agg_counter = 0usize;
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => has_wildcard = true,
+            SelectItem::Expr { expr, alias } => {
+                check_columns(expr, &combined)?;
+                let name = alias.clone().unwrap_or_else(|| display_name(expr));
+                plain.push((expr.clone(), name));
+            }
+            SelectItem::Agg { func, arg, alias } => {
+                if let Some(a) = arg {
+                    check_columns(a, &combined)?;
+                }
+                agg_counter += 1;
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| format!("{func}_{agg_counter}"));
+                aggs.push(AggExpr {
+                    func: *func,
+                    arg: arg.clone(),
+                    name,
+                });
+            }
+        }
+    }
+
+    if !aggs.is_empty() || !query.group_by.is_empty() {
+        if has_wildcard {
+            return Err(MqError::Parse(
+                "SELECT * cannot be combined with aggregates".into(),
+            ));
+        }
+        // Grouped query: plain select items must be grouping columns.
+        for (e, _) in &plain {
+            let name = match e {
+                Expr::Column(n) => n.to_string(),
+                other => {
+                    return Err(MqError::Parse(format!(
+                        "non-aggregate select item '{other}' requires GROUP BY column"
+                    )))
+                }
+            };
+            let in_group = query.group_by.iter().any(|g| {
+                g == &name
+                    || g.rsplit('.').next() == name.rsplit('.').next()
+            });
+            if !in_group {
+                return Err(MqError::Parse(format!(
+                    "column '{name}' must appear in GROUP BY"
+                )));
+            }
+        }
+        for g in &query.group_by {
+            combined.index_of(g)?;
+        }
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: query.group_by.clone(),
+            aggs,
+        };
+    } else if !has_wildcard && !plain.is_empty() {
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs: plain,
+        };
+    }
+
+    if !query.order_by.is_empty() {
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys: query.order_by.clone(),
+        };
+    }
+    if let Some(n) = query.limit {
+        plan = plan.limit(n);
+    }
+    Ok(plan)
+}
+
+fn display_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(n) => n.rsplit('.').next().unwrap_or(n).to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn check_columns(e: &Expr, schema: &Schema) -> Result<()> {
+    for c in e.referenced_columns() {
+        schema.index_of(&c)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use mq_common::{DataType, EngineConfig, SimClock};
+    use mq_storage::Storage;
+
+    fn catalog() -> Catalog {
+        let cfg = EngineConfig::default();
+        let st = Storage::new(&cfg, SimClock::new());
+        let cat = Catalog::new();
+        cat.create_table(&st, "t", vec![("a", DataType::Int), ("b", DataType::Int)])
+            .unwrap();
+        cat.create_table(&st, "u", vec![("a2", DataType::Int), ("c", DataType::Str)])
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn grouped_plain_column_must_be_grouped() {
+        let cat = catalog();
+        let q = parse_query("SELECT b, count(*) FROM t GROUP BY a").unwrap();
+        assert!(bind(&q, &cat).is_err());
+        let q = parse_query("SELECT a, count(*) FROM t GROUP BY a").unwrap();
+        assert!(bind(&q, &cat).is_ok());
+    }
+
+    #[test]
+    fn cross_table_names_resolve() {
+        let cat = catalog();
+        let q = parse_query("SELECT a, c FROM t, u WHERE a = a2").unwrap();
+        let plan = bind(&q, &cat).unwrap();
+        assert_eq!(plan.join_count(), 1);
+    }
+
+    #[test]
+    fn wildcard_with_aggregate_rejected() {
+        let cat = catalog();
+        let q = parse_query("SELECT *, count(*) FROM t").unwrap();
+        assert!(bind(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn synthesized_agg_names() {
+        let cat = catalog();
+        let q = parse_query("SELECT count(*), sum(a) FROM t").unwrap();
+        let plan = bind(&q, &cat).unwrap();
+        let schema = plan.schema(&cat).unwrap();
+        assert_eq!(schema.field(0).name.as_ref(), "count_1");
+        assert_eq!(schema.field(1).name.as_ref(), "sum_2");
+    }
+}

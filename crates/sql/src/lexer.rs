@@ -1,0 +1,181 @@
+//! SQL tokenizer.
+
+use mq_common::{MqError, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (lower-cased; SQL is case-insensitive).
+    Word(String),
+    /// Possibly-qualified identifier containing a dot (`t.a`).
+    QualifiedWord(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped).
+    Str(String),
+    /// Single-char symbol: `( ) , * + - /`
+    Symbol(char),
+    /// Comparison operator: `= <> < <= > >=`
+    Op(String),
+}
+
+impl Token {
+    /// Is this the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w == kw)
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' | ')' | ',' | '*' | '+' | '/' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            '-' => {
+                // Comment (`--`) or minus.
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Symbol('-'));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Op("<=".into()));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(MqError::Parse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.contains('.') {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        MqError::Parse(format!("bad numeric literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        MqError::Parse(format!("bad integer literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut has_dot = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    if chars[i] == '.' {
+                        has_dot = true;
+                    }
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
+                if has_dot {
+                    out.push(Token::QualifiedWord(word));
+                } else {
+                    out.push(Token::Word(word));
+                }
+            }
+            other => {
+                return Err(MqError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a, t.b FROM t WHERE a >= 10.5 AND s = 'o''k'").unwrap();
+        assert_eq!(toks[0], Token::Word("select".into()));
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::Symbol(','));
+        assert_eq!(toks[3], Token::QualifiedWord("t.b".into()));
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert!(toks.contains(&Token::Float(10.5)));
+        assert!(toks.contains(&Token::Str("o'k".into())));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT a -- the column\nFROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a<>b a<=b a<b a=b a>b a>=b").unwrap();
+        let ops: Vec<&Token> = toks.iter().filter(|t| matches!(t, Token::Op(_))).collect();
+        assert_eq!(ops.len(), 6);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ; b").is_err());
+        assert!(tokenize("1.2.3").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! # mq-sql — the SQL frontend
+//!
+//! A tokenizer, recursive-descent parser and binder for the SELECT
+//! subset the workload needs (the paper's queries are single-block
+//! SELECT/FROM/WHERE/GROUP BY/ORDER BY statements):
+//!
+//! ```sql
+//! SELECT avg(l_extendedprice) AS avg_price, l_returnflag
+//! FROM lineitem, orders
+//! WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02'
+//! GROUP BY l_returnflag
+//! ORDER BY l_returnflag
+//! LIMIT 10
+//! ```
+//!
+//! [`parse_query`] produces an AST; [`bind`] resolves it against the
+//! catalog into a [`LogicalPlan`] ready for the optimizer. Join
+//! predicates stay in WHERE (comma-list FROM), exactly how the paper's
+//! Figure 1 query is written; the optimizer's decomposition classifies
+//! them into join edges.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Query, SelectItem, Statement};
+pub use binder::bind;
+pub use lexer::{tokenize, Token};
+pub use parser::{parse_query, parse_statement};
+
+use mq_catalog::Catalog;
+use mq_common::Result;
+use mq_plan::LogicalPlan;
+
+/// Parse and bind in one step.
+///
+/// ```
+/// use mq_sql::parse_query;
+/// let q = parse_query("SELECT a, count(*) AS n FROM t WHERE a < 5 GROUP BY a").unwrap();
+/// assert_eq!(q.from, vec!["t"]);
+/// assert_eq!(q.group_by, vec!["a"]);
+/// ```
+pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    let query = parse_query(sql)?;
+    bind(&query, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, EngineConfig, Row, SimClock, Value};
+    use mq_storage::Storage;
+
+    fn catalog() -> Catalog {
+        let cfg = EngineConfig::default();
+        let st = Storage::new(&cfg, SimClock::new());
+        let cat = Catalog::new();
+        cat.create_table(
+            &st,
+            "lineitem",
+            vec![
+                ("l_orderkey", DataType::Int),
+                ("l_quantity", DataType::Float),
+                ("l_shipdate", DataType::Date),
+                ("l_returnflag", DataType::Str),
+            ],
+        )
+        .unwrap();
+        cat.create_table(
+            &st,
+            "orders",
+            vec![
+                ("o_orderkey", DataType::Int),
+                ("o_custkey", DataType::Int),
+                ("o_orderdate", DataType::Date),
+            ],
+        )
+        .unwrap();
+        cat.insert_row(
+            &st,
+            "lineitem",
+            Row::new(vec![
+                Value::Int(1),
+                Value::Float(10.0),
+                mq_common::value::date(1995, 1, 1),
+                Value::str("A"),
+            ]),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn end_to_end_single_table() {
+        let cat = catalog();
+        let plan = plan_sql(
+            "SELECT l_orderkey FROM lineitem WHERE l_quantity < 24 AND l_shipdate >= DATE '1994-01-01'",
+            &cat,
+        )
+        .unwrap();
+        let schema = plan.schema(&cat).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(plan.join_count(), 0);
+    }
+
+    #[test]
+    fn end_to_end_join_group_order() {
+        let cat = catalog();
+        let plan = plan_sql(
+            "SELECT l_returnflag, count(*) AS n, avg(l_quantity) AS q \
+             FROM lineitem, orders \
+             WHERE l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15' \
+             GROUP BY l_returnflag ORDER BY l_returnflag DESC LIMIT 5",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(plan.join_count(), 1);
+        let schema = plan.schema(&cat).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.field(1).name.as_ref(), "n");
+        let text = plan.to_string();
+        assert!(text.contains("Limit 5"));
+        assert!(text.contains("Sort"));
+        assert!(text.contains("Aggregate"));
+    }
+
+    #[test]
+    fn star_select() {
+        let cat = catalog();
+        let plan = plan_sql("SELECT * FROM lineitem", &cat).unwrap();
+        assert_eq!(plan.schema(&cat).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let cat = catalog();
+        let err = plan_sql("SELECT x FROM missing", &cat).unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let cat = catalog();
+        let err = plan_sql("SELECT nope FROM lineitem", &cat).unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+    }
+
+    #[test]
+    fn syntax_error_reported() {
+        let cat = catalog();
+        let err = plan_sql("SELECT FROM WHERE", &cat).unwrap_err();
+        assert_eq!(err.kind(), "parse");
+    }
+}

@@ -1,0 +1,682 @@
+//! Recursive-descent parser for the SELECT subset and the DDL/DML
+//! statements (`CREATE TABLE`, `CREATE INDEX`, `INSERT`, `ANALYZE`).
+
+use mq_common::{DataType, MqError, Result, Value};
+use mq_expr::{ArithOp, CmpOp, Expr};
+use mq_plan::AggFunc;
+
+use crate::ast::{Query, SelectItem, Statement};
+use crate::lexer::{tokenize, Token};
+
+/// Parse one SELECT statement.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+/// Parse any statement: SELECT, CREATE TABLE, CREATE INDEX, INSERT,
+/// or ANALYZE.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| MqError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(MqError::Parse(format!(
+                "expected '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Token::Symbol(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<()> {
+        if self.eat_symbol(c) {
+            Ok(())
+        } else {
+            Err(MqError::Parse(format!(
+                "expected '{c}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump()? {
+            Token::Word(w) | Token::QualifiedWord(w) => Ok(w),
+            other => Err(MqError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(MqError::Parse(format!(
+                "trailing input at token {} ({:?})",
+                self.pos, self.tokens[self.pos]
+            )))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            if self.eat_kw("table") {
+                return self.create_table();
+            }
+            if self.eat_kw("index") {
+                return self.create_index();
+            }
+            return Err(MqError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ));
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            return self.insert();
+        }
+        if self.eat_kw("analyze") {
+            let table = self.ident()?;
+            return Ok(Statement::Analyze { table });
+        }
+        Ok(Statement::Select(self.query()?))
+    }
+
+    /// `CREATE TABLE t (a INT, b FLOAT, …)` — already past `CREATE TABLE`.
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_symbol('(')?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        self.expect_symbol(')')?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let word = self.ident()?;
+        match word.as_str() {
+            "int" | "integer" | "bigint" => Ok(DataType::Int),
+            "float" | "double" | "real" | "decimal" => Ok(DataType::Float),
+            "text" | "varchar" | "char" | "string" => Ok(DataType::Str),
+            "date" => Ok(DataType::Date),
+            "bool" | "boolean" => Ok(DataType::Bool),
+            other => Err(MqError::Parse(format!("unknown column type '{other}'"))),
+        }
+    }
+
+    /// `CREATE INDEX ON t (col)` — already past `CREATE INDEX`.
+    fn create_index(&mut self) -> Result<Statement> {
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect_symbol('(')?;
+        let column = self.ident()?;
+        self.expect_symbol(')')?;
+        Ok(Statement::CreateIndex { table, column })
+    }
+
+    /// `INSERT INTO t VALUES (…), (…)` — already past `INSERT INTO`.
+    fn insert(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol('(')?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal_value()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_symbol(')')?;
+            rows.push(row);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    /// A literal for a VALUES row: numbers (with optional sign),
+    /// strings, DATE '…', booleans, NULL.
+    fn literal_value(&mut self) -> Result<Value> {
+        let negative = self.eat_symbol('-');
+        let v = match self.bump()? {
+            Token::Int(n) => Value::Int(if negative { -n } else { n }),
+            Token::Float(f) => Value::Float(if negative { -f } else { f }),
+            t if negative => {
+                return Err(MqError::Parse(format!("expected number after '-', got {t:?}")))
+            }
+            Token::Str(s) => Value::str(s),
+            Token::Word(w) if w == "true" => Value::Bool(true),
+            Token::Word(w) if w == "false" => Value::Bool(false),
+            Token::Word(w) if w == "null" => Value::Null,
+            Token::Word(w) if w == "date" => match self.bump()? {
+                Token::Str(s) => match parse_date(&s)? {
+                    Expr::Literal(v) => v,
+                    _ => unreachable!("parse_date returns a literal"),
+                },
+                other => {
+                    return Err(MqError::Parse(format!(
+                        "expected date string, got {other:?}"
+                    )))
+                }
+            },
+            other => {
+                return Err(MqError::Parse(format!(
+                    "expected literal in VALUES, got {other:?}"
+                )))
+            }
+        };
+        Ok(v)
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.select_item()?];
+        while self.eat_symbol(',') {
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.ident()?];
+        while self.eat_symbol(',') {
+            from.push(self.ident()?);
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.ident()?);
+            while self.eat_symbol(',') {
+                group_by.push(self.ident()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let col = self.ident()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((col, asc));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(MqError::Parse(format!("bad LIMIT {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol('*') {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate call?
+        if let Some(Token::Word(w)) = self.peek() {
+            if let Some(func) = agg_func(w) {
+                if self.tokens.get(self.pos + 1) == Some(&Token::Symbol('(')) {
+                    self.pos += 2;
+                    let arg = if self.eat_symbol('*') {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_symbol(')')?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Agg { func, arg, alias });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// expr := and_expr (OR and_expr)*
+    fn expr(&mut self) -> Result<Expr> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat_kw("or") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut terms = vec![self.not_expr()?];
+        while self.eat_kw("and") {
+            terms.push(self.not_expr()?);
+        }
+        Ok(mq_expr::and(terms))
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    /// comparison := additive [(op additive) | BETWEEN additive AND
+    /// additive | \[NOT\] IN (literal, …)]
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            return Ok(mq_expr::and(vec![
+                mq_expr::cmp(CmpOp::Ge, left.clone(), lo),
+                mq_expr::cmp(CmpOp::Le, left, hi),
+            ]));
+        }
+        // [NOT] IN (v1, v2, …) desugars to a disjunction of equalities
+        // (negated for NOT IN) — the optimizer's OR handling, including
+        // implied-predicate derivation, applies unchanged.
+        let (is_in, negated) = if self.eat_kw("not") {
+            self.expect_kw("in")?;
+            (true, true)
+        } else {
+            (self.eat_kw("in"), false)
+        };
+        if is_in {
+            self.expect_symbol('(')?;
+            let mut arms = Vec::new();
+            loop {
+                let v = self.literal_value()?;
+                arms.push(mq_expr::cmp(
+                    CmpOp::Eq,
+                    left.clone(),
+                    Expr::Literal(v),
+                ));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_symbol(')')?;
+            let disj = if arms.len() == 1 {
+                arms.pop().unwrap()
+            } else {
+                Expr::Or(arms)
+            };
+            return Ok(if negated {
+                Expr::Not(Box::new(disj))
+            } else {
+                disj
+            });
+        }
+        if let Some(Token::Op(op)) = self.peek() {
+            let op = match op.as_str() {
+                "=" => CmpOp::Eq,
+                "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => return Err(MqError::Parse(format!("unknown operator '{other}'"))),
+            };
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(mq_expr::cmp(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_symbol('+') {
+                ArithOp::Add
+            } else if self.eat_symbol('-') {
+                ArithOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.multiplicative()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = if self.eat_symbol('*') {
+                ArithOp::Mul
+            } else if self.eat_symbol('/') {
+                ArithOp::Div
+            } else {
+                return Ok(left);
+            };
+            let right = self.primary()?;
+            left = Expr::Arith {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        if self.eat_symbol('(') {
+            let e = self.expr()?;
+            self.expect_symbol(')')?;
+            return Ok(e);
+        }
+        match self.bump()? {
+            Token::Int(n) => Ok(mq_expr::lit(n)),
+            Token::Float(f) => Ok(mq_expr::lit(f)),
+            Token::Str(s) => Ok(mq_expr::lit(s)),
+            Token::Word(w) if w == "date" => {
+                // DATE 'yyyy-mm-dd'
+                match self.bump()? {
+                    Token::Str(s) => parse_date(&s),
+                    other => Err(MqError::Parse(format!("expected date string, got {other:?}"))),
+                }
+            }
+            Token::Word(w) if w == "true" => Ok(mq_expr::lit(true)),
+            Token::Word(w) if w == "false" => Ok(mq_expr::lit(false)),
+            Token::Word(w) if w == "null" => Ok(Expr::Literal(Value::Null)),
+            Token::Word(w) | Token::QualifiedWord(w) => Ok(mq_expr::col(&w)),
+            other => Err(MqError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    Some(match name {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "avg" => AggFunc::Avg,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        _ => return None,
+    })
+}
+
+fn parse_date(s: &str) -> Result<Expr> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(MqError::Parse(format!("bad date literal '{s}'")));
+    }
+    let y: i64 = parts[0]
+        .parse()
+        .map_err(|_| MqError::Parse(format!("bad date year in '{s}'")))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| MqError::Parse(format!("bad date month in '{s}'")))?;
+    let d: u32 = parts[2]
+        .parse()
+        .map_err(|_| MqError::Parse(format!("bad date day in '{s}'")))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(MqError::Parse(format!("date '{s}' out of range")));
+    }
+    Ok(Expr::Literal(mq_common::value::date(y, m, d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_query_shape() {
+        let q = parse_query(
+            "SELECT l_returnflag, sum(l_quantity) AS total \
+             FROM lineitem, orders \
+             WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1998-09-02' \
+             GROUP BY l_returnflag ORDER BY total DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from, vec!["lineitem", "orders"]);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by, vec!["l_returnflag"]);
+        assert_eq!(q.order_by, vec![("total".to_string(), false)]);
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn between_desugars() {
+        let q = parse_query("SELECT a FROM t WHERE a BETWEEN 1 AND 5").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("SELECT a + b * 2 FROM t").unwrap();
+        match &q.select[0] {
+            crate::ast::SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr.to_string(), "(a + (b * 2))");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse_query("SELECT count(*) FROM t").unwrap();
+        assert!(matches!(
+            q.select[0],
+            crate::ast::SelectItem::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn date_literal() {
+        let q = parse_query("SELECT a FROM t WHERE d < DATE '1995-03-15'").unwrap();
+        let w = q.where_clause.unwrap().to_string();
+        assert!(w.contains("1995-03-15"), "{w}");
+    }
+
+    #[test]
+    fn or_and_not() {
+        let q = parse_query("SELECT a FROM t WHERE NOT a = 1 OR b = 2 AND c = 3").unwrap();
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w, Expr::Or(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT a").is_err()); // no FROM
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_query("SELECT a FROM t extra").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE d < DATE '95x'").is_err());
+    }
+
+    #[test]
+    fn create_table_statement() {
+        let s = parse_statement(
+            "CREATE TABLE emp (id INT, salary FLOAT, name VARCHAR, hired DATE, active BOOL)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "emp");
+                assert_eq!(
+                    columns,
+                    vec![
+                        ("id".to_string(), DataType::Int),
+                        ("salary".to_string(), DataType::Float),
+                        ("name".to_string(), DataType::Str),
+                        ("hired".to_string(), DataType::Date),
+                        ("active".to_string(), DataType::Bool),
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Type synonyms.
+        assert!(parse_statement("CREATE TABLE t (a INTEGER, b DOUBLE, c TEXT)").is_ok());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statement("CREATE TABLE t ()").is_err());
+    }
+
+    #[test]
+    fn insert_statement() {
+        let s = parse_statement(
+            "INSERT INTO emp VALUES (1, -2.5, 'bob', DATE '2001-09-09', true), (2, 0.0, 'eve', NULL, false)",
+        )
+        .unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "emp");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Value::Int(1));
+                assert_eq!(rows[0][1], Value::Float(-2.5));
+                assert_eq!(rows[0][2], Value::str("bob"));
+                assert_eq!(rows[1][3], Value::Null);
+                assert_eq!(rows[1][4], Value::Bool(false));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Expressions are not literals.
+        assert!(parse_statement("INSERT INTO t VALUES (1 + 2)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (-'x')").is_err());
+    }
+
+    #[test]
+    fn create_index_and_analyze_statements() {
+        assert_eq!(
+            parse_statement("CREATE INDEX ON emp (id)").unwrap(),
+            Statement::CreateIndex {
+                table: "emp".into(),
+                column: "id".into()
+            }
+        );
+        assert_eq!(
+            parse_statement("ANALYZE emp").unwrap(),
+            Statement::Analyze { table: "emp".into() }
+        );
+        assert!(parse_statement("CREATE VIEW v").is_err());
+        assert!(parse_statement("CREATE INDEX emp (id)").is_err());
+    }
+
+    #[test]
+    fn in_list_desugars_to_disjunction() {
+        let q = parse_query("SELECT a FROM t WHERE a IN (1, 2, 3)").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Or(arms) => assert_eq!(arms.len(), 3),
+            other => panic!("expected OR, got {other}"),
+        }
+        // Single-element IN collapses to a bare equality.
+        let q = parse_query("SELECT a FROM t WHERE a IN (7)").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), Expr::Cmp { .. }));
+        // NOT IN wraps the disjunction.
+        let q = parse_query("SELECT a FROM t WHERE tag NOT IN ('x', 'y')").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), Expr::Not(_)));
+        // Strings and dates are fine; expressions are not.
+        assert!(parse_query("SELECT a FROM t WHERE d IN (DATE '1994-01-01')").is_ok());
+        assert!(parse_query("SELECT a FROM t WHERE a IN (b)").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE a IN ()").is_err());
+    }
+
+    #[test]
+    fn select_statement_roundtrip() {
+        match parse_statement("SELECT a FROM t WHERE a < 3").unwrap() {
+            Statement::Select(q) => {
+                assert_eq!(q.from, vec!["t"]);
+                assert!(q.where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Parser robustness properties.
+
+use mq_sql::{parse_query, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tokenizer never panics on arbitrary input.
+    #[test]
+    fn tokenizer_total(input in ".{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    /// The parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_total(input in ".{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    /// The parser never panics on SQL-ish token soup either.
+    #[test]
+    fn parser_total_on_sqlish(words in prop::collection::vec(
+        prop_oneof![
+            Just("select".to_string()),
+            Just("from".to_string()),
+            Just("where".to_string()),
+            Just("group".to_string()),
+            Just("by".to_string()),
+            Just("order".to_string()),
+            Just("and".to_string()),
+            Just("or".to_string()),
+            Just("not".to_string()),
+            Just("between".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(",".to_string()),
+            Just("*".to_string()),
+            Just("=".to_string()),
+            Just("<".to_string()),
+            Just("count".to_string()),
+            Just("sum".to_string()),
+            Just("42".to_string()),
+            Just("'str'".to_string()),
+            "[a-z]{1,6}",
+        ],
+        0..25,
+    )) {
+        let _ = parse_query(&words.join(" "));
+    }
+
+    /// Well-formed single-table queries always parse.
+    #[test]
+    fn wellformed_parse(
+        cols in prop::collection::vec("[a-z]{1,8}", 1..4),
+        table in "[a-z]{1,8}",
+        lit in 0i64..1000,
+        limit in 0u64..100,
+    ) {
+        let sql = format!(
+            "SELECT {} FROM {table} WHERE {} < {lit} ORDER BY {} LIMIT {limit}",
+            cols.join(", "),
+            cols[0],
+            cols[0],
+        );
+        let q = parse_query(&sql).unwrap();
+        prop_assert_eq!(q.select.len(), cols.len());
+        prop_assert_eq!(q.limit, Some(limit));
+    }
+
+    /// Numeric and string literals round-trip through the expression
+    /// display (which must itself re-parse).
+    #[test]
+    fn predicate_display_reparses(a in 0i64..100000, s in "[a-z]{0,10}") {
+        let sql = format!("SELECT x FROM t WHERE x = {a} AND y = '{s}' OR z >= {a}");
+        let q = parse_query(&sql).unwrap();
+        let rendered = q.where_clause.unwrap().to_string();
+        // The rendered predicate is itself valid SQL expression syntax.
+        let again = parse_query(&format!("SELECT x FROM t WHERE {rendered}"));
+        prop_assert!(again.is_ok(), "rendered: {rendered}");
+    }
+}

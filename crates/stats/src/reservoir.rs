@@ -1,0 +1,155 @@
+//! Reservoir sampling (Vitter's Algorithm R, \[24\] in the paper).
+//!
+//! The statistics-collector operator must observe a tuple stream in a
+//! single pass with bounded memory (§2.2: "one database page is
+//! allocated to hold a reservoir sample"). Algorithm R keeps a uniform
+//! random sample of fixed capacity regardless of stream length.
+
+use mq_common::DetRng;
+
+/// A fixed-capacity uniform sample over a stream.
+///
+/// ```
+/// use mq_stats::Reservoir;
+/// let mut r = Reservoir::new(8, 42);
+/// for i in 0..1000 {
+///     r.observe(i);
+/// }
+/// assert_eq!(r.items().len(), 8);
+/// assert_eq!(r.seen(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+    rng: DetRng,
+}
+
+impl<T> Reservoir<T> {
+    /// Create a reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Reservoir<T> {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Observe one stream element.
+    pub fn observe(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = self.rng.gen_range(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of elements observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current sample (order unspecified).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume into the sampled items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// The fraction of the stream captured (1.0 while the stream is
+    /// shorter than the capacity).
+    pub fn sampling_fraction(&self) -> f64 {
+        if self.seen == 0 {
+            1.0
+        } else {
+            (self.items.len() as f64 / self.seen as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_stream_is_kept_entirely() {
+        let mut r = Reservoir::new(100, 1);
+        for i in 0..50 {
+            r.observe(i);
+        }
+        assert_eq!(r.items().len(), 50);
+        assert_eq!(r.seen(), 50);
+        assert!((r.sampling_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_stream_caps_at_capacity() {
+        let mut r = Reservoir::new(64, 2);
+        for i in 0..10_000 {
+            r.observe(i);
+        }
+        assert_eq!(r.items().len(), 64);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Mean of a uniform sample over 0..n should be near n/2.
+        let n = 100_000u64;
+        let mut r = Reservoir::new(1000, 3);
+        for i in 0..n {
+            r.observe(i);
+        }
+        let mean: f64 = r.items().iter().map(|&x| x as f64).sum::<f64>() / 1000.0;
+        let expected = (n as f64 - 1.0) / 2.0;
+        // Standard error ≈ n/sqrt(12*1000) ≈ 913; allow 4 sigma.
+        assert!(
+            (mean - expected).abs() < 4000.0,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn every_element_can_appear() {
+        // Over many trials with a tiny reservoir, both early and late
+        // elements should be retained sometimes.
+        let mut kept_first = 0;
+        let mut kept_last = 0;
+        for seed in 0..200 {
+            let mut r = Reservoir::new(4, seed);
+            for i in 0..40 {
+                r.observe(i);
+            }
+            if r.items().contains(&0) {
+                kept_first += 1;
+            }
+            if r.items().contains(&39) {
+                kept_last += 1;
+            }
+        }
+        assert!(kept_first > 5, "first element kept {kept_first}/200");
+        assert!(kept_last > 5, "last element kept {kept_last}/200");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::<u32>::new(0, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Generalized Zipfian distribution (\[27\], as used in §3.2 / Figure 12).
+//!
+//! The paper skews all non-key TPC-D attributes with a generalized Zipf
+//! distribution at `z ∈ {0.3, 0.6}` (z = 0 is uniform). Item `k` (1-based
+//! rank) has probability proportional to `1 / k^z`. Draws use an inverse
+//! CDF table with binary search; an optional deterministic scramble
+//! decorrelates rank from value so skew does not accidentally sort the
+//! domain.
+
+use mq_common::DetRng;
+
+/// A Zipfian sampler over `n` items.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    scramble: Option<Vec<u32>>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` items with skew parameter `z ≥ 0`.
+    pub fn new(n: usize, z: f64) -> Zipf {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(z >= 0.0 && z.is_finite(), "z must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf {
+            cdf,
+            scramble: None,
+        }
+    }
+
+    /// Permute the rank→item mapping deterministically so the heavy
+    /// hitters are spread across the domain rather than clustered at
+    /// the smallest values.
+    pub fn scrambled(mut self, seed: u64) -> Zipf {
+        let n = self.cdf.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut rng = DetRng::new(seed);
+        rng.shuffle(&mut perm);
+        self.scramble = Some(perm);
+        self
+    }
+
+    /// Number of items in the domain.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one item index in `[0, n)`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.gen_f64();
+        let rank = match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+        .min(self.cdf.len() - 1);
+        match &self.scramble {
+            Some(p) => p[rank] as usize,
+            None => rank,
+        }
+    }
+
+    /// Theoretical probability of rank `k` (0-based, pre-scramble).
+    pub fn prob_of_rank(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(z: f64, n: usize, draws: usize) -> Vec<f64> {
+        let zipf = Zipf::new(n, z);
+        let mut rng = DetRng::new(1234);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let freqs = empirical(0.0, 10, 100_000);
+        for f in freqs {
+            assert!((f - 0.1).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let freqs = empirical(1.0, 100, 200_000);
+        assert!(freqs[0] > freqs[10] && freqs[10] > freqs[50]);
+        // Rank-1 frequency for z=1, n=100 is 1/H_100 ≈ 0.1928.
+        assert!((freqs[0] - 0.1928).abs() < 0.01, "rank1 {}", freqs[0]);
+    }
+
+    #[test]
+    fn moderate_skew_matches_theory() {
+        let n = 50;
+        let zipf = Zipf::new(n, 0.6);
+        let freqs = empirical(0.6, n, 300_000);
+        for k in [0usize, 4, 20, 49] {
+            let p = zipf.prob_of_rank(k);
+            assert!(
+                (freqs[k] - p).abs() < 0.01,
+                "rank {k}: {} vs {}",
+                freqs[k],
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let zipf = Zipf::new(1000, 0.3);
+        for w in zipf.cdf.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((zipf.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scramble_is_a_permutation_and_preserves_marginals() {
+        let n = 20;
+        let plain = Zipf::new(n, 0.8);
+        let scrambled = Zipf::new(n, 0.8).scrambled(7);
+        let mut rng = DetRng::new(5);
+        let mut counts = vec![0usize; n];
+        for _ in 0..100_000 {
+            counts[scrambled.sample(&mut rng)] += 1;
+        }
+        // Every item still reachable.
+        assert!(counts.iter().all(|&c| c > 0));
+        // Sorted frequencies match the unscrambled distribution shape.
+        let mut freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / 100_000.0).collect();
+        freqs.sort_by(|a, b| b.total_cmp(a));
+        assert!((freqs[0] - plain.prob_of_rank(0)).abs() < 0.015);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

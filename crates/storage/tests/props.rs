@@ -1,0 +1,123 @@
+//! Property tests: the B+-tree against a `BTreeMap` model, heap files
+//! against a `Vec` model, and the buffer pool against direct storage.
+
+use std::collections::BTreeMap;
+
+use mq_common::{EngineConfig, Row, SimClock, Value};
+use mq_storage::Storage;
+use proptest::prelude::*;
+
+fn storage() -> Storage {
+    let cfg = EngineConfig {
+        buffer_pool_pages: 16,
+        page_size: 512,
+        ..EngineConfig::default()
+    };
+    Storage::new(&cfg, SimClock::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A heap file returns exactly the rows appended, in order.
+    #[test]
+    fn heap_file_is_a_log(values in prop::collection::vec(any::<i64>(), 0..300)) {
+        let st = storage();
+        let f = st.create_file();
+        for &v in &values {
+            st.append_row(f, &Row::new(vec![Value::Int(v)])).unwrap();
+        }
+        let back: Vec<i64> = st
+            .scan_file(f)
+            .unwrap()
+            .map(|r| r.unwrap().1.get(0).as_i64().unwrap())
+            .collect();
+        prop_assert_eq!(back, values);
+    }
+
+    /// B+-tree lookups and range scans agree with a BTreeMap model,
+    /// including duplicate keys.
+    #[test]
+    fn btree_matches_model(
+        keys in prop::collection::vec(-200i64..200, 1..400),
+        probes in prop::collection::vec(-250i64..250, 1..30),
+        ranges in prop::collection::vec((-250i64..250, -250i64..250), 1..10),
+    ) {
+        let st = storage();
+        let f = st.create_file();
+        let idx = st.create_index().unwrap();
+        let mut model: BTreeMap<i64, Vec<mq_common::Rid>> = BTreeMap::new();
+        for &k in &keys {
+            let rid = st.append_row(f, &Row::new(vec![Value::Int(k)])).unwrap();
+            st.index_insert(idx, &Value::Int(k), rid).unwrap();
+            model.entry(k).or_default().push(rid);
+        }
+        for &p in &probes {
+            let mut got = st.index_lookup(idx, &Value::Int(p)).unwrap();
+            let mut expect = model.get(&p).cloned().unwrap_or_default();
+            got.sort();
+            expect.sort();
+            prop_assert_eq!(got, expect, "lookup {}", p);
+        }
+        for &(a, b) in &ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let mut got = st
+                .index_range(idx, Some(&Value::Int(lo)), Some(&Value::Int(hi)))
+                .unwrap();
+            let mut expect: Vec<_> = model
+                .range(lo..=hi)
+                .flat_map(|(_, rids)| rids.iter().copied())
+                .collect();
+            got.sort();
+            expect.sort();
+            prop_assert_eq!(got, expect, "range {}..={}", lo, hi);
+        }
+    }
+
+    /// Every appended row is fetchable by rid even after heavy buffer
+    /// pool churn from scanning other files.
+    #[test]
+    fn fetch_survives_pool_churn(n in 1usize..200) {
+        let st = storage();
+        let f = st.create_file();
+        let mut rids = Vec::new();
+        for i in 0..n {
+            rids.push(
+                st.append_row(f, &Row::new(vec![Value::Int(i as i64)])).unwrap(),
+            );
+        }
+        // Churn: a second file big enough to evict everything.
+        let g = st.create_file();
+        for i in 0..500i64 {
+            st.append_row(g, &Row::new(vec![Value::Int(i), Value::str("churnchurn")]))
+                .unwrap();
+        }
+        let _ = st.scan_file(g).unwrap().count();
+        for (i, rid) in rids.iter().enumerate() {
+            let row = st.fetch(*rid).unwrap();
+            prop_assert_eq!(row.get(0).as_i64(), Some(i as i64));
+        }
+    }
+
+    /// String keys work in the tree and preserve lexicographic ranges.
+    #[test]
+    fn btree_string_ranges(words in prop::collection::vec("[a-z]{1,8}", 1..150)) {
+        let st = storage();
+        let f = st.create_file();
+        let idx = st.create_index().unwrap();
+        let mut sorted = words.clone();
+        sorted.sort();
+        for w in &words {
+            let rid = st.append_row(f, &Row::new(vec![Value::str(w.as_str())])).unwrap();
+            st.index_insert(idx, &Value::str(w.as_str()), rid).unwrap();
+        }
+        let all = st.index_range(idx, None, None).unwrap();
+        prop_assert_eq!(all.len(), words.len());
+        // Keys come back in sorted order.
+        let keys: Vec<String> = all
+            .iter()
+            .map(|r| st.fetch(*r).unwrap().get(0).as_str().unwrap().to_string())
+            .collect();
+        prop_assert_eq!(keys, sorted);
+    }
+}

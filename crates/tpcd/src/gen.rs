@@ -1,0 +1,514 @@
+//! The data generator: a deterministic, scale-factor-driven `dbgen`
+//! equivalent with optional Zipfian skew.
+//!
+//! Faithful bits that matter for the experiments:
+//!
+//! * **date correlations** — `l_shipdate = o_orderdate + U[1,121]`,
+//!   `l_receiptdate = l_shipdate + U[1,30]`, and `l_returnflag`
+//!   derived from the receipt date, exactly TPC-D's rules. Predicates
+//!   over correlated date pairs are a natural estimation-error source
+//!   (§2.4 footnote 2);
+//! * **skew** — with `zipf_z = Some(z)`, every non-key attribute draws
+//!   from a scrambled generalized-Zipfian distribution over its domain
+//!   (§3.2, Figure 12);
+//! * **staleness** — ANALYZE can run part-way through the load.
+
+use std::collections::HashMap;
+
+use mq_catalog::Catalog;
+use mq_common::value::civil_to_days;
+use mq_common::{DataType, DetRng, Result, Row, Value};
+use mq_stats::Zipf;
+use mq_storage::Storage;
+
+use crate::TpcdConfig;
+
+/// Row counts per table after loading.
+#[derive(Debug, Clone)]
+pub struct TpcdStats {
+    /// Rows loaded per table.
+    pub rows: HashMap<String, u64>,
+}
+
+/// TPC-D region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-D nation (name, region index) pairs.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Part type words (simplified `p_type`).
+pub const PART_TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL",
+    "STANDARD BRUSHED BRASS",
+    "PROMO BURNISHED COPPER",
+    "SMALL PLATED TIN",
+    "MEDIUM POLISHED NICKEL",
+    "LARGE ANODIZED STEEL",
+];
+
+/// First day of the order-date domain.
+pub fn start_date() -> i64 {
+    civil_to_days(1992, 1, 1)
+}
+
+/// Last day of the order-date domain.
+pub fn end_date() -> i64 {
+    civil_to_days(1998, 8, 2)
+}
+
+/// TPC-D "current date" used for return flags.
+pub fn current_date() -> i64 {
+    civil_to_days(1995, 6, 17)
+}
+
+/// Attribute value source: uniform or scrambled-Zipfian per column.
+struct Draw {
+    rng: DetRng,
+    zipf_z: Option<f64>,
+    zipfs: HashMap<(u64, usize), Zipf>,
+}
+
+impl Draw {
+    fn new(seed: u64, zipf_z: Option<f64>) -> Draw {
+        Draw {
+            rng: DetRng::new(seed),
+            zipf_z,
+            zipfs: HashMap::new(),
+        }
+    }
+
+    /// Key-ish uniform draw (never skewed).
+    fn key(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_i64(lo, hi)
+    }
+
+    /// Non-key attribute draw over `[lo, hi]`, skewed when configured.
+    fn attr(&mut self, salt: u64, lo: i64, hi: i64) -> i64 {
+        let domain = (hi - lo + 1).max(1) as usize;
+        match self.zipf_z {
+            None => self.rng.gen_i64(lo, hi),
+            Some(z) => {
+                let zipf = self
+                    .zipfs
+                    .entry((salt, domain))
+                    .or_insert_with(|| Zipf::new(domain, z).scrambled(salt ^ 0xA5A5));
+                lo + zipf.sample(&mut self.rng) as i64
+            }
+        }
+    }
+
+    fn attr_f(&mut self, salt: u64, lo: f64, hi: f64, steps: i64) -> f64 {
+        let i = self.attr(salt, 0, steps - 1);
+        lo + (hi - lo) * i as f64 / (steps - 1).max(1) as f64
+    }
+}
+
+fn scaled(base: u64, scale: f64, min: u64) -> u64 {
+    ((base as f64 * scale) as u64).max(min)
+}
+
+/// Generate and load everything.
+pub fn generate(cfg: &TpcdConfig, catalog: &Catalog, storage: &Storage) -> Result<TpcdStats> {
+    let mut draw = Draw::new(cfg.seed, cfg.zipf_z);
+
+    let n_supplier = scaled(10_000, cfg.scale, 10);
+    let n_customer = scaled(150_000, cfg.scale, 30);
+    let n_part = scaled(200_000, cfg.scale, 20);
+    let n_orders = scaled(1_500_000, cfg.scale, 150);
+
+    create_tables(catalog, storage)?;
+
+    // Build full row vectors first (the two-phase load needs to split
+    // them), then insert.
+    let mut tables: Vec<(&str, Vec<Row>)> = Vec::new();
+
+    tables.push((
+        "region",
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Row::new(vec![Value::Int(i as i64), Value::str(*r)]))
+            .collect(),
+    ));
+    let nation_rows: Vec<Row> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::str(*name),
+                Value::Int(*region),
+            ])
+        })
+        .collect();
+    tables.push(("nation", nation_rows.clone()));
+    tables.push(("nation2", nation_rows));
+
+    tables.push((
+        "supplier",
+        (0..n_supplier)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::Int(draw.attr(11, 0, 24)),
+                    Value::Float(draw.attr_f(12, -999.99, 9999.99, 2000)),
+                ])
+            })
+            .collect(),
+    ));
+
+    tables.push((
+        "customer",
+        (0..n_customer)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::Int(draw.attr(21, 0, 24)),
+                    Value::str(SEGMENTS[draw.attr(22, 0, 4) as usize]),
+                    Value::Float(draw.attr_f(23, -999.99, 9999.99, 2000)),
+                ])
+            })
+            .collect(),
+    ));
+
+    tables.push((
+        "part",
+        (0..n_part)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::str(PART_TYPES[draw.attr(31, 0, 5) as usize]),
+                    Value::Int(draw.attr(32, 1, 50)),
+                    Value::Float(900.0 + (i % 1000) as f64),
+                ])
+            })
+            .collect(),
+    ));
+
+    let mut partsupp = Vec::with_capacity(n_part as usize * 4);
+    for p in 0..n_part {
+        for _ in 0..4 {
+            partsupp.push(Row::new(vec![
+                Value::Int(p as i64),
+                Value::Int(draw.key(0, n_supplier as i64 - 1)),
+                Value::Float(draw.attr_f(41, 1.0, 1000.0, 1000)),
+            ]));
+        }
+    }
+    tables.push(("partsupp", partsupp));
+
+    // Orders and lineitems, with the TPC-D date correlations.
+    let mut orders = Vec::with_capacity(n_orders as usize);
+    let mut lineitems = Vec::new();
+    let (d0, d1) = (start_date(), end_date());
+    let today = current_date();
+    for o in 0..n_orders {
+        let custkey = draw.key(0, n_customer as i64 - 1);
+        let orderdate = draw.attr(51, d0, d1);
+        let nlines = draw.rng.gen_i64(1, 7);
+        let mut total = 0.0;
+        for _ in 0..nlines {
+            let quantity = draw.attr(61, 1, 50);
+            let price = quantity as f64 * draw.attr_f(62, 900.0, 1100.0, 200);
+            let discount = draw.attr(63, 0, 10) as f64 / 100.0;
+            let tax = draw.attr(64, 0, 8) as f64 / 100.0;
+            let shipdate = orderdate + draw.attr(65, 1, 121);
+            let commitdate = orderdate + draw.attr(66, 30, 90);
+            let receiptdate = shipdate + draw.attr(67, 1, 30);
+            let returnflag = if receiptdate <= today {
+                if draw.rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > today { "O" } else { "F" };
+            total += price * (1.0 - discount);
+            lineitems.push(Row::new(vec![
+                Value::Int(o as i64),
+                Value::Int(draw.key(0, n_part as i64 - 1)),
+                Value::Int(draw.key(0, n_supplier as i64 - 1)),
+                Value::Int(quantity),
+                Value::Float(price),
+                Value::Float(discount),
+                Value::Float(tax),
+                Value::str(returnflag),
+                Value::str(linestatus),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+            ]));
+        }
+        let status = if orderdate + 100 < today { "F" } else { "O" };
+        orders.push(Row::new(vec![
+            Value::Int(o as i64),
+            Value::Int(custkey),
+            Value::str(status),
+            Value::Float(total),
+            Value::Date(orderdate),
+            Value::Int(draw.attr(52, 0, 1)),
+        ]));
+    }
+    tables.push(("orders", orders));
+    tables.push(("lineitem", lineitems));
+
+    // Two-phase load: fraction → ANALYZE → remainder (stale catalog).
+    let frac = cfg.analyze_after_fraction.clamp(0.0, 1.0);
+    let mut stats = TpcdStats {
+        rows: HashMap::new(),
+    };
+    let mut remainders: Vec<(&str, Vec<Row>)> = Vec::new();
+    for (name, mut rows) in tables {
+        stats.rows.insert(name.to_string(), rows.len() as u64);
+        let cut = (rows.len() as f64 * frac).round() as usize;
+        let rest = rows.split_off(cut.min(rows.len()));
+        for row in rows {
+            catalog.insert_row(storage, name, row)?;
+        }
+        remainders.push((name, rest));
+    }
+    for name in TABLE_NAMES {
+        catalog.analyze(
+            storage,
+            name,
+            cfg.histogram,
+            cfg.buckets,
+            cfg.reservoir,
+            cfg.seed ^ 0xBEEF,
+        )?;
+    }
+    for (name, rest) in remainders {
+        for row in rest {
+            catalog.insert_row(storage, name, row)?;
+        }
+    }
+
+    if cfg.indexes {
+        for (table, column) in [
+            ("orders", "o_orderkey"),
+            ("customer", "c_custkey"),
+            ("supplier", "s_suppkey"),
+            ("part", "p_partkey"),
+            ("nation", "n_nationkey"),
+            ("nation2", "n_nationkey"),
+            ("region", "r_regionkey"),
+            ("lineitem", "l_orderkey"),
+        ] {
+            catalog.create_index(storage, table, column)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// All table names, in load order.
+pub const TABLE_NAMES: [&str; 9] = [
+    "region",
+    "nation",
+    "nation2",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+];
+
+fn create_tables(catalog: &Catalog, storage: &Storage) -> Result<()> {
+    use DataType::*;
+    catalog.create_table(
+        storage,
+        "region",
+        vec![("r_regionkey", Int), ("r_name", Str)],
+    )?;
+    for name in ["nation", "nation2"] {
+        catalog.create_table(
+            storage,
+            name,
+            vec![
+                ("n_nationkey", Int),
+                ("n_name", Str),
+                ("n_regionkey", Int),
+            ],
+        )?;
+    }
+    catalog.create_table(
+        storage,
+        "supplier",
+        vec![
+            ("s_suppkey", Int),
+            ("s_nationkey", Int),
+            ("s_acctbal", Float),
+        ],
+    )?;
+    catalog.create_table(
+        storage,
+        "customer",
+        vec![
+            ("c_custkey", Int),
+            ("c_nationkey", Int),
+            ("c_mktsegment", Str),
+            ("c_acctbal", Float),
+        ],
+    )?;
+    catalog.create_table(
+        storage,
+        "part",
+        vec![
+            ("p_partkey", Int),
+            ("p_type", Str),
+            ("p_size", Int),
+            ("p_retailprice", Float),
+        ],
+    )?;
+    catalog.create_table(
+        storage,
+        "partsupp",
+        vec![
+            ("ps_partkey", Int),
+            ("ps_suppkey", Int),
+            ("ps_supplycost", Float),
+        ],
+    )?;
+    catalog.create_table(
+        storage,
+        "orders",
+        vec![
+            ("o_orderkey", Int),
+            ("o_custkey", Int),
+            ("o_orderstatus", Str),
+            ("o_totalprice", Float),
+            ("o_orderdate", Date),
+            ("o_shippriority", Int),
+        ],
+    )?;
+    catalog.create_table(
+        storage,
+        "lineitem",
+        vec![
+            ("l_orderkey", Int),
+            ("l_partkey", Int),
+            ("l_suppkey", Int),
+            ("l_quantity", Int),
+            ("l_extendedprice", Float),
+            ("l_discount", Float),
+            ("l_tax", Float),
+            ("l_returnflag", Str),
+            ("l_linestatus", Str),
+            ("l_shipdate", Date),
+            ("l_commitdate", Date),
+            ("l_receiptdate", Date),
+        ],
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod correlation_tests {
+    use super::*;
+    use mq_common::{EngineConfig, SimClock};
+    use mq_storage::Storage;
+
+    /// TPC-D's date derivations must hold: ship after order, receipt
+    /// after ship, return flags consistent with the receipt date.
+    #[test]
+    fn lineitem_date_correlations() {
+        let ecfg = EngineConfig::default();
+        let storage = Storage::new(&ecfg, SimClock::new());
+        let catalog = mq_catalog::Catalog::new();
+        let cfg = crate::TpcdConfig {
+            scale: 0.001,
+            indexes: false,
+            ..crate::TpcdConfig::default()
+        };
+        generate(&cfg, &catalog, &storage).unwrap();
+
+        let li = catalog.table("lineitem").unwrap();
+        let orders = catalog.table("orders").unwrap();
+        let oidx = li.schema.index_of("l_orderkey").unwrap();
+        let ship = li.schema.index_of("l_shipdate").unwrap();
+        let receipt = li.schema.index_of("l_receiptdate").unwrap();
+        let flag = li.schema.index_of("l_returnflag").unwrap();
+
+        // Order dates by key.
+        let mut orderdates = std::collections::HashMap::new();
+        for item in storage.scan_file(orders.file).unwrap() {
+            let (_, row) = item.unwrap();
+            orderdates.insert(
+                row.get(0).as_i64().unwrap(),
+                row.get(orders.schema.index_of("o_orderdate").unwrap())
+                    .as_i64()
+                    .unwrap(),
+            );
+        }
+        let today = current_date();
+        let mut checked = 0;
+        for item in storage.scan_file(li.file).unwrap() {
+            let (_, row) = item.unwrap();
+            let od = orderdates[&row.get(oidx).as_i64().unwrap()];
+            let sd = row.get(ship).as_i64().unwrap();
+            let rd = row.get(receipt).as_i64().unwrap();
+            assert!(sd > od, "shipdate must follow orderdate");
+            assert!(rd > sd, "receiptdate must follow shipdate");
+            let f = row.get(flag).as_str().unwrap();
+            if rd > today {
+                assert_eq!(f, "N", "future receipts are not returned");
+            } else {
+                assert!(f == "R" || f == "A");
+            }
+            checked += 1;
+        }
+        assert!(checked > 1000);
+    }
+
+    #[test]
+    fn keys_reference_existing_rows() {
+        let ecfg = EngineConfig::default();
+        let storage = Storage::new(&ecfg, SimClock::new());
+        let catalog = mq_catalog::Catalog::new();
+        let cfg = crate::TpcdConfig {
+            scale: 0.001,
+            indexes: false,
+            ..crate::TpcdConfig::default()
+        };
+        let stats = generate(&cfg, &catalog, &storage).unwrap();
+        let orders = catalog.table("orders").unwrap();
+        let n_cust = stats.rows["customer"] as i64;
+        let ck = orders.schema.index_of("o_custkey").unwrap();
+        for item in storage.scan_file(orders.file).unwrap() {
+            let (_, row) = item.unwrap();
+            let c = row.get(ck).as_i64().unwrap();
+            assert!((0..n_cust).contains(&c), "dangling custkey {c}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! # mq-tpcd — the TPC-D workload substrate
+//!
+//! The paper evaluates Dynamic Re-Optimization on a TPC-D database
+//! (scale factor 3) with queries Q1, Q3, Q5, Q6, Q7, Q8 and Q10
+//! (§3.2). This crate reproduces that workload at laptop scale:
+//!
+//! * [`gen`] — a from-scratch `dbgen` equivalent: all eight tables,
+//!   deterministic, with TPC-D's native correlations (ship/commit/
+//!   receipt dates derived from the order date) and an optional
+//!   generalized-Zipfian skew on every non-key attribute (the paper's
+//!   Figure 12 experiment, z ∈ {0.3, 0.6});
+//! * [`queries`] — the seven benchmark queries as logical plans (with
+//!   the paper's footnote-4 simplification: aggregates over plain
+//!   columns instead of arithmetic expressions);
+//! * [`TpcdConfig`]/[`load`] — loading with a configurable
+//!   *staleness* point: ANALYZE can run after only a fraction of the
+//!   data is loaded, recreating the stale-catalog estimation errors
+//!   Paradise suffered.
+//!
+//! Q7 and Q8 join `nation` twice; since the engine identifies
+//! relations by table name, the loader registers an identical
+//! `nation2` table (a "self-join alias" materialized at load time).
+
+pub mod gen;
+pub mod queries;
+
+use mq_catalog::Catalog;
+use mq_common::Result;
+use mq_stats::HistogramKind;
+use mq_storage::Storage;
+
+pub use gen::TpcdStats;
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct TpcdConfig {
+    /// TPC-D scale factor (1.0 = 6M lineitem rows; the experiments use
+    /// 0.002–0.02).
+    pub scale: f64,
+    /// Zipfian skew for non-key attributes (`None` = uniform; the paper
+    /// uses 0.3 and 0.6 for Figure 12).
+    pub zipf_z: Option<f64>,
+    /// Generator seed.
+    pub seed: u64,
+    /// Fraction of each table loaded *before* ANALYZE runs; the
+    /// remainder loads afterwards, leaving the catalog stale (1.0 =
+    /// fresh statistics).
+    pub analyze_after_fraction: f64,
+    /// Histogram class stored in the catalog (drives the SCIA's
+    /// inaccuracy-potential levels).
+    pub histogram: HistogramKind,
+    /// Histogram bucket count for ANALYZE.
+    pub buckets: usize,
+    /// Reservoir size for ANALYZE.
+    pub reservoir: usize,
+    /// Build primary-key B+-tree indexes (enables indexed joins).
+    pub indexes: bool,
+}
+
+impl Default for TpcdConfig {
+    fn default() -> Self {
+        TpcdConfig {
+            scale: 0.005,
+            zipf_z: None,
+            seed: 19_980_601,
+            analyze_after_fraction: 1.0,
+            histogram: HistogramKind::MaxDiff,
+            buckets: 32,
+            reservoir: 1024,
+            indexes: true,
+        }
+    }
+}
+
+/// Create, populate, index and analyze the TPC-D tables.
+pub fn load(cfg: &TpcdConfig, catalog: &Catalog, storage: &Storage) -> Result<TpcdStats> {
+    gen::generate(cfg, catalog, storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{EngineConfig, SimClock};
+
+    #[test]
+    fn tiny_load_has_expected_shape() {
+        let ecfg = EngineConfig::default();
+        let storage = Storage::new(&ecfg, SimClock::new());
+        let catalog = Catalog::new();
+        let cfg = TpcdConfig {
+            scale: 0.001,
+            ..TpcdConfig::default()
+        };
+        let stats = load(&cfg, &catalog, &storage).unwrap();
+        assert_eq!(stats.rows["region"], 5);
+        assert_eq!(stats.rows["nation"], 25);
+        assert_eq!(stats.rows["nation2"], 25);
+        assert!(stats.rows["lineitem"] > 3000, "{:?}", stats.rows);
+        assert!(stats.rows["orders"] >= 1000);
+        // Orders reference existing customers; lineitems reference
+        // existing orders.
+        let orders = catalog.table("orders").unwrap();
+        assert!(orders.stats.is_some(), "orders must be analyzed");
+        // Index presence.
+        assert!(catalog.table("orders").unwrap().indexes.contains_key("o_orderkey"));
+        assert!(catalog
+            .table("customer")
+            .unwrap()
+            .indexes
+            .contains_key("c_custkey"));
+    }
+
+    #[test]
+    fn staleness_splits_load() {
+        let ecfg = EngineConfig::default();
+        let storage = Storage::new(&ecfg, SimClock::new());
+        let catalog = Catalog::new();
+        let cfg = TpcdConfig {
+            scale: 0.001,
+            analyze_after_fraction: 0.5,
+            indexes: false,
+            ..TpcdConfig::default()
+        };
+        load(&cfg, &catalog, &storage).unwrap();
+        let li = catalog.table("lineitem").unwrap();
+        let analyzed_rows = li.stats.as_ref().unwrap().rows;
+        let live = storage.file_rows(li.file).unwrap();
+        assert!(
+            live > analyzed_rows + analyzed_rows / 2,
+            "live {live} vs analyzed {analyzed_rows}"
+        );
+        assert!(li.update_activity() > 0.5);
+    }
+
+    #[test]
+    fn skewed_load_differs_from_uniform() {
+        let ecfg = EngineConfig::default();
+        let storage = Storage::new(&ecfg, SimClock::new());
+        let catalog = Catalog::new();
+        let cfg = TpcdConfig {
+            scale: 0.001,
+            zipf_z: Some(0.6),
+            indexes: false,
+            ..TpcdConfig::default()
+        };
+        load(&cfg, &catalog, &storage).unwrap();
+        // Under z = 0.6, quantity values concentrate: the most common
+        // value should dominate.
+        let li = catalog.table("lineitem").unwrap();
+        let file = li.file;
+        let qidx = li.schema.index_of("l_quantity").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for item in storage.scan_file(file).unwrap() {
+            let (_, row) = item.unwrap();
+            *counts
+                .entry(row.get(qidx).as_i64().unwrap_or(0))
+                .or_insert(0usize) += 1;
+        }
+        let total: usize = counts.values().sum();
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max as f64 / total as f64 > 0.05,
+            "max frequency {max}/{total} not skewed"
+        );
+    }
+
+    #[test]
+    fn queries_plan_against_loaded_catalog() {
+        let ecfg = EngineConfig::default();
+        let storage = Storage::new(&ecfg, SimClock::new());
+        let catalog = Catalog::new();
+        let cfg = TpcdConfig {
+            scale: 0.001,
+            ..TpcdConfig::default()
+        };
+        load(&cfg, &catalog, &storage).unwrap();
+        for (name, q) in queries::all() {
+            let schema = q.schema(&catalog);
+            assert!(schema.is_ok(), "{name}: {:?}", schema.err());
+        }
+        // Complexity classes (§3.2): Q1/Q6 simple, Q3/Q10 medium,
+        // Q5/Q7/Q8 complex.
+        assert_eq!(queries::q1().join_count(), 0);
+        assert_eq!(queries::q6().join_count(), 0);
+        assert_eq!(queries::q3().join_count(), 2);
+        assert_eq!(queries::q10().join_count(), 3);
+        assert!(queries::q5().join_count() >= 4);
+        assert!(queries::q7().join_count() >= 4);
+        assert!(queries::q8().join_count() >= 4);
+    }
+}

@@ -1,0 +1,345 @@
+//! The seven benchmark queries (§3.2), with the paper's simplification
+//! of aggregate expressions (footnote 4: `SUM(L_EXTENDEDPRICE *
+//! (1 - L_DISCOUNT))` → `SUM(L_EXTENDEDPRICE)`).
+//!
+//! Complexity classes per the paper: Q1 and Q6 are *simple* (≤ 1
+//! join), Q3 and Q10 *medium* (2–3 joins), Q5, Q7 and Q8 *complex*
+//! (≥ 4 joins).
+
+use mq_common::value::date;
+use mq_expr::{and, cmp, col, eq, lit, CmpOp, Expr};
+use mq_plan::{AggExpr, AggFunc, LogicalPlan};
+
+/// The paper's query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Zero or one join — never re-optimized.
+    Simple,
+    /// Two or three joins — memory re-allocation territory.
+    Medium,
+    /// Four or more joins — the primary target.
+    Complex,
+}
+
+/// Name → class, as the paper assigns them.
+pub fn class_of(name: &str) -> QueryClass {
+    match name {
+        "Q1" | "Q6" => QueryClass::Simple,
+        "Q3" | "Q10" => QueryClass::Medium,
+        _ => QueryClass::Complex,
+    }
+}
+
+fn sum(e: Expr, name: &str) -> AggExpr {
+    AggExpr {
+        func: AggFunc::Sum,
+        arg: Some(e),
+        name: name.to_string(),
+    }
+}
+
+fn avg(e: Expr, name: &str) -> AggExpr {
+    AggExpr {
+        func: AggFunc::Avg,
+        arg: Some(e),
+        name: name.to_string(),
+    }
+}
+
+fn count(name: &str) -> AggExpr {
+    AggExpr {
+        func: AggFunc::Count,
+        arg: None,
+        name: name.to_string(),
+    }
+}
+
+/// Q1 — pricing summary report (simple: no joins).
+pub fn q1() -> LogicalPlan {
+    LogicalPlan::scan_filtered(
+        "lineitem",
+        cmp(CmpOp::Le, col("l_shipdate"), Expr::Literal(date(1998, 9, 2))),
+    )
+    .aggregate(
+        vec!["l_returnflag", "l_linestatus"],
+        vec![
+            sum(col("l_quantity"), "sum_qty"),
+            sum(col("l_extendedprice"), "sum_base_price"),
+            avg(col("l_quantity"), "avg_qty"),
+            avg(col("l_extendedprice"), "avg_price"),
+            avg(col("l_discount"), "avg_disc"),
+            count("count_order"),
+        ],
+    )
+    .sort(vec![("l_returnflag", true), ("l_linestatus", true)])
+}
+
+/// Q3 — shipping priority (medium: 2 joins).
+pub fn q3() -> LogicalPlan {
+    LogicalPlan::scan_filtered("customer", eq(col("c_mktsegment"), lit("BUILDING")))
+        .join(
+            LogicalPlan::scan_filtered(
+                "orders",
+                cmp(CmpOp::Lt, col("o_orderdate"), Expr::Literal(date(1995, 3, 15))),
+            ),
+            vec![("c_custkey", "o_custkey")],
+        )
+        .join(
+            LogicalPlan::scan_filtered(
+                "lineitem",
+                cmp(CmpOp::Gt, col("l_shipdate"), Expr::Literal(date(1995, 3, 15))),
+            ),
+            vec![("o_orderkey", "l_orderkey")],
+        )
+        .aggregate(
+            vec!["l_orderkey", "o_orderdate", "o_shippriority"],
+            vec![sum(col("l_extendedprice"), "revenue")],
+        )
+        .sort(vec![("revenue", false), ("o_orderdate", true)])
+        .limit(10)
+}
+
+/// Q5 — local supplier volume (complex: 5 joins, customer and supplier
+/// constrained to the same nation).
+pub fn q5() -> LogicalPlan {
+    LogicalPlan::scan("customer")
+        .join(
+            LogicalPlan::scan_filtered(
+                "orders",
+                and(vec![
+                    cmp(CmpOp::Ge, col("o_orderdate"), Expr::Literal(date(1994, 1, 1))),
+                    cmp(CmpOp::Lt, col("o_orderdate"), Expr::Literal(date(1995, 1, 1))),
+                ]),
+            ),
+            vec![("c_custkey", "o_custkey")],
+        )
+        .join(LogicalPlan::scan("lineitem"), vec![("o_orderkey", "l_orderkey")])
+        .join(
+            LogicalPlan::scan("supplier"),
+            vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
+        )
+        .join(LogicalPlan::scan("nation"), vec![("s_nationkey", "n_nationkey")])
+        .join(
+            LogicalPlan::scan_filtered("region", eq(col("r_name"), lit("ASIA"))),
+            vec![("n_regionkey", "r_regionkey")],
+        )
+        .aggregate(vec!["n_name"], vec![sum(col("l_extendedprice"), "revenue")])
+        .sort(vec![("revenue", false)])
+}
+
+/// Q6 — forecasting revenue change (simple: no joins).
+pub fn q6() -> LogicalPlan {
+    LogicalPlan::scan_filtered(
+        "lineitem",
+        and(vec![
+            cmp(CmpOp::Ge, col("l_shipdate"), Expr::Literal(date(1994, 1, 1))),
+            cmp(CmpOp::Lt, col("l_shipdate"), Expr::Literal(date(1995, 1, 1))),
+            cmp(CmpOp::Ge, col("l_discount"), lit(0.05)),
+            cmp(CmpOp::Le, col("l_discount"), lit(0.07)),
+            cmp(CmpOp::Lt, col("l_quantity"), lit(24i64)),
+        ]),
+    )
+    .aggregate(vec![], vec![sum(col("l_extendedprice"), "revenue")])
+}
+
+/// Q7 — volume shipping (complex: 5 joins, nation self-join via the
+/// materialized `nation2` alias).
+pub fn q7() -> LogicalPlan {
+    LogicalPlan::scan("supplier")
+        .join(
+            LogicalPlan::scan_filtered(
+                "lineitem",
+                and(vec![
+                    cmp(CmpOp::Ge, col("l_shipdate"), Expr::Literal(date(1995, 1, 1))),
+                    cmp(CmpOp::Le, col("l_shipdate"), Expr::Literal(date(1996, 12, 31))),
+                ]),
+            ),
+            vec![("s_suppkey", "l_suppkey")],
+        )
+        .join(LogicalPlan::scan("orders"), vec![("l_orderkey", "o_orderkey")])
+        .join(LogicalPlan::scan("customer"), vec![("o_custkey", "c_custkey")])
+        .join(
+            LogicalPlan::scan("nation"),
+            vec![("s_nationkey", "nation.n_nationkey")],
+        )
+        .join(
+            LogicalPlan::scan("nation2"),
+            vec![("c_nationkey", "nation2.n_nationkey")],
+        )
+        .filter(Expr::Or(vec![
+            and(vec![
+                eq(col("nation.n_name"), lit("FRANCE")),
+                eq(col("nation2.n_name"), lit("GERMANY")),
+            ]),
+            and(vec![
+                eq(col("nation.n_name"), lit("GERMANY")),
+                eq(col("nation2.n_name"), lit("FRANCE")),
+            ]),
+        ]))
+        .aggregate(
+            vec!["nation.n_name", "nation2.n_name"],
+            vec![sum(col("l_extendedprice"), "revenue")],
+        )
+}
+
+/// Q8 — national market share (complex: 7 joins).
+pub fn q8() -> LogicalPlan {
+    LogicalPlan::scan_filtered("part", eq(col("p_type"), lit("ECONOMY ANODIZED STEEL")))
+        .join(LogicalPlan::scan("lineitem"), vec![("p_partkey", "l_partkey")])
+        .join(LogicalPlan::scan("supplier"), vec![("l_suppkey", "s_suppkey")])
+        .join(
+            LogicalPlan::scan_filtered(
+                "orders",
+                and(vec![
+                    cmp(CmpOp::Ge, col("o_orderdate"), Expr::Literal(date(1995, 1, 1))),
+                    cmp(CmpOp::Le, col("o_orderdate"), Expr::Literal(date(1996, 12, 31))),
+                ]),
+            ),
+            vec![("l_orderkey", "o_orderkey")],
+        )
+        .join(LogicalPlan::scan("customer"), vec![("o_custkey", "c_custkey")])
+        .join(
+            LogicalPlan::scan("nation"),
+            vec![("c_nationkey", "nation.n_nationkey")],
+        )
+        .join(
+            LogicalPlan::scan_filtered("region", eq(col("r_name"), lit("AMERICA"))),
+            vec![("nation.n_regionkey", "r_regionkey")],
+        )
+        .join(
+            LogicalPlan::scan("nation2"),
+            vec![("s_nationkey", "nation2.n_nationkey")],
+        )
+        .aggregate(
+            vec!["nation2.n_name"],
+            vec![
+                sum(col("l_extendedprice"), "volume"),
+                count("n_items"),
+            ],
+        )
+        .sort(vec![("volume", false)])
+}
+
+/// Q10 — returned item reporting (medium: 3 joins).
+pub fn q10() -> LogicalPlan {
+    LogicalPlan::scan("customer")
+        .join(
+            LogicalPlan::scan_filtered(
+                "orders",
+                and(vec![
+                    cmp(CmpOp::Ge, col("o_orderdate"), Expr::Literal(date(1993, 10, 1))),
+                    cmp(CmpOp::Lt, col("o_orderdate"), Expr::Literal(date(1994, 1, 1))),
+                ]),
+            ),
+            vec![("c_custkey", "o_custkey")],
+        )
+        .join(
+            LogicalPlan::scan_filtered("lineitem", eq(col("l_returnflag"), lit("R"))),
+            vec![("o_orderkey", "l_orderkey")],
+        )
+        .join(LogicalPlan::scan("nation"), vec![("c_nationkey", "n_nationkey")])
+        .aggregate(
+            vec!["c_custkey", "n_name"],
+            vec![sum(col("l_extendedprice"), "revenue")],
+        )
+        .sort(vec![("revenue", false)])
+        .limit(20)
+}
+
+/// All seven queries, in the paper's reporting order.
+pub fn all() -> Vec<(&'static str, LogicalPlan)> {
+    vec![
+        ("Q1", q1()),
+        ("Q3", q3()),
+        ("Q5", q5()),
+        ("Q6", q6()),
+        ("Q7", q7()),
+        ("Q8", q8()),
+        ("Q10", q10()),
+    ]
+}
+
+/// Q1 as SQL text.
+pub fn q1_sql() -> &'static str {
+    "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+            sum(l_extendedprice) AS sum_base_price, avg(l_quantity) AS avg_qty, \
+            avg(l_extendedprice) AS avg_price, avg(l_discount) AS avg_disc, \
+            count(*) AS count_order \
+     FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+     GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus"
+}
+
+/// Q5 as SQL text.
+pub fn q5_sql() -> &'static str {
+    "SELECT n_name, sum(l_extendedprice) AS revenue \
+     FROM customer, orders, lineitem, supplier, nation, region \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+       AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey \
+       AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+       AND r_name = 'ASIA' \
+       AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01' \
+     GROUP BY n_name ORDER BY revenue DESC"
+}
+
+/// Q10 as SQL text.
+pub fn q10_sql() -> &'static str {
+    "SELECT c_custkey, n_name, sum(l_extendedprice) AS revenue \
+     FROM customer, orders, lineitem, nation \
+     WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+       AND c_nationkey = n_nationkey AND l_returnflag = 'R' \
+       AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01' \
+     GROUP BY c_custkey, n_name ORDER BY revenue DESC LIMIT 20"
+}
+
+/// Q6 as SQL text (for the SQL-frontend example).
+pub fn q6_sql() -> &'static str {
+    "SELECT sum(l_extendedprice) AS revenue \
+     FROM lineitem \
+     WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+       AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+}
+
+/// Q3 as SQL text (for the SQL-frontend example).
+pub fn q3_sql() -> &'static str {
+    "SELECT l_orderkey, o_orderdate, o_shippriority, sum(l_extendedprice) AS revenue \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' \
+       AND c_custkey = o_custkey AND o_orderkey = l_orderkey \
+       AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+     GROUP BY l_orderkey, o_orderdate, o_shippriority \
+     ORDER BY revenue DESC, o_orderdate LIMIT 10"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_paper() {
+        assert_eq!(class_of("Q1"), QueryClass::Simple);
+        assert_eq!(class_of("Q6"), QueryClass::Simple);
+        assert_eq!(class_of("Q3"), QueryClass::Medium);
+        assert_eq!(class_of("Q10"), QueryClass::Medium);
+        for q in ["Q5", "Q7", "Q8"] {
+            assert_eq!(class_of(q), QueryClass::Complex);
+        }
+    }
+
+    #[test]
+    fn join_counts() {
+        assert_eq!(q1().join_count(), 0);
+        assert_eq!(q6().join_count(), 0);
+        assert_eq!(q3().join_count(), 2);
+        assert_eq!(q10().join_count(), 3);
+        assert_eq!(q5().join_count(), 5);
+        assert_eq!(q7().join_count(), 5);
+        assert_eq!(q8().join_count(), 7);
+    }
+
+    #[test]
+    fn sql_variants_parse() {
+        for sql in [q1_sql(), q3_sql(), q5_sql(), q6_sql(), q10_sql()] {
+            assert!(mq_sql::parse_query(sql).is_ok(), "{sql}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: create tables, load rows, run SQL, and watch Dynamic
+//! Re-Optimization report what it observed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use midq::common::{DataType, EngineConfig, Row, Value};
+use midq::{Database, ReoptMode};
+
+fn main() -> midq::Result<()> {
+    let db = Database::new(EngineConfig::default())?;
+
+    // DDL + load.
+    db.create_table(
+        "users",
+        vec![
+            ("id", DataType::Int),
+            ("country", DataType::Str),
+            ("age", DataType::Int),
+        ],
+    )?;
+    db.create_table(
+        "orders",
+        vec![
+            ("user_id", DataType::Int),
+            ("amount", DataType::Float),
+            ("item", DataType::Str),
+        ],
+    )?;
+    let countries = ["DE", "FR", "US", "JP", "BR"];
+    for i in 0..2_000i64 {
+        db.insert(
+            "users",
+            Row::new(vec![
+                Value::Int(i),
+                Value::str(countries[(i % 5) as usize]),
+                Value::Int(18 + i % 60),
+            ]),
+        )?;
+    }
+    for i in 0..10_000i64 {
+        db.insert(
+            "orders",
+            Row::new(vec![
+                Value::Int(i % 2_000),
+                Value::Float((i % 500) as f64 + 0.99),
+                Value::str(if i % 3 == 0 { "book" } else { "tool" }),
+            ]),
+        )?;
+    }
+    db.analyze("users")?;
+    db.analyze("orders")?;
+
+    // EXPLAIN shows the annotated plan — the optimizer's estimates the
+    // runtime statistics will be compared against.
+    let plan = db.plan_sql(
+        "SELECT country, count(*) AS n, avg(amount) AS avg_amount \
+         FROM users, orders \
+         WHERE id = user_id AND age < 30 AND item = 'book' \
+         GROUP BY country ORDER BY n DESC",
+    )?;
+    println!("== EXPLAIN ==\n{}", db.explain(&plan)?);
+
+    // Run with the full Dynamic Re-Optimization pipeline.
+    let outcome = db.run(&plan, ReoptMode::Full)?;
+    println!("== RESULTS ({} rows) ==", outcome.rows.len());
+    for row in &outcome.rows {
+        println!("  {row}");
+    }
+    println!(
+        "\nsimulated time: {:.1} ms  (collector reports: {}, memory re-allocations: {}, plan switches: {})",
+        outcome.time_ms, outcome.collector_reports, outcome.memory_reallocs, outcome.plan_switches
+    );
+    if !outcome.events.is_empty() {
+        println!("\n== CONTROLLER EVENTS ==");
+        for e in &outcome.events {
+            println!("  {e}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Statistics feedback (§2.2's aside, implemented): "The statistics
+//! collected during query execution can also be used to update the
+//! statistics stored in the database catalogs."
+//!
+//! ```text
+//! cargo run --release --example stats_feedback
+//! ```
+//!
+//! Two engines hold identical data with a stale catalog: `fact` was
+//! ANALYZEd, then grew 15% with a *different* value distribution
+//! (every new row has `v = 0`), so the stored histogram on `v` badly
+//! underestimates the predicate `v < 1`.
+//!
+//! Query A joins `fact` on `v` without any filter. On the feedback
+//! engine, the SCIA notices the stale unfiltered scan, observes it, and
+//! writes the true distribution back to the catalog (a few percent of
+//! collection overhead). Query B — the classic indexed-nested-loops
+//! trap — then runs in **Off mode** (no runtime re-optimization at
+//! all): the stale engine walks into the trap; the healed engine plans
+//! correctly from the start.
+
+use midq::common::{DataType, DetRng, EngineConfig, Row, Value};
+use midq::expr::{cmp, col, lit, CmpOp};
+use midq::plan::PhysOp;
+use midq::stats::HistogramKind;
+use midq::{Engine, LogicalPlan, ReoptMode};
+
+fn build(feedback: bool) -> midq::Result<Engine> {
+    let cfg = EngineConfig {
+        stats_feedback: feedback,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(cfg)?;
+    let cat = engine.catalog();
+    let st = engine.storage();
+    cat.create_table(
+        st,
+        "fact",
+        vec![
+            ("fk1", DataType::Int),
+            ("fk2", DataType::Int),
+            ("v", DataType::Int),
+        ],
+    )?;
+    cat.create_table(st, "dim1", vec![("pk", DataType::Int), ("x", DataType::Int)])?;
+    cat.create_table(
+        st,
+        "bigdim",
+        vec![("pk", DataType::Int), ("payload", DataType::Int)],
+    )?;
+    // v uniform over 0..499 at ANALYZE time.
+    for i in 0..20_000i64 {
+        cat.insert_row(
+            st,
+            "fact",
+            Row::new(vec![
+                Value::Int(i % 100),
+                Value::Int((i * 7919) % 60_000),
+                Value::Int(i % 500),
+            ]),
+        )?;
+    }
+    for i in 0..600i64 {
+        cat.insert_row(st, "dim1", Row::new(vec![Value::Int(i), Value::Int(i)]))?;
+    }
+    let mut pks: Vec<i64> = (0..60_000).collect();
+    DetRng::new(0xB16D).shuffle(&mut pks);
+    for (i, pk) in pks.into_iter().enumerate() {
+        cat.insert_row(
+            st,
+            "bigdim",
+            Row::new(vec![Value::Int(pk), Value::Int(i as i64 % 7)]),
+        )?;
+    }
+    for t in ["fact", "dim1", "bigdim"] {
+        cat.analyze(st, t, HistogramKind::MaxDiff, 16, 512, 11)?;
+    }
+    cat.create_index(st, "bigdim", "pk")?;
+    // Post-ANALYZE drift: 3000 rows, all with v = 0.
+    for i in 0..3000i64 {
+        cat.insert_row(
+            st,
+            "fact",
+            Row::new(vec![
+                Value::Int(i % 100),
+                Value::Int((i * 6133) % 60_000),
+                Value::Int(0),
+            ]),
+        )?;
+    }
+    Ok(engine)
+}
+
+fn main() -> midq::Result<()> {
+    // Query A: an unfiltered join over the stale table (any routine
+    // report would do) — the feedback engine observes `fact` here.
+    let query_a = LogicalPlan::scan("fact").join(
+        LogicalPlan::scan("dim1"),
+        vec![("fact.v", "dim1.pk")],
+    );
+    // Query B: `v < 1` is 100× more selective in the catalog than in
+    // reality, which makes indexed nested loops into `bigdim` look
+    // cheap. The Figure 4 trap.
+    let query_b = LogicalPlan::scan_filtered("fact", cmp(CmpOp::Lt, col("fact.v"), lit(1i64)))
+        .join(
+            LogicalPlan::scan_filtered("dim1", cmp(CmpOp::Lt, col("dim1.x"), lit(40i64))),
+            vec![("fact.fk1", "dim1.pk")],
+        )
+        .join(LogicalPlan::scan("bigdim"), vec![("fact.fk2", "bigdim.pk")]);
+
+    println!("building two identical engines (fact: 20000 rows analyzed, then +3000 with v=0)…\n");
+    println!(
+        "{:<10} {:>14} {:>16} {:>18} {:>10}",
+        "engine", "query A (ms)", "catalog v=0 est", "query B Off (ms)", "INL trap?"
+    );
+    for feedback in [false, true] {
+        let engine = build(feedback)?;
+        let a = engine.run(&query_a, ReoptMode::Full)?;
+
+        // What the catalog now believes `v < 1` selects on fact: the
+        // optimizer's estimate at the filtered scan of query B.
+        let optimizer = midq::optimizer::Optimizer::new(engine.config().clone());
+        let planned = optimizer.optimize(&query_b, engine.catalog(), engine.storage())?;
+        let mut believed = f64::NAN;
+        planned.plan.walk(&mut |n| {
+            if let PhysOp::SeqScan { spec, filter: Some(_) } = &n.op {
+                if spec.table == "fact" {
+                    believed = n.annot.est_rows;
+                }
+            }
+        });
+
+        let b = engine.run(&query_b, ReoptMode::Off)?;
+        let mut inl = false;
+        b.final_plan.walk(&mut |n| {
+            if matches!(n.op, PhysOp::IndexNLJoin { .. }) {
+                inl = true;
+            }
+        });
+        println!(
+            "{:<10} {:>14.0} {:>16.0} {:>18.0} {:>10}",
+            if feedback { "feedback" } else { "stale" },
+            a.time_ms,
+            believed,
+            b.time_ms,
+            if inl { "yes" } else { "avoided" },
+        );
+    }
+    println!(
+        "\nquery A pays a few percent of collection overhead on the feedback engine;\n\
+         query B — with runtime re-optimization switched OFF — then avoids the\n\
+         indexed-nested-loops trap because the catalog's histogram on fact.v is\n\
+         fresh. Feedback turns one query's observations into every later query's\n\
+         plan-time knowledge."
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! The paper's benchmark in miniature: load TPC-D with a stale catalog
+//! and run the seven queries under every re-optimization mode.
+//!
+//! ```text
+//! cargo run --release --example tpcd_modes
+//! ```
+
+use midq::common::EngineConfig;
+use midq::tpcd::{queries, TpcdConfig};
+use midq::{Database, ReoptMode};
+
+fn main() -> midq::Result<()> {
+    let cfg = EngineConfig {
+        buffer_pool_pages: 64,
+        query_memory_bytes: 512 * 1024,
+        ..EngineConfig::default()
+    };
+    let db = Database::new(cfg)?;
+    println!("loading TPC-D (scale 0.004, ANALYZE at 50% of the load)…");
+    let stats = db.load_tpcd(&TpcdConfig {
+        scale: 0.004,
+        analyze_after_fraction: 0.5,
+        ..TpcdConfig::default()
+    })?;
+    println!(
+        "  lineitem {} rows, orders {} rows, customer {} rows\n",
+        stats.rows["lineitem"], stats.rows["orders"], stats.rows["customer"]
+    );
+
+    println!(
+        "{:<5} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "query", "off(ms)", "mem-only", "plan-only", "full", "gain%"
+    );
+    for (name, q) in queries::all() {
+        let off = db.run(&q, ReoptMode::Off)?;
+        let mem = db.run(&q, ReoptMode::MemoryOnly)?;
+        let plan = db.run(&q, ReoptMode::PlanOnly)?;
+        let full = db.run(&q, ReoptMode::Full)?;
+        println!(
+            "{:<5} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>7.1}",
+            name,
+            off.time_ms,
+            mem.time_ms,
+            plan.time_ms,
+            full.time_ms,
+            (off.time_ms - full.time_ms) / off.time_ms * 100.0
+        );
+        assert_eq!(off.rows.len(), full.rows.len(), "{name} diverged");
+    }
+    println!("\n(classes per the paper: Q1/Q6 simple, Q3/Q10 medium, Q5/Q7/Q8 complex)");
+    Ok(())
+}

@@ -1,0 +1,294 @@
+//! An interactive shell over the midq engine.
+//!
+//! ```text
+//! cargo run --release --bin midq-cli
+//! midq> \load tpcd 0.005 stale 0.5
+//! midq> \mode full
+//! midq> SELECT o_orderpriority, count(*) AS n FROM orders GROUP BY o_orderpriority;
+//! midq> \report
+//! ```
+//!
+//! SQL statements run under the current re-optimization mode; the
+//! meta-commands (`\help` lists them) load workloads, switch modes,
+//! EXPLAIN plans, and show the controller's post-execution report —
+//! everything needed to watch a mid-query plan switch happen from a
+//! terminal.
+
+use std::io::{self, BufRead, Write};
+
+use midq::common::EngineConfig;
+use midq::tpcd::{queries, TpcdConfig};
+use midq::{Database, QueryOutcome, ReoptMode, SqlOutcome};
+
+struct Shell {
+    db: Database,
+    mode: ReoptMode,
+    last: Option<QueryOutcome>,
+}
+
+const HELP: &str = "\
+meta-commands:
+  \\help                           this text
+  \\load tpcd <scale> [stale <f>] [zipf <z>]
+                                  generate + load TPC-D (stale: fraction
+                                  analyzed mid-load, default 0.5; zipf:
+                                  skew for non-key columns)
+  \\tables                         list tables with row counts
+  \\schema <table>                 show a table's columns and statistics
+  \\analyze <table>                re-ANALYZE one table
+  \\mode [off|memory|plan|full]    show or set the re-optimization mode
+  \\explain <SELECT ...>           annotated physical plan, no execution
+  \\q <name>                       run a built-in TPC-D query (Q1..Q10)
+  \\report                         EXPLAIN ANALYZE-style report of the
+                                  last query (events, final plan)
+  \\source <file>                  run statements from a file (one per
+                                  line or ;-terminated)
+  \\quit                           exit
+anything else is parsed as SQL: SELECT runs under the current mode;
+CREATE TABLE t (a INT, ...) / CREATE INDEX ON t (a) /
+INSERT INTO t VALUES (...), (...) / ANALYZE t act on the catalog.";
+
+fn parse_mode(s: &str) -> Option<ReoptMode> {
+    match s {
+        "off" => Some(ReoptMode::Off),
+        "memory" | "mem" => Some(ReoptMode::MemoryOnly),
+        "plan" => Some(ReoptMode::PlanOnly),
+        "full" => Some(ReoptMode::Full),
+        _ => None,
+    }
+}
+
+impl Shell {
+    fn new() -> Shell {
+        let cfg = EngineConfig {
+            buffer_pool_pages: 64,
+            query_memory_bytes: 512 * 1024,
+            ..EngineConfig::default()
+        };
+        Shell {
+            db: Database::new(cfg).expect("engine"),
+            mode: ReoptMode::Full,
+            last: None,
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) {
+        let line = line.trim().trim_end_matches(';').trim();
+        if line.is_empty() {
+            return;
+        }
+        if let Some(meta) = line.strip_prefix('\\') {
+            self.meta(meta);
+        } else {
+            self.run_sql(line);
+        }
+    }
+
+    fn meta(&mut self, cmd: &str) {
+        let words: Vec<&str> = cmd.split_whitespace().collect();
+        match words.as_slice() {
+            ["help"] => println!("{HELP}"),
+            ["load", "tpcd", rest @ ..] => self.load_tpcd(rest),
+            ["tables"] => self.tables(),
+            ["schema", t] => self.schema(t),
+            ["analyze", t] => match self.db.analyze(t) {
+                Ok(()) => println!("analyzed {t}"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["mode"] => println!("mode: {:?}", self.mode),
+            ["mode", m] => match parse_mode(m) {
+                Some(mode) => {
+                    self.mode = mode;
+                    println!("mode: {:?}", self.mode);
+                }
+                None => println!("unknown mode {m:?} (off|memory|plan|full)"),
+            },
+            ["explain", ..] => {
+                let sql = cmd.trim_start_matches("explain").trim();
+                match self.db.plan_sql(sql).and_then(|p| self.db.explain(&p)) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["q", name] => self.run_builtin(&name.to_uppercase()),
+            ["report"] => match &self.last {
+                Some(out) => print!("{}", out.report()),
+                None => println!("no query has run yet"),
+            },
+            ["source", path] => self.source(path),
+            _ => println!("unknown command \\{cmd} — try \\help"),
+        }
+    }
+
+    fn load_tpcd(&mut self, args: &[&str]) {
+        let Some(scale) = args.first().and_then(|s| s.parse::<f64>().ok()) else {
+            println!("usage: \\load tpcd <scale> [stale <f>] [zipf <z>]");
+            return;
+        };
+        let mut cfg = TpcdConfig {
+            scale,
+            ..TpcdConfig::default()
+        };
+        let mut it = args[1..].iter();
+        while let Some(k) = it.next() {
+            let v = it.next().and_then(|v| v.parse::<f64>().ok());
+            match (*k, v) {
+                ("stale", Some(f)) => cfg.analyze_after_fraction = f,
+                ("zipf", Some(z)) => cfg.zipf_z = Some(z),
+                _ => {
+                    println!("unknown load option {k:?}");
+                    return;
+                }
+            }
+        }
+        match self.db.load_tpcd(&cfg) {
+            Ok(stats) => {
+                let total: u64 = stats.rows.values().sum();
+                println!(
+                    "loaded {} tables, {} rows (scale {scale}, analyzed after {:.0}% of the load)",
+                    stats.rows.len(),
+                    total,
+                    cfg.analyze_after_fraction * 100.0
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn tables(&self) {
+        let names = self.db.engine().catalog().table_names();
+        if names.is_empty() {
+            println!("no tables — try \\load tpcd 0.005");
+            return;
+        }
+        for n in names {
+            let t = self.db.engine().catalog().table(&n).expect("listed table");
+            match &t.stats {
+                Some(s) => println!(
+                    "{n:<12} {:>8} rows ({} since ANALYZE), {} pages",
+                    s.rows, t.inserts_since_analyze, s.pages
+                ),
+                None => println!("{n:<12} (never analyzed)"),
+            }
+        }
+    }
+
+    fn schema(&self, name: &str) {
+        let t = match self.db.engine().catalog().table(name) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+        for i in 0..t.schema.len() {
+            let f = t.schema.field(i);
+            let stats = t
+                .stats
+                .as_ref()
+                .and_then(|s| s.column(f.name.rsplit('.').next().unwrap_or(&f.name)));
+            match stats {
+                Some(c) => {
+                    let hist = match c.histogram_kind {
+                        Some(k) => format!("{k:?}"),
+                        None => "none".into(),
+                    };
+                    println!(
+                        "{:<28} {:?}  distinct≈{:.0}  hist={hist}  clustering={:.2}",
+                        f.name, f.dtype, c.distinct, c.clustering
+                    );
+                }
+                None => println!("{:<28} {:?}", f.name, f.dtype),
+            }
+        }
+    }
+
+    fn run_builtin(&mut self, name: &str) {
+        let Some((_, plan)) = queries::all().into_iter().find(|(n, _)| *n == name) else {
+            let names: Vec<&str> = queries::all().iter().map(|(n, _)| *n).collect();
+            println!("unknown query {name} — available: {}", names.join(", "));
+            return;
+        };
+        match self.db.run(&plan, self.mode) {
+            Ok(out) => self.finish(out),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// Execute a script: statements separated by `;` or newlines
+    /// (a statement may span lines until its terminating `;`).
+    fn source(&mut self, path: &str) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("cannot read {path}: {e}");
+                return;
+            }
+        };
+        for stmt in text.split(';') {
+            let stmt: String = stmt
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("--"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            println!("> {stmt}");
+            self.dispatch(stmt);
+        }
+    }
+
+    fn run_sql(&mut self, sql: &str) {
+        match self.db.execute_sql(sql, self.mode) {
+            Ok(SqlOutcome::Query(out)) => self.finish(*out),
+            Ok(SqlOutcome::Command(msg)) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn finish(&mut self, out: QueryOutcome) {
+        const SHOW: usize = 20;
+        for row in out.rows.iter().take(SHOW) {
+            println!("{row}");
+        }
+        if out.rows.len() > SHOW {
+            println!("... ({} rows total)", out.rows.len());
+        }
+        println!(
+            "-- {} rows, {:.1} simulated ms, {} switches, {} reallocs ({:?}); \\report for details",
+            out.rows.len(),
+            out.time_ms,
+            out.plan_switches,
+            out.memory_reallocs,
+            out.mode
+        );
+        self.last = Some(out);
+    }
+}
+
+fn main() {
+    println!("midq interactive shell — \\help for commands");
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    loop {
+        print!("midq> ");
+        io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed == "\\quit" || trimmed == "exit" || trimmed == "quit" {
+                    break;
+                }
+                shell.dispatch(&line);
+            }
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+}

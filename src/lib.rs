@@ -1,0 +1,238 @@
+//! # midq — dynamic mid-query re-optimization
+//!
+//! A production-quality Rust reproduction of **Kabra & DeWitt,
+//! "Efficient Mid-Query Re-Optimization of Sub-Optimal Query Execution
+//! Plans" (SIGMOD 1998)**: a single-node relational engine whose
+//! optimizer annotates plans with its estimates, whose executor
+//! collects statistics at strategically chosen points, and whose
+//! runtime controller re-allocates memory and re-optimizes the
+//! remainder of a running query when the observations prove the plan
+//! sub-optimal.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use midq::{Database, ReoptMode};
+//! use midq::common::{DataType, EngineConfig, Row, Value};
+//!
+//! let db = Database::new(EngineConfig::default()).unwrap();
+//! db.create_table("t", vec![("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+//! for i in 0..100 {
+//!     db.insert("t", Row::new(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+//! }
+//! db.analyze("t").unwrap();
+//! let outcome = db
+//!     .run_sql("SELECT v, count(*) AS n FROM t GROUP BY v ORDER BY v", ReoptMode::Full)
+//!     .unwrap();
+//! assert_eq!(outcome.rows.len(), 10);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | shared types, config, simulated clock | [`common`] (`mq-common`) |
+//! | disk, buffer pool, heap files, B+-trees | [`storage`] (`mq-storage`) |
+//! | histograms, sketches, sampling, Zipf | [`stats`] (`mq-stats`) |
+//! | catalogs & ANALYZE | [`catalog`] (`mq-catalog`) |
+//! | expressions & selectivity | [`expr`] (`mq-expr`) |
+//! | logical & annotated physical plans | [`plan`] (`mq-plan`) |
+//! | memory manager | [`memory`] (`mq-memory`) |
+//! | System-R optimizer + calibration | [`optimizer`] (`mq-optimizer`) |
+//! | operators, collectors, dispatcher | [`exec`] (`mq-exec`) |
+//! | **dynamic re-optimization** | [`reopt`] (`mq-reopt`) |
+//! | SQL frontend | [`sql`] (`mq-sql`) |
+//! | TPC-D workload | [`tpcd`] (`mq-tpcd`) |
+
+pub use mq_catalog as catalog;
+pub use mq_common as common;
+pub use mq_exec as exec;
+pub use mq_expr as expr;
+pub use mq_memory as memory;
+pub use mq_optimizer as optimizer;
+pub use mq_plan as plan;
+pub use mq_reopt as reopt;
+pub use mq_sql as sql;
+pub use mq_stats as stats;
+pub use mq_storage as storage;
+pub use mq_tpcd as tpcd;
+
+pub use mq_common::{EngineConfig, MqError, Result};
+pub use mq_plan::LogicalPlan;
+pub use mq_reopt::{Engine, QueryOutcome, ReoptMode};
+pub use mq_tpcd::TpcdConfig;
+
+use mq_common::{DataType, Row, Value};
+
+/// Result of [`Database::execute_sql`].
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A SELECT's result set and execution report (boxed: a
+    /// [`QueryOutcome`] carries the full annotated plan).
+    Query(Box<QueryOutcome>),
+    /// A DDL/DML acknowledgement.
+    Command(String),
+}
+
+/// Coerce a literal to a column type where the conversion is lossless
+/// and unambiguous (ints into float columns, strings into dates).
+fn coerce(v: Value, ty: DataType) -> Result<Value> {
+    match (&v, ty) {
+        (Value::Null, _) => Ok(v),
+        (Value::Int(n), DataType::Float) => Ok(Value::Float(*n as f64)),
+        _ if v.data_type() == Some(ty) => Ok(v),
+        _ => Err(MqError::TypeMismatch(format!(
+            "cannot store {v} in a {ty:?} column"
+        ))),
+    }
+}
+
+/// The user-facing database handle: an [`Engine`] plus convenience
+/// methods for DDL, loading, ANALYZE, SQL and EXPLAIN.
+pub struct Database {
+    engine: Engine,
+}
+
+impl Database {
+    /// Open an in-memory database with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Result<Database> {
+        Ok(Database {
+            engine: Engine::new(cfg)?,
+        })
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (to change configuration between runs).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, name: &str, columns: Vec<(&str, DataType)>) -> Result<()> {
+        self.engine
+            .catalog()
+            .create_table(self.engine.storage(), name, columns)?;
+        Ok(())
+    }
+
+    /// Insert one row.
+    pub fn insert(&self, table: &str, row: Row) -> Result<()> {
+        self.engine
+            .catalog()
+            .insert_row(self.engine.storage(), table, row)
+    }
+
+    /// Gather statistics for a table (MaxDiff histograms, catalog
+    /// defaults from the engine config).
+    pub fn analyze(&self, table: &str) -> Result<()> {
+        let cfg = self.engine.config();
+        self.engine.catalog().analyze(
+            self.engine.storage(),
+            table,
+            mq_stats::HistogramKind::MaxDiff,
+            cfg.histogram_buckets,
+            cfg.reservoir_size,
+            0xA11A,
+        )
+    }
+
+    /// Build a B+-tree index on a column.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        self.engine
+            .catalog()
+            .create_index(self.engine.storage(), table, column)
+    }
+
+    /// Parse SQL into a logical plan.
+    pub fn plan_sql(&self, sql_text: &str) -> Result<LogicalPlan> {
+        mq_sql::plan_sql(sql_text, self.engine.catalog())
+    }
+
+    /// Run a SQL query under the given re-optimization mode.
+    pub fn run_sql(&self, sql_text: &str, mode: ReoptMode) -> Result<QueryOutcome> {
+        let plan = self.plan_sql(sql_text)?;
+        self.engine.run(&plan, mode)
+    }
+
+    /// Execute any SQL statement: SELECT runs under `mode`; CREATE
+    /// TABLE / CREATE INDEX / INSERT / ANALYZE act on the catalog.
+    ///
+    /// ```
+    /// use midq::{Database, ReoptMode, SqlOutcome};
+    /// use midq::common::EngineConfig;
+    /// let db = Database::new(EngineConfig::default()).unwrap();
+    /// db.execute_sql("CREATE TABLE t (k INT, v FLOAT)", ReoptMode::Off).unwrap();
+    /// db.execute_sql("INSERT INTO t VALUES (1, 1.5), (2, 2.5)", ReoptMode::Off).unwrap();
+    /// db.execute_sql("ANALYZE t", ReoptMode::Off).unwrap();
+    /// match db.execute_sql("SELECT k FROM t WHERE v > 2", ReoptMode::Full).unwrap() {
+    ///     SqlOutcome::Query(out) => assert_eq!(out.rows.len(), 1),
+    ///     SqlOutcome::Command(_) => unreachable!(),
+    /// }
+    /// ```
+    pub fn execute_sql(&self, sql_text: &str, mode: ReoptMode) -> Result<SqlOutcome> {
+        match mq_sql::parse_statement(sql_text)? {
+            mq_sql::Statement::Select(q) => {
+                let plan = mq_sql::bind(&q, self.engine.catalog())?;
+                Ok(SqlOutcome::Query(Box::new(self.engine.run(&plan, mode)?)))
+            }
+            mq_sql::Statement::CreateTable { name, columns } => {
+                let cols: Vec<(&str, DataType)> =
+                    columns.iter().map(|(c, t)| (c.as_str(), *t)).collect();
+                self.create_table(&name, cols)?;
+                Ok(SqlOutcome::Command(format!(
+                    "created table {name} ({} columns)",
+                    columns.len()
+                )))
+            }
+            mq_sql::Statement::CreateIndex { table, column } => {
+                self.create_index(&table, &column)?;
+                Ok(SqlOutcome::Command(format!("created index on {table}.{column}")))
+            }
+            mq_sql::Statement::Insert { table, rows } => {
+                let schema = self.engine.catalog().table(&table)?.schema;
+                let n = rows.len();
+                for row in rows {
+                    if row.len() != schema.len() {
+                        return Err(MqError::SchemaError(format!(
+                            "INSERT arity {} vs {} columns of {table}",
+                            row.len(),
+                            schema.len()
+                        )));
+                    }
+                    let coerced: Vec<Value> = row
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, v)| coerce(v, schema.field(i).dtype))
+                        .collect::<Result<_>>()?;
+                    self.insert(&table, Row::new(coerced))?;
+                }
+                Ok(SqlOutcome::Command(format!("inserted {n} rows into {table}")))
+            }
+            mq_sql::Statement::Analyze { table } => {
+                self.analyze(&table)?;
+                Ok(SqlOutcome::Command(format!("analyzed {table}")))
+            }
+        }
+    }
+
+    /// Run a logical plan under the given re-optimization mode.
+    pub fn run(&self, plan: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
+        self.engine.run(plan, mode)
+    }
+
+    /// EXPLAIN: the annotated physical plan the optimizer would run.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
+        let optimizer = mq_optimizer::Optimizer::new(self.engine.config().clone());
+        let optimized = optimizer.optimize(plan, self.engine.catalog(), self.engine.storage())?;
+        Ok(optimized.plan.to_string())
+    }
+
+    /// Load the TPC-D workload.
+    pub fn load_tpcd(&self, cfg: &TpcdConfig) -> Result<mq_tpcd::TpcdStats> {
+        mq_tpcd::load(cfg, self.engine.catalog(), self.engine.storage())
+    }
+}

@@ -1,0 +1,154 @@
+//! The golden invariant of Dynamic Re-Optimization: whatever the
+//! controller does — collect, re-allocate, switch plans mid-query —
+//! the answer never changes. Randomized over data, query shape, knobs
+//! and memory budgets.
+
+use midq::common::{DataType, EngineConfig, Row, Value};
+use midq::expr::{cmp, col, lit, CmpOp};
+use midq::plan::{AggExpr, AggFunc};
+use midq::{Database, LogicalPlan, ReoptMode};
+use proptest::prelude::*;
+
+fn build_db(
+    fact: &[(i64, i64, i64)],
+    d1: &[(i64, i64)],
+    d2: &[(i64, i64)],
+    budget_pages: usize,
+    stale_extra: &[(i64, i64, i64)],
+) -> Database {
+    build_db_cfg(fact, d1, d2, budget_pages, stale_extra, false)
+}
+
+fn build_db_cfg(
+    fact: &[(i64, i64, i64)],
+    d1: &[(i64, i64)],
+    d2: &[(i64, i64)],
+    budget_pages: usize,
+    stale_extra: &[(i64, i64, i64)],
+    stats_feedback: bool,
+) -> Database {
+    let cfg = EngineConfig {
+        buffer_pool_pages: 16,
+        query_memory_bytes: budget_pages * 4096,
+        stats_feedback,
+        ..EngineConfig::default()
+    };
+    let db = Database::new(cfg).unwrap();
+    db.create_table(
+        "fact",
+        vec![
+            ("fk1", DataType::Int),
+            ("fk2", DataType::Int),
+            ("v", DataType::Int),
+        ],
+    )
+    .unwrap();
+    db.create_table("d1", vec![("pk", DataType::Int), ("x", DataType::Int)])
+        .unwrap();
+    db.create_table("d2", vec![("pk", DataType::Int), ("y", DataType::Int)])
+        .unwrap();
+    for &(a, b, v) in fact {
+        db.insert("fact", Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]))
+            .unwrap();
+    }
+    for &(p, x) in d1 {
+        db.insert("d1", Row::new(vec![Value::Int(p), Value::Int(x)]))
+            .unwrap();
+    }
+    for &(p, y) in d2 {
+        db.insert("d2", Row::new(vec![Value::Int(p), Value::Int(y)]))
+            .unwrap();
+    }
+    for t in ["fact", "d1", "d2"] {
+        db.analyze(t).unwrap();
+    }
+    db.create_index("d1", "pk").unwrap();
+    // Post-ANALYZE inserts: the staleness that makes the controller act.
+    for &(a, b, v) in stale_extra {
+        db.insert("fact", Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]))
+            .unwrap();
+    }
+    db
+}
+
+fn canon(outcome: &midq::QueryOutcome) -> Vec<String> {
+    let mut rows: Vec<String> = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| match v {
+                    Value::Float(f) => format!("{f:.6}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_modes_agree(
+        fact in prop::collection::vec((0i64..15, 0i64..10, 0i64..30), 10..250),
+        d1 in prop::collection::vec((0i64..15, 0i64..8), 1..30),
+        d2 in prop::collection::vec((0i64..10, 0i64..8), 1..25),
+        stale in prop::collection::vec((0i64..15, 0i64..10, 0i64..5), 0..150),
+        vmax in 1i64..30,
+        budget_pages in 8usize..40,
+        grouped in any::<bool>(),
+    ) {
+        let db = build_db(&fact, &d1, &d2, budget_pages, &stale);
+        let mut q = LogicalPlan::scan_filtered(
+            "fact",
+            cmp(CmpOp::Lt, col("fact.v"), lit(vmax)),
+        )
+        .join(LogicalPlan::scan("d1"), vec![("fact.fk1", "d1.pk")])
+        .join(LogicalPlan::scan("d2"), vec![("fact.fk2", "d2.pk")]);
+        if grouped {
+            q = q.aggregate(
+                vec!["d1.x"],
+                vec![
+                    AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+                    AggExpr {
+                        func: AggFunc::Sum,
+                        arg: Some(col("fact.v")),
+                        name: "sv".into(),
+                    },
+                ],
+            );
+        }
+        let baseline = canon(&db.run(&q, ReoptMode::Off).unwrap());
+        for mode in [ReoptMode::MemoryOnly, ReoptMode::PlanOnly, ReoptMode::Full] {
+            let outcome = db.run(&q, mode).unwrap();
+            prop_assert_eq!(
+                &baseline,
+                &canon(&outcome),
+                "mode {} diverged (switches={}, reallocs={})",
+                mode,
+                outcome.plan_switches,
+                outcome.memory_reallocs
+            );
+        }
+
+        // Statistics feedback mutates the catalog between runs but must
+        // never change any answer, no matter how often the query repeats
+        // against the progressively healed statistics.
+        let fb = build_db_cfg(&fact, &d1, &d2, budget_pages, &stale, true);
+        for repeat in 0..3 {
+            let outcome = fb.run(&q, ReoptMode::Full).unwrap();
+            prop_assert_eq!(
+                &baseline,
+                &canon(&outcome),
+                "feedback run {} diverged (switches={})",
+                repeat,
+                outcome.plan_switches
+            );
+        }
+    }
+}
