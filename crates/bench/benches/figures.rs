@@ -14,8 +14,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use midq::common::EngineConfig;
-use mq_bench::{fig03_memory_realloc, run_query, BenchSetup};
 use midq::ReoptMode;
+use mq_bench::{fig03_memory_realloc, run_query, BenchSetup};
 
 /// Small, fast setup for criterion iterations.
 fn bench_setup() -> BenchSetup {
@@ -81,11 +81,9 @@ fn bench_fig12(c: &mut Criterion) {
         };
         let db = setup.database();
         for query in ["Q5", "Q8"] {
-            group.bench_with_input(
-                BenchmarkId::new(query, format!("z{z}")),
-                &query,
-                |b, &q| b.iter(|| run_query(&db, q, ReoptMode::Full).time_ms),
-            );
+            group.bench_with_input(BenchmarkId::new(query, format!("z{z}")), &query, |b, &q| {
+                b.iter(|| run_query(&db, q, ReoptMode::Full).time_ms)
+            });
         }
     }
     group.finish();
@@ -95,7 +93,9 @@ fn bench_fig12(c: &mut Criterion) {
 fn bench_fig03(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig03");
     group.sample_size(10);
-    group.bench_function("memory_realloc", |b| b.iter(|| fig03_memory_realloc().mem_ms));
+    group.bench_function("memory_realloc", |b| {
+        b.iter(|| fig03_memory_realloc().mem_ms)
+    });
     group.finish();
 }
 

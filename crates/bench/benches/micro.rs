@@ -31,7 +31,8 @@ fn bench_btree(c: &mut Criterion) {
                 let mut rng = DetRng::new(7);
                 for i in 0..n {
                     let k = rng.gen_range(n * 4) as i64;
-                    st.index_insert(idx, &Value::Int(k), mq_common_rid(i)).unwrap();
+                    st.index_insert(idx, &Value::Int(k), mq_common_rid(i))
+                        .unwrap();
                 }
                 black_box(idx)
             })
@@ -69,8 +70,11 @@ fn join_db(rows: i64) -> (Database, midq::LogicalPlan) {
     db.create_table("s", vec![("k", DataType::Int), ("w", DataType::Int)])
         .unwrap();
     for i in 0..rows {
-        db.insert("r", Row::new(vec![Value::Int(i % (rows / 4)), Value::Int(i)]))
-            .unwrap();
+        db.insert(
+            "r",
+            Row::new(vec![Value::Int(i % (rows / 4)), Value::Int(i)]),
+        )
+        .unwrap();
     }
     for i in 0..rows / 4 {
         db.insert("s", Row::new(vec![Value::Int(i), Value::Int(i * 2)]))

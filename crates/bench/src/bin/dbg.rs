@@ -1,18 +1,43 @@
-use mq_bench::BenchSetup;
-use midq::{ReoptMode};
 use midq::tpcd::queries;
+use midq::ReoptMode;
+use mq_bench::BenchSetup;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or("Q8".into());
     let mut setup = BenchSetup::default();
-    if let Ok(v) = std::env::var("MQ_STALE") { setup.analyze_after_fraction = v.parse().unwrap(); }
-    if let Ok(v) = std::env::var("MQ_SCALE") { setup.scale = v.parse().unwrap(); }
+    if let Ok(v) = std::env::var("MQ_STALE") {
+        setup.analyze_after_fraction = v.parse().unwrap();
+    }
+    if let Ok(v) = std::env::var("MQ_SCALE") {
+        setup.scale = v.parse().unwrap();
+    }
     let db = setup.database();
-    let q = queries::all().into_iter().find(|(n,_)| *n==name).unwrap().1;
+    let q = queries::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap()
+        .1;
     let off = db.run(&q, ReoptMode::Off).unwrap();
-    println!("OFF time={:.0}ms io=({} r, {} w)", off.time_ms, off.cost.pages_read, off.cost.pages_written);
+    println!(
+        "OFF time={:.0}ms io=({} r, {} w)",
+        off.time_ms, off.cost.pages_read, off.cost.pages_written
+    );
     println!("OFF plan:\n{}", off.final_plan);
-    let full = db.run(&q, if std::env::var("MQ_PLANONLY").is_ok() { ReoptMode::PlanOnly } else { ReoptMode::Full }).unwrap();
-    println!("FULL time={:.0}ms io=({} r, {} w) switches={}", full.time_ms, full.cost.pages_read, full.cost.pages_written, full.plan_switches);
-    for e in &full.events { println!("  {e}"); }
+    let full = db
+        .run(
+            &q,
+            if std::env::var("MQ_PLANONLY").is_ok() {
+                ReoptMode::PlanOnly
+            } else {
+                ReoptMode::Full
+            },
+        )
+        .unwrap();
+    println!(
+        "FULL time={:.0}ms io=({} r, {} w) switches={}",
+        full.time_ms, full.cost.pages_read, full.cost.pages_written, full.plan_switches
+    );
+    for e in &full.events {
+        println!("  {e}");
+    }
     println!("FULL final plan:\n{}", full.final_plan);
 }

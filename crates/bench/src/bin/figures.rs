@@ -7,8 +7,8 @@
 
 use mq_bench::{
     ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin,
-    fig03_memory_realloc, fig10, fig11, fig12, overhead, render_pairs, sensitivity, BenchSetup,
-    Knob,
+    fig03_memory_realloc, fig10, fig11, fig12, overhead, render_pairs, sensitivity,
+    throughput_vs_budget, throughput_vs_workers, BenchSetup, Knob,
 };
 
 fn main() {
@@ -19,15 +19,24 @@ fn main() {
     if want("fig03") {
         let f = fig03_memory_realloc();
         println!("== FIG 3 (memory re-allocation worked example) ==");
-        println!("time without re-allocation : {:.1} ms ({} spill writes)", f.off_ms, f.off_writes);
-        println!("time with re-allocation    : {:.1} ms ({} spill writes)", f.mem_ms, f.mem_writes);
+        println!(
+            "time without re-allocation : {:.1} ms ({} spill writes)",
+            f.off_ms, f.off_writes
+        );
+        println!(
+            "time with re-allocation    : {:.1} ms ({} spill writes)",
+            f.mem_ms, f.mem_writes
+        );
         println!("grant re-allocations       : {}", f.reallocs);
         println!();
     }
 
     if want("fig10") {
         let pairs = fig10(&setup);
-        println!("{}", render_pairs("FIG 10: normal vs re-optimized (uniform data)", &pairs));
+        println!(
+            "{}",
+            render_pairs("FIG 10: normal vs re-optimized (uniform data)", &pairs)
+        );
     }
 
     if want("fig11") {
@@ -55,7 +64,10 @@ fn main() {
         for z in [0.3, 0.6] {
             let pairs = fig12(&setup, z);
             println!("== FIG 12: skewed data, z = {z} (normalized reopt/normal) ==");
-            println!("{:<5} {:>10} {:>9} {:>9}", "query", "ratio", "switches", "reallocs");
+            println!(
+                "{:<5} {:>10} {:>9} {:>9}",
+                "query", "ratio", "switches", "reallocs"
+            );
             for (off, full) in pairs {
                 println!(
                     "{:<5} {:>10.3} {:>9} {:>9}",
@@ -71,7 +83,10 @@ fn main() {
 
     if want("overhead") {
         let pairs = overhead(&setup);
-        println!("{}", render_pairs("OVERHEAD: simple queries, collectors on", &pairs));
+        println!(
+            "{}",
+            render_pairs("OVERHEAD: simple queries, collectors on", &pairs)
+        );
     }
 
     if want("ablate") {
@@ -127,6 +142,48 @@ fn main() {
                 (off.time_ms - full.time_ms) / off.time_ms * 100.0,
                 full.switches,
                 full.reallocs
+            );
+        }
+        println!();
+    }
+
+    if want("conc") {
+        println!("== CONCURRENT RUNTIME: throughput vs workers (28 queries, Full mode) ==");
+        println!(
+            "{:>7} {:>12} {:>14} {:>10} {:>8} {:>12} {:>12}",
+            "workers", "ok/queries", "makespan(ms)", "q/sim-s", "speedup", "in-flight", "hwm(KiB)"
+        );
+        for p in throughput_vs_workers(&setup, &[1, 2, 4, 8]) {
+            println!(
+                "{:>7} {:>12} {:>14.1} {:>10.2} {:>8.2} {:>12} {:>12}",
+                p.workers,
+                format!("{}/{}", p.succeeded, p.queries),
+                p.makespan_sim_ms,
+                p.throughput_qps,
+                p.speedup,
+                p.max_in_flight,
+                p.high_water_bytes / 1024
+            );
+        }
+        println!();
+        let qmb = setup.cfg.query_memory_bytes;
+        println!("== CONCURRENT RUNTIME: throughput vs global budget (4 workers) ==");
+        println!(
+            "{:>12} {:>12} {:>14} {:>10} {:>12} {:>12}",
+            "budget(KiB)", "ok/queries", "makespan(ms)", "q/sim-s", "in-flight", "hwm(KiB)"
+        );
+        // The smallest budget stays above the largest per-plan minimum
+        // demand (~108 KiB for the join-heavy queries): below that a
+        // query cannot run at all, with any amount of queueing.
+        for p in throughput_vs_budget(&setup, 4, &[4 * qmb, 2 * qmb, qmb, qmb / 2, qmb / 4]) {
+            println!(
+                "{:>12} {:>12} {:>14.1} {:>10.2} {:>12} {:>12}",
+                p.global_budget_bytes / 1024,
+                format!("{}/{}", p.succeeded, p.queries),
+                p.makespan_sim_ms,
+                p.throughput_qps,
+                p.max_in_flight,
+                p.high_water_bytes / 1024
             );
         }
         println!();

@@ -1,26 +1,45 @@
-use mq_bench::{fig10, BenchSetup};
 use midq::common::EngineConfig;
+use mq_bench::{fig10, BenchSetup};
 
 fn main() {
-    let scale: f64 = std::env::var("MQ_SCALE").map(|v| v.parse().unwrap()).unwrap_or(0.008);
-    let stale: f64 = std::env::var("MQ_STALE").map(|v| v.parse().unwrap()).unwrap_or(0.5);
-    let pool: usize = std::env::var("MQ_POOL").map(|v| v.parse().unwrap()).unwrap_or(64);
-    let mem: usize = std::env::var("MQ_MEM").map(|v| v.parse().unwrap()).unwrap_or(512*1024);
+    let scale: f64 = std::env::var("MQ_SCALE")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(0.008);
+    let stale: f64 = std::env::var("MQ_STALE")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(0.5);
+    let pool: usize = std::env::var("MQ_POOL")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(64);
+    let mem: usize = std::env::var("MQ_MEM")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(512 * 1024);
     let hist = std::env::var("MQ_HIST").unwrap_or("maxdiff".into());
     let mut setup = BenchSetup {
         scale,
         analyze_after_fraction: stale,
-        cfg: EngineConfig { buffer_pool_pages: pool, query_memory_bytes: mem, ..EngineConfig::default() },
+        cfg: EngineConfig {
+            buffer_pool_pages: pool,
+            query_memory_bytes: mem,
+            ..EngineConfig::default()
+        },
         ..BenchSetup::default()
     };
     let _ = hist; // histogram kind plumbed through TpcdConfig default for now
     setup.zipf_z = std::env::var("MQ_ZIPF").ok().map(|v| v.parse().unwrap());
-    println!("scale={scale} stale={stale} pool={pool} mem={mem} zipf={:?}", setup.zipf_z);
+    println!(
+        "scale={scale} stale={stale} pool={pool} mem={mem} zipf={:?}",
+        setup.zipf_z
+    );
     for (off, full) in fig10(&setup) {
         println!(
             "{:<4} off={:>9.0} full={:>9.0} gain={:>6.1}% sw={} re={}",
-            off.query, off.time_ms, full.time_ms,
-            (off.time_ms-full.time_ms)/off.time_ms*100.0, full.switches, full.reallocs
+            off.query,
+            off.time_ms,
+            full.time_ms,
+            (off.time_ms - full.time_ms) / off.time_ms * 100.0,
+            full.switches,
+            full.reallocs
         );
     }
 }

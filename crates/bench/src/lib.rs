@@ -232,9 +232,12 @@ pub fn fig03_memory_realloc() -> Fig03 {
             ("c", DataType::Int),
             ("k", DataType::Int),
         ],
-    ).unwrap();
-    db.create_table("s", vec![("k", DataType::Int), ("m", DataType::Int)]).unwrap();
-    db.create_table("t", vec![("m", DataType::Int), ("z", DataType::Int)]).unwrap();
+    )
+    .unwrap();
+    db.create_table("s", vec![("k", DataType::Int), ("m", DataType::Int)])
+        .unwrap();
+    db.create_table("t", vec![("m", DataType::Int), ("z", DataType::Int)])
+        .unwrap();
     // a, b and c are perfectly correlated: the three-way conjunction
     // below actually keeps 50% of r, but independence predicts 12.5%,
     // so every operator downstream of the filter is sized 4x too small.
@@ -242,23 +245,38 @@ pub fn fig03_memory_realloc() -> Fig03 {
         let a = i % 1_000;
         db.insert(
             "r",
-            Row::new(vec![Value::Int(a), Value::Int(a), Value::Int(a), Value::Int(i % 2_000)]),
-        ).unwrap();
+            Row::new(vec![
+                Value::Int(a),
+                Value::Int(a),
+                Value::Int(a),
+                Value::Int(i % 2_000),
+            ]),
+        )
+        .unwrap();
     }
     // s covers only 60% of the key domain: the actual join
     // multiplicity (0.35 for the filtered rows) is *below* the
     // estimated one, so the ratio-scaled correction over-provisions
     // rather than undershooting.
     for i in 0..1_200i64 {
-        db.insert("s", Row::new(vec![Value::Int(i), Value::Int(i % 50)])).unwrap();
+        db.insert("s", Row::new(vec![Value::Int(i), Value::Int(i % 50)]))
+            .unwrap();
     }
     for i in 0..50i64 {
-        db.insert("t", Row::new(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+        db.insert("t", Row::new(vec![Value::Int(i), Value::Int(i % 10)]))
+            .unwrap();
     }
     for name in ["r", "s", "t"] {
         db.engine()
             .catalog()
-            .analyze(db.engine().storage(), name, midq::stats::HistogramKind::MaxDiff, 16, 512, 5)
+            .analyze(
+                db.engine().storage(),
+                name,
+                midq::stats::HistogramKind::MaxDiff,
+                16,
+                512,
+                5,
+            )
             .unwrap();
     }
 
@@ -419,6 +437,90 @@ pub fn ablation_histogram_class(
     .collect()
 }
 
+/// One point of the concurrent-runtime throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Global memory budget the broker enforced.
+    pub global_budget_bytes: usize,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Completed queries.
+    pub succeeded: usize,
+    /// Simulated makespan (max per-worker sum).
+    pub makespan_sim_ms: f64,
+    /// Queries per simulated second.
+    pub throughput_qps: f64,
+    /// Simulated speedup over one worker running the same jobs.
+    pub speedup: f64,
+    /// Peak queries simultaneously in flight.
+    pub max_in_flight: usize,
+    /// Peak bytes the broker had outstanding.
+    pub high_water_bytes: usize,
+}
+
+/// The workload for the throughput experiments: every paper query,
+/// `rounds` times, under Full re-optimization.
+fn throughput_workload(workers: usize, rounds: usize) -> midq::Workload {
+    let mut wl = midq::Workload::new(workers);
+    for round in 0..rounds {
+        for (name, plan) in queries::all() {
+            wl.queries
+                .push(midq::WorkloadQuery::plan(format!("{name}.r{round}"), plan));
+        }
+    }
+    wl
+}
+
+fn throughput_point(db: &Database, wl: &midq::Workload) -> ThroughputPoint {
+    let report = db.run_concurrent(wl);
+    ThroughputPoint {
+        workers: report.workers,
+        global_budget_bytes: report.global_budget_bytes,
+        queries: report.results.len(),
+        succeeded: report.succeeded(),
+        makespan_sim_ms: report.makespan_sim_ms,
+        throughput_qps: report.throughput_qps(),
+        speedup: report.speedup(),
+        max_in_flight: report.max_in_flight,
+        high_water_bytes: report.broker_high_water,
+    }
+}
+
+/// Throughput vs worker count: the same multi-query workload on 1, 2,
+/// 4, ... workers, each against a freshly loaded database. The global
+/// budget scales with the workers (`workers × query_memory_bytes`), so
+/// this isolates the parallelism axis.
+pub fn throughput_vs_workers(setup: &BenchSetup, workers: &[usize]) -> Vec<ThroughputPoint> {
+    workers
+        .iter()
+        .map(|&w| {
+            let db = setup.database();
+            throughput_point(&db, &throughput_workload(w, 4))
+        })
+        .collect()
+}
+
+/// Throughput vs global memory budget at a fixed worker count: as the
+/// broker's budget shrinks below `workers × query_memory_bytes`,
+/// admission starts queueing queries and leases get squeezed (more
+/// spills), trading memory for throughput.
+pub fn throughput_vs_budget(
+    setup: &BenchSetup,
+    workers: usize,
+    budgets: &[usize],
+) -> Vec<ThroughputPoint> {
+    budgets
+        .iter()
+        .map(|&b| {
+            let db = setup.database();
+            let wl = throughput_workload(workers, 4).with_global_memory(b);
+            throughput_point(&db, &wl)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,5 +596,19 @@ mod tests {
     fn unknown_query_panics() {
         let db = tiny().database();
         let _ = run_query(&db, "Q99", ReoptMode::Off);
+    }
+
+    #[test]
+    fn throughput_experiment_overlaps_queries_and_respects_budget() {
+        let points = throughput_vs_workers(&tiny(), &[1, 4]);
+        assert_eq!(points.len(), 2);
+        let serial = &points[0];
+        let pool = &points[1];
+        assert_eq!(serial.succeeded, serial.queries);
+        assert_eq!(pool.succeeded, pool.queries);
+        assert_eq!(serial.max_in_flight, 1);
+        assert!(pool.max_in_flight > 1, "4-worker pool never overlapped");
+        assert!(pool.high_water_bytes <= pool.global_budget_bytes);
+        assert!(pool.makespan_sim_ms <= serial.makespan_sim_ms + 1e-9);
     }
 }

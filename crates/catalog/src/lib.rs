@@ -18,9 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mq_common::{
-    DataType, Field, MqError, Result, Row, Schema, TableId, Value,
-};
+use mq_common::{DataType, Field, MqError, Result, Row, Schema, TableId, Value};
 use mq_stats::{ColumnAccumulator, HistogramKind};
 use mq_storage::Storage;
 
@@ -393,8 +391,12 @@ mod tests {
         cat.create_table(st, "nums", vec![("k", DataType::Int), ("v", DataType::Int)])
             .unwrap();
         for i in 0..n {
-            cat.insert_row(st, "nums", Row::new(vec![Value::Int(i), Value::Int(i % 10)]))
-                .unwrap();
+            cat.insert_row(
+                st,
+                "nums",
+                Row::new(vec![Value::Int(i), Value::Int(i % 10)]),
+            )
+            .unwrap();
         }
     }
 
@@ -445,8 +447,12 @@ mod tests {
             .unwrap();
         assert_eq!(cat.table("nums").unwrap().update_activity(), 0.0);
         for i in 0..50 {
-            cat.insert_row(&st, "nums", Row::new(vec![Value::Int(1000 + i), Value::Int(0)]))
-                .unwrap();
+            cat.insert_row(
+                &st,
+                "nums",
+                Row::new(vec![Value::Int(1000 + i), Value::Int(0)]),
+            )
+            .unwrap();
         }
         let act = cat.table("nums").unwrap().update_activity();
         assert!((act - 0.5).abs() < 1e-9, "activity {act}");
@@ -525,7 +531,11 @@ mod tests {
         // Qualified names are preserved, not re-qualified with the temp name.
         assert_eq!(tmp.schema.index_of("nums.k").unwrap(), 0);
         assert_eq!(tmp.stats.as_ref().unwrap().rows, 10);
-        assert_eq!(tmp.update_activity(), 0.0, "fresh exact stats are not stale");
+        assert_eq!(
+            tmp.update_activity(),
+            0.0,
+            "fresh exact stats are not stale"
+        );
         // Names collide like regular tables.
         let err = cat
             .register_materialized("__mq_tmp_1", base.file, base.schema, TableStats::default())

@@ -1,0 +1,59 @@
+//! Cooperative query cancellation.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a running
+//! query and whoever may need to stop it (a session handle, the
+//! concurrent runtime's deadline bookkeeping). The executor polls it at
+//! segment boundaries — the same points where the re-optimization
+//! controller runs — so cancellation latency is bounded by one pipeline
+//! phase, and unwinding reuses the engine's existing cleanup paths
+//! (artifacts, temp files, broker leases all release on drop).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        assert!(!t.is_cancelled());
+        t2.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t2.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

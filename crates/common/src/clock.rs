@@ -8,6 +8,7 @@
 //! Determinism is what lets every figure in EXPERIMENTS.md be
 //! regenerated bit-for-bit.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,9 +16,41 @@ use crate::config::EngineConfig;
 
 /// Shared counters for the four cost dimensions. Cloning shares the
 /// underlying counters.
+///
+/// ## Per-query attribution under concurrency
+///
+/// A clock can be a [`SimClock::child`] of another: charges to the
+/// child also propagate to its parent, so a per-job clock feeds the
+/// engine-wide aggregate for free. Components built before the job
+/// existed (the shared storage layer holds the *global* clock) are
+/// redirected through a thread-local scope: while a
+/// [`SimClock::enter_scope`] guard for a child clock is alive on the
+/// current thread, any charge made against that child's parent is
+/// booked to the child instead (and still reaches the parent exactly
+/// once). This gives per-query cost attribution without threading a
+/// clock through every storage call site.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
     inner: Arc<Counters>,
+    parent: Option<Arc<Counters>>,
+}
+
+thread_local! {
+    static CLOCK_SCOPE: RefCell<Vec<SimClock>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard from [`SimClock::enter_scope`]; popping restores the
+/// previously scoped clock (scopes nest).
+pub struct ClockScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ClockScope {
+    fn drop(&mut self) {
+        CLOCK_SCOPE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
 }
 
 #[derive(Debug, Default)]
@@ -73,25 +106,86 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// A zeroed clock whose charges also propagate to `self` (one
+    /// level; children of children still propagate only to their
+    /// immediate parent).
+    pub fn child(&self) -> SimClock {
+        SimClock {
+            inner: Arc::new(Counters::default()),
+            parent: Some(Arc::clone(&self.inner)),
+        }
+    }
+
+    /// Whether `self` and `other` share the same counters.
+    pub fn same_counters(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Make this clock the charge target for the current thread until
+    /// the returned guard drops: charges against this clock's *parent*
+    /// made on this thread are redirected here (see the type docs).
+    pub fn enter_scope(&self) -> ClockScope {
+        CLOCK_SCOPE.with(|s| s.borrow_mut().push(self.clone()));
+        ClockScope {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Book a charge, honouring redirection and parent propagation.
+    /// Every affected counter set is bumped exactly once.
+    fn charge(&self, f: impl Fn(&Counters)) {
+        let redirected = CLOCK_SCOPE.with(|s| {
+            let stack = s.borrow();
+            if let Some(scoped) = stack.last() {
+                let to_parent_of_scope = !Arc::ptr_eq(&scoped.inner, &self.inner)
+                    && scoped
+                        .parent
+                        .as_ref()
+                        .is_some_and(|p| Arc::ptr_eq(p, &self.inner));
+                if to_parent_of_scope {
+                    f(&scoped.inner);
+                    f(&self.inner);
+                    return true;
+                }
+            }
+            false
+        });
+        if redirected {
+            return;
+        }
+        f(&self.inner);
+        if let Some(p) = &self.parent {
+            f(p);
+        }
+    }
+
     /// Record `n` physical page reads.
     pub fn add_reads(&self, n: u64) {
-        self.inner.pages_read.fetch_add(n, Ordering::Relaxed);
+        self.charge(|c| {
+            c.pages_read.fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     /// Record `n` physical page writes.
     pub fn add_writes(&self, n: u64) {
-        self.inner.pages_written.fetch_add(n, Ordering::Relaxed);
+        self.charge(|c| {
+            c.pages_written.fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     /// Record `n` tuple-level CPU operations.
     pub fn add_cpu(&self, n: u64) {
-        self.inner.cpu_ops.fetch_add(n, Ordering::Relaxed);
+        self.charge(|c| {
+            c.cpu_ops.fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     /// Record `n` optimizer work units (used to charge `T_opt` when the
     /// optimizer is re-invoked mid-query).
     pub fn add_opt_work(&self, n: u64) {
-        self.inner.opt_work.fetch_add(n, Ordering::Relaxed);
+        self.charge(|c| {
+            c.opt_work.fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     /// Capture the current counter values.
@@ -152,5 +246,64 @@ mod tests {
         let c2 = clock.clone();
         c2.add_writes(2);
         assert_eq!(clock.snapshot().pages_written, 2);
+    }
+
+    #[test]
+    fn child_propagates_to_parent() {
+        let global = SimClock::new();
+        let job = global.child();
+        job.add_reads(5);
+        assert_eq!(job.snapshot().pages_read, 5);
+        assert_eq!(global.snapshot().pages_read, 5);
+        // Parent charges do not leak into the child.
+        global.add_reads(2);
+        assert_eq!(job.snapshot().pages_read, 5);
+        assert_eq!(global.snapshot().pages_read, 7);
+    }
+
+    #[test]
+    fn scope_redirects_parent_charges_without_double_count() {
+        let global = SimClock::new();
+        let job = global.child();
+        {
+            let _scope = job.enter_scope();
+            // Storage-style charge against the global clock: lands on
+            // the scoped job clock AND the global one, each once.
+            global.add_writes(3);
+            // Direct charge on the job clock: also exactly once each.
+            job.add_cpu(10);
+        }
+        assert_eq!(job.snapshot().pages_written, 3);
+        assert_eq!(global.snapshot().pages_written, 3);
+        assert_eq!(job.snapshot().cpu_ops, 10);
+        assert_eq!(global.snapshot().cpu_ops, 10);
+        // Scope dropped: global charges stay global.
+        global.add_writes(1);
+        assert_eq!(job.snapshot().pages_written, 3);
+        assert_eq!(global.snapshot().pages_written, 4);
+    }
+
+    #[test]
+    fn scope_ignores_unrelated_clocks() {
+        let global = SimClock::new();
+        let other = SimClock::new();
+        let job = global.child();
+        let _scope = job.enter_scope();
+        other.add_reads(4);
+        assert_eq!(other.snapshot().pages_read, 4);
+        assert_eq!(job.snapshot().pages_read, 0);
+        assert_eq!(global.snapshot().pages_read, 0);
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let global = SimClock::new();
+        let job = global.child();
+        let _scope = job.enter_scope();
+        let g2 = global.clone();
+        std::thread::spawn(move || g2.add_reads(6)).join().unwrap();
+        // The other thread had no scope: nothing reached the job clock.
+        assert_eq!(job.snapshot().pages_read, 0);
+        assert_eq!(global.snapshot().pages_read, 6);
     }
 }

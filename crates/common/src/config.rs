@@ -184,13 +184,34 @@ mod tests {
     #[test]
     fn rejects_bad_knobs() {
         let bad = [
-            EngineConfig { mu: 1.5, ..EngineConfig::default() },
-            EngineConfig { page_size: 64, ..EngineConfig::default() },
-            EngineConfig { io_read_ms: f64::NAN, ..EngineConfig::default() },
-            EngineConfig { query_memory_bytes: 0, ..EngineConfig::default() },
-            EngineConfig { switch_margin: 0.5, ..EngineConfig::default() },
-            EngineConfig { realloc_headroom: 0.0, ..EngineConfig::default() },
-            EngineConfig { histogram_buckets: 0, ..EngineConfig::default() },
+            EngineConfig {
+                mu: 1.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                page_size: 64,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                io_read_ms: f64::NAN,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                query_memory_bytes: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                switch_margin: 0.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                realloc_headroom: 0.0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                histogram_buckets: 0,
+                ..EngineConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?} should be rejected");

@@ -36,6 +36,9 @@ pub enum MqError {
     InvalidConfig(String),
     /// Generic invariant violation — a bug in the engine, not the query.
     Internal(String),
+    /// The query was cancelled (explicit request or deadline expiry),
+    /// detected cooperatively at a segment boundary.
+    Cancelled(String),
     /// Not an error: a control-flow signal used by the Dynamic
     /// Re-Optimization controller to unwind execution at a plan-switch
     /// point (§2.4). Carries the plan node id of the cut. Operators
@@ -58,6 +61,7 @@ impl MqError {
             MqError::OutOfMemory(_) => "oom",
             MqError::InvalidConfig(_) => "config",
             MqError::Internal(_) => "internal",
+            MqError::Cancelled(_) => "cancelled",
             MqError::PlanSwitch(_) => "plan_switch",
         }
     }
@@ -77,6 +81,7 @@ impl fmt::Display for MqError {
             MqError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
             MqError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             MqError::Internal(m) => write!(f, "internal error: {m}"),
+            MqError::Cancelled(m) => write!(f, "cancelled: {m}"),
             MqError::PlanSwitch(n) => write!(f, "plan switch requested at node {n}"),
         }
     }
@@ -109,6 +114,7 @@ mod tests {
             MqError::OutOfMemory(String::new()),
             MqError::InvalidConfig(String::new()),
             MqError::Internal(String::new()),
+            MqError::Cancelled(String::new()),
             MqError::PlanSwitch(0),
         ];
         let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();

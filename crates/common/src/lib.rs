@@ -13,6 +13,7 @@
 //! types, so they are deliberately small, allocation-conscious and
 //! heavily tested.
 
+pub mod cancel;
 pub mod clock;
 pub mod config;
 pub mod error;
@@ -22,7 +23,8 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use clock::{CostSnapshot, SimClock};
+pub use cancel::CancelToken;
+pub use clock::{ClockScope, CostSnapshot, SimClock};
 pub use config::EngineConfig;
 pub use error::{MqError, Result};
 pub use ids::{FileId, IndexId, PageId, Rid, TableId};

@@ -56,9 +56,7 @@ impl Field {
     /// this field.
     pub fn matches(&self, pattern: &str) -> bool {
         match pattern.split_once('.') {
-            Some((q, n)) => {
-                self.name.as_ref() == n && self.qualifier.as_deref() == Some(q)
-            }
+            Some((q, n)) => self.name.as_ref() == n && self.qualifier.as_deref() == Some(q),
             None => self.name.as_ref() == pattern,
         }
     }

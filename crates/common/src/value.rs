@@ -354,7 +354,10 @@ impl Hash for Value {
             }
             Value::Float(f) => {
                 state.write_u8(2);
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     state.write_i64(*f as i64);
                 } else {
@@ -455,10 +458,7 @@ mod tests {
 
     #[test]
     fn sql_cmp_basics() {
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::Int(2).sql_cmp(&Value::Float(2.0)),
             Some(Ordering::Equal)
@@ -473,11 +473,13 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = [Value::str("z"),
+        let mut vals = [
+            Value::str("z"),
             Value::Int(5),
             Value::Null,
             Value::Float(1.5),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(true));
@@ -499,10 +501,7 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(
-            Value::Int(2).add(&Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(
             Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
             Value::Float(3.0)
@@ -537,7 +536,8 @@ mod tests {
         assert!(Value::decode(&[]).is_err());
         assert!(Value::decode(&[9]).is_err());
         assert!(Value::decode(&[2, 1, 2]).is_err()); // truncated int
-        assert!(Value::decode(&[5, 4, 0, 0, 0, 0xff, 0xfe, 0x01, 0x02]).is_err()); // bad utf8
+        assert!(Value::decode(&[5, 4, 0, 0, 0, 0xff, 0xfe, 0x01, 0x02]).is_err());
+        // bad utf8
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mq_catalog::{Catalog, ColumnStats, TableStats};
 use mq_common::{EngineConfig, MqError, Result, SimClock};
@@ -33,6 +33,7 @@ use mq_memory::MemoryManager;
 use mq_optimizer::{materialize_cost, recost, OptCalibration, Optimizer};
 use mq_plan::{LogicalPlan, NodeId, PhysOp, PhysPlan};
 use mq_storage::Storage;
+use parking_lot::Mutex;
 
 use crate::improve::ImprovedEstimates;
 use crate::remainder::{remainder_join_count, remainder_query};
@@ -73,18 +74,24 @@ struct CtrlState {
 }
 
 /// The runtime controller; shared (`Rc`) between the engine and the
-/// execution context.
+/// execution context — both on the query's own thread. The grants
+/// table it updates is `Arc<Mutex<…>>` because the *executor* side is
+/// shared with the concurrent runtime.
 pub struct ReoptController {
     mode: ReoptMode,
     cfg: EngineConfig,
     catalog: Catalog,
     storage: Storage,
     optimizer: Optimizer,
-    calibration: Rc<OptCalibration>,
+    calibration: Arc<OptCalibration>,
     mm: MemoryManager,
     clock: SimClock,
-    grants: Rc<RefCell<HashMap<NodeId, usize>>>,
+    grants: Arc<Mutex<HashMap<NodeId, usize>>>,
     state: RefCell<CtrlState>,
+    /// Temp-table name prefix, unique per query execution so
+    /// concurrent Full-mode queries never collide in the shared
+    /// catalog.
+    temp_prefix: String,
     /// Safety valve: maximum plan switches per query.
     max_switches: u32,
 }
@@ -98,10 +105,11 @@ impl ReoptController {
         catalog: Catalog,
         storage: Storage,
         optimizer: Optimizer,
-        calibration: Rc<OptCalibration>,
+        calibration: Arc<OptCalibration>,
         mm: MemoryManager,
         clock: SimClock,
-        grants: Rc<RefCell<HashMap<NodeId, usize>>>,
+        grants: Arc<Mutex<HashMap<NodeId, usize>>>,
+        temp_prefix: String,
     ) -> ReoptController {
         ReoptController {
             mode,
@@ -114,6 +122,7 @@ impl ReoptController {
             clock,
             grants,
             state: RefCell::new(CtrlState::default()),
+            temp_prefix,
             max_switches: 2,
         }
     }
@@ -224,15 +233,14 @@ impl ReoptController {
         // still squeezes fairly when the budget does not stretch.
         let headroom = self.cfg.realloc_headroom;
         work.walk_mut(&mut |n| n.annot.est_rows *= headroom);
-        let report = match self.mm.reallocate(
-            &mut work,
-            &self.cfg,
-            &st.started,
-            &st.finished_consumers,
-        ) {
-            Ok(r) => r,
-            Err(_) => return, // cannot satisfy minimums: keep old grants
-        };
+        let report =
+            match self
+                .mm
+                .reallocate(&mut work, &self.cfg, &st.started, &st.finished_consumers)
+            {
+                Ok(r) => r,
+                Err(_) => return, // cannot satisfy minimums: keep old grants
+            };
         let mut changed = false;
         for g in &report.grants {
             if st.started.contains(&g.node) {
@@ -254,16 +262,13 @@ impl ReoptController {
             let g = mq_memory::Grant { granted, ..*g };
             if g.granted != old {
                 changed = true;
-                self.grants.borrow_mut().insert(g.node, g.granted);
+                self.grants.lock().insert(g.node, g.granted);
                 if let Some(p) = st.plan.as_mut().and_then(|p| p.find_mut(g.node)) {
                     p.annot.mem_grant_bytes = g.granted;
                 }
                 self.log(
                     st,
-                    format!(
-                        "memory: {} grant {} -> {} bytes",
-                        g.node, old, g.granted
-                    ),
+                    format!("memory: {} grant {} -> {} bytes", g.node, old, g.granted),
                 );
             }
         }
@@ -348,7 +353,7 @@ impl ReoptController {
 
         // Build the placeholder temp table carrying improved stats.
         st.temp_counter += 1;
-        let temp_name = format!("tmp_reopt_{}", st.temp_counter);
+        let temp_name = format!("{}{}", self.temp_prefix, st.temp_counter);
         let cut_node = improved.find(node).expect("cut in improved plan");
         let placeholder_file = self.storage.create_file();
         let stats = self.placeholder_stats(st, cut_node);
@@ -505,7 +510,9 @@ impl ReoptController {
         // selectivities for any column no collector happened to watch.
         for field in cut.schema.fields() {
             let Some(q) = &field.qualifier else { continue };
-            let Ok(entry) = self.catalog.table(q) else { continue };
+            let Ok(entry) = self.catalog.table(q) else {
+                continue;
+            };
             let Some(stats) = &entry.stats else { continue };
             if let Some(cs) = stats.columns.get(field.name.as_ref()) {
                 let mut cs = cs.clone();
@@ -528,10 +535,7 @@ impl ReoptController {
                             distinct: oc.distinct,
                             null_frac: oc.null_frac,
                             histogram: oc.histogram.clone(),
-                            histogram_kind: oc
-                                .histogram
-                                .as_ref()
-                                .map(|h| h.kind()),
+                            histogram_kind: oc.histogram.as_ref().map(|h| h.kind()),
                             clustering: oc.clustering,
                         },
                     );
@@ -554,7 +558,11 @@ impl ExecMonitor for ReoptController {
         if st.suppressed || st.plan.is_none() || !self.mode.reallocates_memory() {
             return Ok(());
         }
-        let Some(est) = st.plan.as_ref().and_then(|p| p.find(node)).map(|n| n.annot.est_rows)
+        let Some(est) = st
+            .plan
+            .as_ref()
+            .and_then(|p| p.find(node))
+            .map(|n| n.annot.est_rows)
         else {
             return Ok(());
         };

@@ -9,9 +9,11 @@
 //! "this process continues until the query completes execution" (§3.1).
 
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mq_catalog::Catalog;
-use mq_common::{CostSnapshot, EngineConfig, MqError, Result, Row, SimClock};
+use mq_common::{CancelToken, CostSnapshot, EngineConfig, MqError, Result, Row, SimClock};
 use mq_exec::{materialize, run_to_vec, ExecContext};
 use mq_memory::MemoryManager;
 use mq_optimizer::{recost, OptCalibration, Optimizer};
@@ -86,6 +88,28 @@ impl QueryOutcome {
     }
 }
 
+/// Per-job execution environment: which clock to charge, which memory
+/// manager to allocate from (under the concurrent runtime this is
+/// lease-backed by the global broker), and how the job can be
+/// interrupted. [`Engine::run`] uses a default environment (the
+/// engine-wide clock and memory manager, no interrupts);
+/// [`Engine::run_with`] lets the runtime supply a per-query one.
+pub struct JobEnv {
+    /// Clock all of this job's work is charged to (a
+    /// [`SimClock::child`] of the engine clock under the runtime, so
+    /// the global aggregate still sees every charge).
+    pub clock: SimClock,
+    /// Memory manager for this job's grants.
+    pub mm: MemoryManager,
+    /// Cooperative cancellation token, if the job is cancellable.
+    pub cancel: Option<CancelToken>,
+    /// Deadline in simulated milliseconds on `clock`.
+    pub deadline_ms: Option<f64>,
+    /// Temp-table prefix; must be unique across concurrently running
+    /// queries (the shared catalog rejects duplicate names).
+    pub temp_prefix: String,
+}
+
 /// The engine: shared storage/catalog plus the re-optimization stack.
 pub struct Engine {
     cfg: EngineConfig,
@@ -94,7 +118,8 @@ pub struct Engine {
     catalog: Catalog,
     optimizer: Optimizer,
     mm: MemoryManager,
-    calibration: Rc<OptCalibration>,
+    calibration: Arc<OptCalibration>,
+    query_seq: AtomicU64,
 }
 
 impl Engine {
@@ -106,7 +131,7 @@ impl Engine {
         let catalog = Catalog::new();
         let optimizer = Optimizer::new(cfg.clone());
         let mm = MemoryManager::new(&cfg);
-        let calibration = Rc::new(OptCalibration::run(&cfg, 6)?);
+        let calibration = Arc::new(OptCalibration::run(&cfg, 6)?);
         Ok(Engine {
             cfg,
             clock,
@@ -115,6 +140,7 @@ impl Engine {
             optimizer,
             mm,
             calibration,
+            query_seq: AtomicU64::new(0),
         })
     }
 
@@ -148,20 +174,59 @@ impl Engine {
         &self.clock
     }
 
+    /// Fresh query id (used to keep temp-table names unique across
+    /// concurrently running queries).
+    pub fn next_query_id(&self) -> u64 {
+        self.query_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The default per-job environment: the engine-wide clock and
+    /// memory manager, no interrupts, and a unique temp prefix.
+    pub fn default_env(&self) -> JobEnv {
+        JobEnv {
+            clock: self.clock.clone(),
+            mm: self.mm.clone(),
+            cancel: None,
+            deadline_ms: None,
+            temp_prefix: format!("tmp_reopt_q{}_", self.next_query_id()),
+        }
+    }
+
     /// Run a query under the given re-optimization mode.
     pub fn run(&self, logical: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
-        let t0 = self.clock.snapshot();
-        let ctx = ExecContext::new(self.storage.clone(), self.clock.clone(), self.cfg.clone());
+        self.run_with(logical, mode, self.default_env())
+    }
+
+    /// Run a query under an explicit per-job environment. This is the
+    /// entry point the concurrent runtime uses: `env.clock` is a child
+    /// of the engine clock (scoped onto this thread so shared-component
+    /// charges are attributed to the job), `env.mm` is lease-backed by
+    /// the global memory broker, and cancel/deadline make the job
+    /// interruptible at segment boundaries.
+    pub fn run_with(
+        &self,
+        logical: &LogicalPlan,
+        mode: ReoptMode,
+        env: JobEnv,
+    ) -> Result<QueryOutcome> {
+        // While this job runs on this thread, charges made against the
+        // engine-wide clock (by shared Storage / the buffer pool) are
+        // also attributed to the job clock — exactly once each.
+        let _scope = env.clock.enter_scope();
+        let t0 = env.clock.snapshot();
+        let ctx = ExecContext::new(self.storage.clone(), env.clock.clone(), self.cfg.clone())
+            .with_interrupts(env.cancel.clone(), env.deadline_ms);
         let controller = Rc::new(ReoptController::new(
             mode,
             self.cfg.clone(),
             self.catalog.clone(),
             self.storage.clone(),
             self.optimizer.clone(),
-            Rc::clone(&self.calibration),
-            self.mm.clone(),
-            self.clock.clone(),
+            Arc::clone(&self.calibration),
+            env.mm.clone(),
+            env.clock.clone(),
             ctx.share_grants(),
+            env.temp_prefix.clone(),
         ));
         let ctx = if mode.collects() {
             ctx.with_monitor(controller.clone())
@@ -172,12 +237,14 @@ impl Engine {
         let mut temp_tables: Vec<String> = Vec::new();
         let mut current = logical.clone();
         let outcome = loop {
-            let mut optimized = self.optimizer.optimize(&current, &self.catalog, &self.storage)?;
-            self.clock.add_opt_work(optimized.work_units);
+            let mut optimized = self
+                .optimizer
+                .optimize(&current, &self.catalog, &self.storage)?;
+            env.clock.add_opt_work(optimized.work_units);
             if mode.collects() {
                 insert_collectors(&mut optimized.plan, &self.catalog, &self.cfg)?;
             }
-            self.mm.allocate(&mut optimized.plan, &self.cfg)?;
+            env.mm.allocate(&mut optimized.plan, &self.cfg)?;
             recost(&mut optimized.plan, &self.cfg);
             controller.begin_attempt(optimized.plan.clone());
 
@@ -186,8 +253,8 @@ impl Engine {
                     let (memory_reallocs, collector_reports) = controller.counters();
                     break QueryOutcome {
                         rows,
-                        cost: self.clock.snapshot().since(&t0),
-                        time_ms: self.clock.snapshot().since(&t0).time_ms(&self.cfg),
+                        cost: env.clock.snapshot().since(&t0),
+                        time_ms: env.clock.snapshot().since(&t0).time_ms(&self.cfg),
                         mode,
                         plan_switches: controller.switches(),
                         memory_reallocs,
@@ -266,7 +333,9 @@ impl Engine {
             if !matches!(node.op, mq_plan::PhysOp::StatsCollector { .. }) {
                 return;
             }
-            let Some(child) = node.children.first() else { return };
+            let Some(child) = node.children.first() else {
+                return;
+            };
             let mq_plan::PhysOp::SeqScan { spec, filter: None } = &child.op else {
                 return;
             };
@@ -286,7 +355,10 @@ impl Engine {
                     (bare, v.clone())
                 })
                 .collect();
-            let pages = self.storage.file_pages(spec.file).unwrap_or(spec.pages as usize) as u64;
+            let pages = self
+                .storage
+                .file_pages(spec.file)
+                .unwrap_or(spec.pages as usize) as u64;
             let _ = self.catalog.apply_observed(
                 &spec.table,
                 obs.rows,

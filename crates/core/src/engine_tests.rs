@@ -31,8 +31,12 @@ fn stale_fact_engine() -> Engine {
         ],
     )
     .unwrap();
-    cat.create_table(st, "dim1", vec![("pk", DataType::Int), ("x", DataType::Int)])
-        .unwrap();
+    cat.create_table(
+        st,
+        "dim1",
+        vec![("pk", DataType::Int), ("x", DataType::Int)],
+    )
+    .unwrap();
     cat.create_table(
         st,
         "bigdim",
@@ -75,7 +79,8 @@ fn stale_fact_engine() -> Engine {
         .unwrap();
     }
     for t in ["fact", "dim1", "bigdim"] {
-        cat.analyze(st, t, HistogramKind::MaxDiff, 16, 512, 11).unwrap();
+        cat.analyze(st, t, HistogramKind::MaxDiff, 16, 512, 11)
+            .unwrap();
     }
     cat.create_index(st, "bigdim", "pk").unwrap();
 
@@ -224,7 +229,12 @@ fn memory_realloc_avoids_spill() {
         cat.insert_row(
             st,
             "r",
-            Row::new(vec![Value::Int(a), Value::Int(a), Value::Int(a), Value::Int(i % 2000)]),
+            Row::new(vec![
+                Value::Int(a),
+                Value::Int(a),
+                Value::Int(a),
+                Value::Int(i % 2000),
+            ]),
         )
         .unwrap();
     }
@@ -237,7 +247,8 @@ fn memory_realloc_avoids_spill() {
             .unwrap();
     }
     for name in ["r", "s", "t"] {
-        cat.analyze(st, name, HistogramKind::MaxDiff, 16, 512, 5).unwrap();
+        cat.analyze(st, name, HistogramKind::MaxDiff, 16, 512, 5)
+            .unwrap();
     }
 
     let q = LogicalPlan::scan_filtered(
@@ -295,15 +306,14 @@ fn simple_queries_unaffected() {
     let engine = stale_fact_engine();
     // Zero-join query: collectors may exist but re-optimization never
     // fires, and results match.
-    let q = LogicalPlan::scan_filtered("fact", cmp(CmpOp::Lt, col("fact.v"), lit(2i64)))
-        .aggregate(
-            vec![],
-            vec![AggExpr {
-                func: AggFunc::Count,
-                arg: None,
-                name: "n".into(),
-            }],
-        );
+    let q = LogicalPlan::scan_filtered("fact", cmp(CmpOp::Lt, col("fact.v"), lit(2i64))).aggregate(
+        vec![],
+        vec![AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            name: "n".into(),
+        }],
+    );
     let off = engine.run(&q, ReoptMode::Off).unwrap();
     let full = engine.run(&q, ReoptMode::Full).unwrap();
     assert_eq!(off.rows, full.rows);
@@ -355,10 +365,18 @@ fn udf_blindness_repaired_by_reallocation() {
         ],
     )
     .unwrap();
-    cat.create_table(st, "regions", vec![("code", DataType::Int), ("zone", DataType::Int)])
-        .unwrap();
-    cat.create_table(st, "zones", vec![("zone", DataType::Int), ("name", DataType::Str)])
-        .unwrap();
+    cat.create_table(
+        st,
+        "regions",
+        vec![("code", DataType::Int), ("zone", DataType::Int)],
+    )
+    .unwrap();
+    cat.create_table(
+        st,
+        "zones",
+        vec![("zone", DataType::Int), ("name", DataType::Str)],
+    )
+    .unwrap();
     for i in 0..6000i64 {
         cat.insert_row(
             st,
@@ -372,8 +390,12 @@ fn udf_blindness_repaired_by_reallocation() {
         .unwrap();
     }
     for i in 0..800i64 {
-        cat.insert_row(st, "regions", Row::new(vec![Value::Int(i), Value::Int(i % 40)]))
-            .unwrap();
+        cat.insert_row(
+            st,
+            "regions",
+            Row::new(vec![Value::Int(i), Value::Int(i % 40)]),
+        )
+        .unwrap();
     }
     for i in 0..40i64 {
         cat.insert_row(
@@ -384,7 +406,8 @@ fn udf_blindness_repaired_by_reallocation() {
         .unwrap();
     }
     for t in ["parcels", "regions", "zones"] {
-        cat.analyze(st, t, HistogramKind::MaxDiff, 16, 512, 3).unwrap();
+        cat.analyze(st, t, HistogramKind::MaxDiff, 16, 512, 3)
+            .unwrap();
     }
 
     let udf_filter = mq_expr::Expr::UdfPred {
@@ -396,8 +419,14 @@ fn udf_blindness_repaired_by_reallocation() {
         },
     };
     let q = LogicalPlan::scan_filtered("parcels", udf_filter)
-        .join(LogicalPlan::scan("regions"), vec![("parcels.region_code", "regions.code")])
-        .join(LogicalPlan::scan("zones"), vec![("regions.zone", "zones.zone")])
+        .join(
+            LogicalPlan::scan("regions"),
+            vec![("parcels.region_code", "regions.code")],
+        )
+        .join(
+            LogicalPlan::scan("zones"),
+            vec![("regions.zone", "zones.zone")],
+        )
         .aggregate(
             vec!["zones.name"],
             vec![AggExpr {
@@ -410,7 +439,11 @@ fn udf_blindness_repaired_by_reallocation() {
     let off = engine.run(&q, ReoptMode::Off).unwrap();
     let full = engine.run(&q, ReoptMode::Full).unwrap();
     assert_eq!(off.rows.len(), full.rows.len());
-    assert!(full.memory_reallocs >= 1, "events:\n{}", full.events.join("\n"));
+    assert!(
+        full.memory_reallocs >= 1,
+        "events:\n{}",
+        full.events.join("\n")
+    );
     assert!(
         full.cost.pages_written < off.cost.pages_written,
         "full writes {} vs off writes {}",
@@ -454,12 +487,16 @@ fn impossible_budget_is_a_clean_error() {
     cat.create_table(st, "big", vec![("k", DataType::Int), ("v", DataType::Int)])
         .unwrap();
     for i in 0..20_000i64 {
-        cat.insert_row(st, "big", Row::new(vec![Value::Int(i), Value::Int(i % 100)]))
-            .unwrap();
+        cat.insert_row(
+            st,
+            "big",
+            Row::new(vec![Value::Int(i), Value::Int(i % 100)]),
+        )
+        .unwrap();
     }
-    cat.analyze(st, "big", HistogramKind::MaxDiff, 16, 512, 1).unwrap();
-    let q = LogicalPlan::scan("big")
-        .join(LogicalPlan::scan("big2"), vec![("big.k", "big2.k")]);
+    cat.analyze(st, "big", HistogramKind::MaxDiff, 16, 512, 1)
+        .unwrap();
+    let q = LogicalPlan::scan("big").join(LogicalPlan::scan("big2"), vec![("big.k", "big2.k")]);
     // big2 doesn't exist → NotFound, clean.
     assert!(engine.run(&q, ReoptMode::Full).is_err());
     // Self-join-free giant hash join under a 4-page budget → OOM or a
@@ -523,7 +560,8 @@ fn stats_feedback_heals_stale_catalog() {
             cat.insert_row(st, "r", Row::new(vec![Value::Int(i), Value::Int(i % 5)]))
                 .unwrap();
         }
-        cat.analyze(st, "r", HistogramKind::MaxDiff, 16, 512, 3).unwrap();
+        cat.analyze(st, "r", HistogramKind::MaxDiff, 16, 512, 3)
+            .unwrap();
         for i in 200..2000i64 {
             cat.insert_row(st, "r", Row::new(vec![Value::Int(i), Value::Int(i % 5)]))
                 .unwrap();
@@ -533,7 +571,8 @@ fn stats_feedback_heals_stale_catalog() {
             cat.insert_row(st, "s", Row::new(vec![Value::Int(i), Value::Int(i % 9)]))
                 .unwrap();
         }
-        cat.analyze(st, "s", HistogramKind::MaxDiff, 16, 512, 4).unwrap();
+        cat.analyze(st, "s", HistogramKind::MaxDiff, 16, 512, 4)
+            .unwrap();
         engine
     }
     let q = LogicalPlan::scan("r").join(LogicalPlan::scan("s"), vec![("r.k", "s.k")]);
@@ -554,7 +593,8 @@ fn stats_feedback_heals_stale_catalog() {
     let healed = engine.catalog().table("r").unwrap();
     let stats = healed.stats.unwrap();
     assert_eq!(
-        stats.rows, 2000,
+        stats.rows,
+        2000,
         "exact observed cardinality written back; events:\n{}",
         out.events.join("\n")
     );

@@ -77,10 +77,7 @@ impl ImprovedEstimates {
 
     /// Improved remaining time: total of the improved plan minus the
     /// parts already executed (`completed` node ids).
-    pub fn remaining_ms(
-        plan: &PhysPlan,
-        completed: &std::collections::HashSet<NodeId>,
-    ) -> f64 {
+    pub fn remaining_ms(plan: &PhysPlan, completed: &std::collections::HashSet<NodeId>) -> f64 {
         let mut total = 0.0;
         plan.walk(&mut |n| {
             if !completed.contains(&n.id) {
@@ -194,7 +191,11 @@ mod tests {
         let cfg = EngineConfig::default();
         let improved = imp.improved_plan(&plan, &cfg);
         // c2 exact 500 → root scales by 500/1000 = 0.5 → 4000.
-        assert!((improved.annot.est_rows - 4000.0).abs() < 1e-6, "{}", improved.annot.est_rows);
+        assert!(
+            (improved.annot.est_rows - 4000.0).abs() < 1e-6,
+            "{}",
+            improved.annot.est_rows
+        );
     }
 
     #[test]

@@ -68,10 +68,7 @@ fn convert(p: &PhysPlan, cut: NodeId, temp: &str) -> Result<LogicalPlan> {
         },
         PhysOp::Project { exprs } => LogicalPlan::Project {
             input: Box::new(convert(&p.children[0], cut, temp)?),
-            exprs: exprs
-                .iter()
-                .map(|(e, n)| (e.unbind(), n.clone()))
-                .collect(),
+            exprs: exprs.iter().map(|(e, n)| (e.unbind(), n.clone())).collect(),
         },
         PhysOp::HashJoin {
             build_keys,
@@ -280,8 +277,7 @@ mod reconstruction_tests {
     /// silently drop a filter).
     #[test]
     fn index_scan_predicate_reconstructed() {
-        let schema =
-            Schema::new(vec![Field::qualified("t", "k", DataType::Int)]).unwrap();
+        let schema = Schema::new(vec![Field::qualified("t", "k", DataType::Int)]).unwrap();
         let scan = PhysPlan::new(
             PhysOp::IndexScan {
                 spec: ScanSpec {
@@ -335,8 +331,7 @@ mod reconstruction_tests {
     /// Sort keys and aggregate groups map back to qualified names.
     #[test]
     fn sort_and_aggregate_reconstructed() {
-        let schema =
-            Schema::new(vec![Field::qualified("t", "a", DataType::Int)]).unwrap();
+        let schema = Schema::new(vec![Field::qualified("t", "a", DataType::Int)]).unwrap();
         let scan = PhysPlan::new(
             PhysOp::SeqScan {
                 spec: ScanSpec {

@@ -270,11 +270,7 @@ fn insert_rec(
 /// skip those to keep plans lean — unless statistics feedback is on and
 /// the table is stale, in which case observing the scan rebuilds that
 /// table's column statistics for every future query (§2.2 feedback).
-fn worth_a_site(
-    child: &PhysPlan,
-    cfg: &EngineConfig,
-    staleness: &HashMap<String, f64>,
-) -> bool {
+fn worth_a_site(child: &PhysPlan, cfg: &EngineConfig, staleness: &HashMap<String, f64>) -> bool {
     match &child.op {
         PhysOp::SeqScan { filter, .. } => {
             filter.is_some() || (cfg.stats_feedback && feedback_site(child, staleness))
@@ -501,10 +497,18 @@ mod tests {
             ],
         )
         .unwrap();
-        cat.create_table(&storage, "d1", vec![("pk", DataType::Int), ("x", DataType::Int)])
-            .unwrap();
-        cat.create_table(&storage, "d2", vec![("pk", DataType::Int), ("y", DataType::Int)])
-            .unwrap();
+        cat.create_table(
+            &storage,
+            "d1",
+            vec![("pk", DataType::Int), ("x", DataType::Int)],
+        )
+        .unwrap();
+        cat.create_table(
+            &storage,
+            "d2",
+            vec![("pk", DataType::Int), ("y", DataType::Int)],
+        )
+        .unwrap();
         for i in 0..3000i64 {
             cat.insert_row(
                 &storage,
@@ -638,7 +642,10 @@ mod tests {
     fn tiny_mu_drops_candidates() {
         let (cat, st, _) = setup(true);
         // No collection budget at all.
-        let cfg = EngineConfig { mu: 0.0, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            mu: 0.0,
+            ..EngineConfig::default()
+        };
         let opt = Optimizer::new(cfg.clone());
         let mut result = opt.optimize(&query(), &cat, &st).unwrap();
         let report = insert_collectors(&mut result.plan, &cat, &cfg).unwrap();

@@ -296,9 +296,9 @@ impl Operator for HashAggregateExec {
                 let (_, row) = item?;
                 ctx.clock.add_cpu(2 + self.aggs.len() as u64);
                 let key = self.group_key(&row);
-                let states = sub.entry(key).or_insert_with(|| {
-                    self.aggs.iter().map(|a| AggState::new(a.func)).collect()
-                });
+                let states = sub
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect());
                 for (st, agg) in states.iter_mut().zip(&self.aggs) {
                     match &agg.arg {
                         Some(e) => st.update(Some(&e.eval(&row)?)),
@@ -312,8 +312,18 @@ impl Operator for HashAggregateExec {
 
         // Deterministic output order (HashMap order is arbitrary).
         output.sort_by(|a, b| {
-            let ka: Vec<&Value> = self.group.iter().enumerate().map(|(i, _)| a.get(i)).collect();
-            let kb: Vec<&Value> = self.group.iter().enumerate().map(|(i, _)| b.get(i)).collect();
+            let ka: Vec<&Value> = self
+                .group
+                .iter()
+                .enumerate()
+                .map(|(i, _)| a.get(i))
+                .collect();
+            let kb: Vec<&Value> = self
+                .group
+                .iter()
+                .enumerate()
+                .map(|(i, _)| b.get(i))
+                .collect();
             ka.cmp(&kb)
         });
 

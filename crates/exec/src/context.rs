@@ -4,10 +4,12 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
-use mq_common::{EngineConfig, FileId, Result, Row, SimClock, Value};
+use mq_common::{CancelToken, EngineConfig, FileId, MqError, Result, Row, SimClock, Value};
 use mq_plan::NodeId;
 use mq_storage::Storage;
+use parking_lot::Mutex;
 
 use crate::collector::ObservedStats;
 
@@ -58,9 +60,11 @@ pub struct HashBuild {
     pub rows: u64,
 }
 
-/// Everything operators need at run time. Single-threaded by design
-/// (interior mutability via `RefCell`); the experiment harness runs
-/// queries back-to-back, as the paper's did.
+/// Everything operators need at run time. Each query runs on one
+/// thread (interior mutability via `RefCell` for operator state), but
+/// many queries run concurrently against shared storage, so the
+/// cross-thread-visible pieces — the grants table the runtime's memory
+/// broker can touch — live behind `Arc<Mutex<…>>`.
 pub struct ExecContext {
     /// Storage (buffer pool, heap files, indexes, temp files).
     pub storage: Storage,
@@ -72,11 +76,16 @@ pub struct ExecContext {
     pub artifacts: RefCell<HashMap<NodeId, Artifact>>,
     /// Memory grants, updatable mid-query for unstarted operators
     /// (§2.3). Operators read their grant when their phase *starts*.
-    /// Shared (`Rc`) so the re-optimization controller can update it
-    /// from inside monitor callbacks.
-    pub grants: Rc<RefCell<HashMap<NodeId, usize>>>,
+    /// Shared so the re-optimization controller can update it from
+    /// inside monitor callbacks.
+    pub grants: Arc<Mutex<HashMap<NodeId, usize>>>,
     /// Optional observer (the re-optimization controller).
     pub monitor: Option<Rc<dyn ExecMonitor>>,
+    /// Cooperative cancellation, polled at segment boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Deadline in simulated milliseconds on `clock`; exceeding it
+    /// cancels the query at the next segment boundary.
+    pub deadline_ms: Option<f64>,
 }
 
 impl ExecContext {
@@ -87,19 +96,21 @@ impl ExecContext {
             clock,
             cfg,
             artifacts: RefCell::new(HashMap::new()),
-            grants: Rc::new(RefCell::new(HashMap::new())),
+            grants: Arc::new(Mutex::new(HashMap::new())),
             monitor: None,
+            cancel: None,
+            deadline_ms: None,
         }
     }
 
     /// A shared handle to the grants table (for the controller).
-    pub fn share_grants(&self) -> Rc<RefCell<HashMap<NodeId, usize>>> {
-        Rc::clone(&self.grants)
+    pub fn share_grants(&self) -> Arc<Mutex<HashMap<NodeId, usize>>> {
+        Arc::clone(&self.grants)
     }
 
     /// Drop all grant overrides (after a plan switch re-numbers nodes).
     pub fn clear_grants(&self) {
-        self.grants.borrow_mut().clear();
+        self.grants.lock().clear();
     }
 
     /// Attach a monitor.
@@ -108,11 +119,44 @@ impl ExecContext {
         self
     }
 
+    /// Attach a cancellation token and optional simulated-ms deadline.
+    pub fn with_interrupts(
+        mut self,
+        cancel: Option<CancelToken>,
+        deadline_ms: Option<f64>,
+    ) -> ExecContext {
+        self.cancel = cancel;
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Cooperative interrupt check: fails with
+    /// [`MqError::Cancelled`] once cancellation was requested or the
+    /// simulated deadline passed. Called at segment boundaries (and at
+    /// executor start), so cancellation latency is bounded by one
+    /// pipeline phase.
+    pub fn check_interrupt(&self) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(MqError::Cancelled("query cancelled".into()));
+            }
+        }
+        if let Some(deadline) = self.deadline_ms {
+            let now = self.clock.elapsed_ms(&self.cfg);
+            if now > deadline {
+                return Err(MqError::Cancelled(format!(
+                    "deadline {deadline:.1} ms exceeded (simulated clock at {now:.1} ms)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// The memory grant for `node`: the grants table if set, otherwise
     /// `fallback` (the grant baked into the plan annotation), otherwise
     /// the whole budget.
     pub fn grant_for(&self, node: NodeId, fallback: usize) -> usize {
-        if let Some(&g) = self.grants.borrow().get(&node) {
+        if let Some(&g) = self.grants.lock().get(&node) {
             return g;
         }
         if fallback > 0 {
@@ -124,7 +168,7 @@ impl ExecContext {
 
     /// Update the grant of a (not yet started) operator.
     pub fn set_grant(&self, node: NodeId, bytes: usize) {
-        self.grants.borrow_mut().insert(node, bytes);
+        self.grants.lock().insert(node, bytes);
     }
 
     /// Fire the collector hook.
@@ -143,8 +187,11 @@ impl ExecContext {
         }
     }
 
-    /// Fire the phase-complete hook.
+    /// Fire the phase-complete hook. A segment boundary is also where
+    /// cancellation and deadlines are honoured — before the monitor
+    /// runs, so a cancelled query never triggers a re-optimization.
     pub fn notify_phase(&self, node: NodeId) -> Result<()> {
+        self.check_interrupt()?;
         match &self.monitor {
             Some(m) => m.on_phase_complete(node),
             None => Ok(()),

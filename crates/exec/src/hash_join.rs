@@ -43,9 +43,13 @@ pub struct HashJoinExec {
 enum Phase {
     Unopened,
     /// Probing an in-memory table.
-    InMem { table: HashMap<Vec<Value>, Vec<Row>> },
+    InMem {
+        table: HashMap<Vec<Value>, Vec<Row>>,
+    },
     /// Spilled: probe side not yet partitioned.
-    NeedProbePartition { build_parts: Vec<FileId> },
+    NeedProbePartition {
+        build_parts: Vec<FileId>,
+    },
     /// Joining partitions pairwise.
     Parts {
         build_parts: Vec<FileId>,
@@ -139,14 +143,14 @@ impl HashJoinExec {
                     table.entry(key).or_default().push(row);
                     if bytes > usable {
                         if std::env::var("MQ_SPILL").is_ok() {
-                            eprintln!("SPILL hashjoin {:?} grant={} bytes={}", self.node, grant, bytes);
+                            eprintln!(
+                                "SPILL hashjoin {:?} grant={} bytes={}",
+                                self.node, grant, bytes
+                            );
                         }
                         // Overflow: switch to spilling. Flush the table.
-                        let nparts = partition_count(
-                            grant,
-                            ctx.cfg.page_size,
-                            ctx.cfg.buffer_pool_pages,
-                        );
+                        let nparts =
+                            partition_count(grant, ctx.cfg.page_size, ctx.cfg.buffer_pool_pages);
                         let files: Vec<FileId> =
                             (0..nparts).map(|_| ctx.storage.create_file()).collect();
                         for (k, rows) in table.drain() {
@@ -217,7 +221,12 @@ impl HashJoinExec {
                     probe_parts,
                     current,
                     chunk_start,
-                } => (build_parts.clone(), probe_parts.clone(), current, chunk_start),
+                } => (
+                    build_parts.clone(),
+                    probe_parts.clone(),
+                    current,
+                    chunk_start,
+                ),
                 _ => return Ok(()),
             };
             if *current >= build_parts.len() {
@@ -257,7 +266,11 @@ impl HashJoinExec {
             if table.is_empty() && !more {
                 // Empty build partition: skip it.
                 *match &mut self.phase {
-                    Phase::Parts { current, chunk_start, .. } => {
+                    Phase::Parts {
+                        current,
+                        chunk_start,
+                        ..
+                    } => {
                         *chunk_start = 0;
                         current
                     }
@@ -350,9 +363,7 @@ impl Operator for HashJoinExec {
                 return Ok(Some(row));
             }
             match &mut self.phase {
-                Phase::Unopened => {
-                    return Err(MqError::Execution("hash join not opened".into()))
-                }
+                Phase::Unopened => return Err(MqError::Execution("hash join not opened".into())),
                 Phase::InMem { table } => match self.probe.next(ctx)? {
                     Some(row) => {
                         ctx.clock.add_cpu(2);

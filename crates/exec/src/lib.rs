@@ -86,11 +86,7 @@ pub fn build_executor(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
             take_one(&mut children)?,
             exprs.clone(),
         )),
-        PhysOp::Limit { n } => Box::new(filter::LimitExec::new(
-            node,
-            take_one(&mut children)?,
-            *n,
-        )),
+        PhysOp::Limit { n } => Box::new(filter::LimitExec::new(node, take_one(&mut children)?, *n)),
         PhysOp::HashJoin {
             build_keys,
             probe_keys,
@@ -153,7 +149,9 @@ fn take_one(children: &mut Vec<Box<dyn Operator>>) -> Result<Box<dyn Operator>> 
     Ok(children.pop().unwrap())
 }
 
-fn take_two(children: &mut Vec<Box<dyn Operator>>) -> Result<(Box<dyn Operator>, Box<dyn Operator>)> {
+fn take_two(
+    children: &mut Vec<Box<dyn Operator>>,
+) -> Result<(Box<dyn Operator>, Box<dyn Operator>)> {
     if children.len() != 2 {
         return Err(MqError::Internal(format!(
             "operator expected 2 children, got {}",
@@ -166,12 +164,21 @@ fn take_two(children: &mut Vec<Box<dyn Operator>>) -> Result<(Box<dyn Operator>,
 }
 
 /// Open, drain and close an executor, collecting all rows.
+///
+/// Cancellation is honoured at start and every `INTERRUPT_STRIDE` rows
+/// of the root drain, so even phase-less plans (pure scan pipelines,
+/// which never hit a segment boundary) stay cancellable.
 pub fn run_to_vec(plan: &PhysPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
+    const INTERRUPT_STRIDE: usize = 1024;
+    ctx.check_interrupt()?;
     let mut exec = build_executor(plan)?;
     exec.open(ctx)?;
     let mut out = Vec::new();
     while let Some(row) = exec.next(ctx)? {
         out.push(row);
+        if out.len() % INTERRUPT_STRIDE == 0 {
+            ctx.check_interrupt()?;
+        }
     }
     exec.close(ctx)?;
     Ok(out)

@@ -9,8 +9,8 @@ use mq_common::{FileId, Result, Schema};
 use mq_plan::PhysPlan;
 use mq_stats::{ColumnAccumulator, HistogramKind};
 
-use crate::context::ExecContext;
 use crate::build_executor;
+use crate::context::ExecContext;
 
 /// A materialized intermediate result.
 #[derive(Debug, Clone)]
@@ -74,7 +74,11 @@ pub fn materialize(plan: &PhysPlan, ctx: &ExecContext) -> Result<MaterializedRes
         stats: TableStats {
             rows,
             pages,
-            avg_row_bytes: if rows > 0 { bytes as f64 / rows as f64 } else { 0.0 },
+            avg_row_bytes: if rows > 0 {
+                bytes as f64 / rows as f64
+            } else {
+                0.0
+            },
             columns,
         },
     })

@@ -75,7 +75,12 @@ impl SortExec {
     }
 
     /// Merge groups of runs until at most `fanin` remain.
-    fn reduce_runs(&self, mut files: Vec<FileId>, fanin: usize, ctx: &ExecContext) -> Result<Vec<FileId>> {
+    fn reduce_runs(
+        &self,
+        mut files: Vec<FileId>,
+        fanin: usize,
+        ctx: &ExecContext,
+    ) -> Result<Vec<FileId>> {
         while files.len() > fanin {
             let mut next = Vec::new();
             for chunk in files.chunks(fanin) {
@@ -105,7 +110,11 @@ impl MergeState {
             heads.push(s.next().transpose()?.map(|(_, r)| r));
             scans.push(s);
         }
-        Ok(MergeState { files, scans, heads })
+        Ok(MergeState {
+            files,
+            scans,
+            heads,
+        })
     }
 
     fn next_min(&mut self, keys: &[(usize, bool)], ctx: &ExecContext) -> Result<Option<Row>> {

@@ -5,9 +5,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mq_catalog::Catalog;
-use mq_common::{
-    DataType, EngineConfig, Field, MqError, Result, Row, Schema, SimClock, Value,
-};
+use mq_common::{DataType, EngineConfig, Field, MqError, Result, Row, Schema, SimClock, Value};
 use mq_expr::{cmp, col, eq, lit, CmpOp};
 use mq_plan::{AggExpr, AggFunc, CollectorSpec, NodeId, PhysOp, PhysPlan, ScanSpec};
 use mq_storage::Storage;
@@ -206,13 +204,7 @@ fn hash_join_null_keys_never_match() {
             .insert_row(&fx.storage, "n", Row::new(vec![v]))
             .unwrap();
     }
-    let mut plan = hash_join_plan(
-        fx.scan_plan_n(),
-        fx.scan_plan_n(),
-        "n.k",
-        "n.k",
-        1 << 20,
-    );
+    let mut plan = hash_join_plan(fx.scan_plan_n(), fx.scan_plan_n(), "n.k", "n.k", 1 << 20);
     plan.assign_ids();
     let rows = run_to_vec(&plan, &fx.ctx()).unwrap();
     assert_eq!(rows.len(), 2, "only non-null keys join");
@@ -478,7 +470,9 @@ fn project_computes_expressions() {
             "double_k".to_string(),
         ),
         (
-            cmp(CmpOp::Lt, col("r.k"), lit(5i64)).bind(&in_schema).unwrap(),
+            cmp(CmpOp::Lt, col("r.k"), lit(5i64))
+                .bind(&in_schema)
+                .unwrap(),
             "is_small".to_string(),
         ),
     ];
@@ -547,7 +541,11 @@ fn collector_reports_exact_cardinality_and_histogram() {
     assert_eq!(st.rows, 200);
     assert!(st.avg_row_bytes > 10.0);
     let colstats = &st.columns["r.v"];
-    assert!((colstats.distinct - 4.0).abs() < 2.0, "distinct {}", colstats.distinct);
+    assert!(
+        (colstats.distinct - 4.0).abs() < 2.0,
+        "distinct {}",
+        colstats.distinct
+    );
     let h = colstats.histogram.as_ref().unwrap();
     assert!(h.sel_eq(2.0) > 0.15, "v=2 is a quarter of rows");
 }
@@ -662,7 +660,7 @@ fn mid_build_grant_raise_averts_spill() {
     /// Raises the join's grant the moment the collector under its
     /// build reports progress — i.e. genuinely mid-build.
     struct ProgressRaiser {
-        grants: std::rc::Rc<std::cell::RefCell<std::collections::HashMap<NodeId, usize>>>,
+        grants: std::sync::Arc<parking_lot::Mutex<std::collections::HashMap<NodeId, usize>>>,
         target: NodeId,
         fired: std::cell::Cell<u32>,
     }
@@ -675,7 +673,7 @@ fn mid_build_grant_raise_averts_spill() {
         }
         fn on_collector_progress(&self, _node: NodeId, _rows: u64) -> Result<()> {
             self.fired.set(self.fired.get() + 1);
-            self.grants.borrow_mut().insert(self.target, 8 << 20);
+            self.grants.lock().insert(self.target, 8 << 20);
             Ok(())
         }
     }

@@ -417,12 +417,10 @@ impl Expr {
     /// Collect every column name referenced (unbound or bound).
     pub fn referenced_columns(&self) -> Vec<Arc<str>> {
         let mut out = Vec::new();
-        self.walk(&mut |e| {
-            match e {
-                Expr::Column(n) => out.push(n.clone()),
-                Expr::BoundColumn { name, .. } => out.push(name.clone()),
-                _ => {}
-            }
+        self.walk(&mut |e| match e {
+            Expr::Column(n) => out.push(n.clone()),
+            Expr::BoundColumn { name, .. } => out.push(name.clone()),
+            _ => {}
         });
         out
     }
@@ -533,7 +531,9 @@ mod tests {
 
     #[test]
     fn bind_and_eval_comparison() {
-        let e = cmp(CmpOp::Lt, col("t.a"), lit(10i64)).bind(&schema()).unwrap();
+        let e = cmp(CmpOp::Lt, col("t.a"), lit(10i64))
+            .bind(&schema())
+            .unwrap();
         assert!(e.eval_predicate(&row(5, 0.0, "")).unwrap());
         assert!(!e.eval_predicate(&row(10, 0.0, "")).unwrap());
     }
@@ -598,9 +598,7 @@ mod tests {
             keep_fraction: 0.25,
             salt: 7,
         };
-        let kept = (0..10_000)
-            .filter(|&i| udf.apply(&Value::Int(i)))
-            .count();
+        let kept = (0..10_000).filter(|&i| udf.apply(&Value::Int(i))).count();
         let frac = kept as f64 / 10_000.0;
         assert!((frac - 0.25).abs() < 0.03, "frac {frac}");
         assert!((udf.true_selectivity() - 0.25).abs() < 1e-12);
@@ -612,9 +610,7 @@ mod tests {
             freq: 0.37,
             threshold: 0.0,
         };
-        let kept = (0..10_000)
-            .filter(|&i| udf.apply(&Value::Int(i)))
-            .count();
+        let kept = (0..10_000).filter(|&i| udf.apply(&Value::Int(i))).count();
         let frac = kept as f64 / 10_000.0;
         assert!((frac - udf.true_selectivity()).abs() < 0.05, "frac {frac}");
         assert!(!udf.apply(&Value::Null));

@@ -90,11 +90,7 @@ impl SelEstimate {
 }
 
 /// Estimate the selectivity of `expr` against `stats`.
-pub fn estimate_selectivity(
-    expr: &Expr,
-    stats: &dyn StatsView,
-    cfg: &EngineConfig,
-) -> SelEstimate {
+pub fn estimate_selectivity(expr: &Expr, stats: &dyn StatsView, cfg: &EngineConfig) -> SelEstimate {
     let mut est = estimate_inner(expr, stats, cfg);
     let mut cols: Vec<std::sync::Arc<str>> = expr.referenced_columns();
     cols.sort();
@@ -146,7 +142,12 @@ fn estimate_cmp(
     cfg: &EngineConfig,
 ) -> SelEstimate {
     // Normalize to column-op-literal when possible.
-    match (column_name(left), literal_value(right), column_name(right), literal_value(left)) {
+    match (
+        column_name(left),
+        literal_value(right),
+        column_name(right),
+        literal_value(left),
+    ) {
         (Some(colname), Some(v), _, _) => estimate_col_lit(op, colname, v, stats, cfg),
         (_, _, Some(colname), Some(v)) => estimate_col_lit(op.flip(), colname, v, stats, cfg),
         _ => {
@@ -202,10 +203,7 @@ fn estimate_col_lit(
                     return SelEstimate::new(h.sel_eq(r), basis);
                 }
                 if c.distinct > 1.0 {
-                    return SelEstimate::new(
-                        (1.0 - c.null_frac) / c.distinct,
-                        Basis::DistinctOnly,
-                    );
+                    return SelEstimate::new((1.0 - c.null_frac) / c.distinct, Basis::DistinctOnly);
                 }
             }
             SelEstimate::new(cfg.default_eq_selectivity, Basis::DefaultGuess)
@@ -310,7 +308,10 @@ mod tests {
                 clustering: 0.0,
             },
         );
-        Fake { cols, rows: 10_000.0 }
+        Fake {
+            cols,
+            rows: 10_000.0,
+        }
     }
 
     #[test]
@@ -402,7 +403,11 @@ mod tests {
         let est = estimate_selectivity(&e, &st, &cfg);
         // ≥25 (0.75) × ≤74 (0.75) ≈ 0.56 under independence — the known
         // over/under-estimation of conjunctive ranges.
-        assert!(est.selectivity > 0.4 && est.selectivity < 0.7, "{}", est.selectivity);
+        assert!(
+            est.selectivity > 0.4 && est.selectivity < 0.7,
+            "{}",
+            est.selectivity
+        );
     }
 
     #[test]

@@ -45,9 +45,8 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_row() -> impl Strategy<Value = Row> {
-    (any::<i64>(), -1e9f64..1e9, "[a-z]{0,8}").prop_map(|(a, b, c)| {
-        Row::new(vec![Value::Int(a), Value::Float(b), Value::str(c)])
-    })
+    (any::<i64>(), -1e9f64..1e9, "[a-z]{0,8}")
+        .prop_map(|(a, b, c)| Row::new(vec![Value::Int(a), Value::Float(b), Value::str(c)]))
 }
 
 proptest! {

@@ -1,0 +1,265 @@
+//! The global memory broker: §2.3 extended across queries.
+//!
+//! Within one query the paper's memory manager divides a fixed budget
+//! among operators, re-allocating mid-query as estimates improve. Under
+//! a concurrent workload that per-query budget is itself a scarce
+//! resource: the broker owns a single global budget and hands each
+//! query a [`Lease`] at admission. A query that cannot even get its
+//! *minimum* lease waits in FIFO order (admission control); a running
+//! query whose memory manager wants more — a mid-query re-allocation or
+//! a provisional-progress raise — asks its lease to [`Lease::grow`],
+//! which succeeds only to the extent the global budget allows right
+//! now. Dropping the lease returns every granted byte and wakes the
+//! admission queue.
+//!
+//! The broker never over-commits: the sum of live grants is kept ≤ the
+//! global budget at all times, and a monotone high-water mark records
+//! the tightest the pool ever got (asserted by the concurrency tests).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared global-memory broker. Cloning shares the budget.
+#[derive(Debug, Clone)]
+pub struct MemoryBroker {
+    inner: Arc<BrokerInner>,
+}
+
+#[derive(Debug)]
+struct BrokerInner {
+    budget: usize,
+    state: Mutex<BrokerState>,
+    admitted: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BrokerState {
+    /// Sum of all live grants.
+    used: usize,
+    /// Highest `used` ever observed.
+    high_water: usize,
+    /// Next admission ticket to hand out.
+    next_ticket: u64,
+    /// Ticket currently allowed to admit (FIFO fairness: later arrivals
+    /// cannot starve an earlier query waiting for a large minimum).
+    serving: u64,
+}
+
+/// One query's share of the global budget. Grows through the broker;
+/// releases everything on drop.
+#[derive(Debug)]
+pub struct Lease {
+    broker: MemoryBroker,
+    granted: AtomicUsize,
+}
+
+impl MemoryBroker {
+    /// Broker over `budget` bytes of global query memory.
+    pub fn new(budget: usize) -> MemoryBroker {
+        MemoryBroker {
+            inner: Arc::new(BrokerInner {
+                budget,
+                state: Mutex::new(BrokerState::default()),
+                admitted: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The global budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.inner.budget
+    }
+
+    /// Bytes currently granted across all live leases.
+    pub fn in_use(&self) -> usize {
+        self.lock().used
+    }
+
+    /// The largest total grant ever outstanding (monotone).
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    /// Admit a query: blocks (FIFO) until at least `min` bytes are
+    /// available, then grants up to `desired`. `min` must be ≤ the
+    /// global budget or the query could never be admitted — in that
+    /// case the request is clamped to the budget rather than deadlocking.
+    pub fn acquire(&self, min: usize, desired: usize) -> Arc<Lease> {
+        let min = min.min(self.inner.budget);
+        let desired = desired.max(min);
+        let mut st = self.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        while st.serving != ticket || st.used + min > self.inner.budget {
+            st = match self.inner.admitted.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        let grant = desired.min(self.inner.budget - st.used);
+        st.used += grant;
+        st.high_water = st.high_water.max(st.used);
+        st.serving += 1;
+        // The next ticket may also be admittable (we did not drain the
+        // whole pool); wake the queue to find out.
+        self.inner.admitted.notify_all();
+        Arc::new(Lease {
+            broker: self.clone(),
+            granted: AtomicUsize::new(grant),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BrokerState> {
+        match self.inner.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl Lease {
+    /// Bytes currently granted to this lease.
+    pub fn granted(&self) -> usize {
+        self.granted.load(Ordering::Acquire)
+    }
+
+    /// Ask for up to `extra` more bytes, non-blocking. Returns the
+    /// bytes actually added (possibly zero): a running query must make
+    /// do with what the pool can spare *now* — blocking here would
+    /// deadlock two growers waiting on each other. Growth also yields
+    /// to the admission queue: while a query is waiting to be admitted,
+    /// running queries may not grab the bytes it is waiting for.
+    pub fn grow(&self, extra: usize) -> usize {
+        if extra == 0 {
+            return 0;
+        }
+        let mut st = self.broker.lock();
+        if st.next_ticket > st.serving {
+            return 0;
+        }
+        let available = self.broker.inner.budget.saturating_sub(st.used);
+        let add = extra.min(available);
+        if add > 0 {
+            st.used += add;
+            st.high_water = st.high_water.max(st.used);
+            self.granted.fetch_add(add, Ordering::AcqRel);
+        }
+        add
+    }
+
+    /// Return `bytes` to the pool early (clamped to the grant).
+    pub fn shrink(&self, bytes: usize) {
+        let mut st = self.broker.lock();
+        let cur = self.granted.load(Ordering::Acquire);
+        let give_back = bytes.min(cur);
+        if give_back > 0 {
+            self.granted.store(cur - give_back, Ordering::Release);
+            st.used = st.used.saturating_sub(give_back);
+            drop(st);
+            self.broker.inner.admitted.notify_all();
+        }
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let grant = self.granted.swap(0, Ordering::AcqRel);
+        let mut st = self.broker.lock();
+        st.used = st.used.saturating_sub(grant);
+        drop(st);
+        self.broker.inner.admitted.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn grants_track_budget_and_high_water() {
+        let broker = MemoryBroker::new(1000);
+        let a = broker.acquire(100, 600);
+        assert_eq!(a.granted(), 600);
+        let b = broker.acquire(100, 600);
+        assert_eq!(b.granted(), 400, "clamped to what is left");
+        assert_eq!(broker.in_use(), 1000);
+        assert_eq!(broker.high_water(), 1000);
+        drop(a);
+        assert_eq!(broker.in_use(), 400);
+        assert_eq!(broker.high_water(), 1000, "high water is monotone");
+    }
+
+    #[test]
+    fn grow_is_clamped_and_shrink_returns() {
+        let broker = MemoryBroker::new(1000);
+        let a = broker.acquire(100, 700);
+        let b = broker.acquire(100, 200);
+        assert_eq!(a.grow(500), 100, "only 100 left in the pool");
+        assert_eq!(a.granted(), 800);
+        assert_eq!(a.grow(1), 0);
+        b.shrink(150);
+        assert_eq!(b.granted(), 50);
+        assert_eq!(a.grow(500), 150);
+        assert!(broker.in_use() <= broker.budget());
+    }
+
+    #[test]
+    fn admission_blocks_until_memory_frees() {
+        let broker = MemoryBroker::new(1000);
+        let big = broker.acquire(900, 900);
+        let b2 = broker.clone();
+        let waiter = std::thread::spawn(move || {
+            let lease = b2.acquire(500, 500);
+            lease.granted()
+        });
+        // The waiter cannot be admitted while `big` holds 900.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "admission must queue");
+        drop(big);
+        assert_eq!(waiter.join().unwrap(), 500);
+    }
+
+    #[test]
+    fn admission_is_fifo() {
+        let broker = MemoryBroker::new(1000);
+        let first = broker.acquire(800, 800);
+        let b2 = broker.clone();
+        // Queued: needs 700, only 200 free.
+        let blocked = std::thread::spawn(move || b2.acquire(700, 700).granted());
+        std::thread::sleep(Duration::from_millis(30));
+        // A later small request must NOT jump the queue.
+        let b3 = broker.clone();
+        let small = std::thread::spawn(move || b3.acquire(50, 50).granted());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !small.is_finished(),
+            "FIFO: small arrival waits behind the big one"
+        );
+        drop(first);
+        assert_eq!(blocked.join().unwrap(), 700);
+        assert_eq!(small.join().unwrap(), 50);
+    }
+
+    #[test]
+    fn grow_yields_to_admission_queue() {
+        let broker = MemoryBroker::new(1000);
+        let a = broker.acquire(100, 600);
+        let b2 = broker.clone();
+        // Queued: needs 600, only 400 free.
+        let waiter = std::thread::spawn(move || b2.acquire(600, 600).granted());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished());
+        // `a` may not steal the bytes the waiter is queued for.
+        assert_eq!(a.grow(400), 0, "growth must yield to waiting queries");
+        drop(a);
+        assert_eq!(waiter.join().unwrap(), 600);
+    }
+
+    #[test]
+    fn oversized_minimum_is_clamped_not_deadlocked() {
+        let broker = MemoryBroker::new(100);
+        let lease = broker.acquire(500, 500);
+        assert_eq!(lease.granted(), 100);
+    }
+}

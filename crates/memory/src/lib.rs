@@ -16,9 +16,14 @@
 //! allocation for operators that have not begun executing."
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use mq_common::{EngineConfig, MqError, Result};
 use mq_plan::{NodeId, PhysOp, PhysPlan};
+
+pub mod broker;
+
+pub use broker::{Lease, MemoryBroker};
 
 /// The derived demand of one memory-consuming operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,9 +131,17 @@ fn collect_postorder(plan: &PhysPlan, cfg: &EngineConfig, out: &mut Vec<MemoryDe
 }
 
 /// The memory manager.
+///
+/// Standalone, its budget is a fixed number of bytes. Under the
+/// concurrent runtime it instead holds a [`Lease`] from the global
+/// [`MemoryBroker`]: the budget is whatever the lease currently
+/// grants, and every mid-query re-allocation that needs more first
+/// asks the lease to grow — so cross-query memory movement is always
+/// brokered, never assumed.
 #[derive(Debug, Clone)]
 pub struct MemoryManager {
     budget: usize,
+    lease: Option<Arc<Lease>>,
 }
 
 impl MemoryManager {
@@ -136,17 +149,37 @@ impl MemoryManager {
     pub fn new(cfg: &EngineConfig) -> MemoryManager {
         MemoryManager {
             budget: cfg.query_memory_bytes,
+            lease: None,
         }
     }
 
     /// Manager with an explicit budget (tests, experiments).
     pub fn with_budget(budget: usize) -> MemoryManager {
-        MemoryManager { budget }
+        MemoryManager {
+            budget,
+            lease: None,
+        }
     }
 
-    /// The budget in bytes.
+    /// Manager whose budget is a lease from the global broker.
+    pub fn with_lease(lease: Arc<Lease>) -> MemoryManager {
+        MemoryManager {
+            budget: 0,
+            lease: Some(lease),
+        }
+    }
+
+    /// The budget in bytes (the lease's current grant when brokered).
     pub fn budget(&self) -> usize {
-        self.budget
+        match &self.lease {
+            Some(l) => l.granted(),
+            None => self.budget,
+        }
+    }
+
+    /// The lease backing this manager, if brokered.
+    pub fn lease(&self) -> Option<&Arc<Lease>> {
+        self.lease.as_ref()
     }
 
     /// Allocate memory to every memory consumer of `plan`, writing
@@ -212,7 +245,7 @@ impl MemoryManager {
             })
             .collect();
         let mut kept: HashMap<NodeId, usize> = HashMap::new();
-        let mut budget = self.budget;
+        let mut budget = self.budget();
         for d in &all {
             if started.contains(&d.node) {
                 let grant = plan
@@ -225,15 +258,23 @@ impl MemoryManager {
         }
         let open: Vec<&MemoryDemand> = all.iter().filter(|d| !kept.contains_key(&d.node)).collect();
 
-        // Pass 1: minimums for everyone still open.
+        // Pass 1: minimums for everyone still open. A brokered manager
+        // first tries to grow its lease to cover the shortfall — and,
+        // opportunistically, everyone's maximum — so a query squeezed
+        // at admission recovers memory as concurrent queries release it.
         let min_sum: usize = open.iter().map(|d| d.min).sum();
+        if let Some(lease) = &self.lease {
+            let ideal: usize = open.iter().map(|d| d.max).sum();
+            if ideal > budget {
+                budget += lease.grow(ideal - budget);
+            }
+        }
         if min_sum > budget {
             return Err(MqError::OutOfMemory(format!(
                 "minimum demands {min_sum} exceed remaining budget {budget}"
             )));
         }
-        let mut grants: HashMap<NodeId, usize> =
-            open.iter().map(|d| (d.node, d.min)).collect();
+        let mut grants: HashMap<NodeId, usize> = open.iter().map(|d| (d.node, d.min)).collect();
         let mut remaining = budget - min_sum;
 
         // Pass 2: raise to max greedily in execution order.
@@ -339,7 +380,11 @@ mod tests {
     fn figure3_squeeze() {
         let cfg = EngineConfig::default();
         // Build sides: 15k rows × 200B ≈ 3 MB → max ≈ 4.2 MB each.
-        let j1 = hash_join(scan("r1", 15_000.0, 200.0), scan("r2", 50_000.0, 100.0), 15_000.0);
+        let j1 = hash_join(
+            scan("r1", 15_000.0, 200.0),
+            scan("r2", 50_000.0, 100.0),
+            15_000.0,
+        );
         let mut j2 = hash_join(j1, scan("r3", 80_000.0, 100.0), 15_000.0);
         // Join 2's build is join 1's output: 15k × 40B... make it 3MB too.
         j2.children[0].annot.est_row_bytes = 200.0;
@@ -357,10 +402,7 @@ mod tests {
             g2.max
         );
         // Grants are written into the annotations.
-        assert_eq!(
-            j2.find(g1.node).unwrap().annot.mem_grant_bytes,
-            g1.granted
-        );
+        assert_eq!(j2.find(g1.node).unwrap().annot.mem_grant_bytes, g1.granted);
     }
 
     /// Figure 3's resolution: the observed build is half the estimate,
@@ -369,7 +411,11 @@ mod tests {
     #[test]
     fn figure3_realloc_after_improved_estimate() {
         let cfg = EngineConfig::default();
-        let j1 = hash_join(scan("r1", 15_000.0, 200.0), scan("r2", 50_000.0, 100.0), 15_000.0);
+        let j1 = hash_join(
+            scan("r1", 15_000.0, 200.0),
+            scan("r2", 50_000.0, 100.0),
+            15_000.0,
+        );
         let mut j2 = hash_join(j1, scan("r3", 80_000.0, 100.0), 15_000.0);
         j2.children[0].annot.est_row_bytes = 200.0;
         j2.assign_ids();
@@ -383,15 +429,19 @@ mod tests {
         j2.children[0].annot.est_rows = 7_500.0;
         let mut started = HashSet::new();
         started.insert(j1_id);
-        let second = mm.reallocate(&mut j2, &cfg, &started, &HashSet::new()).unwrap();
+        let second = mm
+            .reallocate(&mut j2, &cfg, &started, &HashSet::new())
+            .unwrap();
         let g1 = second.grant_for(j1_id).unwrap();
         let g2 = second.grant_for(j2_id).unwrap();
         assert_eq!(
-            g1.granted,
-            first.grants[0].granted,
+            g1.granted, first.grants[0].granted,
             "started operator keeps its grant"
         );
-        assert_eq!(g2.granted, g2.max, "second join now gets its (smaller) maximum");
+        assert_eq!(
+            g2.granted, g2.max,
+            "second join now gets its (smaller) maximum"
+        );
     }
 
     #[test]
@@ -513,16 +563,25 @@ mod realloc_tests {
         let first = mm.allocate(&mut plan, &cfg).unwrap();
         let j1_id = first.grants[0].node;
         let j2_id = first.grants[1].node;
-        assert!(first.grants[1].granted < first.grants[1].max, "squeezed at first");
+        assert!(
+            first.grants[1].granted < first.grants[1].max,
+            "squeezed at first"
+        );
 
         let mut finished = HashSet::new();
         finished.insert(j1_id);
         let second = mm
             .reallocate(&mut plan, &cfg, &HashSet::new(), &finished)
             .unwrap();
-        assert!(second.grant_for(j1_id).is_none(), "finished op dropped from report");
+        assert!(
+            second.grant_for(j1_id).is_none(),
+            "finished op dropped from report"
+        );
         let g2 = second.grant_for(j2_id).unwrap();
-        assert_eq!(g2.granted, g2.max, "released memory raises the survivor to max");
+        assert_eq!(
+            g2.granted, g2.max,
+            "released memory raises the survivor to max"
+        );
     }
 
     /// A started operator's existing grant is charged against the budget
@@ -654,6 +713,55 @@ mod realloc_tests {
         let j1_id = j2.children[0].id;
         assert_eq!(ds[0].node, j1_id);
         assert_eq!(ds[1].node, j2.id);
+    }
+}
+
+#[cfg(test)]
+mod lease_tests {
+    use super::*;
+    use crate::tests_support::*;
+
+    /// A query admitted with a small lease grows it through the broker
+    /// when allocation needs more — up to each operator's maximum.
+    #[test]
+    fn brokered_manager_grows_lease_for_demands() {
+        let cfg = EngineConfig::default();
+        let broker = MemoryBroker::new(16 << 20);
+        let lease = broker.acquire(64 * 1024, 64 * 1024);
+        let mm = MemoryManager::with_lease(lease);
+        let mut plan = hash_join(scan("a", 10_000.0, 200.0), scan("b", 100.0, 10.0), 10_000.0);
+        plan.assign_ids();
+        let report = mm.allocate(&mut plan, &cfg).unwrap();
+        let g = report.grants[0];
+        assert_eq!(g.granted, g.max, "lease grew to cover the maximum");
+        assert!(mm.budget() >= g.max);
+        assert!(broker.in_use() <= broker.budget());
+    }
+
+    /// When concurrent queries hold the pool, growth is bounded: the
+    /// allocation fails over minimums rather than over-committing, and
+    /// succeeds once the hog releases.
+    #[test]
+    fn contended_broker_bounds_growth() {
+        let cfg = EngineConfig::default();
+        let broker = MemoryBroker::new(256 * 1024);
+        let hog = broker.acquire(200 * 1024, 200 * 1024);
+        let lease = broker.acquire(4 * 1024, 16 * 1024);
+        let mm = MemoryManager::with_lease(lease);
+        // Build side ≈ 2 MB: the grace-partitioning minimum (~96 KiB)
+        // exceeds what the pool can spare while the hog lives.
+        let mut plan = hash_join(scan("a", 10_000.0, 200.0), scan("b", 100.0, 10.0), 10_000.0);
+        plan.assign_ids();
+        let err = mm.allocate(&mut plan, &cfg).unwrap_err();
+        assert_eq!(err.kind(), "oom");
+        assert!(broker.in_use() <= broker.budget());
+
+        drop(hog);
+        let report = mm.allocate(&mut plan, &cfg).unwrap();
+        let g = report.grants[0];
+        assert!(g.granted >= g.min);
+        assert!(broker.in_use() <= broker.budget());
+        assert_eq!(broker.in_use(), mm.budget());
     }
 }
 

@@ -40,10 +40,7 @@ impl OptCalibration {
         catalog.create_table(
             &storage,
             "center",
-            center_cols
-                .iter()
-                .map(|(n, t)| (n.as_str(), *t))
-                .collect(),
+            center_cols.iter().map(|(n, t)| (n.as_str(), *t)).collect(),
         )?;
         for r in 0..64i64 {
             let mut vals = vec![Value::Int(r)];
@@ -60,7 +57,11 @@ impl OptCalibration {
                 vec![("pk", DataType::Int), ("payload", DataType::Int)],
             )?;
             for r in 0..8i64 {
-                catalog.insert_row(&storage, &name, Row::new(vec![Value::Int(r), Value::Int(r)]))?;
+                catalog.insert_row(
+                    &storage,
+                    &name,
+                    Row::new(vec![Value::Int(r), Value::Int(r)]),
+                )?;
             }
         }
 

@@ -193,7 +193,10 @@ pub fn recost(plan: &mut PhysPlan, cfg: &EngineConfig) {
         PhysOp::SeqScan { spec, filter } => seq_scan_cost(
             spec.pages as f64,
             spec.rows as f64,
-            filter.as_ref().map(|f| f.eval_cost_ops() as f64).unwrap_or(0.0),
+            filter
+                .as_ref()
+                .map(|f| f.eval_cost_ops() as f64)
+                .unwrap_or(0.0),
         ),
         PhysOp::IndexScan {
             index_height,
@@ -204,7 +207,10 @@ pub fn recost(plan: &mut PhysPlan, cfg: &EngineConfig) {
             out_rows.max(1.0),
             *index_height as f64,
             *clustering,
-            residual.as_ref().map(|f| f.eval_cost_ops() as f64).unwrap_or(0.0),
+            residual
+                .as_ref()
+                .map(|f| f.eval_cost_ops() as f64)
+                .unwrap_or(0.0),
         ),
         PhysOp::Filter { predicate } => CostEst {
             io_pages: 0.0,
@@ -301,7 +307,15 @@ mod tests {
     #[test]
     fn hash_join_fits_no_extra_io() {
         let c = cfg();
-        let cost = hash_join_cost(1000.0, 100_000.0, 5000.0, 500_000.0, 5000.0, 1_000_000.0, &c);
+        let cost = hash_join_cost(
+            1000.0,
+            100_000.0,
+            5000.0,
+            500_000.0,
+            5000.0,
+            1_000_000.0,
+            &c,
+        );
         assert_eq!(cost.io_pages, 0.0);
         assert!(cost.cpu_ops > 0.0);
     }
@@ -311,9 +325,21 @@ mod tests {
         let c = cfg();
         let build = 1_000_000.0; // 1 MB build, 0.5 MB memory
         let probe = 4_000_000.0;
-        let cost = hash_join_cost(10_000.0, build, 40_000.0, probe, 40_000.0, 512.0 * 1024.0, &c);
+        let cost = hash_join_cost(
+            10_000.0,
+            build,
+            40_000.0,
+            probe,
+            40_000.0,
+            512.0 * 1024.0,
+            &c,
+        );
         let pages = (build + probe) / c.page_size as f64;
-        assert!((cost.io_pages - 2.0 * pages).abs() < 4.0, "io {}", cost.io_pages);
+        assert!(
+            (cost.io_pages - 2.0 * pages).abs() < 4.0,
+            "io {}",
+            cost.io_pages
+        );
     }
 
     #[test]

@@ -289,7 +289,9 @@ pub struct Enumerated {
 pub fn enumerate(graph: &QueryGraph, storage: &Storage, cfg: &EngineConfig) -> Result<Enumerated> {
     let n = graph.relations.len();
     if n > 12 {
-        return Err(MqError::Plan(format!("too many relations to enumerate: {n}")));
+        return Err(MqError::Plan(format!(
+            "too many relations to enumerate: {n}"
+        )));
     }
     let mut work: u64 = 0;
     let mut best: HashMap<u64, Candidate> = HashMap::new();
@@ -342,8 +344,7 @@ pub fn enumerate(graph: &QueryGraph, storage: &Storage, cfg: &EngineConfig) -> R
                     continue;
                 }
                 let new_mask = mask | (1 << rel_idx);
-                for cand in
-                    join_candidates(&left, &graph.relations[rel_idx], &pairs, storage, cfg)?
+                for cand in join_candidates(&left, &graph.relations[rel_idx], &pairs, storage, cfg)?
                 {
                     work += 1;
                     let entry = best.get(&new_mask);
@@ -570,8 +571,7 @@ fn join_candidates(
     // overhead" — only works this way). Join *order* remains fully
     // cost-driven.
     {
-        let build_keys =
-            key_positions(&left.plan.schema, pairs.iter().map(|(l, _)| l.as_str()))?;
+        let build_keys = key_positions(&left.plan.schema, pairs.iter().map(|(l, _)| l.as_str()))?;
         let probe_keys = key_positions(&rel.entry.schema, pairs.iter().map(|(_, r)| r.as_str()))?;
         let schema = left.plan.schema.join(&right_plan.schema);
         let mut plan = PhysPlan::new(
@@ -665,10 +665,18 @@ mod implied_tests {
         let storage = Storage::new(&cfg, SimClock::new());
         let catalog = Catalog::new();
         catalog
-            .create_table(&storage, "n1", vec![("name", DataType::Str), ("k", DataType::Int)])
+            .create_table(
+                &storage,
+                "n1",
+                vec![("name", DataType::Str), ("k", DataType::Int)],
+            )
             .unwrap();
         catalog
-            .create_table(&storage, "n2", vec![("name", DataType::Str), ("k", DataType::Int)])
+            .create_table(
+                &storage,
+                "n2",
+                vec![("name", DataType::Str), ("k", DataType::Int)],
+            )
             .unwrap();
         for t in ["n1", "n2"] {
             for i in 0..10i64 {

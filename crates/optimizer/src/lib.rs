@@ -118,9 +118,7 @@ impl Optimizer {
     ) -> Result<PhysPlan> {
         let _ = &self.cfg;
         match op {
-            LogicalPlan::Aggregate {
-                group_by, aggs, ..
-            } => {
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
                 let group: Vec<usize> = group_by
                     .iter()
                     .map(|g| input.schema.index_of(g))
@@ -170,7 +168,11 @@ impl Optimizer {
                 props.row_bytes = row_bytes;
                 props.schema = schema;
                 props.columns.retain(|k, _| {
-                    group_by.iter().any(|g| k == g || k.ends_with(&format!(".{g}")) || g.ends_with(&format!(".{}", k.rsplit('.').next().unwrap_or(k))))
+                    group_by.iter().any(|g| {
+                        k == g
+                            || k.ends_with(&format!(".{g}"))
+                            || g.ends_with(&format!(".{}", k.rsplit('.').next().unwrap_or(k)))
+                    })
                 });
                 Ok(node)
             }
@@ -180,8 +182,7 @@ impl Optimizer {
                     .map(|(k, asc)| Ok((input.schema.index_of(k)?, *asc)))
                     .collect::<Result<_>>()?;
                 let schema = input.schema.clone();
-                let mut node =
-                    PhysPlan::new(PhysOp::Sort { keys: positions }, vec![input], schema);
+                let mut node = PhysPlan::new(PhysOp::Sort { keys: positions }, vec![input], schema);
                 node.annot.est_rows = props.rows;
                 node.annot.est_row_bytes = props.row_bytes;
                 Ok(node)
@@ -256,7 +257,9 @@ fn derive_props(
     ) -> Result<RelProps> {
         let entry = catalog.table(&spec.table)?;
         let live_rows = storage.file_rows(entry.file).unwrap_or(spec.rows);
-        let live_pages = storage.file_pages(entry.file).unwrap_or(spec.pages as usize) as u64;
+        let live_pages = storage
+            .file_pages(entry.file)
+            .unwrap_or(spec.pages as usize) as u64;
         let raw = RelProps::from_table(&entry, live_rows, live_pages, cfg);
         Ok(match filter {
             Some(f) => raw.filtered(f, cfg).0,

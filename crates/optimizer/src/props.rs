@@ -10,9 +10,9 @@
 use std::collections::HashMap;
 
 use mq_catalog::{ColumnStats, TableEntry};
-use mq_common::{EngineConfig, Schema};
 #[cfg(test)]
 use mq_common::Value;
+use mq_common::{EngineConfig, Schema};
 use mq_expr::{estimate_selectivity, Basis, Expr, SelEstimate, StatsView};
 
 /// Statistics of a (possibly intermediate) relation.
@@ -58,7 +58,12 @@ impl StatsView for RelProps {
 impl RelProps {
     /// Base-table properties from a catalog entry. Falls back to the
     /// physical file metadata when the table was never analyzed.
-    pub fn from_table(entry: &TableEntry, live_rows: u64, live_pages: u64, cfg: &EngineConfig) -> RelProps {
+    pub fn from_table(
+        entry: &TableEntry,
+        live_rows: u64,
+        live_pages: u64,
+        cfg: &EngineConfig,
+    ) -> RelProps {
         let mut columns = HashMap::new();
         let (rows, row_bytes, basis) = match &entry.stats {
             Some(s) => {
@@ -92,7 +97,11 @@ impl RelProps {
                 // size; column distributions are unknown.
                 let rows = live_rows as f64;
                 let bytes = live_pages as f64 * cfg.page_size as f64;
-                let row_bytes = if rows > 0.0 { (bytes / rows).max(1.0) } else { 32.0 };
+                let row_bytes = if rows > 0.0 {
+                    (bytes / rows).max(1.0)
+                } else {
+                    32.0
+                };
                 (rows, row_bytes, Basis::DefaultGuess)
             }
         };
@@ -185,7 +194,11 @@ impl RelProps {
             };
             sel *= pair_sel;
         }
-        let floor = if self.rows >= 1.0 && other.rows >= 1.0 { 1.0 } else { 0.0 };
+        let floor = if self.rows >= 1.0 && other.rows >= 1.0 {
+            1.0
+        } else {
+            0.0
+        };
         let rows = (self.rows * other.rows * sel).max(floor);
         let mut columns = self.columns.clone();
         for (k, v) in &other.columns {
@@ -195,7 +208,11 @@ impl RelProps {
         for (lc, rc) in on {
             let dl = self.column(lc).map(|c| c.distinct).unwrap_or(0.0);
             let dr = other.column(rc).map(|c| c.distinct).unwrap_or(0.0);
-            let d = if dl > 0.0 && dr > 0.0 { dl.min(dr) } else { dl.max(dr) };
+            let d = if dl > 0.0 && dr > 0.0 {
+                dl.min(dr)
+            } else {
+                dl.max(dr)
+            };
             for name in [lc, rc] {
                 if let Some(cs) = lookup_mut(&mut columns, name) {
                     cs.distinct = d.max(1.0).min(rows.max(1.0));
@@ -226,7 +243,11 @@ impl RelProps {
         let mut groups = 1.0f64;
         for g in group_cols {
             let d = self.column(g).map(|c| c.distinct).unwrap_or(0.0);
-            groups *= if d > 0.0 { d } else { (self.rows / 10.0).max(1.0) };
+            groups *= if d > 0.0 {
+                d
+            } else {
+                (self.rows / 10.0).max(1.0)
+            };
         }
         groups.min(self.rows.max(1.0))
     }
@@ -322,7 +343,11 @@ mod tests {
         let (j, sel) = r.joined(&s, &on, &cfg);
         assert!((sel - 0.01).abs() < 0.005, "sel {sel}");
         // ≈ 1000 × 10000 / 100 = 100k rows.
-        assert!((j.rows - 100_000.0).abs() / 100_000.0 < 0.5, "rows {}", j.rows);
+        assert!(
+            (j.rows - 100_000.0).abs() / 100_000.0 < 0.5,
+            "rows {}",
+            j.rows
+        );
         assert_eq!(j.schema.len(), 2);
         assert!((j.row_bytes - 100.0).abs() < 1e-9);
     }

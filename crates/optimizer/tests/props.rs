@@ -48,10 +48,18 @@ fn build_world(
         )
         .unwrap();
     catalog
-        .create_table(&storage, "dim1", vec![("pk", DataType::Int), ("x", DataType::Int)])
+        .create_table(
+            &storage,
+            "dim1",
+            vec![("pk", DataType::Int), ("x", DataType::Int)],
+        )
         .unwrap();
     catalog
-        .create_table(&storage, "dim2", vec![("pk", DataType::Int), ("y", DataType::Int)])
+        .create_table(
+            &storage,
+            "dim2",
+            vec![("pk", DataType::Int), ("y", DataType::Int)],
+        )
         .unwrap();
     for &(a, b, v) in &fact {
         catalog
@@ -64,12 +72,20 @@ fn build_world(
     }
     for &(p, x) in &dim1 {
         catalog
-            .insert_row(&storage, "dim1", Row::new(vec![Value::Int(p), Value::Int(x)]))
+            .insert_row(
+                &storage,
+                "dim1",
+                Row::new(vec![Value::Int(p), Value::Int(x)]),
+            )
             .unwrap();
     }
     for &(p, y) in &dim2 {
         catalog
-            .insert_row(&storage, "dim2", Row::new(vec![Value::Int(p), Value::Int(y)]))
+            .insert_row(
+                &storage,
+                "dim2",
+                Row::new(vec![Value::Int(p), Value::Int(y)]),
+            )
             .unwrap();
     }
     if analyze {

@@ -15,6 +15,4 @@ pub mod logical;
 pub mod physical;
 
 pub use logical::{AggExpr, AggFunc, LogicalPlan};
-pub use physical::{
-    Annotation, CollectorSpec, CostEst, NodeId, PhysOp, PhysPlan, ScanSpec,
-};
+pub use physical::{Annotation, CollectorSpec, CostEst, NodeId, PhysOp, PhysPlan, ScanSpec};

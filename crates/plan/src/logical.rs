@@ -364,10 +364,7 @@ impl LogicalPlan {
     pub fn project(self, exprs: Vec<(Expr, &str)>) -> LogicalPlan {
         LogicalPlan::Project {
             input: Box::new(self),
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (e, n.to_string()))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
         }
     }
 
@@ -402,18 +399,10 @@ mod tests {
         let cfg = EngineConfig::default();
         let st = Storage::new(&cfg, SimClock::new());
         let cat = Catalog::new();
-        cat.create_table(
-            &st,
-            "r",
-            vec![("a", DataType::Int), ("b", DataType::Float)],
-        )
-        .unwrap();
-        cat.create_table(
-            &st,
-            "s",
-            vec![("a", DataType::Int), ("c", DataType::Str)],
-        )
-        .unwrap();
+        cat.create_table(&st, "r", vec![("a", DataType::Int), ("b", DataType::Float)])
+            .unwrap();
+        cat.create_table(&st, "s", vec![("a", DataType::Int), ("c", DataType::Str)])
+            .unwrap();
         cat
     }
 

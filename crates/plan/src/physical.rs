@@ -223,10 +223,7 @@ impl PhysOp {
     /// on the *build* child only (its probe streams), which the
     /// executor's phase hooks account for separately.
     pub fn is_blocking(&self) -> bool {
-        matches!(
-            self,
-            PhysOp::Sort { .. } | PhysOp::HashAggregate { .. }
-        )
+        matches!(self, PhysOp::Sort { .. } | PhysOp::HashAggregate { .. })
     }
 
     /// Whether this operator holds a memory-hungry data structure whose
@@ -282,7 +279,11 @@ impl PhysPlan {
 
     /// Total node count.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(PhysPlan::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PhysPlan::node_count)
+            .sum::<usize>()
     }
 
     /// Pre-order traversal.
@@ -364,7 +365,11 @@ impl PhysPlan {
                 }
             }
             PhysOp::IndexScan {
-                spec, column, lo, hi, ..
+                spec,
+                column,
+                lo,
+                hi,
+                ..
             } => {
                 write!(f, "{} on {column}", spec.table)?;
                 if let Some(lo) = lo {
@@ -529,8 +534,14 @@ mod tests {
     #[test]
     fn cost_arithmetic() {
         let cfg = EngineConfig::default();
-        let a = CostEst { io_pages: 5.0, cpu_ops: 1000.0 };
-        let b = CostEst { io_pages: 3.0, cpu_ops: 500.0 };
+        let a = CostEst {
+            io_pages: 5.0,
+            cpu_ops: 1000.0,
+        };
+        let b = CostEst {
+            io_pages: 3.0,
+            cpu_ops: 500.0,
+        };
         let c = a.plus(&b);
         assert_eq!(c.io_pages, 8.0);
         assert_eq!(c.cpu_ops, 1500.0);
@@ -551,7 +562,11 @@ mod tests {
         let pages = 100_000.0 / cfg.page_size as f64;
         assert!((a.est_pages(&cfg) - pages).abs() < 1e-12);
         // Tiny outputs still cost at least one page.
-        let tiny = Annotation { est_rows: 1.0, est_row_bytes: 8.0, ..Annotation::default() };
+        let tiny = Annotation {
+            est_rows: 1.0,
+            est_row_bytes: 8.0,
+            ..Annotation::default()
+        };
         assert_eq!(tiny.est_pages(&cfg), 1.0);
     }
 
@@ -590,12 +605,27 @@ mod tests {
         use std::collections::HashSet;
         let ops = [
             leaf("t").op.name(),
-            PhysOp::Filter { predicate: mq_expr::lit(true) }.name(),
-            PhysOp::HashJoin { build_keys: vec![], probe_keys: vec![] }.name(),
+            PhysOp::Filter {
+                predicate: mq_expr::lit(true),
+            }
+            .name(),
+            PhysOp::HashJoin {
+                build_keys: vec![],
+                probe_keys: vec![],
+            }
+            .name(),
             PhysOp::Sort { keys: vec![] }.name(),
-            PhysOp::HashAggregate { group: vec![], aggs: vec![] }.name(),
+            PhysOp::HashAggregate {
+                group: vec![],
+                aggs: vec![],
+            }
+            .name(),
             PhysOp::Limit { n: 1 }.name(),
-            PhysOp::StatsCollector { specs: vec![], site: String::new() }.name(),
+            PhysOp::StatsCollector {
+                specs: vec![],
+                site: String::new(),
+            }
+            .name(),
         ];
         let set: HashSet<&str> = ops.iter().copied().collect();
         assert_eq!(set.len(), ops.len());

@@ -1,0 +1,374 @@
+//! # mq-runtime — concurrent multi-query runtime
+//!
+//! The paper studies one query re-optimizing itself; this crate puts
+//! many such queries on one engine at once and extends the §2.3 memory
+//! story across them:
+//!
+//! * **Worker pool** — [`Runtime::run_workload`] executes a
+//!   [`Workload`] on N OS threads over the *shared* storage, buffer
+//!   pool and catalog of one [`Engine`]. Dispatch is FIFO; each worker
+//!   pulls the next query when free.
+//! * **Global memory broker** — per-query [`MemoryManager`] budgets
+//!   stop being constants and become *leases* from a
+//!   [`MemoryBroker`] with one global budget. Admission control is the
+//!   broker's FIFO queue: a query whose minimum demand cannot be
+//!   granted waits until running queries release memory. Mid-query
+//!   re-allocation (including the §2.3 provisional-progress raises)
+//!   asks the lease to grow, so cross-query memory movement is always
+//!   brokered.
+//! * **Interruption** — every job carries an optional
+//!   [`CancelToken`] and simulated-ms deadline, checked at segment
+//!   boundaries (completed blocking phases) and periodically during
+//!   root-level drains, so even phase-less scan pipelines stop.
+//! * **Cost attribution** — each job runs on a [`SimClock::child`] of
+//!   the engine clock, scoped onto the worker thread for the duration
+//!   of the job: charges made by shared components (the buffer pool
+//!   charges the engine clock) are attributed to the running job *and*
+//!   the global aggregate, each exactly once.
+//!
+//! [`Session`] is the interactive counterpart: a handle over the same
+//! engine + broker that runs one query at a time with session-level
+//! cost accounting and cancellation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mq_common::{CancelToken, CostSnapshot, MqError, Result, SimClock};
+use mq_memory::{MemoryBroker, MemoryManager};
+use mq_plan::LogicalPlan;
+use mq_reopt::{Engine, JobEnv, QueryOutcome, ReoptMode};
+
+mod report;
+mod workload;
+
+pub use report::{JobResult, WorkloadReport};
+pub use workload::{QuerySpec, Workload, WorkloadQuery};
+
+/// The minimum admission demand: the smallest budget
+/// [`mq_common::EngineConfig::validate`] accepts (4 pages), so an
+/// admitted query can always run, if slowly.
+fn min_admission_bytes(cfg: &mq_common::EngineConfig) -> usize {
+    4 * cfg.page_size
+}
+
+/// A concurrent multi-query runtime over one shared [`Engine`].
+pub struct Runtime {
+    engine: Arc<Engine>,
+    broker: Arc<MemoryBroker>,
+}
+
+impl Runtime {
+    /// A runtime with an explicit global memory budget.
+    pub fn new(engine: Arc<Engine>, global_memory_bytes: usize) -> Runtime {
+        Runtime {
+            engine,
+            broker: Arc::new(MemoryBroker::new(global_memory_bytes)),
+        }
+    }
+
+    /// A runtime whose budget lets `workers` queries each hold a full
+    /// per-query budget (admission never throttles).
+    pub fn with_default_budget(engine: Arc<Engine>, workers: usize) -> Runtime {
+        let budget = workers.max(1) * engine.config().query_memory_bytes;
+        Runtime::new(engine, budget)
+    }
+
+    /// A runtime over an existing broker (sessions sharing a budget).
+    pub fn with_broker(engine: Arc<Engine>, broker: Arc<MemoryBroker>) -> Runtime {
+        Runtime { engine, broker }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The global memory broker.
+    pub fn broker(&self) -> &MemoryBroker {
+        &self.broker
+    }
+
+    /// Open an interactive session leasing from this runtime's broker.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.engine), Arc::clone(&self.broker))
+    }
+
+    /// Run a workload on `workload.workers` threads.
+    ///
+    /// `workload.global_memory_bytes` — when set — overrides this
+    /// runtime's broker for the duration of the run (a fresh broker
+    /// with that budget); otherwise the runtime's broker is used, and
+    /// its high-water mark carries across runs.
+    pub fn run_workload(&self, workload: &Workload) -> WorkloadReport {
+        let broker = match workload.global_memory_bytes {
+            Some(bytes) => Arc::new(MemoryBroker::new(bytes)),
+            None => Arc::clone(&self.broker),
+        };
+        let workers = workload.workers.max(1);
+        let wall = Instant::now();
+
+        let queue: parking_lot::Mutex<VecDeque<usize>> =
+            parking_lot::Mutex::new((0..workload.queries.len()).collect());
+        let results: parking_lot::Mutex<Vec<Option<JobResult>>> =
+            parking_lot::Mutex::new((0..workload.queries.len()).map(|_| None).collect());
+        let worker_sim_ms: parking_lot::Mutex<Vec<f64>> =
+            parking_lot::Mutex::new(vec![0.0; workers]);
+        let in_flight = AtomicUsize::new(0);
+        let max_in_flight = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let results = &results;
+                let worker_sim_ms = &worker_sim_ms;
+                let in_flight = &in_flight;
+                let max_in_flight = &max_in_flight;
+                let broker = &broker;
+                s.spawn(move || loop {
+                    let Some(index) = queue.lock().pop_front() else {
+                        break;
+                    };
+                    let q = &workload.queries[index];
+                    let r = run_one(&self.engine, broker, q, index, w, in_flight, max_in_flight);
+                    worker_sim_ms.lock()[w] += r.sim_ms;
+                    results.lock()[index] = Some(r);
+                });
+            }
+        });
+
+        let results: Vec<JobResult> = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every queued job produces a result"))
+            .collect();
+        let per_worker = worker_sim_ms.into_inner();
+        let serial_sim_ms: f64 = per_worker.iter().sum();
+        let makespan_sim_ms = per_worker.iter().cloned().fold(0.0, f64::max);
+        WorkloadReport {
+            results,
+            workers,
+            global_budget_bytes: broker.budget(),
+            broker_high_water: broker.high_water(),
+            max_in_flight: max_in_flight.load(Ordering::SeqCst),
+            makespan_sim_ms,
+            serial_sim_ms,
+            wall_ms: wall.elapsed().as_secs_f64() * 1000.0,
+        }
+    }
+}
+
+/// In-flight gauges updated while a query holds its lease.
+struct Gauges<'a> {
+    in_flight: &'a AtomicUsize,
+    max_in_flight: &'a AtomicUsize,
+}
+
+/// Per-job attribution and interruption: the job's child clock plus
+/// its optional cancellation token and absolute simulated deadline.
+struct JobCtl<'a> {
+    clock: &'a SimClock,
+    cancel: Option<&'a CancelToken>,
+    deadline_ms: Option<f64>,
+}
+
+/// Admit and run one query: acquire a lease (blocking FIFO admission),
+/// run under a lease-backed memory manager, and — if the plan's
+/// minimum demands exceed what a contended pool could grant — retry
+/// once under a *full* per-query lease (waiting in the admission queue
+/// until one is free). A second OOM is genuine: the plan needs more
+/// than the per-query or global budget allows.
+///
+/// Returns the outcome and the bytes granted at (final) admission.
+fn run_admitted(
+    engine: &Engine,
+    broker: &MemoryBroker,
+    plan: &LogicalPlan,
+    mode: ReoptMode,
+    ctl: &JobCtl<'_>,
+    gauges: Option<&Gauges<'_>>,
+) -> (Result<QueryOutcome>, usize) {
+    let cfg = engine.config();
+    let desired = cfg.query_memory_bytes;
+    let mut min = min_admission_bytes(cfg);
+    loop {
+        let lease = broker.acquire(min, desired);
+        let granted = lease.granted();
+        if let Some(g) = gauges {
+            let cur = g.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            g.max_in_flight.fetch_max(cur, Ordering::SeqCst);
+        }
+        let env = JobEnv {
+            clock: ctl.clock.clone(),
+            mm: MemoryManager::with_lease(lease),
+            cancel: ctl.cancel.cloned(),
+            deadline_ms: ctl.deadline_ms,
+            temp_prefix: format!("tmp_reopt_q{}_", engine.next_query_id()),
+        };
+        let outcome = engine.run_with(plan, mode, env);
+        if let Some(g) = gauges {
+            g.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        let full = desired.min(broker.budget());
+        if matches!(outcome, Err(MqError::OutOfMemory(_))) && granted < full {
+            min = desired;
+            continue;
+        }
+        return (outcome, granted);
+    }
+}
+
+/// Execute one workload query on the calling thread.
+fn run_one(
+    engine: &Engine,
+    broker: &Arc<MemoryBroker>,
+    q: &WorkloadQuery,
+    index: usize,
+    worker: usize,
+    in_flight: &AtomicUsize,
+    max_in_flight: &AtomicUsize,
+) -> JobResult {
+    let cfg = engine.config();
+    // A cancelled query should not occupy the admission queue.
+    if let Some(token) = &q.cancel {
+        if token.is_cancelled() {
+            return JobResult {
+                index,
+                label: q.label.clone(),
+                worker,
+                sim_ms: 0.0,
+                granted_bytes: 0,
+                outcome: Err(MqError::Cancelled("cancelled before admission".into())),
+            };
+        }
+    }
+    let job_clock = engine.clock().child();
+    let plan = match &q.spec {
+        QuerySpec::Plan(plan) => Ok(plan.clone()),
+        QuerySpec::Sql(sql) => mq_sql::plan_sql(sql, engine.catalog()),
+    };
+    let (outcome, granted_bytes) = match plan {
+        Ok(plan) => run_admitted(
+            engine,
+            broker,
+            &plan,
+            q.mode,
+            &JobCtl {
+                clock: &job_clock,
+                cancel: q.cancel.as_ref(),
+                deadline_ms: q.deadline_ms,
+            },
+            Some(&Gauges {
+                in_flight,
+                max_in_flight,
+            }),
+        ),
+        Err(e) => (Err(e), 0),
+    };
+    JobResult {
+        index,
+        label: q.label.clone(),
+        worker,
+        sim_ms: job_clock.elapsed_ms(cfg),
+        granted_bytes,
+        outcome,
+    }
+}
+
+/// An interactive session: one query at a time over the shared engine,
+/// leasing memory from the global broker per query, with session-level
+/// cost accounting and cooperative cancellation.
+pub struct Session {
+    engine: Arc<Engine>,
+    broker: Arc<MemoryBroker>,
+    /// Child of the engine clock, accumulating across the session.
+    clock: SimClock,
+    cancel: CancelToken,
+    /// Per-query deadline in simulated milliseconds, if set.
+    deadline_ms: Option<f64>,
+}
+
+impl Session {
+    /// Open a session over an engine and broker.
+    pub fn new(engine: Arc<Engine>, broker: Arc<MemoryBroker>) -> Session {
+        let clock = engine.clock().child();
+        Session {
+            engine,
+            broker,
+            clock,
+            cancel: CancelToken::new(),
+            deadline_ms: None,
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Set (or clear) a per-query deadline in simulated milliseconds.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<f64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// A clone of the session's cancellation token — cancel it from
+    /// another thread to abort the in-flight query.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Request cancellation of the in-flight (and any future) query.
+    /// [`Session::reset_cancel`] re-arms the session afterwards.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Replace a fired cancellation token with a fresh one.
+    pub fn reset_cancel(&mut self) {
+        self.cancel = CancelToken::new();
+    }
+
+    /// Total simulated cost attributed to this session so far.
+    pub fn cost(&self) -> CostSnapshot {
+        self.clock.snapshot()
+    }
+
+    /// Total simulated milliseconds attributed to this session so far.
+    pub fn sim_ms(&self) -> f64 {
+        self.clock.elapsed_ms(self.engine.config())
+    }
+
+    /// Run a logical plan under the given mode.
+    pub fn run(&self, plan: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
+        if self.cancel.is_cancelled() {
+            return Err(MqError::Cancelled("session cancelled".into()));
+        }
+        let cfg = self.engine.config();
+        // The session clock accumulates across queries, so a per-query
+        // deadline becomes absolute against the current session time.
+        let deadline_ms = self.deadline_ms.map(|d| self.clock.elapsed_ms(cfg) + d);
+        let (outcome, _granted) = run_admitted(
+            &self.engine,
+            &self.broker,
+            plan,
+            mode,
+            &JobCtl {
+                clock: &self.clock,
+                cancel: Some(&self.cancel),
+                deadline_ms,
+            },
+            None,
+        );
+        outcome
+    }
+
+    /// Parse and run a SQL query under the given mode.
+    pub fn run_sql(&self, sql: &str, mode: ReoptMode) -> Result<QueryOutcome> {
+        let plan = mq_sql::plan_sql(sql, self.engine.catalog())?;
+        self.run(&plan, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,145 @@
+//! Per-job and per-workload results.
+
+use mq_common::Result;
+use mq_reopt::QueryOutcome;
+
+/// The result of one workload query.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Position in the workload's submission order.
+    pub index: usize,
+    /// The query's label.
+    pub label: String,
+    /// Which worker executed it.
+    pub worker: usize,
+    /// Simulated milliseconds attributed to this job alone (its child
+    /// clock: execution, optimizer work, and its share of shared
+    /// buffer-pool traffic while it ran on the worker thread).
+    pub sim_ms: f64,
+    /// Bytes the broker had granted this job at admission.
+    pub granted_bytes: usize,
+    /// The outcome — or the error (cancellation, deadline, OOM, ...).
+    pub outcome: Result<QueryOutcome>,
+}
+
+impl JobResult {
+    /// Did the query complete?
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Result cardinality (0 for failed queries).
+    pub fn rows(&self) -> usize {
+        self.outcome.as_ref().map(|o| o.rows.len()).unwrap_or(0)
+    }
+}
+
+/// Aggregate report for a concurrent workload run.
+#[derive(Debug)]
+pub struct WorkloadReport {
+    /// Per-query results, in submission order.
+    pub results: Vec<JobResult>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// The broker's global budget in bytes.
+    pub global_budget_bytes: usize,
+    /// Peak bytes the broker ever had outstanding — never exceeds the
+    /// global budget (asserted in tests).
+    pub broker_high_water: usize,
+    /// Peak number of queries simultaneously admitted (in flight).
+    pub max_in_flight: usize,
+    /// Simulated makespan: the largest per-worker sum of job times —
+    /// the workload's end-to-end simulated duration with workers
+    /// running in parallel.
+    pub makespan_sim_ms: f64,
+    /// Sum of all job times (what a single worker would have taken).
+    pub serial_sim_ms: f64,
+    /// Real (host) milliseconds the run took.
+    pub wall_ms: f64,
+}
+
+impl WorkloadReport {
+    /// Queries that completed.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Queries that failed (cancelled, deadline, error).
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.succeeded()
+    }
+
+    /// Queries per simulated second, against the parallel makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan_sim_ms <= 0.0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.makespan_sim_ms / 1000.0)
+    }
+
+    /// Simulated speedup over serial execution of the same jobs.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_sim_ms <= 0.0 {
+            return 1.0;
+        }
+        self.serial_sim_ms / self.makespan_sim_ms
+    }
+
+    /// Human-readable multi-line summary (CLI, experiments).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== workload: {} queries on {} workers ==",
+            self.results.len(),
+            self.workers
+        );
+        for r in &self.results {
+            match &r.outcome {
+                Ok(o) => {
+                    let _ = writeln!(
+                        out,
+                        "{:>3}. {:<16} worker {} {:>10.1} ms  {:>7} rows  {} switches  {} reallocs",
+                        r.index + 1,
+                        r.label,
+                        r.worker,
+                        r.sim_ms,
+                        o.rows.len(),
+                        o.plan_switches,
+                        o.memory_reallocs
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:>3}. {:<16} worker {} {:>10.1} ms  FAILED: {e}",
+                        r.index + 1,
+                        r.label,
+                        r.worker,
+                        r.sim_ms
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "ok {}/{}   makespan {:.1} sim-ms (serial {:.1}, speedup {:.2}x)   {:.2} q/sim-s",
+            self.succeeded(),
+            self.results.len(),
+            self.makespan_sim_ms,
+            self.serial_sim_ms,
+            self.speedup(),
+            self.throughput_qps()
+        );
+        let _ = writeln!(
+            out,
+            "memory: budget {} KiB, high water {} KiB   max in flight {}   wall {:.0} ms",
+            self.global_budget_bytes / 1024,
+            self.broker_high_water / 1024,
+            self.max_in_flight,
+            self.wall_ms
+        );
+        out
+    }
+}

@@ -1,0 +1,110 @@
+//! Workload specification: a batch of queries to run concurrently.
+
+use mq_common::CancelToken;
+use mq_plan::LogicalPlan;
+use mq_reopt::ReoptMode;
+
+/// How a workload query is specified: SQL text (parsed against the
+/// shared catalog at dispatch time) or an already-bound logical plan.
+#[derive(Debug, Clone)]
+pub enum QuerySpec {
+    /// SQL text, parsed when the query is dispatched.
+    Sql(String),
+    /// A pre-bound logical plan (e.g. from [`mq_tpcd::queries`]).
+    Plan(LogicalPlan),
+}
+
+/// One query of a concurrent workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Display label (query name, file line, ...).
+    pub label: String,
+    /// The query itself.
+    pub spec: QuerySpec,
+    /// Re-optimization mode to run under.
+    pub mode: ReoptMode,
+    /// Optional deadline in simulated milliseconds on the job's own
+    /// clock (i.e. relative to query start).
+    pub deadline_ms: Option<f64>,
+    /// Optional cancellation token; cancel it from any thread to abort
+    /// the query at its next segment boundary (or before admission).
+    pub cancel: Option<CancelToken>,
+}
+
+impl WorkloadQuery {
+    /// A SQL query.
+    pub fn sql(label: impl Into<String>, sql: impl Into<String>) -> WorkloadQuery {
+        WorkloadQuery {
+            label: label.into(),
+            spec: QuerySpec::Sql(sql.into()),
+            mode: ReoptMode::Full,
+            deadline_ms: None,
+            cancel: None,
+        }
+    }
+
+    /// A pre-bound logical plan.
+    pub fn plan(label: impl Into<String>, plan: LogicalPlan) -> WorkloadQuery {
+        WorkloadQuery {
+            label: label.into(),
+            spec: QuerySpec::Plan(plan),
+            mode: ReoptMode::Full,
+            deadline_ms: None,
+            cancel: None,
+        }
+    }
+
+    /// Set the re-optimization mode.
+    pub fn with_mode(mut self, mode: ReoptMode) -> WorkloadQuery {
+        self.mode = mode;
+        self
+    }
+
+    /// Set a deadline in simulated milliseconds from query start.
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> WorkloadQuery {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> WorkloadQuery {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// A batch of queries plus the degree of parallelism to run them with.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries, dispatched FIFO.
+    pub queries: Vec<WorkloadQuery>,
+    /// Worker threads (1 = serial execution through the same path).
+    pub workers: usize,
+    /// Global memory budget for the broker; `None` means
+    /// `workers × query_memory_bytes` (every worker can hold a full
+    /// per-query budget, so admission never throttles).
+    pub global_memory_bytes: Option<usize>,
+}
+
+impl Workload {
+    /// An empty workload with the given worker count.
+    pub fn new(workers: usize) -> Workload {
+        Workload {
+            queries: Vec::new(),
+            workers: workers.max(1),
+            global_memory_bytes: None,
+        }
+    }
+
+    /// Append a query (builder style).
+    pub fn query(mut self, q: WorkloadQuery) -> Workload {
+        self.queries.push(q);
+        self
+    }
+
+    /// Set an explicit global memory budget (builder style).
+    pub fn with_global_memory(mut self, bytes: usize) -> Workload {
+        self.global_memory_bytes = Some(bytes);
+        self
+    }
+}

@@ -81,10 +81,10 @@ pub fn bind(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
                     )))
                 }
             };
-            let in_group = query.group_by.iter().any(|g| {
-                g == &name
-                    || g.rsplit('.').next() == name.rsplit('.').next()
-            });
+            let in_group = query
+                .group_by
+                .iter()
+                .any(|g| g == &name || g.rsplit('.').next() == name.rsplit('.').next());
             if !in_group {
                 return Err(MqError::Parse(format!(
                     "column '{name}' must appear in GROUP BY"

@@ -94,9 +94,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                             s.push(c);
                             i += 1;
                         }
-                        None => {
-                            return Err(MqError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(MqError::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(Token::Str(s));

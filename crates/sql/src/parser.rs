@@ -90,7 +90,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.bump()? {
             Token::Word(w) | Token::QualifiedWord(w) => Ok(w),
-            other => Err(MqError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(MqError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -198,7 +200,9 @@ impl Parser {
             Token::Int(n) => Value::Int(if negative { -n } else { n }),
             Token::Float(f) => Value::Float(if negative { -f } else { f }),
             t if negative => {
-                return Err(MqError::Parse(format!("expected number after '-', got {t:?}")))
+                return Err(MqError::Parse(format!(
+                    "expected number after '-', got {t:?}"
+                )))
             }
             Token::Str(s) => Value::str(s),
             Token::Word(w) if w == "true" => Value::Bool(true),
@@ -372,11 +376,7 @@ impl Parser {
             let mut arms = Vec::new();
             loop {
                 let v = self.literal_value()?;
-                arms.push(mq_expr::cmp(
-                    CmpOp::Eq,
-                    left.clone(),
-                    Expr::Literal(v),
-                ));
+                arms.push(mq_expr::cmp(CmpOp::Eq, left.clone(), Expr::Literal(v)));
                 if !self.eat_symbol(',') {
                     break;
                 }
@@ -462,7 +462,9 @@ impl Parser {
                 // DATE 'yyyy-mm-dd'
                 match self.bump()? {
                     Token::Str(s) => parse_date(&s),
-                    other => Err(MqError::Parse(format!("expected date string, got {other:?}"))),
+                    other => Err(MqError::Parse(format!(
+                        "expected date string, got {other:?}"
+                    ))),
                 }
             }
             Token::Word(w) if w == "true" => Ok(mq_expr::lit(true)),
@@ -644,7 +646,9 @@ mod tests {
         );
         assert_eq!(
             parse_statement("ANALYZE emp").unwrap(),
-            Statement::Analyze { table: "emp".into() }
+            Statement::Analyze {
+                table: "emp".into()
+            }
         );
         assert!(parse_statement("CREATE VIEW v").is_err());
         assert!(parse_statement("CREATE INDEX emp (id)").is_err());

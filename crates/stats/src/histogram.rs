@@ -456,9 +456,7 @@ fn build_voptimal(freq: &[(f64, u64)], n: f64, nbuckets: usize) -> Vec<Bucket> {
     }
     // Segments of contiguous distinct values: (lo, hi, count, distinct).
     let segments: Vec<(f64, f64, f64, f64)> = if freq.len() <= VOPT_MAX_DISTINCT {
-        freq.iter()
-            .map(|&(v, c)| (v, v, c as f64, 1.0))
-            .collect()
+        freq.iter().map(|&(v, c)| (v, v, c as f64, 1.0)).collect()
     } else {
         let group = freq.len().div_ceil(VOPT_MAX_DISTINCT);
         freq.chunks(group)

@@ -179,7 +179,11 @@ impl BTree {
     ) -> Result<Option<(Value, PageId)>> {
         let mut node = self.read_node(pool, pid)?;
         match &mut node {
-            Node::Leaf { keys, rids, next: _ } => {
+            Node::Leaf {
+                keys,
+                rids,
+                next: _,
+            } => {
                 let pos = keys.partition_point(|k| k <= key);
                 keys.insert(pos, key.clone());
                 rids.insert(pos, rid);
@@ -477,8 +481,14 @@ mod tests {
             .unwrap();
         assert_eq!(hits.len(), 51);
         // Open-ended ranges.
-        assert_eq!(t.range(&pool, Some(&Value::Int(1900)), None).unwrap().len(), 50);
-        assert_eq!(t.range(&pool, None, Some(&Value::Int(99))).unwrap().len(), 50);
+        assert_eq!(
+            t.range(&pool, Some(&Value::Int(1900)), None).unwrap().len(),
+            50
+        );
+        assert_eq!(
+            t.range(&pool, None, Some(&Value::Int(99))).unwrap().len(),
+            50
+        );
         // Empty range.
         assert!(t
             .range(&pool, Some(&Value::Int(2001)), Some(&Value::Int(3000)))

@@ -245,7 +245,7 @@ mod tests {
         p.with_page(a, |_| ()).unwrap();
         let _b = p.alloc_page().unwrap();
         let _c = p.alloc_page().unwrap(); // evicts a (clean)
-        // Evicting the clean frame must not write anything.
+                                          // Evicting the clean frame must not write anything.
         let w1 = clock.snapshot().pages_written;
         assert_eq!(w1 - w0, 0);
     }

@@ -84,8 +84,11 @@ mod tests {
         let pool = pool();
         let mut hf = HeapFile::new();
         for i in 0..200i64 {
-            hf.append(&pool, &Row::new(vec![Value::Int(i), Value::str("xxxxxxxxxx")]))
-                .unwrap();
+            hf.append(
+                &pool,
+                &Row::new(vec![Value::Int(i), Value::str("xxxxxxxxxx")]),
+            )
+            .unwrap();
         }
         assert_eq!(hf.rows(), 200);
         assert!(hf.pages().len() > 1, "should have spilled to more pages");

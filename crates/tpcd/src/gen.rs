@@ -63,7 +63,13 @@ pub const NATIONS: [(&str, i64); 25] = [
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Part type words (simplified `p_type`).
 pub const PART_TYPES: [&str; 6] = [
@@ -333,15 +339,7 @@ pub fn generate(cfg: &TpcdConfig, catalog: &Catalog, storage: &Storage) -> Resul
 
 /// All table names, in load order.
 pub const TABLE_NAMES: [&str; 9] = [
-    "region",
-    "nation",
-    "nation2",
-    "supplier",
-    "customer",
-    "part",
-    "partsupp",
-    "orders",
-    "lineitem",
+    "region", "nation", "nation2", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
 ];
 
 fn create_tables(catalog: &Catalog, storage: &Storage) -> Result<()> {
@@ -355,11 +353,7 @@ fn create_tables(catalog: &Catalog, storage: &Storage) -> Result<()> {
         catalog.create_table(
             storage,
             name,
-            vec![
-                ("n_nationkey", Int),
-                ("n_name", Str),
-                ("n_regionkey", Int),
-            ],
+            vec![("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)],
         )?;
     }
     catalog.create_table(

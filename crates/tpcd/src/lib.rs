@@ -102,7 +102,11 @@ mod tests {
         let orders = catalog.table("orders").unwrap();
         assert!(orders.stats.is_some(), "orders must be analyzed");
         // Index presence.
-        assert!(catalog.table("orders").unwrap().indexes.contains_key("o_orderkey"));
+        assert!(catalog
+            .table("orders")
+            .unwrap()
+            .indexes
+            .contains_key("o_orderkey"));
         assert!(catalog
             .table("customer")
             .unwrap()

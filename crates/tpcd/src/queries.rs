@@ -58,7 +58,11 @@ fn count(name: &str) -> AggExpr {
 pub fn q1() -> LogicalPlan {
     LogicalPlan::scan_filtered(
         "lineitem",
-        cmp(CmpOp::Le, col("l_shipdate"), Expr::Literal(date(1998, 9, 2))),
+        cmp(
+            CmpOp::Le,
+            col("l_shipdate"),
+            Expr::Literal(date(1998, 9, 2)),
+        ),
     )
     .aggregate(
         vec!["l_returnflag", "l_linestatus"],
@@ -80,14 +84,22 @@ pub fn q3() -> LogicalPlan {
         .join(
             LogicalPlan::scan_filtered(
                 "orders",
-                cmp(CmpOp::Lt, col("o_orderdate"), Expr::Literal(date(1995, 3, 15))),
+                cmp(
+                    CmpOp::Lt,
+                    col("o_orderdate"),
+                    Expr::Literal(date(1995, 3, 15)),
+                ),
             ),
             vec![("c_custkey", "o_custkey")],
         )
         .join(
             LogicalPlan::scan_filtered(
                 "lineitem",
-                cmp(CmpOp::Gt, col("l_shipdate"), Expr::Literal(date(1995, 3, 15))),
+                cmp(
+                    CmpOp::Gt,
+                    col("l_shipdate"),
+                    Expr::Literal(date(1995, 3, 15)),
+                ),
             ),
             vec![("o_orderkey", "l_orderkey")],
         )
@@ -107,18 +119,32 @@ pub fn q5() -> LogicalPlan {
             LogicalPlan::scan_filtered(
                 "orders",
                 and(vec![
-                    cmp(CmpOp::Ge, col("o_orderdate"), Expr::Literal(date(1994, 1, 1))),
-                    cmp(CmpOp::Lt, col("o_orderdate"), Expr::Literal(date(1995, 1, 1))),
+                    cmp(
+                        CmpOp::Ge,
+                        col("o_orderdate"),
+                        Expr::Literal(date(1994, 1, 1)),
+                    ),
+                    cmp(
+                        CmpOp::Lt,
+                        col("o_orderdate"),
+                        Expr::Literal(date(1995, 1, 1)),
+                    ),
                 ]),
             ),
             vec![("c_custkey", "o_custkey")],
         )
-        .join(LogicalPlan::scan("lineitem"), vec![("o_orderkey", "l_orderkey")])
+        .join(
+            LogicalPlan::scan("lineitem"),
+            vec![("o_orderkey", "l_orderkey")],
+        )
         .join(
             LogicalPlan::scan("supplier"),
             vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
         )
-        .join(LogicalPlan::scan("nation"), vec![("s_nationkey", "n_nationkey")])
+        .join(
+            LogicalPlan::scan("nation"),
+            vec![("s_nationkey", "n_nationkey")],
+        )
         .join(
             LogicalPlan::scan_filtered("region", eq(col("r_name"), lit("ASIA"))),
             vec![("n_regionkey", "r_regionkey")],
@@ -132,8 +158,16 @@ pub fn q6() -> LogicalPlan {
     LogicalPlan::scan_filtered(
         "lineitem",
         and(vec![
-            cmp(CmpOp::Ge, col("l_shipdate"), Expr::Literal(date(1994, 1, 1))),
-            cmp(CmpOp::Lt, col("l_shipdate"), Expr::Literal(date(1995, 1, 1))),
+            cmp(
+                CmpOp::Ge,
+                col("l_shipdate"),
+                Expr::Literal(date(1994, 1, 1)),
+            ),
+            cmp(
+                CmpOp::Lt,
+                col("l_shipdate"),
+                Expr::Literal(date(1995, 1, 1)),
+            ),
             cmp(CmpOp::Ge, col("l_discount"), lit(0.05)),
             cmp(CmpOp::Le, col("l_discount"), lit(0.07)),
             cmp(CmpOp::Lt, col("l_quantity"), lit(24i64)),
@@ -150,14 +184,28 @@ pub fn q7() -> LogicalPlan {
             LogicalPlan::scan_filtered(
                 "lineitem",
                 and(vec![
-                    cmp(CmpOp::Ge, col("l_shipdate"), Expr::Literal(date(1995, 1, 1))),
-                    cmp(CmpOp::Le, col("l_shipdate"), Expr::Literal(date(1996, 12, 31))),
+                    cmp(
+                        CmpOp::Ge,
+                        col("l_shipdate"),
+                        Expr::Literal(date(1995, 1, 1)),
+                    ),
+                    cmp(
+                        CmpOp::Le,
+                        col("l_shipdate"),
+                        Expr::Literal(date(1996, 12, 31)),
+                    ),
                 ]),
             ),
             vec![("s_suppkey", "l_suppkey")],
         )
-        .join(LogicalPlan::scan("orders"), vec![("l_orderkey", "o_orderkey")])
-        .join(LogicalPlan::scan("customer"), vec![("o_custkey", "c_custkey")])
+        .join(
+            LogicalPlan::scan("orders"),
+            vec![("l_orderkey", "o_orderkey")],
+        )
+        .join(
+            LogicalPlan::scan("customer"),
+            vec![("o_custkey", "c_custkey")],
+        )
         .join(
             LogicalPlan::scan("nation"),
             vec![("s_nationkey", "nation.n_nationkey")],
@@ -185,19 +233,36 @@ pub fn q7() -> LogicalPlan {
 /// Q8 — national market share (complex: 7 joins).
 pub fn q8() -> LogicalPlan {
     LogicalPlan::scan_filtered("part", eq(col("p_type"), lit("ECONOMY ANODIZED STEEL")))
-        .join(LogicalPlan::scan("lineitem"), vec![("p_partkey", "l_partkey")])
-        .join(LogicalPlan::scan("supplier"), vec![("l_suppkey", "s_suppkey")])
+        .join(
+            LogicalPlan::scan("lineitem"),
+            vec![("p_partkey", "l_partkey")],
+        )
+        .join(
+            LogicalPlan::scan("supplier"),
+            vec![("l_suppkey", "s_suppkey")],
+        )
         .join(
             LogicalPlan::scan_filtered(
                 "orders",
                 and(vec![
-                    cmp(CmpOp::Ge, col("o_orderdate"), Expr::Literal(date(1995, 1, 1))),
-                    cmp(CmpOp::Le, col("o_orderdate"), Expr::Literal(date(1996, 12, 31))),
+                    cmp(
+                        CmpOp::Ge,
+                        col("o_orderdate"),
+                        Expr::Literal(date(1995, 1, 1)),
+                    ),
+                    cmp(
+                        CmpOp::Le,
+                        col("o_orderdate"),
+                        Expr::Literal(date(1996, 12, 31)),
+                    ),
                 ]),
             ),
             vec![("l_orderkey", "o_orderkey")],
         )
-        .join(LogicalPlan::scan("customer"), vec![("o_custkey", "c_custkey")])
+        .join(
+            LogicalPlan::scan("customer"),
+            vec![("o_custkey", "c_custkey")],
+        )
         .join(
             LogicalPlan::scan("nation"),
             vec![("c_nationkey", "nation.n_nationkey")],
@@ -212,10 +277,7 @@ pub fn q8() -> LogicalPlan {
         )
         .aggregate(
             vec!["nation2.n_name"],
-            vec![
-                sum(col("l_extendedprice"), "volume"),
-                count("n_items"),
-            ],
+            vec![sum(col("l_extendedprice"), "volume"), count("n_items")],
         )
         .sort(vec![("volume", false)])
 }
@@ -227,8 +289,16 @@ pub fn q10() -> LogicalPlan {
             LogicalPlan::scan_filtered(
                 "orders",
                 and(vec![
-                    cmp(CmpOp::Ge, col("o_orderdate"), Expr::Literal(date(1993, 10, 1))),
-                    cmp(CmpOp::Lt, col("o_orderdate"), Expr::Literal(date(1994, 1, 1))),
+                    cmp(
+                        CmpOp::Ge,
+                        col("o_orderdate"),
+                        Expr::Literal(date(1993, 10, 1)),
+                    ),
+                    cmp(
+                        CmpOp::Lt,
+                        col("o_orderdate"),
+                        Expr::Literal(date(1994, 1, 1)),
+                    ),
                 ]),
             ),
             vec![("c_custkey", "o_custkey")],
@@ -237,7 +307,10 @@ pub fn q10() -> LogicalPlan {
             LogicalPlan::scan_filtered("lineitem", eq(col("l_returnflag"), lit("R"))),
             vec![("o_orderkey", "l_orderkey")],
         )
-        .join(LogicalPlan::scan("nation"), vec![("c_nationkey", "n_nationkey")])
+        .join(
+            LogicalPlan::scan("nation"),
+            vec![("c_nationkey", "n_nationkey")],
+        )
         .aggregate(
             vec!["c_custkey", "n_name"],
             vec![sum(col("l_extendedprice"), "revenue")],

@@ -43,7 +43,12 @@ fn main() -> midq::Result<()> {
         let a = i % 1_000;
         db.insert(
             "r",
-            Row::new(vec![Value::Int(a), Value::Int(a), Value::Int(a), Value::Int(i % 2_000)]),
+            Row::new(vec![
+                Value::Int(a),
+                Value::Int(a),
+                Value::Int(a),
+                Value::Int(i % 2_000),
+            ]),
         )?;
     }
     for i in 0..1_200i64 {

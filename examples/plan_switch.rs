@@ -34,7 +34,10 @@ fn main() -> midq::Result<()> {
         ],
     )?;
     db.create_table("dim1", vec![("pk", DataType::Int), ("x", DataType::Int)])?;
-    db.create_table("bigdim", vec![("pk", DataType::Int), ("payload", DataType::Int)])?;
+    db.create_table(
+        "bigdim",
+        vec![("pk", DataType::Int), ("payload", DataType::Int)],
+    )?;
 
     println!("loading… (60k-row dimension in shuffled key order)");
     for i in 0..20_000i64 {
@@ -53,7 +56,10 @@ fn main() -> midq::Result<()> {
     let mut pks: Vec<i64> = (0..60_000).collect();
     DetRng::new(0xB16D).shuffle(&mut pks);
     for (i, pk) in pks.into_iter().enumerate() {
-        db.insert("bigdim", Row::new(vec![Value::Int(pk), Value::Int(i as i64 % 7)]))?;
+        db.insert(
+            "bigdim",
+            Row::new(vec![Value::Int(pk), Value::Int(i as i64 % 7)]),
+        )?;
     }
     for t in ["fact", "dim1", "bigdim"] {
         cat.analyze(&st, t, midq::stats::HistogramKind::MaxDiff, 16, 512, 11)?;

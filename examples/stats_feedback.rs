@@ -42,7 +42,11 @@ fn build(feedback: bool) -> midq::Result<Engine> {
             ("v", DataType::Int),
         ],
     )?;
-    cat.create_table(st, "dim1", vec![("pk", DataType::Int), ("x", DataType::Int)])?;
+    cat.create_table(
+        st,
+        "dim1",
+        vec![("pk", DataType::Int), ("x", DataType::Int)],
+    )?;
     cat.create_table(
         st,
         "bigdim",
@@ -94,10 +98,8 @@ fn build(feedback: bool) -> midq::Result<Engine> {
 fn main() -> midq::Result<()> {
     // Query A: an unfiltered join over the stale table (any routine
     // report would do) — the feedback engine observes `fact` here.
-    let query_a = LogicalPlan::scan("fact").join(
-        LogicalPlan::scan("dim1"),
-        vec![("fact.v", "dim1.pk")],
-    );
+    let query_a =
+        LogicalPlan::scan("fact").join(LogicalPlan::scan("dim1"), vec![("fact.v", "dim1.pk")]);
     // Query B: `v < 1` is 100× more selective in the catalog than in
     // reality, which makes indexed nested loops into `bigdim` look
     // cheap. The Figure 4 trap.
@@ -123,7 +125,11 @@ fn main() -> midq::Result<()> {
         let planned = optimizer.optimize(&query_b, engine.catalog(), engine.storage())?;
         let mut believed = f64::NAN;
         planned.plan.walk(&mut |n| {
-            if let PhysOp::SeqScan { spec, filter: Some(_) } = &n.op {
+            if let PhysOp::SeqScan {
+                spec,
+                filter: Some(_),
+            } = &n.op
+            {
                 if spec.table == "fact" {
                     believed = n.annot.est_rows;
                 }

@@ -34,8 +34,14 @@ fn main() -> midq::Result<()> {
             ("area", DataType::Float),
         ],
     )?;
-    db.create_table("regions", vec![("code", DataType::Int), ("zone", DataType::Int)])?;
-    db.create_table("zones", vec![("zone", DataType::Int), ("name", DataType::Str)])?;
+    db.create_table(
+        "regions",
+        vec![("code", DataType::Int), ("zone", DataType::Int)],
+    )?;
+    db.create_table(
+        "zones",
+        vec![("zone", DataType::Int), ("name", DataType::Str)],
+    )?;
 
     for i in 0..6_000i64 {
         db.insert(
@@ -51,7 +57,10 @@ fn main() -> midq::Result<()> {
         db.insert("regions", Row::new(vec![Value::Int(i), Value::Int(i % 40)]))?;
     }
     for i in 0..40i64 {
-        db.insert("zones", Row::new(vec![Value::Int(i), Value::str(format!("zone-{i}"))]))?;
+        db.insert(
+            "zones",
+            Row::new(vec![Value::Int(i), Value::str(format!("zone-{i}"))]),
+        )?;
     }
     for t in ["parcels", "regions", "zones"] {
         db.analyze(t)?;
@@ -69,8 +78,14 @@ fn main() -> midq::Result<()> {
     };
 
     let q = LogicalPlan::scan_filtered("parcels", udf_filter)
-        .join(LogicalPlan::scan("regions"), vec![("parcels.region_code", "regions.code")])
-        .join(LogicalPlan::scan("zones"), vec![("regions.zone", "zones.zone")])
+        .join(
+            LogicalPlan::scan("regions"),
+            vec![("parcels.region_code", "regions.code")],
+        )
+        .join(
+            LogicalPlan::scan("zones"),
+            vec![("regions.zone", "zones.zone")],
+        )
         .aggregate(
             vec!["zones.name"],
             vec![AggExpr {
@@ -80,7 +95,10 @@ fn main() -> midq::Result<()> {
             }],
         );
 
-    println!("== the plan, sized for a 10% UDF guess ==\n{}", db.explain(&q)?);
+    println!(
+        "== the plan, sized for a 10% UDF guess ==\n{}",
+        db.explain(&q)?
+    );
 
     let off = db.run(&q, ReoptMode::Off)?;
     let full = db.run(&q, ReoptMode::Full)?;

@@ -18,7 +18,7 @@ use std::io::{self, BufRead, Write};
 
 use midq::common::EngineConfig;
 use midq::tpcd::{queries, TpcdConfig};
-use midq::{Database, QueryOutcome, ReoptMode, SqlOutcome};
+use midq::{Database, QueryOutcome, ReoptMode, SqlOutcome, Workload, WorkloadQuery};
 
 struct Shell {
     db: Database,
@@ -43,6 +43,10 @@ meta-commands:
                                   last query (events, final plan)
   \\source <file>                  run statements from a file (one per
                                   line or ;-terminated)
+  \\workload <file> [--workers N]  replay a file of SELECTs (one per
+                                  line or ;-terminated) through the
+                                  concurrent runtime (default N=4):
+                                  per-query summaries + throughput
   \\quit                           exit
 anything else is parsed as SQL: SELECT runs under the current mode;
 CREATE TABLE t (a INT, ...) / CREATE INDEX ON t (a) /
@@ -116,6 +120,7 @@ impl Shell {
                 None => println!("no query has run yet"),
             },
             ["source", path] => self.source(path),
+            ["workload", rest @ ..] => self.workload(rest),
             _ => println!("unknown command \\{cmd} — try \\help"),
         }
     }
@@ -238,6 +243,69 @@ impl Shell {
             println!("> {stmt}");
             self.dispatch(stmt);
         }
+    }
+
+    /// Replay a file of SELECT statements through the concurrent
+    /// runtime: `\workload queries.sql --workers 8`. Statements are
+    /// `;`- or newline-separated; `--` comments are skipped. Built-in
+    /// TPC-D queries may be named as `\q <name>` lines.
+    fn workload(&mut self, args: &[&str]) {
+        let mut path: Option<&str> = None;
+        let mut workers = 4usize;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if *a == "--workers" {
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => workers = n,
+                    _ => {
+                        println!("usage: \\workload <file> [--workers N]");
+                        return;
+                    }
+                }
+            } else {
+                path = Some(a);
+            }
+        }
+        let Some(path) = path else {
+            println!("usage: \\workload <file> [--workers N]");
+            return;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("cannot read {path}: {e}");
+                return;
+            }
+        };
+        let mut wl = Workload::new(workers);
+        for (i, stmt) in text.split([';', '\n']).enumerate() {
+            let stmt = stmt.trim();
+            if stmt.is_empty() || stmt.starts_with("--") {
+                continue;
+            }
+            if let Some(name) = stmt.strip_prefix("\\q ") {
+                let name = name.trim().to_uppercase();
+                match queries::all().into_iter().find(|(n, _)| *n == name) {
+                    Some((_, plan)) => {
+                        wl.queries
+                            .push(WorkloadQuery::plan(name, plan).with_mode(self.mode));
+                    }
+                    None => {
+                        println!("line {}: unknown built-in query {name}", i + 1);
+                        return;
+                    }
+                }
+            } else {
+                wl.queries
+                    .push(WorkloadQuery::sql(format!("line{}", i + 1), stmt).with_mode(self.mode));
+            }
+        }
+        if wl.queries.is_empty() {
+            println!("{path}: no statements");
+            return;
+        }
+        let report = self.db.run_concurrent(&wl);
+        print!("{}", report.summary());
     }
 
     fn run_sql(&mut self, sql: &str) {

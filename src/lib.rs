@@ -41,6 +41,7 @@
 //! | System-R optimizer + calibration | [`optimizer`] (`mq-optimizer`) |
 //! | operators, collectors, dispatcher | [`exec`] (`mq-exec`) |
 //! | **dynamic re-optimization** | [`reopt`] (`mq-reopt`) |
+//! | concurrent sessions, memory broker, worker pool | [`runtime`] (`mq-runtime`) |
 //! | SQL frontend | [`sql`] (`mq-sql`) |
 //! | TPC-D workload | [`tpcd`] (`mq-tpcd`) |
 
@@ -52,6 +53,7 @@ pub use mq_memory as memory;
 pub use mq_optimizer as optimizer;
 pub use mq_plan as plan;
 pub use mq_reopt as reopt;
+pub use mq_runtime as runtime;
 pub use mq_sql as sql;
 pub use mq_stats as stats;
 pub use mq_storage as storage;
@@ -60,9 +62,13 @@ pub use mq_tpcd as tpcd;
 pub use mq_common::{EngineConfig, MqError, Result};
 pub use mq_plan::LogicalPlan;
 pub use mq_reopt::{Engine, QueryOutcome, ReoptMode};
+pub use mq_runtime::{JobResult, Runtime, Session, Workload, WorkloadQuery, WorkloadReport};
 pub use mq_tpcd::TpcdConfig;
 
+use std::sync::Arc;
+
 use mq_common::{DataType, Row, Value};
+use mq_memory::MemoryBroker;
 
 /// Result of [`Database::execute_sql`].
 #[derive(Debug)]
@@ -87,17 +93,29 @@ fn coerce(v: Value, ty: DataType) -> Result<Value> {
     }
 }
 
+/// Sessions opened from one [`Database`] share a global memory broker
+/// sized for this many concurrent full-budget queries.
+const DEFAULT_SESSION_CONCURRENCY: usize = 4;
+
 /// The user-facing database handle: an [`Engine`] plus convenience
-/// methods for DDL, loading, ANALYZE, SQL and EXPLAIN.
+/// methods for DDL, loading, ANALYZE, SQL and EXPLAIN — and the entry
+/// points into the concurrent runtime ([`Database::session`],
+/// [`Database::run_concurrent`]).
 pub struct Database {
-    engine: Engine,
+    engine: Arc<Engine>,
+    /// Global memory broker shared by every session of this database.
+    broker: Arc<MemoryBroker>,
 }
 
 impl Database {
     /// Open an in-memory database with the given configuration.
     pub fn new(cfg: EngineConfig) -> Result<Database> {
+        let broker = Arc::new(MemoryBroker::new(
+            DEFAULT_SESSION_CONCURRENCY * cfg.query_memory_bytes,
+        ));
         Ok(Database {
-            engine: Engine::new(cfg)?,
+            engine: Arc::new(Engine::new(cfg)?),
+            broker,
         })
     }
 
@@ -106,9 +124,41 @@ impl Database {
         &self.engine
     }
 
+    /// A shareable handle to the engine (for [`Runtime`]s and worker
+    /// threads).
+    pub fn engine_arc(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
     /// Mutable engine access (to change configuration between runs).
+    ///
+    /// # Panics
+    /// If the engine is shared — i.e. a [`Session`] or [`Runtime`]
+    /// created from this database is still alive. Reconfigure before
+    /// opening sessions.
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        Arc::get_mut(&mut self.engine)
+            .expect("engine is shared by live sessions; reconfigure before opening them")
+    }
+
+    /// Open an interactive [`Session`]: per-query memory leases from
+    /// the database's global broker, session-level cost attribution,
+    /// cancellation and deadlines.
+    pub fn session(&self) -> Session {
+        Session::new(self.engine_arc(), Arc::clone(&self.broker))
+    }
+
+    /// Run a workload of queries concurrently on
+    /// [`Workload::workers`] threads over this database's shared
+    /// storage and catalog. The run's global memory budget is
+    /// [`Workload::global_memory_bytes`], defaulting to
+    /// `workers × query_memory_bytes`.
+    pub fn run_concurrent(&self, workload: &Workload) -> WorkloadReport {
+        let runtime = match workload.global_memory_bytes {
+            Some(bytes) => Runtime::new(self.engine_arc(), bytes),
+            None => Runtime::with_default_budget(self.engine_arc(), workload.workers),
+        };
+        runtime.run_workload(workload)
     }
 
     /// Create a table.
@@ -190,7 +240,9 @@ impl Database {
             }
             mq_sql::Statement::CreateIndex { table, column } => {
                 self.create_index(&table, &column)?;
-                Ok(SqlOutcome::Command(format!("created index on {table}.{column}")))
+                Ok(SqlOutcome::Command(format!(
+                    "created index on {table}.{column}"
+                )))
             }
             mq_sql::Statement::Insert { table, rows } => {
                 let schema = self.engine.catalog().table(&table)?.schema;
@@ -210,7 +262,9 @@ impl Database {
                         .collect::<Result<_>>()?;
                     self.insert(&table, Row::new(coerced))?;
                 }
-                Ok(SqlOutcome::Command(format!("inserted {n} rows into {table}")))
+                Ok(SqlOutcome::Command(format!(
+                    "inserted {n} rows into {table}"
+                )))
             }
             mq_sql::Statement::Analyze { table } => {
                 self.analyze(&table)?;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-3136365679ed0a0d.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-3136365679ed0a0d: tests/concurrency.rs
+
+tests/concurrency.rs:

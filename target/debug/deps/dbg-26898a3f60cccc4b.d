@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-26898a3f60cccc4b.d: crates/bench/src/bin/dbg.rs
+
+/root/repo/target/debug/deps/dbg-26898a3f60cccc4b: crates/bench/src/bin/dbg.rs
+
+crates/bench/src/bin/dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-338fbe05bc0ea640.d: crates/bench/src/bin/dbg.rs
+
+/root/repo/target/debug/deps/dbg-338fbe05bc0ea640: crates/bench/src/bin/dbg.rs
+
+crates/bench/src/bin/dbg.rs:

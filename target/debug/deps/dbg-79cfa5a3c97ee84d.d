@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbg-79cfa5a3c97ee84d.d: crates/bench/src/bin/dbg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbg-79cfa5a3c97ee84d.rmeta: crates/bench/src/bin/dbg.rs Cargo.toml
+
+crates/bench/src/bin/dbg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

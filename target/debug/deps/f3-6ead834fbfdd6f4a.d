@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/f3-6ead834fbfdd6f4a.d: crates/bench/src/bin/f3.rs
+
+/root/repo/target/debug/deps/f3-6ead834fbfdd6f4a: crates/bench/src/bin/f3.rs
+
+crates/bench/src/bin/f3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/f3-b080fda19830f3dc.d: crates/bench/src/bin/f3.rs
+
+/root/repo/target/debug/deps/f3-b080fda19830f3dc: crates/bench/src/bin/f3.rs
+
+crates/bench/src/bin/f3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/f3-efd220f20b82c49f.d: crates/bench/src/bin/f3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libf3-efd220f20b82c49f.rmeta: crates/bench/src/bin/f3.rs Cargo.toml
+
+crates/bench/src/bin/f3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

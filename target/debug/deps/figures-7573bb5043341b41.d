@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7573bb5043341b41.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-7573bb5043341b41: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

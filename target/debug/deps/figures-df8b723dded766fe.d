@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-df8b723dded766fe.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-df8b723dded766fe: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/midq-319fbb21e43d01d3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmidq-319fbb21e43d01d3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmidq-319fbb21e43d01d3.rmeta: src/lib.rs
+
+src/lib.rs:

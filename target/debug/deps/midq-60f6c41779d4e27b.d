@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/midq-60f6c41779d4e27b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmidq-60f6c41779d4e27b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmidq-60f6c41779d4e27b.rmeta: src/lib.rs
+
+src/lib.rs:

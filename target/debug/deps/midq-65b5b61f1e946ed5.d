@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/midq-65b5b61f1e946ed5.d: src/lib.rs
+
+/root/repo/target/debug/deps/midq-65b5b61f1e946ed5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/midq-884cfc0af85b6bd8.d: src/lib.rs
+
+/root/repo/target/debug/deps/midq-884cfc0af85b6bd8: src/lib.rs
+
+src/lib.rs:

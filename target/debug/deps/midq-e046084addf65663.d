@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/midq-e046084addf65663.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmidq-e046084addf65663.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

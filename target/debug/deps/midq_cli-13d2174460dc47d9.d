@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/midq_cli-13d2174460dc47d9.d: src/bin/midq-cli.rs
+
+/root/repo/target/debug/deps/midq_cli-13d2174460dc47d9: src/bin/midq-cli.rs
+
+src/bin/midq-cli.rs:

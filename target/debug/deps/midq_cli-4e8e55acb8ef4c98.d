@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/midq_cli-4e8e55acb8ef4c98.d: src/bin/midq-cli.rs
+
+/root/repo/target/debug/deps/midq_cli-4e8e55acb8ef4c98: src/bin/midq-cli.rs
+
+src/bin/midq-cli.rs:

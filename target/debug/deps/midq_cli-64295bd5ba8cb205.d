@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/midq_cli-64295bd5ba8cb205.d: src/bin/midq-cli.rs
+
+/root/repo/target/debug/deps/midq_cli-64295bd5ba8cb205: src/bin/midq-cli.rs
+
+src/bin/midq-cli.rs:

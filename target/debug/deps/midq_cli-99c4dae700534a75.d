@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/midq_cli-99c4dae700534a75.d: src/bin/midq-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmidq_cli-99c4dae700534a75.rmeta: src/bin/midq-cli.rs Cargo.toml
+
+src/bin/midq-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

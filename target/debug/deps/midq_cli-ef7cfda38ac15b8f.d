@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/midq_cli-ef7cfda38ac15b8f.d: src/bin/midq-cli.rs
+
+/root/repo/target/debug/deps/midq_cli-ef7cfda38ac15b8f: src/bin/midq-cli.rs
+
+src/bin/midq-cli.rs:

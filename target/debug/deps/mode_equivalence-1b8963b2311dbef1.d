@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mode_equivalence-1b8963b2311dbef1.d: tests/mode_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmode_equivalence-1b8963b2311dbef1.rmeta: tests/mode_equivalence.rs Cargo.toml
+
+tests/mode_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

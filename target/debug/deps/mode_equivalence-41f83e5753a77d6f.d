@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_equivalence-41f83e5753a77d6f.d: tests/mode_equivalence.rs
+
+/root/repo/target/debug/deps/mode_equivalence-41f83e5753a77d6f: tests/mode_equivalence.rs
+
+tests/mode_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_equivalence-4d0cc4c5b15f0984.d: tests/mode_equivalence.rs
+
+/root/repo/target/debug/deps/mode_equivalence-4d0cc4c5b15f0984: tests/mode_equivalence.rs
+
+tests/mode_equivalence.rs:

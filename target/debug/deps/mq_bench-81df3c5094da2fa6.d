@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mq_bench-81df3c5094da2fa6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mq_bench-81df3c5094da2fa6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

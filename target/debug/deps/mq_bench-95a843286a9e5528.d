@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mq_bench-95a843286a9e5528.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmq_bench-95a843286a9e5528.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmq_bench-95a843286a9e5528.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

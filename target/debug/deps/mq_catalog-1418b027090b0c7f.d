@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mq_catalog-1418b027090b0c7f.d: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+/root/repo/target/debug/deps/libmq_catalog-1418b027090b0c7f.rlib: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+/root/repo/target/debug/deps/libmq_catalog-1418b027090b0c7f.rmeta: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/stats.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mq_catalog-61e5d42ad3ad70d4.d: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+/root/repo/target/debug/deps/mq_catalog-61e5d42ad3ad70d4: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/stats.rs:

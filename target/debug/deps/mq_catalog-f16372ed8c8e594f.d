@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mq_catalog-f16372ed8c8e594f.d: crates/catalog/src/lib.rs crates/catalog/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_catalog-f16372ed8c8e594f.rmeta: crates/catalog/src/lib.rs crates/catalog/src/stats.rs Cargo.toml
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mq_exec-082c41a95c0de488.d: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs crates/exec/src/tests.rs
+
+/root/repo/target/debug/deps/mq_exec-082c41a95c0de488: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs crates/exec/src/tests.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/aggregate.rs:
+crates/exec/src/collector.rs:
+crates/exec/src/context.rs:
+crates/exec/src/filter.rs:
+crates/exec/src/hash_join.rs:
+crates/exec/src/inl_join.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sink.rs:
+crates/exec/src/sort.rs:
+crates/exec/src/tests.rs:

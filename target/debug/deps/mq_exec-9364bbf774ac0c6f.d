@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mq_exec-9364bbf774ac0c6f.d: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_exec-9364bbf774ac0c6f.rmeta: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/aggregate.rs:
+crates/exec/src/collector.rs:
+crates/exec/src/context.rs:
+crates/exec/src/filter.rs:
+crates/exec/src/hash_join.rs:
+crates/exec/src/inl_join.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sink.rs:
+crates/exec/src/sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mq_exec-a919967ad758247a.d: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs crates/exec/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_exec-a919967ad758247a.rmeta: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs crates/exec/src/tests.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/aggregate.rs:
+crates/exec/src/collector.rs:
+crates/exec/src/context.rs:
+crates/exec/src/filter.rs:
+crates/exec/src/hash_join.rs:
+crates/exec/src/inl_join.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sink.rs:
+crates/exec/src/sort.rs:
+crates/exec/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mq_exec-e6bdd4a40933681f.d: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs
+
+/root/repo/target/debug/deps/libmq_exec-e6bdd4a40933681f.rlib: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs
+
+/root/repo/target/debug/deps/libmq_exec-e6bdd4a40933681f.rmeta: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/aggregate.rs:
+crates/exec/src/collector.rs:
+crates/exec/src/context.rs:
+crates/exec/src/filter.rs:
+crates/exec/src/hash_join.rs:
+crates/exec/src/inl_join.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sink.rs:
+crates/exec/src/sort.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mq_expr-1b00f51395af47d0.d: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+/root/repo/target/debug/deps/libmq_expr-1b00f51395af47d0.rlib: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+/root/repo/target/debug/deps/libmq_expr-1b00f51395af47d0.rmeta: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/selectivity.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mq_expr-258ac7b9d9075be9.d: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+/root/repo/target/debug/deps/mq_expr-258ac7b9d9075be9: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/selectivity.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mq_expr-2d7be5672cb604eb.d: crates/expr/src/lib.rs crates/expr/src/selectivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_expr-2d7be5672cb604eb.rmeta: crates/expr/src/lib.rs crates/expr/src/selectivity.rs Cargo.toml
+
+crates/expr/src/lib.rs:
+crates/expr/src/selectivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mq_memory-6d3eae1eb1dd1086.d: crates/memory/src/lib.rs crates/memory/src/broker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_memory-6d3eae1eb1dd1086.rmeta: crates/memory/src/lib.rs crates/memory/src/broker.rs Cargo.toml
+
+crates/memory/src/lib.rs:
+crates/memory/src/broker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mq_memory-7ac393917f0fe300.d: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+/root/repo/target/debug/deps/mq_memory-7ac393917f0fe300: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/broker.rs:

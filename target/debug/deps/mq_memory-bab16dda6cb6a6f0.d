@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mq_memory-bab16dda6cb6a6f0.d: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+/root/repo/target/debug/deps/libmq_memory-bab16dda6cb6a6f0.rlib: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+/root/repo/target/debug/deps/libmq_memory-bab16dda6cb6a6f0.rmeta: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/broker.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mq_optimizer-06187a135fb916dc.d: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+/root/repo/target/debug/deps/libmq_optimizer-06187a135fb916dc.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+/root/repo/target/debug/deps/libmq_optimizer-06187a135fb916dc.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/calibrate.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/props.rs:

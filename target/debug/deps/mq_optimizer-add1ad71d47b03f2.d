@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mq_optimizer-add1ad71d47b03f2.d: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+/root/repo/target/debug/deps/mq_optimizer-add1ad71d47b03f2: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/calibrate.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/props.rs:

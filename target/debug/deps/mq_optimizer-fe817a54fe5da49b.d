@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mq_optimizer-fe817a54fe5da49b.d: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_optimizer-fe817a54fe5da49b.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs Cargo.toml
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/calibrate.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

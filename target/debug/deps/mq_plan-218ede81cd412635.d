@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mq_plan-218ede81cd412635.d: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_plan-218ede81cd412635.rmeta: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs Cargo.toml
+
+crates/plan/src/lib.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

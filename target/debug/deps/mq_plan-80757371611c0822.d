@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mq_plan-80757371611c0822.d: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+/root/repo/target/debug/deps/libmq_plan-80757371611c0822.rlib: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+/root/repo/target/debug/deps/libmq_plan-80757371611c0822.rmeta: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:

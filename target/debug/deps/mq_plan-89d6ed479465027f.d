@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mq_plan-89d6ed479465027f.d: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+/root/repo/target/debug/deps/mq_plan-89d6ed479465027f: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mq_reopt-06645e6590d367ae.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs crates/core/src/engine_tests.rs
+
+/root/repo/target/debug/deps/mq_reopt-06645e6590d367ae: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs crates/core/src/engine_tests.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/engine.rs:
+crates/core/src/improve.rs:
+crates/core/src/remainder.rs:
+crates/core/src/scia.rs:
+crates/core/src/engine_tests.rs:

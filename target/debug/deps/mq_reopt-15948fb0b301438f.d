@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mq_reopt-15948fb0b301438f.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs
+
+/root/repo/target/debug/deps/libmq_reopt-15948fb0b301438f.rlib: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs
+
+/root/repo/target/debug/deps/libmq_reopt-15948fb0b301438f.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/engine.rs:
+crates/core/src/improve.rs:
+crates/core/src/remainder.rs:
+crates/core/src/scia.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mq_reopt-2779959c545b97d2.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_reopt-2779959c545b97d2.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/engine.rs:
+crates/core/src/improve.rs:
+crates/core/src/remainder.rs:
+crates/core/src/scia.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mq_reopt-df44c0a608c177a6.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs crates/core/src/engine_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_reopt-df44c0a608c177a6.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs crates/core/src/engine_tests.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/engine.rs:
+crates/core/src/improve.rs:
+crates/core/src/remainder.rs:
+crates/core/src/scia.rs:
+crates/core/src/engine_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mq_runtime-1eb24f66369cf626.d: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs
+
+/root/repo/target/debug/deps/libmq_runtime-1eb24f66369cf626.rlib: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs
+
+/root/repo/target/debug/deps/libmq_runtime-1eb24f66369cf626.rmeta: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mq_runtime-22dfba5876031d6e.d: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs crates/runtime/src/tests.rs
+
+/root/repo/target/debug/deps/mq_runtime-22dfba5876031d6e: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs crates/runtime/src/tests.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/workload.rs:
+crates/runtime/src/tests.rs:

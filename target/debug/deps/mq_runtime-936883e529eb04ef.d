@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mq_runtime-936883e529eb04ef.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libmq_runtime-936883e529eb04ef.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libmq_runtime-936883e529eb04ef.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mq_runtime-9f092ebccfd632e4.d: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_runtime-9f092ebccfd632e4.rmeta: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mq_runtime-b530e3bdb90c6b44.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/mq_runtime-b530e3bdb90c6b44: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

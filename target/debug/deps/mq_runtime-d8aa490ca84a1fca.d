@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mq_runtime-d8aa490ca84a1fca.d: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs crates/runtime/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_runtime-d8aa490ca84a1fca.rmeta: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs crates/runtime/src/tests.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/workload.rs:
+crates/runtime/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

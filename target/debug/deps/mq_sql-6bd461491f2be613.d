@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mq_sql-6bd461491f2be613.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/debug/deps/mq_sql-6bd461491f2be613: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/binder.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mq_sql-e0f7a8489213fa52.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_sql-e0f7a8489213fa52.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/binder.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mq_sql-f843e55c49c47f25.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/debug/deps/libmq_sql-f843e55c49c47f25.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/debug/deps/libmq_sql-f843e55c49c47f25.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/binder.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

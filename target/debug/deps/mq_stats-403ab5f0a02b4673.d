@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mq_stats-403ab5f0a02b4673.d: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_stats-403ab5f0a02b4673.rmeta: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/accumulator.rs:
+crates/stats/src/distinct.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/reservoir.rs:
+crates/stats/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

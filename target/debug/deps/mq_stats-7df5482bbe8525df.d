@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mq_stats-7df5482bbe8525df.d: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/mq_stats-7df5482bbe8525df: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/accumulator.rs:
+crates/stats/src/distinct.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/reservoir.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mq_stats-7f26b7f63c7795a3.d: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libmq_stats-7f26b7f63c7795a3.rlib: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libmq_stats-7f26b7f63c7795a3.rmeta: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/accumulator.rs:
+crates/stats/src/distinct.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/reservoir.rs:
+crates/stats/src/zipf.rs:

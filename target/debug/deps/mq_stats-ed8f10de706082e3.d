@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mq_stats-ed8f10de706082e3.d: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_stats-ed8f10de706082e3.rmeta: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/accumulator.rs:
+crates/stats/src/distinct.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/reservoir.rs:
+crates/stats/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

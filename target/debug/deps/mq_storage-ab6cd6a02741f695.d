@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mq_storage-ab6cd6a02741f695.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_storage-ab6cd6a02741f695.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

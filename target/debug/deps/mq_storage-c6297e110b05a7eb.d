@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mq_storage-c6297e110b05a7eb.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/libmq_storage-c6297e110b05a7eb.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/libmq_storage-c6297e110b05a7eb.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mq_tpcd-49a3b34b41377244.d: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+/root/repo/target/debug/deps/libmq_tpcd-49a3b34b41377244.rlib: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+/root/repo/target/debug/deps/libmq_tpcd-49a3b34b41377244.rmeta: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+crates/tpcd/src/lib.rs:
+crates/tpcd/src/gen.rs:
+crates/tpcd/src/queries.rs:

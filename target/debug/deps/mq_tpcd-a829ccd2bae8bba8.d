@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mq_tpcd-a829ccd2bae8bba8.d: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmq_tpcd-a829ccd2bae8bba8.rmeta: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs Cargo.toml
+
+crates/tpcd/src/lib.rs:
+crates/tpcd/src/gen.rs:
+crates/tpcd/src/queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mq_tpcd-f43778cad1828308.d: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+/root/repo/target/debug/deps/mq_tpcd-f43778cad1828308: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+crates/tpcd/src/lib.rs:
+crates/tpcd/src/gen.rs:
+crates/tpcd/src/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-1efcd58255256c0a.d: crates/exec/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-1efcd58255256c0a: crates/exec/tests/oracle.rs
+
+crates/exec/tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-40b92b0d7e0ac5a5.d: crates/exec/tests/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-40b92b0d7e0ac5a5.rmeta: crates/exec/tests/oracle.rs Cargo.toml
+
+crates/exec/tests/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-af90950b58075c8a.d: crates/exec/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-af90950b58075c8a: crates/exec/tests/oracle.rs
+
+crates/exec/tests/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-0a27bd19c3de0a89.d: crates/optimizer/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-0a27bd19c3de0a89.rmeta: crates/optimizer/tests/props.rs Cargo.toml
+
+crates/optimizer/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3488ec6aa71adec8.d: crates/common/tests/props.rs
+
+/root/repo/target/debug/deps/props-3488ec6aa71adec8: crates/common/tests/props.rs
+
+crates/common/tests/props.rs:

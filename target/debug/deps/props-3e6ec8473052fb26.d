@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-3e6ec8473052fb26.d: crates/expr/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-3e6ec8473052fb26.rmeta: crates/expr/tests/props.rs Cargo.toml
+
+crates/expr/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-4d99cf0e3e1bc1fb.d: crates/memory/tests/props.rs
+
+/root/repo/target/debug/deps/props-4d99cf0e3e1bc1fb: crates/memory/tests/props.rs
+
+crates/memory/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-4dfc0d6e078bca61.d: crates/memory/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-4dfc0d6e078bca61.rmeta: crates/memory/tests/props.rs Cargo.toml
+
+crates/memory/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

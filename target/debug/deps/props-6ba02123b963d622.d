@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6ba02123b963d622.d: crates/sql/tests/props.rs
+
+/root/repo/target/debug/deps/props-6ba02123b963d622: crates/sql/tests/props.rs
+
+crates/sql/tests/props.rs:

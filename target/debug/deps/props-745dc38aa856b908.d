@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-745dc38aa856b908.d: crates/expr/tests/props.rs
+
+/root/repo/target/debug/deps/props-745dc38aa856b908: crates/expr/tests/props.rs
+
+crates/expr/tests/props.rs:

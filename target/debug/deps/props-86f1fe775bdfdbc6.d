@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-86f1fe775bdfdbc6.d: crates/optimizer/tests/props.rs
+
+/root/repo/target/debug/deps/props-86f1fe775bdfdbc6: crates/optimizer/tests/props.rs
+
+crates/optimizer/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-89bcf8a1adaef419.d: crates/storage/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-89bcf8a1adaef419.rmeta: crates/storage/tests/props.rs Cargo.toml
+
+crates/storage/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

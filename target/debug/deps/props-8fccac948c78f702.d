@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-8fccac948c78f702.d: crates/storage/tests/props.rs
+
+/root/repo/target/debug/deps/props-8fccac948c78f702: crates/storage/tests/props.rs
+
+crates/storage/tests/props.rs:

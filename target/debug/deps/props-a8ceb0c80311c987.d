@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a8ceb0c80311c987.d: crates/optimizer/tests/props.rs
+
+/root/repo/target/debug/deps/props-a8ceb0c80311c987: crates/optimizer/tests/props.rs
+
+crates/optimizer/tests/props.rs:

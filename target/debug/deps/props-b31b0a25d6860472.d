@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b31b0a25d6860472.d: crates/stats/tests/props.rs
+
+/root/repo/target/debug/deps/props-b31b0a25d6860472: crates/stats/tests/props.rs
+
+crates/stats/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-cdee52de13f7b9e8.d: crates/sql/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-cdee52de13f7b9e8.rmeta: crates/sql/tests/props.rs Cargo.toml
+
+crates/sql/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

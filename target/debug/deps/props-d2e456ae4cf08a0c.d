@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-d2e456ae4cf08a0c.d: crates/common/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-d2e456ae4cf08a0c.rmeta: crates/common/tests/props.rs Cargo.toml
+
+crates/common/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

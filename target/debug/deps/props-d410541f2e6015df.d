@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-d410541f2e6015df.d: crates/stats/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-d410541f2e6015df.rmeta: crates/stats/tests/props.rs Cargo.toml
+
+crates/stats/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

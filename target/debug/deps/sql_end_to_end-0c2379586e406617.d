@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_end_to_end-0c2379586e406617.d: tests/sql_end_to_end.rs
+
+/root/repo/target/debug/deps/sql_end_to_end-0c2379586e406617: tests/sql_end_to_end.rs
+
+tests/sql_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_end_to_end-10a971a8703a0971.d: tests/sql_end_to_end.rs
+
+/root/repo/target/debug/deps/sql_end_to_end-10a971a8703a0971: tests/sql_end_to_end.rs
+
+tests/sql_end_to_end.rs:

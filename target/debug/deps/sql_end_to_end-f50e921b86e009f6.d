@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_end_to_end-f50e921b86e009f6.d: tests/sql_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_end_to_end-f50e921b86e009f6.rmeta: tests/sql_end_to_end.rs Cargo.toml
+
+tests/sql_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-1cdb9d9be2b1dd12.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-1cdb9d9be2b1dd12: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

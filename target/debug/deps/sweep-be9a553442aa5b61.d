@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-be9a553442aa5b61.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-be9a553442aa5b61: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcd_queries-5f23f66839ce6dfb.d: tests/tpcd_queries.rs
+
+/root/repo/target/debug/deps/tpcd_queries-5f23f66839ce6dfb: tests/tpcd_queries.rs
+
+tests/tpcd_queries.rs:

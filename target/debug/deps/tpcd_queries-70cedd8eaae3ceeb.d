@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcd_queries-70cedd8eaae3ceeb.d: tests/tpcd_queries.rs
+
+/root/repo/target/debug/deps/tpcd_queries-70cedd8eaae3ceeb: tests/tpcd_queries.rs
+
+tests/tpcd_queries.rs:

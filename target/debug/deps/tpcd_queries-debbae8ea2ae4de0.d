@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpcd_queries-debbae8ea2ae4de0.d: tests/tpcd_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpcd_queries-debbae8ea2ae4de0.rmeta: tests/tpcd_queries.rs Cargo.toml
+
+tests/tpcd_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_realloc-10604bd33c075eab.d: examples/memory_realloc.rs
+
+/root/repo/target/debug/examples/memory_realloc-10604bd33c075eab: examples/memory_realloc.rs
+
+examples/memory_realloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_realloc-d4297dc7deab7240.d: examples/memory_realloc.rs
+
+/root/repo/target/debug/examples/memory_realloc-d4297dc7deab7240: examples/memory_realloc.rs
+
+examples/memory_realloc.rs:

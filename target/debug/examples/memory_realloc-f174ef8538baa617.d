@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_realloc-f174ef8538baa617.d: examples/memory_realloc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_realloc-f174ef8538baa617.rmeta: examples/memory_realloc.rs Cargo.toml
+
+examples/memory_realloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_switch-1245199f8823851b.d: examples/plan_switch.rs
+
+/root/repo/target/debug/examples/plan_switch-1245199f8823851b: examples/plan_switch.rs
+
+examples/plan_switch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_switch-edcaaeec9e1cb602.d: examples/plan_switch.rs
+
+/root/repo/target/debug/examples/plan_switch-edcaaeec9e1cb602: examples/plan_switch.rs
+
+examples/plan_switch.rs:

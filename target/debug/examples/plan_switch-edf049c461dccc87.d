@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plan_switch-edf049c461dccc87.d: examples/plan_switch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplan_switch-edf049c461dccc87.rmeta: examples/plan_switch.rs Cargo.toml
+
+examples/plan_switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f253521eb52a28d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f253521eb52a28d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6267b7c976b018dc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6267b7c976b018dc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stats_feedback-07808aa1a8d63f44.d: examples/stats_feedback.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstats_feedback-07808aa1a8d63f44.rmeta: examples/stats_feedback.rs Cargo.toml
+
+examples/stats_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stats_feedback-1e93e81a624290d8.d: examples/stats_feedback.rs
+
+/root/repo/target/debug/examples/stats_feedback-1e93e81a624290d8: examples/stats_feedback.rs
+
+examples/stats_feedback.rs:

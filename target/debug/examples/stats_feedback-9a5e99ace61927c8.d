@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stats_feedback-9a5e99ace61927c8.d: examples/stats_feedback.rs
+
+/root/repo/target/debug/examples/stats_feedback-9a5e99ace61927c8: examples/stats_feedback.rs
+
+examples/stats_feedback.rs:

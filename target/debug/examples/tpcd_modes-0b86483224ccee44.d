@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcd_modes-0b86483224ccee44.d: examples/tpcd_modes.rs
+
+/root/repo/target/debug/examples/tpcd_modes-0b86483224ccee44: examples/tpcd_modes.rs
+
+examples/tpcd_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcd_modes-2a09b33535040634.d: examples/tpcd_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcd_modes-2a09b33535040634.rmeta: examples/tpcd_modes.rs Cargo.toml
+
+examples/tpcd_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcd_modes-a8fc807b2a250300.d: examples/tpcd_modes.rs
+
+/root/repo/target/debug/examples/tpcd_modes-a8fc807b2a250300: examples/tpcd_modes.rs
+
+examples/tpcd_modes.rs:

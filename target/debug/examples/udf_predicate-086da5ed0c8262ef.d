@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/udf_predicate-086da5ed0c8262ef.d: examples/udf_predicate.rs
+
+/root/repo/target/debug/examples/udf_predicate-086da5ed0c8262ef: examples/udf_predicate.rs
+
+examples/udf_predicate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/udf_predicate-ccdf937f3788c2d6.d: examples/udf_predicate.rs
+
+/root/repo/target/debug/examples/udf_predicate-ccdf937f3788c2d6: examples/udf_predicate.rs
+
+examples/udf_predicate.rs:

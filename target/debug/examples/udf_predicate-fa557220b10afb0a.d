@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/udf_predicate-fa557220b10afb0a.d: examples/udf_predicate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libudf_predicate-fa557220b10afb0a.rmeta: examples/udf_predicate.rs Cargo.toml
+
+examples/udf_predicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg-b6916a99ecd21237.d: crates/bench/src/bin/dbg.rs
+
+/root/repo/target/release/deps/dbg-b6916a99ecd21237: crates/bench/src/bin/dbg.rs
+
+crates/bench/src/bin/dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_conc-c6f50547fe7e9727.d: crates/bench/src/bin/dbg_conc.rs
+
+/root/repo/target/release/deps/dbg_conc-c6f50547fe7e9727: crates/bench/src/bin/dbg_conc.rs
+
+crates/bench/src/bin/dbg_conc.rs:

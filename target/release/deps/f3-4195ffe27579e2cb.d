@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/f3-4195ffe27579e2cb.d: crates/bench/src/bin/f3.rs
+
+/root/repo/target/release/deps/f3-4195ffe27579e2cb: crates/bench/src/bin/f3.rs
+
+crates/bench/src/bin/f3.rs:

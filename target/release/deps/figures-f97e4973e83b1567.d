@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f97e4973e83b1567.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f97e4973e83b1567: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

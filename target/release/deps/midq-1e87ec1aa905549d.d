@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/midq-1e87ec1aa905549d.d: src/lib.rs
+
+/root/repo/target/release/deps/libmidq-1e87ec1aa905549d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmidq-1e87ec1aa905549d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/midq-acbc8bbf4c58c001.d: src/lib.rs
+
+/root/repo/target/release/deps/libmidq-acbc8bbf4c58c001.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmidq-acbc8bbf4c58c001.rmeta: src/lib.rs
+
+src/lib.rs:

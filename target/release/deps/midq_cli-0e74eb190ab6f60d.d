@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/midq_cli-0e74eb190ab6f60d.d: src/bin/midq-cli.rs
+
+/root/repo/target/release/deps/midq_cli-0e74eb190ab6f60d: src/bin/midq-cli.rs
+
+src/bin/midq-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/midq_cli-39f1ff89315db2de.d: src/bin/midq-cli.rs
+
+/root/repo/target/release/deps/midq_cli-39f1ff89315db2de: src/bin/midq-cli.rs
+
+src/bin/midq-cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mq_catalog-6c4ace5b9a7eb61e.d: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+/root/repo/target/release/deps/libmq_catalog-6c4ace5b9a7eb61e.rlib: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+/root/repo/target/release/deps/libmq_catalog-6c4ace5b9a7eb61e.rmeta: crates/catalog/src/lib.rs crates/catalog/src/stats.rs
+
+crates/catalog/src/lib.rs:
+crates/catalog/src/stats.rs:

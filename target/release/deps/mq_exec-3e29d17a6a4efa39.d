@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mq_exec-3e29d17a6a4efa39.d: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs
+
+/root/repo/target/release/deps/libmq_exec-3e29d17a6a4efa39.rlib: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs
+
+/root/repo/target/release/deps/libmq_exec-3e29d17a6a4efa39.rmeta: crates/exec/src/lib.rs crates/exec/src/aggregate.rs crates/exec/src/collector.rs crates/exec/src/context.rs crates/exec/src/filter.rs crates/exec/src/hash_join.rs crates/exec/src/inl_join.rs crates/exec/src/scan.rs crates/exec/src/sink.rs crates/exec/src/sort.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/aggregate.rs:
+crates/exec/src/collector.rs:
+crates/exec/src/context.rs:
+crates/exec/src/filter.rs:
+crates/exec/src/hash_join.rs:
+crates/exec/src/inl_join.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sink.rs:
+crates/exec/src/sort.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mq_expr-c7e9e0c981d3e6e1.d: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+/root/repo/target/release/deps/libmq_expr-c7e9e0c981d3e6e1.rlib: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+/root/repo/target/release/deps/libmq_expr-c7e9e0c981d3e6e1.rmeta: crates/expr/src/lib.rs crates/expr/src/selectivity.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/selectivity.rs:

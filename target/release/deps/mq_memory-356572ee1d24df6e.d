@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mq_memory-356572ee1d24df6e.d: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+/root/repo/target/release/deps/libmq_memory-356572ee1d24df6e.rlib: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+/root/repo/target/release/deps/libmq_memory-356572ee1d24df6e.rmeta: crates/memory/src/lib.rs crates/memory/src/broker.rs
+
+crates/memory/src/lib.rs:
+crates/memory/src/broker.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mq_optimizer-f93161e21597d775.d: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+/root/repo/target/release/deps/libmq_optimizer-f93161e21597d775.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+/root/repo/target/release/deps/libmq_optimizer-f93161e21597d775.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/calibrate.rs crates/optimizer/src/cost.rs crates/optimizer/src/enumerate.rs crates/optimizer/src/props.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/calibrate.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/enumerate.rs:
+crates/optimizer/src/props.rs:

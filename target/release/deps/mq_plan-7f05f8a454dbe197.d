@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mq_plan-7f05f8a454dbe197.d: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+/root/repo/target/release/deps/libmq_plan-7f05f8a454dbe197.rlib: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+/root/repo/target/release/deps/libmq_plan-7f05f8a454dbe197.rmeta: crates/plan/src/lib.rs crates/plan/src/logical.rs crates/plan/src/physical.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:

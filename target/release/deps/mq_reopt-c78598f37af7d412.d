@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mq_reopt-c78598f37af7d412.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs
+
+/root/repo/target/release/deps/libmq_reopt-c78598f37af7d412.rlib: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs
+
+/root/repo/target/release/deps/libmq_reopt-c78598f37af7d412.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/engine.rs crates/core/src/improve.rs crates/core/src/remainder.rs crates/core/src/scia.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/engine.rs:
+crates/core/src/improve.rs:
+crates/core/src/remainder.rs:
+crates/core/src/scia.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mq_runtime-142944f402df4a76.d: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs
+
+/root/repo/target/release/deps/libmq_runtime-142944f402df4a76.rlib: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs
+
+/root/repo/target/release/deps/libmq_runtime-142944f402df4a76.rmeta: crates/runtime/src/lib.rs crates/runtime/src/report.rs crates/runtime/src/workload.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/report.rs:
+crates/runtime/src/workload.rs:

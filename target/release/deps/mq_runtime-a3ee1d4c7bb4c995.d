@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mq_runtime-a3ee1d4c7bb4c995.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libmq_runtime-a3ee1d4c7bb4c995.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libmq_runtime-a3ee1d4c7bb4c995.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

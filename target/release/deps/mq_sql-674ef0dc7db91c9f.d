@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mq_sql-674ef0dc7db91c9f.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/release/deps/libmq_sql-674ef0dc7db91c9f.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+/root/repo/target/release/deps/libmq_sql-674ef0dc7db91c9f.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/binder.rs crates/sql/src/lexer.rs crates/sql/src/parser.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/binder.rs:
+crates/sql/src/lexer.rs:
+crates/sql/src/parser.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mq_stats-3fdc4f1a6aa3c014.d: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/libmq_stats-3fdc4f1a6aa3c014.rlib: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+/root/repo/target/release/deps/libmq_stats-3fdc4f1a6aa3c014.rmeta: crates/stats/src/lib.rs crates/stats/src/accumulator.rs crates/stats/src/distinct.rs crates/stats/src/histogram.rs crates/stats/src/reservoir.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/accumulator.rs:
+crates/stats/src/distinct.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/reservoir.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mq_storage-b85d592573f5c216.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/libmq_storage-b85d592573f5c216.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/libmq_storage-b85d592573f5c216.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

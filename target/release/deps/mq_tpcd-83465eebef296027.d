@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mq_tpcd-83465eebef296027.d: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+/root/repo/target/release/deps/libmq_tpcd-83465eebef296027.rlib: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+/root/repo/target/release/deps/libmq_tpcd-83465eebef296027.rmeta: crates/tpcd/src/lib.rs crates/tpcd/src/gen.rs crates/tpcd/src/queries.rs
+
+crates/tpcd/src/lib.rs:
+crates/tpcd/src/gen.rs:
+crates/tpcd/src/queries.rs:

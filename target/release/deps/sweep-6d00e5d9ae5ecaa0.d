@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-6d00e5d9ae5ecaa0.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-6d00e5d9ae5ecaa0: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,122 @@
+//! Integration: the concurrent runtime is deterministic and brokered.
+//!
+//! The same mix of TPC-D queries runs serially (one worker) and on a
+//! 4-worker pool over an identically loaded database; every query must
+//! produce identical result rows, the global memory broker's
+//! high-water mark must never exceed its budget, and the pool must
+//! actually overlap queries (`max_in_flight > 1`).
+
+use midq::common::EngineConfig;
+use midq::tpcd::{queries, TpcdConfig};
+use midq::{Database, ReoptMode, Workload, WorkloadQuery};
+
+/// Compile-time proof that the shared handles cross threads: the
+/// runtime moves the engine into a worker pool and returns outcomes
+/// through it.
+#[test]
+fn shared_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<midq::Database>();
+    assert_send_sync::<midq::Engine>();
+    assert_send_sync::<midq::QueryOutcome>();
+    assert_send_sync::<midq::Runtime>();
+    assert_send_sync::<midq::Session>();
+    assert_send_sync::<midq::WorkloadReport>();
+}
+
+fn load_db() -> Database {
+    let db = Database::new(EngineConfig::default()).unwrap();
+    db.load_tpcd(&TpcdConfig {
+        scale: 0.002,
+        analyze_after_fraction: 0.5,
+        ..TpcdConfig::default()
+    })
+    .unwrap();
+    db
+}
+
+/// Canonical row rendering: floats rounded so different (equally
+/// correct) summation orders across plans compare equal; sorted so
+/// plans that differ only in output order compare equal.
+fn sorted_rows(outcome: &midq::QueryOutcome) -> Vec<String> {
+    let mut rows: Vec<String> = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| match v {
+                    midq::common::Value::Float(f) => format!("{f:.3}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// ≥64 queries: the seven paper queries, repeated, alternating modes.
+fn tpcd_mix() -> Vec<WorkloadQuery> {
+    let all = queries::all();
+    let mut out = Vec::new();
+    for round in 0..10 {
+        for (name, plan) in &all {
+            let mode = if round % 2 == 0 {
+                ReoptMode::Full
+            } else {
+                ReoptMode::Off
+            };
+            out.push(WorkloadQuery::plan(format!("{name}.r{round}"), plan.clone()).with_mode(mode));
+        }
+    }
+    assert!(out.len() >= 64);
+    out
+}
+
+#[test]
+fn concurrent_execution_is_deterministic_and_brokered() {
+    // Two identically seeded databases: the serial baseline must not
+    // share caches or healed statistics with the concurrent run.
+    let serial_db = load_db();
+    let concurrent_db = load_db();
+
+    let mut serial = Workload::new(1);
+    serial.queries = tpcd_mix();
+    let mut concurrent = Workload::new(4);
+    concurrent.queries = tpcd_mix();
+
+    let base = serial_db.run_concurrent(&serial);
+    let report = concurrent_db.run_concurrent(&concurrent);
+
+    assert_eq!(base.results.len(), report.results.len());
+    for (a, b) in base.results.iter().zip(&report.results) {
+        let oa = a
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("serial {}: {e}", a.label));
+        let ob = b
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("concurrent {}: {e}", b.label));
+        assert_eq!(
+            sorted_rows(oa),
+            sorted_rows(ob),
+            "{} diverged between serial and 4-worker execution",
+            a.label
+        );
+    }
+
+    // The broker never over-granted its global budget...
+    assert!(report.broker_high_water <= report.global_budget_bytes);
+    assert!(base.broker_high_water <= base.global_budget_bytes);
+    // ...and the pool genuinely overlapped queries.
+    assert!(
+        report.max_in_flight > 1,
+        "4-worker pool never had two queries in flight"
+    );
+    assert_eq!(base.max_in_flight, 1);
+    // Parallel simulated makespan cannot exceed the serial sum.
+    assert!(report.makespan_sim_ms <= report.serial_sim_ms + 1e-9);
+}

@@ -48,8 +48,11 @@ fn build_db_cfg(
     db.create_table("d2", vec![("pk", DataType::Int), ("y", DataType::Int)])
         .unwrap();
     for &(a, b, v) in fact {
-        db.insert("fact", Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]))
-            .unwrap();
+        db.insert(
+            "fact",
+            Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]),
+        )
+        .unwrap();
     }
     for &(p, x) in d1 {
         db.insert("d1", Row::new(vec![Value::Int(p), Value::Int(x)]))
@@ -65,8 +68,11 @@ fn build_db_cfg(
     db.create_index("d1", "pk").unwrap();
     // Post-ANALYZE inserts: the staleness that makes the controller act.
     for &(a, b, v) in stale_extra {
-        db.insert("fact", Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]))
-            .unwrap();
+        db.insert(
+            "fact",
+            Row::new(vec![Value::Int(a), Value::Int(b), Value::Int(v)]),
+        )
+        .unwrap();
     }
     db
 }

@@ -15,8 +15,11 @@ fn sample_db() -> Database {
         ],
     )
     .unwrap();
-    db.create_table("dept", vec![("name", DataType::Str), ("budget", DataType::Int)])
-        .unwrap();
+    db.create_table(
+        "dept",
+        vec![("name", DataType::Str), ("budget", DataType::Int)],
+    )
+    .unwrap();
     let depts = ["eng", "sales", "hr"];
     for i in 0..900i64 {
         db.insert(
@@ -76,7 +79,11 @@ fn join_with_date_predicate() {
         .unwrap();
     assert_eq!(out.rows.len(), 5);
     // Ordered by id ascending.
-    let ids: Vec<i64> = out.rows.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+    let ids: Vec<i64> = out
+        .rows
+        .iter()
+        .map(|r| r.get(0).as_i64().unwrap())
+        .collect();
     let mut sorted = ids.clone();
     sorted.sort_unstable();
     assert_eq!(ids, sorted);
@@ -105,7 +112,10 @@ fn empty_results_are_fine() {
         .unwrap();
     assert!(out.rows.is_empty());
     let out = db
-        .run_sql("SELECT count(*) AS n FROM emp WHERE salary < 0", ReoptMode::Full)
+        .run_sql(
+            "SELECT count(*) AS n FROM emp WHERE salary < 0",
+            ReoptMode::Full,
+        )
         .unwrap();
     assert_eq!(out.rows[0].get(0), &Value::Int(0));
 }
@@ -149,19 +159,20 @@ fn sql_only_lifecycle() {
     };
 
     assert!(cmd("CREATE TABLE p (id INT, price FLOAT, tag VARCHAR, day DATE)").contains("created"));
-    assert!(cmd(
-        "INSERT INTO p VALUES \
+    assert!(cmd("INSERT INTO p VALUES \
          (1, 10, 'a', DATE '2020-01-01'), \
          (2, 2.5, 'b', DATE '2020-06-15'), \
-         (3, -0.5, 'a', NULL)"
-    )
+         (3, -0.5, 'a', NULL)")
     .contains("3 rows"));
     assert!(cmd("ANALYZE p").contains("analyzed"));
     assert!(cmd("CREATE INDEX ON p (id)").contains("index"));
 
     // The INT literal 10 was coerced into the FLOAT column.
     let out = match db
-        .execute_sql("SELECT tag, count(*) AS n FROM p WHERE price > 0 GROUP BY tag ORDER BY tag", ReoptMode::Full)
+        .execute_sql(
+            "SELECT tag, count(*) AS n FROM p WHERE price > 0 GROUP BY tag ORDER BY tag",
+            ReoptMode::Full,
+        )
         .unwrap()
     {
         SqlOutcome::Query(q) => q,
@@ -189,7 +200,8 @@ fn sql_only_lifecycle() {
 #[test]
 fn sql_inserts_count_as_update_activity() {
     let db = Database::new(EngineConfig::default()).unwrap();
-    db.execute_sql("CREATE TABLE t (a INT)", ReoptMode::Off).unwrap();
+    db.execute_sql("CREATE TABLE t (a INT)", ReoptMode::Off)
+        .unwrap();
     db.execute_sql("INSERT INTO t VALUES (1), (2), (3), (4)", ReoptMode::Off)
         .unwrap();
     db.execute_sql("ANALYZE t", ReoptMode::Off).unwrap();

@@ -42,8 +42,13 @@ fn sorted_rows(outcome: &midq::QueryOutcome) -> Vec<String> {
 fn all_queries_execute_and_agree_across_modes() {
     let db = load_db(0.002, 1.0);
     for (name, q) in queries::all() {
-        let off = db.run(&q, ReoptMode::Off).unwrap_or_else(|e| panic!("{name} Off: {e}"));
-        assert!(!off.rows.is_empty() || name == "Q7", "{name} returned nothing");
+        let off = db
+            .run(&q, ReoptMode::Off)
+            .unwrap_or_else(|e| panic!("{name} Off: {e}"));
+        assert!(
+            !off.rows.is_empty() || name == "Q7",
+            "{name} returned nothing"
+        );
         for mode in [ReoptMode::MemoryOnly, ReoptMode::PlanOnly, ReoptMode::Full] {
             let other = db
                 .run(&q, mode)
@@ -80,7 +85,9 @@ fn q1_simple_query_overhead_is_bounded() {
 fn stale_catalog_complex_queries_still_correct() {
     let db = load_db(0.002, 0.3);
     for (name, q) in queries::all() {
-        let off = db.run(&q, ReoptMode::Off).unwrap_or_else(|e| panic!("{name} Off: {e}"));
+        let off = db
+            .run(&q, ReoptMode::Off)
+            .unwrap_or_else(|e| panic!("{name} Off: {e}"));
         let full = db
             .run(&q, ReoptMode::Full)
             .unwrap_or_else(|e| panic!("{name} Full: {e}"));
@@ -97,7 +104,11 @@ fn q1_aggregate_values_are_sane() {
     let db = load_db(0.002, 1.0);
     let out = db.run(&queries::q1(), ReoptMode::Off).unwrap();
     // Groups: returnflag × linestatus combinations (≤ 6 feasible).
-    assert!(out.rows.len() >= 3 && out.rows.len() <= 6, "{}", out.rows.len());
+    assert!(
+        out.rows.len() >= 3 && out.rows.len() <= 6,
+        "{}",
+        out.rows.len()
+    );
     for row in &out.rows {
         // sum_qty ≥ avg_qty ≥ 1; count ≥ 1.
         let count = row.get(7).as_i64().unwrap();

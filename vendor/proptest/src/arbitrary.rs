@@ -1,0 +1,95 @@
+//! `any::<T>()` — full-domain strategies for primitives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// A strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII with a sprinkle of wider code points; always valid.
+        if rng.below(4) == 0 {
+            char::from_u32(0x80 + rng.below(0xFFF) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii")
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: most property tests that want NaN/inf ask
+        // for them explicitly, and finite-by-default avoids poisoning
+        // comparisons.
+        rng.f64_in(-1e15, 1e15)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.f64_in(-1e6, 1e6) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_cover_domain_edges() {
+        let mut rng = TestRng::new(31);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..200 {
+            let v: i64 = Arbitrary::arbitrary(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos, "sign coverage");
+        for _ in 0..50 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

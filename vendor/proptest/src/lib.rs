@@ -1,0 +1,155 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim
+//! re-implements the slice of proptest the workspace's property tests
+//! actually use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for ranges, tuples, `Just`, `any::<T>()`, regex-lite
+//!   string patterns (`"[a-z]{1,8}"`, `".{0,200}"`), and
+//!   [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * a deterministic runner: each test draws `cases` inputs from a
+//!   splitmix64 stream seeded by the test name (override the case
+//!   count with the `PROPTEST_CASES` environment variable).
+//!
+//! Shrinking is intentionally not implemented — a failing case prints
+//! its case number and message; re-running is deterministic, so the
+//! failure reproduces exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the tests import via `use proptest::prelude::*`.
+    /// `prop::collection::vec(...)`-style paths.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// One generated test case failed; carries the assertion message.
+pub use test_runner::TestCaseError;
+
+/// Run every `#[test]` body against `cases` generated inputs.
+///
+/// Supported grammar (a strict subset of real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     /// docs…
+///     #[test]
+///     fn my_property(x in 0i64..100, mut v in some_strategy()) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(cfg, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut prop_rng = runner.rng_for(case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), case, runner.cases(), e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (prop_l, prop_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *prop_l == *prop_r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), prop_l, prop_r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (prop_l, prop_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *prop_l == *prop_r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), prop_l, prop_r,
+        );
+    }};
+}
+
+/// Fail the current case unless both sides differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (prop_l, prop_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *prop_l != *prop_r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            prop_l,
+        );
+    }};
+}

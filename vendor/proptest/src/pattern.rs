@@ -1,0 +1,196 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern shapes the workspace's tests use: a sequence
+//! of atoms, each a character class `[a-zA-Z0-9 _-]`, a dot `.`
+//! (printable ASCII), or a literal character, optionally followed by a
+//! `{n}` / `{m,n}` repetition. Anything fancier is a bug in the test,
+//! and panics loudly rather than silently generating garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Atom {
+    /// Inclusive character ranges (single chars are `c..=c`).
+    Class(Vec<(char, char)>),
+    /// `.` — printable ASCII.
+    Dot,
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = if p.min == p.max {
+            p.min
+        } else {
+            p.min + rng.below((p.max - p.min + 1) as u64) as u32
+        };
+        for _ in 0..n {
+            out.push(sample(&p.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => {
+            // Printable ASCII, space through tilde.
+            char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii")
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("class char");
+                }
+                pick -= span;
+            }
+            unreachable!("class sampling out of bounds")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let atom = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                atom
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n: u32 = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Atom {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let lo = match body[i] {
+            '\\' => {
+                i += 1;
+                *body
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in class of {pattern:?}"))
+            }
+            c => c,
+        };
+        if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+            let hi = body[i + 2];
+            assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    Atom::Class(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 _-]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn dot_is_printable() {
+        let mut rng = TestRng::new(10);
+        for _ in 0..100 {
+            let s = generate(".{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut rng = TestRng::new(11);
+        let s = generate("ab{3}[c]{2}", &mut rng);
+        assert_eq!(s, "abbbcc");
+    }
+
+    #[test]
+    fn bounds_are_inclusive() {
+        let mut rng = TestRng::new(12);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..300 {
+            lens.insert(generate("[a-z]{1,3}", &mut rng).len());
+        }
+        assert_eq!(lens, [1usize, 2, 3].into_iter().collect());
+    }
+}

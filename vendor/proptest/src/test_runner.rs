@@ -1,0 +1,155 @@
+//! Deterministic case runner: configuration, RNG, and failure type.
+
+use std::fmt;
+
+/// Per-block configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config { cases }
+    }
+}
+
+/// A failed assertion inside a generated case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives one `proptest!` test: knows the case count and hands out a
+/// deterministic RNG per case (seeded from the test name, so every
+/// test has an independent, reproducible stream).
+pub struct TestRunner {
+    cases: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for the named test under `cfg`.
+    pub fn new(cfg: Config, test_name: &str) -> TestRunner {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            cases: cfg.cases.max(1),
+            seed,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG for one case.
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng::new(self.seed ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// splitmix64 — tiny, fast, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; bias is negligible for test
+        // generation purposes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform signed integer in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let r = TestRunner::new(Config::with_cases(10), "t");
+        let mut a = r.rng_for(3);
+        let mut b = r.rng_for(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = r.rng_for(4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_sampling_in_range() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = rng.i64_in(-5, 7);
+            assert!((-5..7).contains(&v));
+            let f = rng.f64_in(0.25, 0.5);
+            assert!((0.25..0.5).contains(&f));
+            let u = rng.below(3);
+            assert!(u < 3);
+        }
+    }
+}
