@@ -1,0 +1,46 @@
+//! Chaos campaign CLI: `cargo run --release -p mq-bench --bin chaos
+//! -- [--seeds N] [--first-seed S] [--verbose]`.
+//!
+//! Runs the TPC-D mini-workload under N seeded fault schedules at 1
+//! and 4 workers and exits nonzero if any robustness invariant is
+//! violated (see `mq_bench::chaos`).
+
+use mq_bench::chaos::run_chaos;
+
+fn main() {
+    let mut seeds: u64 = 50;
+    let mut first_seed: u64 = 1;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N");
+            }
+            "--first-seed" => {
+                first_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--first-seed S");
+            }
+            "--verbose" | "-v" => verbose = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: chaos [--seeds N] [--first-seed S] [--verbose]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_chaos(first_seed, seeds, verbose);
+    println!("{}", report.summary());
+    for v in &report.violations {
+        eprintln!("violation: {v}");
+    }
+    if !report.passed() {
+        if report.violations.is_empty() {
+            eprintln!("no transient recovery observed — widen the seed range");
+        }
+        std::process::exit(1);
+    }
+}

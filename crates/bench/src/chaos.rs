@@ -1,0 +1,325 @@
+//! Chaos harness: the TPC-D mini-workload under seeded fault
+//! schedules.
+//!
+//! Each seed derives one deterministic [`FaultInjector`] per query
+//! (transient/permanent I/O faults, grant denials, cancellation
+//! triggers) and runs the workload three times — twice at 1 worker,
+//! once at 4 workers. The invariants checked after every run are the
+//! robustness contract of the engine:
+//!
+//! 1. **Correct or cleanly failed** — every query either returns the
+//!    fault-free oracle result (transient faults are absorbed by
+//!    segment retries) or fails with a clean typed error (permanent
+//!    faults, injected cancellation, exhausted retry budget);
+//! 2. **Leak-proof** — after each run [`Engine::audit`] is clean (no
+//!    surviving `tmp_reopt_*` tables, no orphaned disk pages, no stuck
+//!    buffer pins), the broker has zero bytes outstanding and no
+//!    cleanup operation failed;
+//! 3. **Deterministic** — the three runs of a seed produce identical
+//!    per-query fingerprints. Faults fire on the Nth *logical* buffer
+//!    access of the faulted query, so schedules replay byte-identically
+//!    regardless of worker interleaving or pool warmth.
+//!
+//! Determinism across worker counts additionally requires that the runs
+//! themselves are replayable: the harness therefore disables
+//! statistics feedback (its catalog write-back order depends on query
+//! completion order) and gives the broker an ample budget so
+//! opportunistic lease growth never depends on what other queries
+//! transiently hold. Fault-injected grant denials still exercise the
+//! denial path — they clamp regardless of availability.
+//!
+//! [`Engine::audit`]: midq::Engine::audit
+//! [`FaultInjector`]: midq::common::FaultInjector
+
+use midq::common::{EngineConfig, FaultInjector, FaultProfile};
+use midq::tpcd::{queries, TpcdConfig};
+use midq::{Database, QueryOutcome, ReoptMode, Result, Runtime, Workload, WorkloadQuery};
+
+/// The chaos query set: two pipeline-heavy single-table queries and two
+/// multi-join queries (plan switches under fault are the interesting
+/// unwinding paths).
+pub const CHAOS_QUERIES: [&str; 4] = ["Q1", "Q3", "Q6", "Q10"];
+
+/// Worker counts every seed is replayed at.
+pub const WORKER_CONFIGS: [usize; 2] = [1, 4];
+
+/// A broker budget large enough that lease growth is never contended:
+/// pure accounting, no actual allocation behind it.
+const AMPLE_BUDGET: usize = 1 << 30;
+
+/// Build the chaos database: a small TPC-D load with statistics
+/// feedback disabled (see the module docs on determinism).
+pub fn chaos_database() -> Database {
+    let cfg = EngineConfig {
+        buffer_pool_pages: 64,
+        query_memory_bytes: 512 * 1024,
+        stats_feedback: false,
+        ..EngineConfig::default()
+    };
+    let db = Database::new(cfg).expect("engine");
+    db.load_tpcd(&TpcdConfig {
+        scale: 0.002,
+        analyze_after_fraction: 0.5,
+        ..TpcdConfig::default()
+    })
+    .expect("load");
+    db
+}
+
+/// Order-insensitive fingerprint of one query outcome: `ok:<rows>:<hash>`
+/// over the sorted row renderings, or `err:<kind>`. Deliberately
+/// excludes timings (pool warmth varies across runs) and row order
+/// (memory-dependent for hash operators).
+pub fn fingerprint(outcome: &Result<QueryOutcome>) -> String {
+    match outcome {
+        Ok(o) => {
+            let mut rows: Vec<String> = o.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for r in &rows {
+                for b in r.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h = h.wrapping_mul(0x100_0000_01b3) ^ 0xff;
+            }
+            format!("ok:{}:{h:016x}", rows.len())
+        }
+        Err(e) => format!("err:{}", e.kind()),
+    }
+}
+
+/// Error kinds a faulted query may legitimately fail with.
+fn is_clean_failure(kind: &str) -> bool {
+    matches!(kind, "storage" | "cancelled" | "oom")
+}
+
+/// Aggregate result of a chaos campaign.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Seeds exercised.
+    pub seeds: usize,
+    /// Total query executions across all runs.
+    pub executions: usize,
+    /// Queries that completed with at least one segment retry (a
+    /// transient fault was absorbed, and the rows still matched the
+    /// oracle).
+    pub transient_recoveries: u64,
+    /// Queries that failed with a clean typed error.
+    pub clean_failures: u64,
+    /// Injected faults that actually fired, by class.
+    pub fired_transient: u64,
+    /// Permanent I/O faults fired.
+    pub fired_permanent: u64,
+    /// Grant denials fired.
+    pub fired_denials: u64,
+    /// Cancellation triggers fired.
+    pub fired_cancels: u64,
+    /// Invariant violations (empty = the campaign passed).
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Did the campaign uphold every invariant — and actually exercise
+    /// the recovery path at least once?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.transient_recoveries > 0
+    }
+
+    /// One-paragraph summary for logs and CI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "chaos: {} seeds, {} executions — {} transient recoveries, {} clean failures \
+             (fired: {} transient, {} permanent, {} denials, {} cancels) — {} violation(s)",
+            self.seeds,
+            self.executions,
+            self.transient_recoveries,
+            self.clean_failures,
+            self.fired_transient,
+            self.fired_permanent,
+            self.fired_denials,
+            self.fired_cancels,
+            self.violations.len()
+        )
+    }
+}
+
+/// One run of the workload under a seed's fault schedules.
+struct RunOutcome {
+    fingerprints: Vec<String>,
+    retries: Vec<u32>,
+    fired: (u64, u64, u64, u64),
+}
+
+fn run_once(
+    db: &Database,
+    plans: &[(&'static str, midq::LogicalPlan)],
+    seed: u64,
+    workers: usize,
+) -> RunOutcome {
+    let mut wl = Workload::new(workers);
+    let mut injectors = Vec::new();
+    for (qi, (name, plan)) in plans.iter().enumerate() {
+        // Alternate modes so fault unwinding is exercised both with and
+        // without the re-optimization machinery in the path.
+        let mode = if qi % 2 == 0 {
+            ReoptMode::Full
+        } else {
+            ReoptMode::Off
+        };
+        let inj = FaultInjector::from_seed(
+            seed.wrapping_mul(1000).wrapping_add(qi as u64),
+            &FaultProfile::default(),
+        );
+        injectors.push(inj.clone());
+        wl.queries.push(
+            WorkloadQuery::plan(*name, plan.clone())
+                .with_mode(mode)
+                .with_faults(inj),
+        );
+    }
+    let runtime = Runtime::new(db.engine_arc(), AMPLE_BUDGET);
+    let report = runtime.run_workload(&wl);
+    let lease_leak = runtime.broker().in_use();
+
+    let mut out = RunOutcome {
+        fingerprints: report
+            .results
+            .iter()
+            .map(|r| fingerprint(&r.outcome))
+            .collect(),
+        retries: report
+            .results
+            .iter()
+            .map(|r| r.outcome.as_ref().map(|o| o.segment_retries).unwrap_or(0))
+            .collect(),
+        fired: (0, 0, 0, 0),
+    };
+    for inj in &injectors {
+        let f = inj.fired();
+        out.fired.0 += f.transient;
+        out.fired.1 += f.permanent;
+        out.fired.2 += f.denials;
+        out.fired.3 += f.cancels;
+    }
+    if lease_leak != 0 {
+        out.fingerprints
+            .push(format!("VIOLATION: {lease_leak} bytes still leased"));
+    }
+    out
+}
+
+/// Run the chaos campaign over `seeds` consecutive seeds starting at
+/// `first_seed`. `verbose` prints one line per seed.
+pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
+    let db = chaos_database();
+    let plans: Vec<(&'static str, midq::LogicalPlan)> = {
+        let all = queries::all();
+        CHAOS_QUERIES
+            .iter()
+            .map(|name| {
+                all.iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(n, p)| (*n, p.clone()))
+                    .unwrap_or_else(|| panic!("unknown chaos query {name}"))
+            })
+            .collect()
+    };
+
+    // The oracle: every query fault-free, in both modes' row sets
+    // (modes agree on rows; the fingerprint is order-insensitive).
+    let oracle: Vec<String> = plans
+        .iter()
+        .map(|(_, p)| fingerprint(&db.run(p, ReoptMode::Off)))
+        .collect();
+
+    let mut report = ChaosReport {
+        seeds: seeds as usize,
+        ..ChaosReport::default()
+    };
+    let violate = |violations: &mut Vec<String>, msg: String| {
+        if violations.len() < 32 {
+            violations.push(msg);
+        }
+    };
+
+    for seed in first_seed..first_seed + seeds {
+        let mut runs: Vec<(String, RunOutcome)> = Vec::new();
+        for &workers in &WORKER_CONFIGS {
+            let reps = if workers == 1 { 2 } else { 1 };
+            for rep in 0..reps {
+                let label = format!("seed {seed} w{workers} rep{rep}");
+                let run = run_once(&db, &plans, seed, workers);
+                report.executions += run.fingerprints.len().min(plans.len());
+                report.fired_transient += run.fired.0;
+                report.fired_permanent += run.fired.1;
+                report.fired_denials += run.fired.2;
+                report.fired_cancels += run.fired.3;
+
+                // Invariant 2: leak-proof after every run.
+                let audit = db.engine().audit();
+                if !audit.is_clean() {
+                    violate(&mut report.violations, format!("{label}: {audit}"));
+                }
+                if db.engine().cleanup_failure_count() != 0 {
+                    violate(
+                        &mut report.violations,
+                        format!(
+                            "{label}: {} cleanup failure(s)",
+                            db.engine().cleanup_failure_count()
+                        ),
+                    );
+                }
+
+                // Invariant 1: oracle result or clean typed error.
+                for (qi, fp) in run.fingerprints.iter().enumerate() {
+                    if qi >= plans.len() {
+                        violate(&mut report.violations, format!("{label}: {fp}"));
+                        continue;
+                    }
+                    if let Some(kind) = fp.strip_prefix("err:") {
+                        if !is_clean_failure(kind) {
+                            violate(
+                                &mut report.violations,
+                                format!("{label} {}: dirty failure {fp}", plans[qi].0),
+                            );
+                        }
+                        report.clean_failures += 1;
+                    } else if *fp != oracle[qi] {
+                        violate(
+                            &mut report.violations,
+                            format!(
+                                "{label} {}: rows diverged from oracle ({fp} vs {})",
+                                plans[qi].0, oracle[qi]
+                            ),
+                        );
+                    } else if run.retries[qi] > 0 {
+                        report.transient_recoveries += 1;
+                    }
+                }
+                runs.push((label, run));
+            }
+        }
+
+        // Invariant 3: the seed's runs are byte-identical.
+        let (first_label, first) = &runs[0];
+        for (label, run) in &runs[1..] {
+            if run.fingerprints != first.fingerprints {
+                violate(
+                    &mut report.violations,
+                    format!(
+                        "seed {seed}: outcome diverged between {first_label} {:?} and {label} {:?}",
+                        first.fingerprints, run.fingerprints
+                    ),
+                );
+            }
+        }
+        if verbose {
+            println!(
+                "seed {seed}: {:?} (retries {:?})",
+                first.fingerprints, first.retries
+            );
+        }
+    }
+    report
+}

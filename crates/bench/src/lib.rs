@@ -15,6 +15,8 @@
 //! | §2.5 overhead claim | [`overhead`] |
 //! | sensitivity to μ, θ1, θ2 (cited to \[12\]) | [`sensitivity`] |
 
+pub mod chaos;
+
 use midq::common::EngineConfig;
 use midq::tpcd::{queries, TpcdConfig};
 use midq::{Database, QueryOutcome, ReoptMode};

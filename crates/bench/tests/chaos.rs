@@ -1,0 +1,23 @@
+//! Chaos harness smoke test: a reduced seed range of the same campaign
+//! the `chaos` binary (and the CI chaos job) runs at 50 seeds.
+
+use mq_bench::chaos::run_chaos;
+
+#[test]
+fn chaos_campaign_small_seed_range() {
+    let report = run_chaos(1, 12, false);
+    assert!(
+        report.violations.is_empty(),
+        "chaos violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.transient_recoveries > 0,
+        "no transient fault was absorbed by a segment retry: {}",
+        report.summary()
+    );
+    // The fault profile must actually exercise the machinery: across
+    // 12 seeds × 4 queries × 3 runs some faults of each I/O class fire.
+    assert!(report.fired_transient > 0, "{}", report.summary());
+    assert!(report.fired_permanent > 0, "{}", report.summary());
+}

@@ -77,6 +77,14 @@ pub struct EngineConfig {
     /// the paper's experiments (and EXPERIMENTS.md) measure every query
     /// against the *same* stale catalog.
     pub stats_feedback: bool,
+    /// Maximum segment retries after a *transient* storage fault
+    /// (see `MqError::is_transient`). Each retry re-runs the current
+    /// segment from its already-materialized inputs; 0 disables
+    /// retrying.
+    pub transient_retry_limit: u32,
+    /// Simulated-clock backoff before the first segment retry, in
+    /// milliseconds; doubles on each further retry.
+    pub transient_retry_backoff_ms: f64,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +108,8 @@ impl Default for EngineConfig {
             switch_margin: 2.5,
             realloc_headroom: 1.5,
             stats_feedback: false,
+            transient_retry_limit: 2,
+            transient_retry_backoff_ms: 5.0,
         }
     }
 }
@@ -158,6 +168,13 @@ impl EngineConfig {
                 self.realloc_headroom
             )));
         }
+        if !(self.transient_retry_backoff_ms.is_finite() && self.transient_retry_backoff_ms >= 0.0)
+        {
+            return Err(MqError::InvalidConfig(format!(
+                "transient_retry_backoff_ms {} must be finite and non-negative",
+                self.transient_retry_backoff_ms
+            )));
+        }
         if self.reservoir_size == 0 || self.histogram_buckets == 0 {
             return Err(MqError::InvalidConfig(
                 "reservoir_size and histogram_buckets must be positive".into(),
@@ -210,6 +227,10 @@ mod tests {
             },
             EngineConfig {
                 histogram_buckets: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                transient_retry_backoff_ms: f64::INFINITY,
                 ..EngineConfig::default()
             },
         ];

@@ -46,7 +46,26 @@ pub enum MqError {
     PlanSwitch(usize),
 }
 
+/// Message prefix marking a [`MqError::Storage`] error as transient
+/// (retryable at a segment boundary). A prefix instead of a dedicated
+/// variant keeps every existing `match` on the flat enum valid.
+const TRANSIENT_PREFIX: &str = "transient: ";
+
 impl MqError {
+    /// A storage error that is expected to succeed on retry; the
+    /// engine re-runs the current segment from its materialized inputs
+    /// instead of failing the query.
+    pub fn storage_transient(msg: impl Into<String>) -> MqError {
+        MqError::Storage(format!("{TRANSIENT_PREFIX}{}", msg.into()))
+    }
+
+    /// True for storage errors created via
+    /// [`MqError::storage_transient`] — the segment-retry policy keys
+    /// off this.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MqError::Storage(m) if m.starts_with(TRANSIENT_PREFIX))
+    }
+
     /// Short machine-readable category name, used in logs and tests.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -119,6 +138,19 @@ mod tests {
         ];
         let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), errs.len());
+    }
+
+    #[test]
+    fn transient_marker_round_trips() {
+        let t = MqError::storage_transient("disk hiccup on page 7");
+        assert!(t.is_transient());
+        assert_eq!(t.kind(), "storage");
+        assert_eq!(
+            t.to_string(),
+            "storage error: transient: disk hiccup on page 7"
+        );
+        assert!(!MqError::Storage("page out of range".into()).is_transient());
+        assert!(!MqError::Cancelled("transient: nope".into()).is_transient());
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultInjector`] holds a reproducible schedule of faults — built
+//! either explicitly from [`FaultSpec`]s or drawn from a seed via
+//! [`FaultInjector::from_seed`] — and fires them when instrumented code
+//! paths consult it: the buffer pool's logical page reads/writes, the
+//! memory broker's grant decisions, and the executor's interrupt
+//! checks.
+//!
+//! Faults are counted at the *logical* access level (every
+//! `with_page`/`with_page_mut` call), not at the physical `SimDisk`
+//! level: physical I/O is a function of shared buffer-pool state and
+//! worker interleaving, while logical access counts depend only on the
+//! query's own execution — which is what makes a schedule reproduce
+//! byte-identically at any worker count.
+//!
+//! Scoping follows the same thread-local pattern as
+//! [`SimClock::enter_scope`](crate::SimClock::enter_scope): a job
+//! enters a [`FaultScope`] for the duration of its query, and the free
+//! functions ([`on_page_read`], [`on_page_write`], [`grant_allowed`],
+//! [`cancel_requested`]) consult the innermost scoped injector — or
+//! no-op when no scope is active, so fault-free code pays only a
+//! thread-local read. Clones share counters, so a segment retry
+//! continues the schedule past the fault that already fired instead of
+//! re-firing it.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{MqError, Result};
+use crate::rng::DetRng;
+
+/// Instrumented site a fault can fire at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A logical buffer-pool page read (`with_page`).
+    PageRead,
+    /// A logical buffer-pool page write (`with_page_mut`).
+    PageWrite,
+    /// A memory-broker grant decision (`acquire` or `Lease::grow`).
+    Grant,
+}
+
+/// Severity of an injected I/O fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Goes away on retry: the engine re-runs the current segment from
+    /// its materialized inputs.
+    Transient,
+    /// Persists: the query must fail with a clean typed error.
+    Permanent,
+}
+
+/// One scheduled fault: fire at the `at`-th (1-based) operation
+/// counted at `site`. `kind` is ignored for [`FaultSite::Grant`]
+/// (a denial is not an error, it just clamps the grant).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    pub site: FaultSite,
+    pub kind: FaultKind,
+    pub at: u64,
+}
+
+/// Tunables for seed-derived schedules ([`FaultInjector::from_seed`]).
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    /// Maximum faults per schedule (actual count is drawn in
+    /// `0..=max_faults`).
+    pub max_faults: usize,
+    /// I/O fault positions are drawn in `1..=io_horizon` logical
+    /// accesses; size this to the workload's typical access count.
+    pub io_horizon: u64,
+    /// Grant-denial positions are drawn in `1..=grant_horizon` grant
+    /// decisions.
+    pub grant_horizon: u64,
+    /// Percent of injected I/O faults that are transient.
+    pub transient_percent: u32,
+    /// Percent chance the schedule includes a cancellation trigger.
+    pub cancel_percent: u32,
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile {
+            max_faults: 3,
+            io_horizon: 400,
+            grant_horizon: 8,
+            transient_percent: 70,
+            cancel_percent: 10,
+        }
+    }
+}
+
+/// Counts of faults that actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultsFired {
+    pub transient: u64,
+    pub permanent: u64,
+    pub denials: u64,
+    pub cancels: u64,
+}
+
+impl FaultsFired {
+    pub fn total(&self) -> u64 {
+        self.transient + self.permanent + self.denials + self.cancels
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Sorted by position; (position, kind).
+    read_faults: Vec<(u64, FaultKind)>,
+    write_faults: Vec<(u64, FaultKind)>,
+    /// Sorted grant-decision positions to deny.
+    grant_denials: Vec<u64>,
+    /// Report cancellation once total logical I/O ops reach this.
+    cancel_at_io: Option<u64>,
+
+    reads: AtomicU64,
+    writes: AtomicU64,
+    grants: AtomicU64,
+    fired_transient: AtomicU64,
+    fired_permanent: AtomicU64,
+    fired_denials: AtomicU64,
+    fired_cancels: AtomicU64,
+}
+
+/// A shared, seeded fault schedule. Cheap to clone; clones share the
+/// operation counters (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Inner>,
+}
+
+impl FaultInjector {
+    /// An injector with an explicit schedule. `cancel_at_io` reports a
+    /// cancellation once the job's total logical I/O operations
+    /// (reads + writes) reach the given count.
+    pub fn new(specs: Vec<FaultSpec>, cancel_at_io: Option<u64>) -> FaultInjector {
+        let mut inner = Inner {
+            cancel_at_io,
+            ..Inner::default()
+        };
+        for s in specs {
+            match s.site {
+                FaultSite::PageRead => inner.read_faults.push((s.at, s.kind)),
+                FaultSite::PageWrite => inner.write_faults.push((s.at, s.kind)),
+                FaultSite::Grant => inner.grant_denials.push(s.at),
+            }
+        }
+        inner.read_faults.sort_by_key(|(at, _)| *at);
+        inner.write_faults.sort_by_key(|(at, _)| *at);
+        inner.grant_denials.sort_unstable();
+        FaultInjector {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// An injector with no faults scheduled (useful as an oracle).
+    pub fn none() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Draw a reproducible schedule from a seed. Equal seeds and
+    /// profiles yield equal schedules.
+    pub fn from_seed(seed: u64, profile: &FaultProfile) -> FaultInjector {
+        let mut rng = DetRng::new(seed ^ 0xFA17_1A7E);
+        let mut specs = Vec::new();
+        let n = if profile.max_faults == 0 {
+            0
+        } else {
+            rng.gen_range(profile.max_faults as u64 + 1) as usize
+        };
+        for _ in 0..n {
+            let roll = rng.gen_range(100);
+            let (site, horizon) = if roll < 45 {
+                (FaultSite::PageRead, profile.io_horizon)
+            } else if roll < 80 {
+                (FaultSite::PageWrite, profile.io_horizon)
+            } else {
+                (FaultSite::Grant, profile.grant_horizon)
+            };
+            let kind = if rng.gen_range(100) < u64::from(profile.transient_percent) {
+                FaultKind::Transient
+            } else {
+                FaultKind::Permanent
+            };
+            specs.push(FaultSpec {
+                site,
+                kind,
+                at: rng.gen_range(horizon.max(1)) + 1,
+            });
+        }
+        let cancel_at_io = (rng.gen_range(100) < u64::from(profile.cancel_percent))
+            .then(|| rng.gen_range(profile.io_horizon.max(1)) + 1);
+        FaultInjector::new(specs, cancel_at_io)
+    }
+
+    /// Counts of faults that have fired so far.
+    pub fn fired(&self) -> FaultsFired {
+        FaultsFired {
+            transient: self.inner.fired_transient.load(Ordering::Relaxed),
+            permanent: self.inner.fired_permanent.load(Ordering::Relaxed),
+            denials: self.inner.fired_denials.load(Ordering::Relaxed),
+            cancels: self.inner.fired_cancels.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True if the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read_faults.is_empty()
+            && self.inner.write_faults.is_empty()
+            && self.inner.grant_denials.is_empty()
+            && self.inner.cancel_at_io.is_none()
+    }
+
+    /// Enter a scope: until the returned guard drops, fault hooks on
+    /// this thread consult this injector.
+    pub fn enter_scope(&self) -> FaultScope {
+        FAULT_SCOPE.with(|stack| stack.borrow_mut().push(self.clone()));
+        FaultScope {
+            _not_send: PhantomData,
+        }
+    }
+
+    fn check_io(&self, site: FaultSite) -> Result<()> {
+        let (counter, faults) = match site {
+            FaultSite::PageRead => (&self.inner.reads, &self.inner.read_faults),
+            FaultSite::PageWrite => (&self.inner.writes, &self.inner.write_faults),
+            FaultSite::Grant => unreachable!("grants are not I/O"),
+        };
+        let op = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Ok(idx) = faults.binary_search_by_key(&op, |(at, _)| *at) {
+            let word = match site {
+                FaultSite::PageRead => "read",
+                _ => "write",
+            };
+            return match faults[idx].1 {
+                FaultKind::Transient => {
+                    self.inner.fired_transient.fetch_add(1, Ordering::Relaxed);
+                    Err(MqError::storage_transient(format!(
+                        "injected transient I/O fault at page {word} #{op}"
+                    )))
+                }
+                FaultKind::Permanent => {
+                    self.inner.fired_permanent.fetch_add(1, Ordering::Relaxed);
+                    Err(MqError::Storage(format!(
+                        "injected permanent I/O fault at page {word} #{op}"
+                    )))
+                }
+            };
+        }
+        Ok(())
+    }
+
+    fn check_grant(&self) -> bool {
+        let op = self.inner.grants.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.inner.grant_denials.binary_search(&op).is_ok() {
+            self.inner.fired_denials.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn check_cancel(&self) -> bool {
+        let Some(at) = self.inner.cancel_at_io else {
+            return false;
+        };
+        let io =
+            self.inner.reads.load(Ordering::Relaxed) + self.inner.writes.load(Ordering::Relaxed);
+        if io >= at {
+            self.inner.fired_cancels.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+thread_local! {
+    static FAULT_SCOPE: RefCell<Vec<FaultInjector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for a fault scope (see [`FaultInjector::enter_scope`]).
+/// Deliberately `!Send`: a scope must pop on the thread it was pushed.
+#[must_use = "the fault scope ends when this guard is dropped"]
+pub struct FaultScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        FAULT_SCOPE.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+fn with_scoped<T>(default: T, f: impl FnOnce(&FaultInjector) -> T) -> T {
+    FAULT_SCOPE.with(|stack| match stack.borrow().last() {
+        Some(inj) => f(inj),
+        None => default,
+    })
+}
+
+/// Hook for a logical buffer-pool page read. No-op without a scope.
+pub fn on_page_read() -> Result<()> {
+    with_scoped(Ok(()), |inj| inj.check_io(FaultSite::PageRead))
+}
+
+/// Hook for a logical buffer-pool page write. No-op without a scope.
+pub fn on_page_write() -> Result<()> {
+    with_scoped(Ok(()), |inj| inj.check_io(FaultSite::PageWrite))
+}
+
+/// Hook for a memory-broker grant decision: `false` means deny (clamp
+/// the grant to its minimum / refuse growth). Always `true` without a
+/// scope.
+pub fn grant_allowed() -> bool {
+    with_scoped(true, FaultInjector::check_grant)
+}
+
+/// Hook for executor interrupt checks: `true` once the scoped
+/// schedule's cancellation trigger has been reached. Always `false`
+/// without a scope.
+pub fn cancel_requested() -> bool {
+    with_scoped(false, FaultInjector::check_cancel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scope_is_a_noop() {
+        assert!(on_page_read().is_ok());
+        assert!(on_page_write().is_ok());
+        assert!(grant_allowed());
+        assert!(!cancel_requested());
+    }
+
+    #[test]
+    fn fires_at_exact_operation() {
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageRead,
+                kind: FaultKind::Transient,
+                at: 3,
+            }],
+            None,
+        );
+        let _scope = inj.enter_scope();
+        assert!(on_page_read().is_ok());
+        assert!(on_page_read().is_ok());
+        let err = on_page_read().expect_err("third read faults");
+        assert!(err.is_transient(), "{err}");
+        assert!(on_page_read().is_ok(), "fault does not repeat");
+        assert_eq!(inj.fired().transient, 1);
+    }
+
+    #[test]
+    fn clones_share_counters_across_retry() {
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageWrite,
+                kind: FaultKind::Transient,
+                at: 2,
+            }],
+            None,
+        );
+        {
+            let _scope = inj.clone().enter_scope();
+            assert!(on_page_write().is_ok());
+            assert!(on_page_write().is_err());
+        }
+        // A retry under a clone continues past the fired fault.
+        let _scope = inj.clone().enter_scope();
+        assert!(on_page_write().is_ok());
+        assert!(on_page_write().is_ok());
+    }
+
+    #[test]
+    fn permanent_faults_are_not_transient() {
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageRead,
+                kind: FaultKind::Permanent,
+                at: 1,
+            }],
+            None,
+        );
+        let _scope = inj.enter_scope();
+        let err = on_page_read().expect_err("faults");
+        assert_eq!(err.kind(), "storage");
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn grant_denial_and_cancel_trigger() {
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::Grant,
+                kind: FaultKind::Permanent,
+                at: 2,
+            }],
+            Some(2),
+        );
+        let _scope = inj.enter_scope();
+        assert!(grant_allowed());
+        assert!(!grant_allowed());
+        assert!(grant_allowed());
+        assert!(!cancel_requested(), "no I/O yet");
+        let _ = on_page_read();
+        let _ = on_page_read();
+        assert!(cancel_requested());
+        assert_eq!(inj.fired().denials, 1);
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let p = FaultProfile::default();
+        for seed in 0..64 {
+            let a = FaultInjector::from_seed(seed, &p);
+            let b = FaultInjector::from_seed(seed, &p);
+            assert_eq!(
+                format!("{:?}", a.inner.read_faults),
+                format!("{:?}", b.inner.read_faults)
+            );
+            assert_eq!(
+                format!("{:?}", a.inner.write_faults),
+                format!("{:?}", b.inner.write_faults)
+            );
+            assert_eq!(a.inner.grant_denials, b.inner.grant_denials);
+            assert_eq!(a.inner.cancel_at_io, b.inner.cancel_at_io);
+        }
+    }
+
+    #[test]
+    fn scopes_nest_and_unwind() {
+        let outer = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageRead,
+                kind: FaultKind::Permanent,
+                at: 1,
+            }],
+            None,
+        );
+        let inner = FaultInjector::none();
+        let _a = outer.enter_scope();
+        {
+            let _b = inner.enter_scope();
+            assert!(on_page_read().is_ok(), "inner scope wins");
+        }
+        assert!(on_page_read().is_err(), "outer scope restored");
+    }
+}

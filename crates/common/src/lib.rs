@@ -17,6 +17,7 @@ pub mod cancel;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod row;
@@ -27,6 +28,7 @@ pub use cancel::CancelToken;
 pub use clock::{ClockScope, CostSnapshot, SimClock};
 pub use config::EngineConfig;
 pub use error::{MqError, Result};
+pub use fault::{FaultInjector, FaultKind, FaultProfile, FaultScope, FaultSite, FaultSpec};
 pub use ids::{FileId, IndexId, PageId, Rid, TableId};
 pub use rng::DetRng;
 pub use row::Row;

@@ -165,6 +165,13 @@ impl ReoptController {
         std::mem::take(&mut self.state.borrow_mut().events)
     }
 
+    /// Append an engine-side event (segment retries, cleanup oddities)
+    /// to the query's event log.
+    pub fn note(&self, msg: String) {
+        let mut st = self.state.borrow_mut();
+        self.log(&mut st, msg);
+    }
+
     /// (memory re-allocations, collector reports) so far.
     pub fn counters(&self) -> (u32, u32) {
         let st = self.state.borrow();
@@ -491,7 +498,15 @@ impl ReoptController {
         match &accepted {
             Ok(Some(_)) => {}
             _ => {
-                self.catalog.drop_table(&temp_name)?;
+                // A failed placeholder drop must not fail the query (it
+                // was running fine); log it — the engine audit flags
+                // any survivor.
+                if let Err(e) = self.catalog.drop_table(&temp_name) {
+                    self.log(
+                        st,
+                        format!("cleanup: failed to drop placeholder {temp_name}: {e}"),
+                    );
+                }
                 let _ = self.storage.drop_file(placeholder_file);
             }
         }

@@ -8,12 +8,15 @@
 //! observed while writing it, re-optimize the remainder, and continue —
 //! "this process continues until the query completes execution" (§3.1).
 
+use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mq_catalog::Catalog;
-use mq_common::{CancelToken, CostSnapshot, EngineConfig, MqError, Result, Row, SimClock};
+use mq_common::{
+    CancelToken, CostSnapshot, EngineConfig, FaultInjector, MqError, Result, Row, SimClock,
+};
 use mq_exec::{materialize, run_to_vec, ExecContext};
 use mq_memory::MemoryManager;
 use mq_optimizer::{recost, OptCalibration, Optimizer};
@@ -37,6 +40,8 @@ pub struct QueryOutcome {
     pub mode: ReoptMode,
     /// Accepted plan switches.
     pub plan_switches: u32,
+    /// Segments re-run after a transient fault (injected or real).
+    pub segment_retries: u32,
     /// Memory re-allocations that changed at least one grant.
     pub memory_reallocs: u32,
     /// Statistics-collector reports received.
@@ -71,8 +76,8 @@ impl QueryOutcome {
         );
         let _ = writeln!(
             out,
-            "plan switches: {}   memory re-allocations: {}   collector reports: {}",
-            self.plan_switches, self.memory_reallocs, self.collector_reports
+            "plan switches: {}   memory re-allocations: {}   collector reports: {}   segment retries: {}",
+            self.plan_switches, self.memory_reallocs, self.collector_reports, self.segment_retries
         );
         if self.events.is_empty() {
             let _ = writeln!(out, "\n-- controller events: none --");
@@ -108,6 +113,97 @@ pub struct JobEnv {
     /// Temp-table prefix; must be unique across concurrently running
     /// queries (the shared catalog rejects duplicate names).
     pub temp_prefix: String,
+    /// Deterministic fault schedule scoped onto the job's thread for
+    /// the duration of the query (chaos testing). `None` = no faults.
+    pub fault: Option<FaultInjector>,
+}
+
+/// Resource-leak audit over the engine's shared state. Only valid at
+/// quiescence (no query in flight): every counter below is *expected*
+/// to be transiently non-zero while queries run.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Re-optimizer temp tables still registered in the catalog.
+    pub leaked_temp_tables: Vec<String>,
+    /// Disk pages owned by no heap file and no index.
+    pub orphan_pages: usize,
+    /// Buffer-pool accesses that never un-pinned (a closure unwound).
+    pub pinned_frames: u64,
+    /// Cleanup operations that failed since engine start (the temp
+    /// table or its file survived a drop attempt; see
+    /// [`Engine::cleanup_failure_count`]). Informational — failures
+    /// leave survivors that the leak counters above already flag.
+    pub cleanup_failures: u64,
+}
+
+impl AuditReport {
+    /// No leaked temp tables, no orphan pages, no stuck pins.
+    pub fn is_clean(&self) -> bool {
+        self.leaked_temp_tables.is_empty() && self.orphan_pages == 0 && self.pinned_frames == 0
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit: {} leaked temp table(s) {:?}, {} orphan page(s), {} stuck pin(s), {} cleanup failure(s)",
+            self.leaked_temp_tables.len(),
+            self.leaked_temp_tables,
+            self.orphan_pages,
+            self.pinned_frames,
+            self.cleanup_failures
+        )
+    }
+}
+
+/// RAII unwinding for one query execution: whatever happens — success,
+/// error, cancellation, plan switch, transient-fault retry — dropping
+/// the guard clears the attempt's artifacts, reclaims every registered
+/// temp file, and drops the temp tables this query materialized. This
+/// replaces the old best-effort `cleanup_temps` call, which only ran on
+/// the paths that remembered to call it.
+struct CleanupGuard<'a> {
+    engine: &'a Engine,
+    ctx: &'a ExecContext,
+    temps: Vec<String>,
+}
+
+impl<'a> CleanupGuard<'a> {
+    fn new(engine: &'a Engine, ctx: &'a ExecContext) -> CleanupGuard<'a> {
+        CleanupGuard {
+            engine,
+            ctx,
+            temps: Vec::new(),
+        }
+    }
+
+    /// Register a materialized temp table for end-of-query cleanup.
+    fn track(&mut self, name: String) {
+        self.temps.push(name);
+    }
+
+    /// Temp tables materialized so far (stats feedback skips them).
+    fn temps(&self) -> &[String] {
+        &self.temps
+    }
+
+    /// Drop one tracked-or-pending temp table immediately (used when a
+    /// placeholder must not survive a failed materialization).
+    fn drop_now(&mut self, name: &str) {
+        self.temps.retain(|t| t != name);
+        self.engine.drop_temp(name);
+    }
+}
+
+impl Drop for CleanupGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.clear_artifacts();
+        let _ = self.ctx.release_temp_files();
+        for name in std::mem::take(&mut self.temps) {
+            self.engine.drop_temp(&name);
+        }
+    }
 }
 
 /// The engine: shared storage/catalog plus the re-optimization stack.
@@ -120,6 +216,7 @@ pub struct Engine {
     mm: MemoryManager,
     calibration: Arc<OptCalibration>,
     query_seq: AtomicU64,
+    cleanup_failures: AtomicU64,
 }
 
 impl Engine {
@@ -141,6 +238,7 @@ impl Engine {
             mm,
             calibration,
             query_seq: AtomicU64::new(0),
+            cleanup_failures: AtomicU64::new(0),
         })
     }
 
@@ -189,7 +287,30 @@ impl Engine {
             cancel: None,
             deadline_ms: None,
             temp_prefix: format!("tmp_reopt_q{}_", self.next_query_id()),
+            fault: None,
         }
+    }
+
+    /// Audit the engine's shared state for resource leaks. Only
+    /// meaningful at quiescence — while queries run, pins, temp tables
+    /// and not-yet-reclaimed pages are all legitimately non-zero.
+    pub fn audit(&self) -> AuditReport {
+        AuditReport {
+            leaked_temp_tables: self
+                .catalog
+                .table_names()
+                .into_iter()
+                .filter(|n| n.starts_with("tmp_reopt_"))
+                .collect(),
+            orphan_pages: self.storage.orphan_pages(),
+            pinned_frames: self.storage.pool().pinned(),
+            cleanup_failures: self.cleanup_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cleanup operations that failed since engine start.
+    pub fn cleanup_failure_count(&self) -> u64 {
+        self.cleanup_failures.load(Ordering::Relaxed)
     }
 
     /// Run a query under the given re-optimization mode.
@@ -213,6 +334,11 @@ impl Engine {
         // engine-wide clock (by shared Storage / the buffer pool) are
         // also attributed to the job clock — exactly once each.
         let _scope = env.clock.enter_scope();
+        // Likewise the fault schedule: scoped onto this thread so the
+        // storage/memory layers consult it without plumbing. Counters
+        // live in the injector (shared across scopes), so a segment
+        // retry continues the schedule past the fault it just absorbed.
+        let _fault_scope = env.fault.as_ref().map(FaultInjector::enter_scope);
         let t0 = env.clock.snapshot();
         let ctx = ExecContext::new(self.storage.clone(), env.clock.clone(), self.cfg.clone())
             .with_interrupts(env.cancel.clone(), env.deadline_ms);
@@ -234,7 +360,12 @@ impl Engine {
             ctx
         };
 
-        let mut temp_tables: Vec<String> = Vec::new();
+        // From here on the guard owns unwinding: artifacts, temp files
+        // and materialized temp tables are reclaimed on *every* exit
+        // path — success, error, cancellation, plan switch — without
+        // any path having to remember to clean up.
+        let mut guard = CleanupGuard::new(self, &ctx);
+        let mut segment_retries: u32 = 0;
         let mut current = logical.clone();
         let outcome = loop {
             let mut optimized = self
@@ -257,6 +388,7 @@ impl Engine {
                         time_ms: env.clock.snapshot().since(&t0).time_ms(&self.cfg),
                         mode,
                         plan_switches: controller.switches(),
+                        segment_retries,
                         memory_reallocs,
                         collector_reports,
                         events: controller.take_events(),
@@ -274,13 +406,39 @@ impl Engine {
                     // paper's "finish execution of the last operator
                     // and write the result to a temporary file".
                     controller.set_suppressed(true);
-                    let sub = optimized
-                        .plan
-                        .find(pending.cut)
-                        .ok_or_else(|| MqError::Internal("cut not in plan".into()))?
-                        .clone();
-                    let mat = materialize(&sub, &ctx)?;
+                    let mat = (|| {
+                        let sub = optimized
+                            .plan
+                            .find(pending.cut)
+                            .ok_or_else(|| MqError::Internal("cut not in plan".into()))?
+                            .clone();
+                        materialize(&sub, &ctx)
+                    })();
                     controller.set_suppressed(false);
+                    let mat = match mat {
+                        Ok(mat) => mat,
+                        Err(e) => {
+                            // The controller registered a placeholder
+                            // for the temp table; it must not survive a
+                            // failed materialization.
+                            guard.drop_now(&pending.temp_name);
+                            if self.should_retry_segment(&e, segment_retries) {
+                                segment_retries += 1;
+                                self.prepare_segment_retry(
+                                    &env,
+                                    &ctx,
+                                    &controller,
+                                    segment_retries,
+                                    &e,
+                                );
+                                // `current` unchanged: re-run the
+                                // pre-switch remainder from its
+                                // materialized inputs.
+                                continue;
+                            }
+                            return Err(e);
+                        }
+                    };
 
                     // Swap the placeholder for the real file + stats.
                     let placeholder = self.catalog.drop_table(&pending.temp_name)?;
@@ -291,7 +449,9 @@ impl Engine {
                         mat.schema,
                         mat.stats,
                     )?;
-                    temp_tables.push(pending.temp_name.clone());
+                    guard.track(pending.temp_name.clone());
+                    // The catalog owns the materialized file now.
+                    ctx.forget_temp_file(mat.file);
 
                     // Stale per-attempt state.
                     ctx.clear_artifacts();
@@ -300,16 +460,66 @@ impl Engine {
                     continue;
                 }
                 Err(other) => {
-                    self.cleanup_temps(&temp_tables);
+                    if self.should_retry_segment(&other, segment_retries) {
+                        segment_retries += 1;
+                        self.prepare_segment_retry(
+                            &env,
+                            &ctx,
+                            &controller,
+                            segment_retries,
+                            &other,
+                        );
+                        // `current` unchanged: the segment re-runs from
+                        // its already-materialized inputs (the temp
+                        // tables the guard still holds).
+                        continue;
+                    }
                     return Err(other);
                 }
             }
         };
         if self.cfg.stats_feedback && mode.collects() {
-            self.apply_stats_feedback(&outcome.final_plan, &controller, &temp_tables);
+            self.apply_stats_feedback(&outcome.final_plan, &controller, guard.temps());
         }
-        self.cleanup_temps(&temp_tables);
         Ok(outcome)
+    }
+
+    /// Is this error a transient fault with retry budget left?
+    fn should_retry_segment(&self, e: &MqError, retries_so_far: u32) -> bool {
+        e.is_transient() && retries_so_far < self.cfg.transient_retry_limit
+    }
+
+    /// Reset per-attempt state for a segment retry and charge the
+    /// exponential backoff (simulated) for it. Materialized temp tables
+    /// survive — they are the restart point.
+    fn prepare_segment_retry(
+        &self,
+        env: &JobEnv,
+        ctx: &ExecContext,
+        controller: &ReoptController,
+        retry: u32,
+        cause: &MqError,
+    ) {
+        controller.note(format!(
+            "segment retry {retry}/{}: transient fault absorbed ({cause})",
+            self.cfg.transient_retry_limit
+        ));
+        ctx.clear_artifacts();
+        let _ = ctx.release_temp_files();
+        ctx.clear_grants();
+        self.charge_backoff(env, retry);
+    }
+
+    /// Charge the simulated clock for the retry backoff:
+    /// `transient_retry_backoff_ms × 2^(retry−1)`, expressed in CPU ops.
+    fn charge_backoff(&self, env: &JobEnv, retry: u32) {
+        if self.cfg.cpu_op_ms <= 0.0 {
+            return;
+        }
+        let factor = f64::from(1u32 << retry.saturating_sub(1).min(16));
+        let backoff_ms = self.cfg.transient_retry_backoff_ms * factor;
+        env.clock
+            .add_cpu((backoff_ms / self.cfg.cpu_op_ms).ceil() as u64);
     }
 
     /// §2.2 statistics feedback: a collector that drained the complete,
@@ -369,10 +579,21 @@ impl Engine {
         });
     }
 
-    fn cleanup_temps(&self, temps: &[String]) {
-        for name in temps {
-            if let Ok(entry) = self.catalog.drop_table(name) {
-                let _ = self.storage.drop_file(entry.file);
+    /// Drop one re-optimizer temp table and its heap file. Failures are
+    /// *counted and logged*, never swallowed: a survivor shows up in
+    /// [`Engine::audit`] (as a leaked temp table or orphan pages) and
+    /// in [`Engine::cleanup_failure_count`].
+    fn drop_temp(&self, name: &str) {
+        match self.catalog.drop_table(name) {
+            Ok(entry) => {
+                if let Err(e) = self.storage.drop_file(entry.file) {
+                    self.cleanup_failures.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("cleanup: failed to drop file of temp table {name}: {e}");
+                }
+            }
+            Err(e) => {
+                self.cleanup_failures.fetch_add(1, Ordering::Relaxed);
+                eprintln!("cleanup: failed to drop temp table {name}: {e}");
             }
         }
     }

@@ -671,3 +671,161 @@ fn engine_reconfiguration() {
     assert!(engine.set_config(bad).is_err());
     assert_eq!(engine.config().mu, 0.01);
 }
+
+/// A small engine with one table for the fault-injection tests.
+fn small_engine() -> Engine {
+    let engine = Engine::new(EngineConfig::default()).unwrap();
+    engine
+        .catalog()
+        .create_table(
+            engine.storage(),
+            "t",
+            vec![("k", DataType::Int), ("v", DataType::Int)],
+        )
+        .unwrap();
+    for i in 0..2000i64 {
+        engine
+            .catalog()
+            .insert_row(
+                engine.storage(),
+                "t",
+                Row::new(vec![Value::Int(i), Value::Int(i % 17)]),
+            )
+            .unwrap();
+    }
+    engine
+}
+
+fn group_by_query() -> LogicalPlan {
+    LogicalPlan::scan("t")
+        .aggregate(
+            vec!["t.v"],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+                name: "n".into(),
+            }],
+        )
+        .sort(vec![("t.v", true)])
+}
+
+fn row_fingerprints(rows: &[Row]) -> Vec<String> {
+    rows.iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn transient_fault_recovers_via_segment_retry() {
+    use mq_common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+    let engine = small_engine();
+    let q = group_by_query();
+    let oracle = engine.run(&q, ReoptMode::Off).unwrap().rows;
+
+    let inj = FaultInjector::new(
+        vec![FaultSpec {
+            site: FaultSite::PageRead,
+            kind: FaultKind::Transient,
+            at: 3,
+        }],
+        None,
+    );
+    let mut env = engine.default_env();
+    env.fault = Some(inj.clone());
+    let out = engine
+        .run_with(&q, ReoptMode::Off, env)
+        .expect("transient fault must be absorbed by a segment retry");
+    assert!(out.segment_retries >= 1, "expected a segment retry");
+    assert_eq!(inj.fired().transient, 1, "fault must fire exactly once");
+    assert_eq!(row_fingerprints(&out.rows), row_fingerprints(&oracle));
+    assert!(
+        out.events.iter().any(|e| e.contains("segment retry")),
+        "retry must be logged: {:?}",
+        out.events
+    );
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+}
+
+#[test]
+fn permanent_fault_fails_cleanly_without_leaks() {
+    use mq_common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+    let engine = small_engine();
+    let q = group_by_query();
+
+    let inj = FaultInjector::new(
+        vec![FaultSpec {
+            site: FaultSite::PageRead,
+            kind: FaultKind::Permanent,
+            at: 3,
+        }],
+        None,
+    );
+    let mut env = engine.default_env();
+    env.fault = Some(inj.clone());
+    let err = engine
+        .run_with(&q, ReoptMode::Off, env)
+        .expect_err("permanent fault must fail the query");
+    assert_eq!(err.kind(), "storage");
+    assert!(!err.is_transient());
+    assert_eq!(inj.fired().permanent, 1);
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+    assert_eq!(engine.cleanup_failure_count(), 0);
+}
+
+#[test]
+fn transient_faults_beyond_the_retry_limit_fail() {
+    use mq_common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+    let engine = small_engine();
+    let q = group_by_query();
+    let limit = engine.config().transient_retry_limit;
+
+    // One more transient fault than the retry budget: every retry hits
+    // the next scheduled fault, and the last one has no budget left.
+    let specs = (0..=limit as u64)
+        .map(|i| FaultSpec {
+            site: FaultSite::PageRead,
+            kind: FaultKind::Transient,
+            at: 3 + i,
+        })
+        .collect();
+    let inj = FaultInjector::new(specs, None);
+    let mut env = engine.default_env();
+    env.fault = Some(inj.clone());
+    let err = engine
+        .run_with(&q, ReoptMode::Off, env)
+        .expect_err("retry budget exhausted");
+    assert!(err.is_transient());
+    assert_eq!(inj.fired().transient as u32, limit + 1);
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+}
+
+/// The retry backoff is charged to the job's simulated clock and grows
+/// exponentially with the retry ordinal.
+#[test]
+fn segment_retries_charge_simulated_backoff() {
+    use mq_common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+    let engine = small_engine();
+    let q = group_by_query();
+    let clean = engine.run(&q, ReoptMode::Off).unwrap();
+
+    let inj = FaultInjector::new(
+        vec![FaultSpec {
+            site: FaultSite::PageRead,
+            kind: FaultKind::Transient,
+            at: 3,
+        }],
+        None,
+    );
+    let mut env = engine.default_env();
+    env.fault = Some(inj);
+    let out = engine.run_with(&q, ReoptMode::Off, env).unwrap();
+    // The faulted run re-ran the segment and paid at least the first
+    // backoff step on top of the clean run's time.
+    assert!(
+        out.time_ms > clean.time_ms + engine.config().transient_retry_backoff_ms * 0.99,
+        "faulted {} ms vs clean {} ms",
+        out.time_ms,
+        clean.time_ms
+    );
+}

@@ -36,7 +36,7 @@ pub mod scia;
 mod engine_tests;
 
 pub use controller::ReoptController;
-pub use engine::{Engine, JobEnv, QueryOutcome};
+pub use engine::{AuditReport, Engine, JobEnv, QueryOutcome};
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 
 /// Which parts of Dynamic Re-Optimization are active (Figure 11).

@@ -232,9 +232,8 @@ impl HashAggregateExec {
                     eprintln!("SPILL agg {:?} grant={}", self.node, grant);
                 }
                 // New group but no memory: spill the raw row.
-                let files = parts.get_or_insert_with(|| {
-                    (0..nparts).map(|_| ctx.storage.create_file()).collect()
-                });
+                let files = parts
+                    .get_or_insert_with(|| (0..nparts).map(|_| ctx.create_temp_file()).collect());
                 let p = (hash_key(&key, 3) % nparts as u64) as usize;
                 ctx.storage.append_row(files[p], &row)?;
                 ctx.clock.add_cpu(1);
@@ -307,7 +306,7 @@ impl Operator for HashAggregateExec {
                 }
             }
             self.table_to_rows(sub, &mut output);
-            let _ = ctx.storage.drop_file(part);
+            ctx.free_temp_file(part);
         }
 
         // Deterministic output order (HashMap order is arbitrary).

@@ -2,7 +2,7 @@
 //! the monitor hook the re-optimization controller plugs into.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -86,6 +86,12 @@ pub struct ExecContext {
     /// Deadline in simulated milliseconds on `clock`; exceeding it
     /// cancels the query at the next segment boundary.
     pub deadline_ms: Option<f64>,
+    /// Every temp file created for this query that has not yet been
+    /// freed or handed to a durable owner (the catalog). Whatever is
+    /// still registered when the query unwinds is reclaimed by
+    /// [`ExecContext::release_temp_files`] — the leak-proofing
+    /// backstop for spill files dropped mid-flight.
+    temp_files: RefCell<HashSet<FileId>>,
 }
 
 impl ExecContext {
@@ -100,7 +106,48 @@ impl ExecContext {
             monitor: None,
             cancel: None,
             deadline_ms: None,
+            temp_files: RefCell::new(HashSet::new()),
         }
+    }
+
+    /// Create a temp file registered for unwind-time reclamation.
+    /// Operators must use this (not `storage.create_file`) for spill
+    /// and materialization files.
+    pub fn create_temp_file(&self) -> FileId {
+        let f = self.storage.create_file();
+        self.temp_files.borrow_mut().insert(f);
+        f
+    }
+
+    /// Free a temp file now (normal operator cleanup).
+    pub fn free_temp_file(&self, f: FileId) {
+        self.temp_files.borrow_mut().remove(&f);
+        let _ = self.storage.drop_file(f);
+    }
+
+    /// Unregister a temp file whose ownership moved to a durable owner
+    /// (a catalog-registered materialized table).
+    pub fn forget_temp_file(&self, f: FileId) {
+        self.temp_files.borrow_mut().remove(&f);
+    }
+
+    /// Drop every still-registered temp file; returns how many were
+    /// reclaimed. Called when the query unwinds (error, cancellation,
+    /// segment retry) — on a clean exit the registry is already empty.
+    pub fn release_temp_files(&self) -> usize {
+        let drained: Vec<FileId> = self.temp_files.borrow_mut().drain().collect();
+        let mut reclaimed = 0;
+        for f in drained {
+            if self.storage.drop_file(f).is_ok() {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Temp files currently registered (diagnostics).
+    pub fn temp_files_outstanding(&self) -> usize {
+        self.temp_files.borrow().len()
     }
 
     /// A shared handle to the grants table (for the controller).
@@ -140,6 +187,9 @@ impl ExecContext {
             if token.is_cancelled() {
                 return Err(MqError::Cancelled("query cancelled".into()));
             }
+        }
+        if mq_common::fault::cancel_requested() {
+            return Err(MqError::Cancelled("injected cancellation trigger".into()));
         }
         if let Some(deadline) = self.deadline_ms {
             let now = self.clock.elapsed_ms(&self.cfg);
@@ -231,7 +281,7 @@ impl ExecContext {
             _ => Vec::new(),
         };
         for f in files {
-            let _ = self.storage.drop_file(f);
+            self.free_temp_file(f);
         }
     }
 }

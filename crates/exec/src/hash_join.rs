@@ -152,7 +152,7 @@ impl HashJoinExec {
                         let nparts =
                             partition_count(grant, ctx.cfg.page_size, ctx.cfg.buffer_pool_pages);
                         let files: Vec<FileId> =
-                            (0..nparts).map(|_| ctx.storage.create_file()).collect();
+                            (0..nparts).map(|_| ctx.create_temp_file()).collect();
                         for (k, rows) in table.drain() {
                             let p = (hash_key(&k, 1) % nparts as u64) as usize;
                             for r in rows {
@@ -199,7 +199,7 @@ impl HashJoinExec {
 
     /// Drain the probe child into partition files (spill path).
     fn partition_probe(&mut self, ctx: &ExecContext, nparts: usize) -> Result<Vec<FileId>> {
-        let files: Vec<FileId> = (0..nparts).map(|_| ctx.storage.create_file()).collect();
+        let files: Vec<FileId> = (0..nparts).map(|_| ctx.create_temp_file()).collect();
         self.probe.open(ctx)?;
         while let Some(row) = self.probe.next(ctx)? {
             ctx.clock.add_cpu(2);
@@ -265,17 +265,21 @@ impl HashJoinExec {
             let consumed = idx;
             if table.is_empty() && !more {
                 // Empty build partition: skip it.
-                *match &mut self.phase {
+                match &mut self.phase {
                     Phase::Parts {
                         current,
                         chunk_start,
                         ..
                     } => {
                         *chunk_start = 0;
-                        current
+                        *current += 1;
                     }
-                    _ => unreachable!(),
-                } += 1;
+                    _ => {
+                        return Err(MqError::Execution(
+                            "hash join phase changed while skipping an empty partition".into(),
+                        ))
+                    }
+                }
                 continue;
             }
 
@@ -307,7 +311,11 @@ impl HashJoinExec {
                         *current += 1;
                     }
                 }
-                _ => unreachable!(),
+                _ => {
+                    return Err(MqError::Execution(
+                        "hash join phase changed while advancing the partition cursor".into(),
+                    ))
+                }
             }
             if !self.pending.is_empty() {
                 return Ok(());
@@ -317,7 +325,7 @@ impl HashJoinExec {
 
     fn cleanup_parts(&self, ctx: &ExecContext, a: &[FileId], b: &[FileId]) {
         for f in a.iter().chain(b) {
-            let _ = ctx.storage.drop_file(*f);
+            ctx.free_temp_file(*f);
         }
     }
 }
@@ -413,7 +421,7 @@ impl Operator for HashJoinExec {
         }
         if let Phase::NeedProbePartition { build_parts } = &self.phase {
             for f in build_parts.clone() {
-                let _ = ctx.storage.drop_file(f);
+                ctx.free_temp_file(f);
             }
         }
         self.phase = Phase::Done;

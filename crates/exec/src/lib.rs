@@ -172,16 +172,35 @@ pub fn run_to_vec(plan: &PhysPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
     const INTERRUPT_STRIDE: usize = 1024;
     ctx.check_interrupt()?;
     let mut exec = build_executor(plan)?;
-    exec.open(ctx)?;
-    let mut out = Vec::new();
-    while let Some(row) = exec.next(ctx)? {
-        out.push(row);
-        if out.len() % INTERRUPT_STRIDE == 0 {
-            ctx.check_interrupt()?;
+    let result = (|| {
+        exec.open(ctx)?;
+        let mut out = Vec::new();
+        while let Some(row) = exec.next(ctx)? {
+            out.push(row);
+            if out.len() % INTERRUPT_STRIDE == 0 {
+                ctx.check_interrupt()?;
+            }
+        }
+        Ok(out)
+    })();
+    // Close on success *and* genuine errors: operators release their
+    // spill files in `close`, so dropping a failed executor unclosed
+    // would leave reclamation to the context's temp-file registry
+    // alone. A `PlanSwitch` is controlled unwinding, not failure — the
+    // externalized artifacts own the operator state (including spilled
+    // runs/partitions) and the resumed plan consumes them, so the
+    // executor must NOT be closed then.
+    match result {
+        Ok(out) => {
+            exec.close(ctx)?;
+            Ok(out)
+        }
+        Err(e @ MqError::PlanSwitch(_)) => Err(e),
+        Err(e) => {
+            let _ = exec.close(ctx);
+            Err(e)
         }
     }
-    exec.close(ctx)?;
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -29,7 +29,10 @@ pub struct MaterializedResult {
 pub fn materialize(plan: &PhysPlan, ctx: &ExecContext) -> Result<MaterializedResult> {
     let mut exec = build_executor(plan)?;
     let schema = plan.schema.clone();
-    let file = ctx.storage.create_file();
+    // Registered as a temp file until the caller hands ownership to a
+    // durable owner (`ExecContext::forget_temp_file`): if execution
+    // fails mid-drain, the unwind path reclaims the partial file.
+    let file = ctx.create_temp_file();
     let mut accs: Vec<ColumnAccumulator> = (0..schema.len())
         .map(|i| ColumnAccumulator::new(ctx.cfg.reservoir_size, 0xFEED ^ i as u64))
         .collect();

@@ -67,7 +67,7 @@ impl SortExec {
     }
 
     fn write_run(&self, rows: &[Row], ctx: &ExecContext) -> Result<FileId> {
-        let f = ctx.storage.create_file();
+        let f = ctx.create_temp_file();
         for r in rows {
             ctx.storage.append_row(f, r)?;
         }
@@ -84,14 +84,14 @@ impl SortExec {
         while files.len() > fanin {
             let mut next = Vec::new();
             for chunk in files.chunks(fanin) {
-                let merged = ctx.storage.create_file();
+                let merged = ctx.create_temp_file();
                 let mut ms = MergeState::open(chunk.to_vec(), ctx)?;
                 while let Some(row) = ms.next_min(&self.keys, ctx)? {
                     ctx.clock.add_cpu(1);
                     ctx.storage.append_row(merged, &row)?;
                 }
                 for f in chunk {
-                    let _ = ctx.storage.drop_file(*f);
+                    ctx.free_temp_file(*f);
                 }
                 next.push(merged);
             }
@@ -146,7 +146,7 @@ impl MergeState {
 
     fn cleanup(&self, ctx: &ExecContext) {
         for f in &self.files {
-            let _ = ctx.storage.drop_file(*f);
+            ctx.free_temp_file(*f);
         }
     }
 }

@@ -86,7 +86,14 @@ impl MemoryBroker {
     /// case the request is clamped to the budget rather than deadlocking.
     pub fn acquire(&self, min: usize, desired: usize) -> Arc<Lease> {
         let min = min.min(self.inner.budget);
-        let desired = desired.max(min);
+        // An injected grant denial is not an error: the query is still
+        // admitted, but gets only its minimum — forcing the spill /
+        // re-allocation machinery to cope, exactly like a stingy pool.
+        let desired = if mq_common::fault::grant_allowed() {
+            desired.max(min)
+        } else {
+            min
+        };
         let mut st = self.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
@@ -131,6 +138,9 @@ impl Lease {
     /// running queries may not grab the bytes it is waiting for.
     pub fn grow(&self, extra: usize) -> usize {
         if extra == 0 {
+            return 0;
+        }
+        if !mq_common::fault::grant_allowed() {
             return 0;
         }
         let mut st = self.broker.lock();
@@ -254,6 +264,27 @@ mod tests {
         assert_eq!(a.grow(400), 0, "growth must yield to waiting queries");
         drop(a);
         assert_eq!(waiter.join().unwrap(), 600);
+    }
+
+    #[test]
+    fn injected_denials_clamp_but_never_fail() {
+        use mq_common::fault::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let broker = MemoryBroker::new(1000);
+        let spec = |at| FaultSpec {
+            site: FaultSite::Grant,
+            kind: FaultKind::Permanent,
+            at,
+        };
+        // Grant decisions: #1 = acquire (denied), #2 = grow (denied),
+        // #3 = grow (allowed).
+        let inj = FaultInjector::new(vec![spec(1), spec(2)], None);
+        let _scope = inj.enter_scope();
+        let lease = broker.acquire(100, 600);
+        assert_eq!(lease.granted(), 100, "denied acquire grants the minimum");
+        assert_eq!(lease.grow(200), 0, "denied grow adds nothing");
+        assert_eq!(lease.grow(200), 200, "later grows succeed again");
+        drop(lease);
+        assert_eq!(broker.in_use(), 0);
     }
 
     #[test]

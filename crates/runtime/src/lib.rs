@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mq_common::{CancelToken, CostSnapshot, MqError, Result, SimClock};
+use mq_common::{CancelToken, CostSnapshot, FaultInjector, MqError, Result, SimClock};
 use mq_memory::{MemoryBroker, MemoryManager};
 use mq_plan::LogicalPlan;
 use mq_reopt::{Engine, JobEnv, QueryOutcome, ReoptMode};
@@ -171,6 +171,9 @@ struct JobCtl<'a> {
     clock: &'a SimClock,
     cancel: Option<&'a CancelToken>,
     deadline_ms: Option<f64>,
+    /// Deterministic fault schedule for chaos testing; also active
+    /// during admission (grant denials apply to the initial lease).
+    fault: Option<&'a FaultInjector>,
 }
 
 /// Admit and run one query: acquire a lease (blocking FIFO admission),
@@ -192,6 +195,11 @@ fn run_admitted(
     let cfg = engine.config();
     let desired = cfg.query_memory_bytes;
     let mut min = min_admission_bytes(cfg);
+    // Scope the fault schedule over admission too: injected grant
+    // denials clamp the initial lease exactly like a mid-query denial.
+    // (The engine re-enters the same injector for the query body —
+    // nested scopes over shared counters compose.)
+    let _fault_scope = ctl.fault.map(FaultInjector::enter_scope);
     loop {
         let lease = broker.acquire(min, desired);
         let granted = lease.granted();
@@ -205,6 +213,7 @@ fn run_admitted(
             cancel: ctl.cancel.cloned(),
             deadline_ms: ctl.deadline_ms,
             temp_prefix: format!("tmp_reopt_q{}_", engine.next_query_id()),
+            fault: ctl.fault.cloned(),
         };
         let outcome = engine.run_with(plan, mode, env);
         if let Some(g) = gauges {
@@ -258,6 +267,7 @@ fn run_one(
                 clock: &job_clock,
                 cancel: q.cancel.as_ref(),
                 deadline_ms: q.deadline_ms,
+                fault: q.fault.as_ref(),
             },
             Some(&Gauges {
                 in_flight,
@@ -357,6 +367,7 @@ impl Session {
                 clock: &self.clock,
                 cancel: Some(&self.cancel),
                 deadline_ms,
+                fault: None,
             },
             None,
         );

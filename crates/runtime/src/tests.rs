@@ -183,3 +183,95 @@ fn workload_budget_override_uses_fresh_broker() {
     // The runtime's own broker was not touched by the override run.
     assert_eq!(runtime.broker().high_water(), 0);
 }
+
+#[test]
+fn injected_cancellation_mid_segment_leaves_no_leases_or_pins() {
+    use mq_common::FaultInjector;
+    let engine = engine_with_table(3000);
+    let runtime = Runtime::with_default_budget(Arc::clone(&engine), 2);
+    // Cancellation trigger after 5 logical I/Os: fires inside the first
+    // segment, well before any phase completes.
+    let inj = FaultInjector::new(vec![], Some(5));
+    let mut workload = Workload::new(2);
+    workload.queries = vec![
+        WorkloadQuery::sql(
+            "chaos",
+            "SELECT v, count(*) AS n FROM t GROUP BY v ORDER BY v",
+        )
+        .with_faults(inj.clone()),
+        WorkloadQuery::sql("ok", "SELECT count(*) AS n FROM t"),
+    ];
+    let report = runtime.run_workload(&workload);
+    let err = report.results[0]
+        .outcome
+        .as_ref()
+        .expect_err("injected cancellation");
+    assert_eq!(err.kind(), "cancelled");
+    assert!(inj.fired().cancels >= 1);
+    assert!(report.results[1].is_ok());
+    // No leaked lease, no stuck pins, no surviving temp state.
+    assert_eq!(runtime.broker().in_use(), 0, "leaked lease");
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+    assert_eq!(engine.cleanup_failure_count(), 0);
+}
+
+#[test]
+fn grant_denials_under_contended_broker_leak_nothing() {
+    use mq_common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+    let engine = engine_with_table(2000);
+    let sql = "SELECT v, count(*) AS n FROM t GROUP BY v ORDER BY v";
+    let oracle = {
+        let plan = mq_sql::plan_sql(sql, engine.catalog()).expect("plan");
+        let mut rows: Vec<String> = engine
+            .run(&plan, mq_reopt::ReoptMode::Off)
+            .expect("oracle")
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        rows.sort();
+        rows
+    };
+    // One full per-query grant for four workers: admission contends,
+    // and every query's first four grant requests are denied (clamped
+    // to the minimum), forcing spills and the OOM-retry path.
+    let runtime = Runtime::new(Arc::clone(&engine), engine.config().query_memory_bytes);
+    let mut workload = Workload::new(4);
+    workload.queries = (0..8)
+        .map(|i| {
+            let inj = FaultInjector::new(
+                (1..=4u64)
+                    .map(|g| FaultSpec {
+                        site: FaultSite::Grant,
+                        kind: FaultKind::Transient,
+                        at: g,
+                    })
+                    .collect(),
+                None,
+            );
+            WorkloadQuery::sql(format!("q{i}"), sql).with_faults(inj)
+        })
+        .collect();
+    let report = runtime.run_workload(&workload);
+    assert_eq!(report.succeeded(), 8, "{}", report.summary());
+    for r in &report.results {
+        let mut rows: Vec<String> = r
+            .outcome
+            .as_ref()
+            .expect("ok")
+            .rows
+            .iter()
+            .map(|row| format!("{row:?}"))
+            .collect();
+        rows.sort();
+        assert_eq!(
+            rows, oracle,
+            "denied-grant query {} returned wrong rows",
+            r.label
+        );
+    }
+    assert_eq!(runtime.broker().in_use(), 0, "leaked lease");
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+}

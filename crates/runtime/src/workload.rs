@@ -1,6 +1,6 @@
 //! Workload specification: a batch of queries to run concurrently.
 
-use mq_common::CancelToken;
+use mq_common::{CancelToken, FaultInjector};
 use mq_plan::LogicalPlan;
 use mq_reopt::ReoptMode;
 
@@ -29,6 +29,9 @@ pub struct WorkloadQuery {
     /// Optional cancellation token; cancel it from any thread to abort
     /// the query at its next segment boundary (or before admission).
     pub cancel: Option<CancelToken>,
+    /// Optional deterministic fault schedule (chaos testing): scoped
+    /// over admission and the whole query execution.
+    pub fault: Option<FaultInjector>,
 }
 
 impl WorkloadQuery {
@@ -40,6 +43,7 @@ impl WorkloadQuery {
             mode: ReoptMode::Full,
             deadline_ms: None,
             cancel: None,
+            fault: None,
         }
     }
 
@@ -51,6 +55,7 @@ impl WorkloadQuery {
             mode: ReoptMode::Full,
             deadline_ms: None,
             cancel: None,
+            fault: None,
         }
     }
 
@@ -69,6 +74,12 @@ impl WorkloadQuery {
     /// Attach a cancellation token.
     pub fn with_cancel(mut self, token: CancelToken) -> WorkloadQuery {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a deterministic fault schedule.
+    pub fn with_faults(mut self, fault: FaultInjector) -> WorkloadQuery {
+        self.fault = Some(fault);
         self
     }
 }

@@ -22,6 +22,10 @@ use crate::buffer::BufferPool;
 pub struct BTree {
     root: PageId,
     height: usize,
+    /// Every page the tree has allocated, in allocation order. Lets
+    /// owners account for (and reclaim) index pages — `Engine::audit`
+    /// uses this to prove no disk page is orphaned.
+    pages: Vec<PageId>,
 }
 
 #[derive(Debug, Clone)]
@@ -77,9 +81,10 @@ impl Node {
     }
 
     fn decode(data: &[u8]) -> Result<Node> {
-        let is_leaf = data[0] == 1;
-        let nkeys = u16::from_le_bytes([data[1], data[2]]) as usize;
-        let first = u64::from_le_bytes(data[3..11].try_into().unwrap());
+        let is_leaf = *need(data, 0, 1)?.first().expect("one byte") == 1;
+        let nk = need(data, 1, 2)?;
+        let nkeys = u16::from_le_bytes([nk[0], nk[1]]) as usize;
+        let first = read_u64(data, 3)?;
         let mut off = 11;
         if is_leaf {
             let mut keys = Vec::with_capacity(nkeys);
@@ -87,8 +92,8 @@ impl Node {
             for _ in 0..nkeys {
                 let (k, used) = Value::decode(&data[off..])?;
                 off += used;
-                let page = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
-                let slot = u16::from_le_bytes(data[off + 8..off + 10].try_into().unwrap());
+                let page = read_u64(data, off)?;
+                let slot = read_u16(data, off + 8)?;
                 off += 10;
                 keys.push(k);
                 rids.push(Rid::new(PageId(page), slot));
@@ -105,7 +110,7 @@ impl Node {
             for _ in 0..nkeys {
                 let (k, used) = Value::decode(&data[off..])?;
                 off += used;
-                let child = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+                let child = read_u64(data, off)?;
                 off += 8;
                 keys.push(k);
                 children.push(PageId(child));
@@ -113,6 +118,29 @@ impl Node {
             Ok(Node::Internal { keys, children })
         }
     }
+}
+
+/// `data[off..off+len]`, or a context-carrying storage error when the
+/// page is shorter than the node header claims (torn or corrupt page).
+fn need(data: &[u8], off: usize, len: usize) -> Result<&[u8]> {
+    data.get(off..off + len).ok_or_else(|| {
+        MqError::Storage(format!(
+            "btree node truncated: need {len} bytes at offset {off} of a {}-byte page",
+            data.len()
+        ))
+    })
+}
+
+fn read_u64(data: &[u8], off: usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(
+        need(data, off, 8)?.try_into().expect("8 bytes"),
+    ))
+}
+
+fn read_u16(data: &[u8], off: usize) -> Result<u16> {
+    Ok(u16::from_le_bytes(
+        need(data, off, 2)?.try_into().expect("2 bytes"),
+    ))
 }
 
 impl BTree {
@@ -125,12 +153,26 @@ impl BTree {
             next: PageId::INVALID,
         };
         pool.with_page_mut(root, |d| leaf.encode(d))?;
-        Ok(BTree { root, height: 1 })
+        Ok(BTree {
+            root,
+            height: 1,
+            pages: vec![root],
+        })
     }
 
     /// Tree height (number of node levels).
     pub fn height(&self) -> usize {
         self.height
+    }
+
+    /// Every page the tree occupies, in allocation order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Number of pages the tree occupies.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
     }
 
     fn read_node(&self, pool: &BufferPool, pid: PageId) -> Result<Node> {
@@ -159,6 +201,7 @@ impl BTree {
         if let Some((sep, right)) = self.insert_rec(pool, self.root, key, rid)? {
             // Root split: grow the tree by one level.
             let new_root = pool.alloc_page()?;
+            self.pages.push(new_root);
             let node = Node::Internal {
                 keys: vec![sep],
                 children: vec![self.root, right],
@@ -171,7 +214,7 @@ impl BTree {
     }
 
     fn insert_rec(
-        &self,
+        &mut self,
         pool: &BufferPool,
         pid: PageId,
         key: &Value,
@@ -194,12 +237,17 @@ impl BTree {
                 // Split the leaf in half.
                 let (keys, rids, next) = match node {
                     Node::Leaf { keys, rids, next } => (keys, rids, next),
-                    _ => unreachable!(),
+                    _ => {
+                        return Err(MqError::Storage(
+                            "btree leaf changed variant during split".into(),
+                        ))
+                    }
                 };
                 let mid = keys.len() / 2;
                 let right_keys = keys[mid..].to_vec();
                 let right_rids = rids[mid..].to_vec();
                 let right_pid = pool.alloc_page()?;
+                self.pages.push(right_pid);
                 let sep = right_keys[0].clone();
                 let right = Node::Leaf {
                     keys: right_keys,
@@ -228,7 +276,11 @@ impl BTree {
                     // Split the internal node; the median key moves up.
                     let (keys, children) = match node {
                         Node::Internal { keys, children } => (keys, children),
-                        _ => unreachable!(),
+                        _ => {
+                            return Err(MqError::Storage(
+                                "btree internal node changed variant during split".into(),
+                            ))
+                        }
                     };
                     let mid = keys.len() / 2;
                     let promote = keys[mid].clone();
@@ -241,6 +293,7 @@ impl BTree {
                         children: children[..=mid].to_vec(),
                     };
                     let right_pid = pool.alloc_page()?;
+                    self.pages.push(right_pid);
                     self.write_node(pool, right_pid, &right)?;
                     self.write_node(pool, pid, &left)?;
                     Ok(Some((promote, right_pid)))
@@ -535,6 +588,26 @@ mod tests {
             let hits = t.lookup(&pool, &Value::Int(i)).unwrap();
             assert_eq!(hits, vec![rid(i as u64)], "key {i} lost");
         }
+    }
+
+    #[test]
+    fn truncated_node_is_an_error_not_a_panic() {
+        assert_eq!(Node::decode(&[]).unwrap_err().kind(), "storage");
+        // Header claims 5 keys but the body is missing.
+        assert_eq!(Node::decode(&[1, 5, 0]).unwrap_err().kind(), "storage");
+    }
+
+    #[test]
+    fn tracks_every_allocated_page() {
+        let pool = pool();
+        let mut t = BTree::create(&pool).unwrap();
+        for i in 0..2000i64 {
+            t.insert(&pool, &Value::Int(i), rid(i as u64)).unwrap();
+        }
+        assert!(t.page_count() > 1, "tree split across pages");
+        // The tree is the only allocator on this disk, so its page
+        // list must account for every allocated page.
+        assert_eq!(t.page_count(), pool.disk().allocated_pages());
     }
 
     #[test]

@@ -8,7 +8,16 @@
 //!
 //! Access is closure-based (`with_page` / `with_page_mut`) so page
 //! borrows can never outlive the pool lock, which keeps the API
-//! misuse-proof without reference counting.
+//! misuse-proof without reference counting. A frame counts as pinned
+//! exactly while its access closure runs; the counter only stays
+//! non-zero if a closure unwinds, which `Engine::audit` flags.
+//!
+//! Fault injection hooks in here at the *logical* access level: every
+//! `with_page`/`with_page_mut` consults the thread's scoped
+//! [`mq_common::fault`] injector before touching pool state. Physical
+//! reads/writes (misses, evictions, flushes) are deliberately not
+//! instrumented — they depend on shared pool state and worker
+//! interleaving, which would break schedule reproducibility.
 
 use std::collections::HashMap;
 
@@ -34,6 +43,9 @@ struct PoolInner {
     lru: Vec<PageId>,
     hits: u64,
     misses: u64,
+    /// Frames currently inside an access closure. Non-zero at
+    /// quiescence means an access unwound without unpinning.
+    pins: u64,
 }
 
 #[derive(Debug)]
@@ -67,7 +79,10 @@ impl BufferPool {
     pub fn alloc_page(&self) -> Result<PageId> {
         let pid = self.disk.alloc();
         let mut inner = self.inner.lock();
-        self.make_room(&mut inner)?;
+        if let Err(e) = self.make_room(&mut inner) {
+            let _ = self.disk.free(pid);
+            return Err(e);
+        }
         inner.frames.insert(
             pid,
             Frame {
@@ -81,21 +96,29 @@ impl BufferPool {
 
     /// Run `f` over the page's bytes (read-only).
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        mq_common::fault::on_page_read()?;
         let mut inner = self.inner.lock();
         self.ensure_resident(&mut inner, pid)?;
         Self::touch(&mut inner, pid);
+        inner.pins += 1;
         let frame = inner.frames.get(&pid).expect("resident");
-        Ok(f(&frame.data))
+        let r = f(&frame.data);
+        inner.pins -= 1;
+        Ok(r)
     }
 
     /// Run `f` over the page's bytes mutably; marks the frame dirty.
     pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        mq_common::fault::on_page_write()?;
         let mut inner = self.inner.lock();
         self.ensure_resident(&mut inner, pid)?;
         Self::touch(&mut inner, pid);
+        inner.pins += 1;
         let frame = inner.frames.get_mut(&pid).expect("resident");
         frame.dirty = true;
-        Ok(f(&mut frame.data))
+        let r = f(&mut frame.data);
+        inner.pins -= 1;
+        Ok(r)
     }
 
     /// Drop a page entirely: evict without write-back and free on disk.
@@ -135,6 +158,13 @@ impl BufferPool {
         self.inner.lock().frames.len()
     }
 
+    /// Frames currently pinned by an access closure. At quiescence
+    /// this must be zero; anything else means an access closure
+    /// unwound mid-flight (`Engine::audit` checks this).
+    pub fn pinned(&self) -> u64 {
+        self.inner.lock().pins
+    }
+
     fn ensure_resident(&self, inner: &mut PoolInner, pid: PageId) -> Result<()> {
         if inner.frames.contains_key(&pid) {
             inner.hits += 1;
@@ -158,12 +188,17 @@ impl BufferPool {
                     ))
                 }
             };
-            inner.lru.remove(0);
-            if let Some(frame) = inner.frames.remove(&victim) {
+            // Write back *before* removing the frame: if the write
+            // fails, the page contents stay resident instead of being
+            // silently lost.
+            if let Some(frame) = inner.frames.get_mut(&victim) {
                 if frame.dirty {
                     self.disk.write(victim, &frame.data)?;
+                    frame.dirty = false;
                 }
             }
+            inner.lru.remove(0);
+            inner.frames.remove(&victim);
         }
         Ok(())
     }
@@ -260,6 +295,37 @@ mod tests {
         let (hits, misses) = p.hit_stats();
         assert_eq!(hits, 10);
         assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_before_pool_state_changes() {
+        use mq_common::fault::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let (p, _) = pool(4);
+        let a = p.alloc_page().unwrap();
+        p.with_page_mut(a, |d| d[0] = 9).unwrap();
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageRead,
+                kind: FaultKind::Permanent,
+                at: 1,
+            }],
+            None,
+        );
+        let _scope = inj.enter_scope();
+        let err = p.with_page(a, |d| d[0]).unwrap_err();
+        assert_eq!(err.kind(), "storage");
+        assert_eq!(p.pinned(), 0, "failed access leaves no pin");
+        // The schedule has fired; the next read sees intact data.
+        assert_eq!(p.with_page(a, |d| d[0]).unwrap(), 9);
+    }
+
+    #[test]
+    fn pins_return_to_zero() {
+        let (p, _) = pool(4);
+        let a = p.alloc_page().unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.with_page_mut(a, |_| ()).unwrap();
+        assert_eq!(p.pinned(), 0);
     }
 
     #[test]

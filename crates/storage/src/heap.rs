@@ -50,10 +50,18 @@ impl HeapFile {
             }
         }
         let pid = pool.alloc_page()?;
-        let slot = pool.with_page_mut(pid, |data| {
+        let slot = match pool.with_page_mut(pid, |data| {
             page::init(data);
             page::insert(data, &bytes)
-        })?;
+        }) {
+            Ok(slot) => slot,
+            Err(e) => {
+                // The fresh page has no owner yet; return it to the
+                // disk rather than orphaning it.
+                pool.discard(pid);
+                return Err(e);
+            }
+        };
         self.pages.push(pid);
         match slot {
             Some(slot) => {

@@ -215,6 +215,31 @@ impl Storage {
             .map(BTree::height)
             .ok_or_else(|| MqError::NotFound(format!("{index}")))
     }
+
+    /// Number of live heap files.
+    pub fn file_count(&self) -> usize {
+        self.inner.files.lock().len()
+    }
+
+    /// Disk pages not owned by any live heap file or index. Metadata
+    /// only — no I/O. At quiescence this must be zero: every allocated
+    /// page is reachable from a file's page list or a B+-tree's page
+    /// set, otherwise something leaked pages on an unwind path.
+    pub fn orphan_pages(&self) -> usize {
+        let owned_by_files: usize = {
+            let files = self.inner.files.lock();
+            files.values().map(|hf| hf.pages().len()).sum()
+        };
+        let owned_by_indexes: usize = {
+            let indexes = self.inner.indexes.lock();
+            indexes.values().map(BTree::page_count).sum()
+        };
+        self.inner
+            .pool
+            .disk()
+            .allocated_pages()
+            .saturating_sub(owned_by_files + owned_by_indexes)
+    }
 }
 
 /// Iterator over a heap file's rows. Decodes one page's rows at a time
@@ -376,6 +401,49 @@ mod tests {
             .unwrap();
         assert_eq!(range.len(), 200);
         assert!(s.index_height(idx).unwrap() >= 1);
+    }
+
+    #[test]
+    fn page_accounting_has_no_orphans() {
+        let (s, _, _) = storage();
+        let f = s.create_file();
+        let idx = s.create_index().unwrap();
+        for i in 0..2000i64 {
+            let rid = s.append_row(f, &row(i)).unwrap();
+            s.index_insert(idx, &Value::Int(i), rid).unwrap();
+        }
+        assert_eq!(s.orphan_pages(), 0);
+        let g = s.create_file();
+        for i in 0..500 {
+            s.append_row(g, &row(i)).unwrap();
+        }
+        s.drop_file(g).unwrap();
+        assert_eq!(s.orphan_pages(), 0, "dropping a file frees its pages");
+    }
+
+    #[test]
+    fn failed_append_to_fresh_page_leaves_no_orphan() {
+        use mq_common::fault::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let (s, _, _) = storage();
+        let f = s.create_file();
+        // Fault every write: the very first append allocates a page,
+        // fails to write it, and must give the page back.
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageWrite,
+                kind: FaultKind::Permanent,
+                at: 1,
+            }],
+            None,
+        );
+        {
+            let _scope = inj.enter_scope();
+            assert!(s.append_row(f, &row(1)).is_err());
+        }
+        assert_eq!(s.orphan_pages(), 0);
+        assert_eq!(s.file_pages(f).unwrap(), 0);
+        // The schedule fired; the file works again afterwards.
+        s.append_row(f, &row(2)).unwrap();
     }
 
     #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-33da886a66a283d2.d: crates/bench/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-33da886a66a283d2.rmeta: crates/bench/tests/chaos.rs Cargo.toml
+
+crates/bench/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

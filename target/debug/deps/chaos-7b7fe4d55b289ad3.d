@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-7b7fe4d55b289ad3.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-7b7fe4d55b289ad3: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-7f19f82acffc1d60.d: crates/bench/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-7f19f82acffc1d60: crates/bench/tests/chaos.rs
+
+crates/bench/tests/chaos.rs:

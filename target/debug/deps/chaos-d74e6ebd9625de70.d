@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-d74e6ebd9625de70.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-d74e6ebd9625de70: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-bc933ac09fb4dbd9.d: crates/bench/src/bin/dbg.rs
+
+/root/repo/target/debug/deps/dbg-bc933ac09fb4dbd9: crates/bench/src/bin/dbg.rs
+
+crates/bench/src/bin/dbg.rs:

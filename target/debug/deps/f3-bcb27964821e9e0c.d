@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/f3-bcb27964821e9e0c.d: crates/bench/src/bin/f3.rs
+
+/root/repo/target/debug/deps/f3-bcb27964821e9e0c: crates/bench/src/bin/f3.rs
+
+crates/bench/src/bin/f3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3e77ebbcbfdb459f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3e77ebbcbfdb459f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

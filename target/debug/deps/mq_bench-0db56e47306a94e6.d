@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mq_bench-0db56e47306a94e6.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/mq_bench-0db56e47306a94e6.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmq_bench-0db56e47306a94e6.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libmq_bench-0db56e47306a94e6.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

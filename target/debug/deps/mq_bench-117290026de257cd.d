@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/mq_bench-117290026de257cd.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/mq_bench-117290026de257cd.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
-/root/repo/target/debug/deps/mq_bench-117290026de257cd: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/mq_bench-117290026de257cd: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:

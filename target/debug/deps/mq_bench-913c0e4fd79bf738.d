@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mq_bench-913c0e4fd79bf738.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/mq_bench-913c0e4fd79bf738.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmq_bench-913c0e4fd79bf738.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libmq_bench-913c0e4fd79bf738.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

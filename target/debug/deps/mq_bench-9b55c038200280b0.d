@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/mq_bench-9b55c038200280b0.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/mq_bench-9b55c038200280b0.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
-/root/repo/target/debug/deps/libmq_bench-9b55c038200280b0.rlib: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libmq_bench-9b55c038200280b0.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
-/root/repo/target/debug/deps/libmq_bench-9b55c038200280b0.rmeta: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libmq_bench-9b55c038200280b0.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/mq_common-4f0c3c3c7a37600d.d: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/mq_common-4f0c3c3c7a37600d.d: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmq_common-4f0c3c3c7a37600d.rmeta: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/libmq_common-4f0c3c3c7a37600d.rmeta: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
 
 crates/common/src/lib.rs:
 crates/common/src/cancel.rs:
 crates/common/src/clock.rs:
 crates/common/src/config.rs:
 crates/common/src/error.rs:
+crates/common/src/fault.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
 crates/common/src/row.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/mq_common-b668090a02a7aa8d.d: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/mq_common-b668090a02a7aa8d.d: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
 
-/root/repo/target/debug/deps/libmq_common-b668090a02a7aa8d.rlib: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/libmq_common-b668090a02a7aa8d.rlib: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
 
-/root/repo/target/debug/deps/libmq_common-b668090a02a7aa8d.rmeta: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/libmq_common-b668090a02a7aa8d.rmeta: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
 
 crates/common/src/lib.rs:
 crates/common/src/cancel.rs:
 crates/common/src/clock.rs:
 crates/common/src/config.rs:
 crates/common/src/error.rs:
+crates/common/src/fault.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
 crates/common/src/row.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-39026932ca15af0a.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-39026932ca15af0a: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-64760724dc47201b.d: crates/bench/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-64760724dc47201b: crates/bench/tests/chaos.rs
+
+crates/bench/tests/chaos.rs:

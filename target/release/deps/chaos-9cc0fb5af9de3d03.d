@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-9cc0fb5af9de3d03.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-9cc0fb5af9de3d03: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/mq_bench-1dc819161c3fb189.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/mq_bench-1dc819161c3fb189.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
-/root/repo/target/release/deps/libmq_bench-1dc819161c3fb189.rlib: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libmq_bench-1dc819161c3fb189.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
-/root/repo/target/release/deps/libmq_bench-1dc819161c3fb189.rmeta: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libmq_bench-1dc819161c3fb189.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
