@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mq_common-47dcf633b4a4b0fb.d: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/mq_common-47dcf633b4a4b0fb: crates/common/src/lib.rs crates/common/src/cancel.rs crates/common/src/clock.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/row.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/cancel.rs:
+crates/common/src/clock.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/fault.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/row.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

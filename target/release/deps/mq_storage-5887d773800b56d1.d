@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mq_storage-5887d773800b56d1.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/mq_storage-5887d773800b56d1: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/disk.rs crates/storage/src/heap.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-63e7a8e509f1a951.d: crates/storage/tests/props.rs
+
+/root/repo/target/release/deps/props-63e7a8e509f1a951: crates/storage/tests/props.rs
+
+crates/storage/tests/props.rs:

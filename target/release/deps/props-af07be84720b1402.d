@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-af07be84720b1402.d: crates/common/tests/props.rs
+
+/root/repo/target/release/deps/props-af07be84720b1402: crates/common/tests/props.rs
+
+crates/common/tests/props.rs:
