@@ -6,7 +6,7 @@
 //! ```
 
 use mq_bench::{
-    ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin,
+    ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin, est_vs_actual,
     fig03_memory_realloc, fig10, fig11, fig12, overhead, render_pairs, sensitivity,
     throughput_vs_budget, throughput_vs_workers, BenchSetup, Knob,
 };
@@ -185,6 +185,34 @@ fn main() {
                 p.max_in_flight,
                 p.high_water_bytes / 1024
             );
+        }
+        println!();
+    }
+
+    if want("trace") {
+        // Skewed + stale: the regime where the optimizer's estimates go
+        // wrong enough for Q10 to switch plans mid-flight.
+        let setup = BenchSetup {
+            scale: 0.005,
+            zipf_z: Some(1.1),
+            analyze_after_fraction: 0.2,
+            ..setup.clone()
+        };
+        println!("== TRACE: est vs actual at every collector checkpoint (Q10, z=1.1) ==");
+        println!(
+            "{:<6} {:>14} {:>14} {:>12} {:>10}",
+            "node", "est rows", "actual rows", "inaccuracy", "complete"
+        );
+        let (rows, verdicts) = est_vs_actual(&setup, "Q10");
+        for r in &rows {
+            println!(
+                "{:<6} {:>14.0} {:>14} {:>12.2} {:>10}",
+                r.node, r.estimated_rows, r.observed_rows, r.inaccuracy, r.complete
+            );
+        }
+        println!("re-optimization decisions:");
+        for v in &verdicts {
+            println!("  {v}");
         }
         println!();
     }

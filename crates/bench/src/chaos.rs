@@ -16,9 +16,13 @@
 //!    buffer pins), the broker has zero bytes outstanding and no
 //!    cleanup operation failed;
 //! 3. **Deterministic** — the three runs of a seed produce identical
-//!    per-query fingerprints. Faults fire on the Nth *logical* buffer
-//!    access of the faulted query, so schedules replay byte-identically
-//!    regardless of worker interleaving or pool warmth.
+//!    per-query fingerprints *and* byte-identical per-query stable
+//!    metrics snapshots ([`MetricsSnapshot::stable_text`]: segments,
+//!    collector reports, re-opt verdicts, retries, cleanup — everything
+//!    except physical-cost metrics, which legitimately vary with pool
+//!    warmth). Faults fire on the Nth *logical* buffer access of the
+//!    faulted query, so schedules replay byte-identically regardless of
+//!    worker interleaving or pool warmth.
 //!
 //! Determinism across worker counts additionally requires that the runs
 //! themselves are replayable: the harness therefore disables
@@ -30,8 +34,10 @@
 //!
 //! [`Engine::audit`]: midq::Engine::audit
 //! [`FaultInjector`]: midq::common::FaultInjector
+//! [`MetricsSnapshot::stable_text`]: midq::obs::MetricsSnapshot::stable_text
 
 use midq::common::{EngineConfig, FaultInjector, FaultProfile};
+use midq::obs::{MetricsRegistry, Obs};
 use midq::tpcd::{queries, TpcdConfig};
 use midq::{Database, QueryOutcome, ReoptMode, Result, Runtime, Workload, WorkloadQuery};
 
@@ -148,6 +154,9 @@ impl ChaosReport {
 struct RunOutcome {
     fingerprints: Vec<String>,
     retries: Vec<u32>,
+    /// Per-query stable metrics expositions, compared byte-for-byte
+    /// across a seed's runs (invariant 3).
+    stable_metrics: Vec<String>,
     fired: (u64, u64, u64, u64),
 }
 
@@ -178,6 +187,7 @@ fn run_once(
                 .with_faults(inj),
         );
     }
+    wl.obs = Some(Obs::none().with_metrics(MetricsRegistry::new()));
     let runtime = Runtime::new(db.engine_arc(), AMPLE_BUDGET);
     let report = runtime.run_workload(&wl);
     let lease_leak = runtime.broker().in_use();
@@ -192,6 +202,11 @@ fn run_once(
             .results
             .iter()
             .map(|r| r.outcome.as_ref().map(|o| o.segment_retries).unwrap_or(0))
+            .collect(),
+        stable_metrics: report
+            .results
+            .iter()
+            .map(|r| r.metrics.stable_text())
             .collect(),
         fired: (0, 0, 0, 0),
     };
@@ -301,7 +316,8 @@ pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
             }
         }
 
-        // Invariant 3: the seed's runs are byte-identical.
+        // Invariant 3: the seed's runs are byte-identical — result
+        // fingerprints and per-query stable metrics alike.
         let (first_label, first) = &runs[0];
         for (label, run) in &runs[1..] {
             if run.fingerprints != first.fingerprints {
@@ -310,6 +326,21 @@ pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
                     format!(
                         "seed {seed}: outcome diverged between {first_label} {:?} and {label} {:?}",
                         first.fingerprints, run.fingerprints
+                    ),
+                );
+            }
+            if run.stable_metrics != first.stable_metrics {
+                let qi = first
+                    .stable_metrics
+                    .iter()
+                    .zip(&run.stable_metrics)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                violate(
+                    &mut report.violations,
+                    format!(
+                        "seed {seed}: stable metrics diverged between {first_label} and \
+                         {label} (first at query {qi})"
                     ),
                 );
             }

@@ -14,6 +14,7 @@
 //! | Figure 12 (skew z = 0.3, 0.6) | [`fig12`] |
 //! | §2.5 overhead claim | [`overhead`] |
 //! | sensitivity to μ, θ1, θ2 (cited to \[12\]) | [`sensitivity`] |
+//! | §2.2 est-vs-actual trace table | [`est_vs_actual`] |
 
 pub mod chaos;
 
@@ -521,6 +522,72 @@ pub fn throughput_vs_budget(
             throughput_point(&db, &wl)
         })
         .collect()
+}
+
+/// One collector checkpoint pulled out of a JSONL trace: the paper's
+/// est-vs-actual evidence row (§2.2 — "detecting suboptimality").
+#[derive(Debug, Clone)]
+pub struct EstActualRow {
+    /// Plan node id of the statistics collector.
+    pub node: u64,
+    /// Optimizer's cardinality estimate at that point.
+    pub estimated_rows: f64,
+    /// Rows the collector actually observed.
+    pub observed_rows: u64,
+    /// `max(obs/est, est/obs)` — the paper's inaccuracy factor.
+    pub inaccuracy: f64,
+    /// Whether the operator beneath had completed (end-of-segment
+    /// checkpoint) or was still mid-flight (progress checkpoint).
+    pub complete: bool,
+}
+
+/// The trace-derived experiment: run one named query under Full
+/// re-optimization with a JSONL sink attached and distill the trace
+/// into (a) the est-vs-actual table and (b) the re-opt verdict lines.
+/// This is the machine-checked version of the paper's Table 1-style
+/// narrative: which estimate was wrong, by how much, and what the
+/// re-optimizer decided about it.
+pub fn est_vs_actual(setup: &BenchSetup, name: &'static str) -> (Vec<EstActualRow>, Vec<String>) {
+    use midq::obs::{json_f64, json_str, json_u64, JsonlSink, Obs};
+
+    let db = setup.database();
+    let q = queries::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown query {name}"))
+        .1;
+    let sink = std::sync::Arc::new(JsonlSink::new());
+    let obs = Obs::none().with_sink(sink.clone()).for_job(1, name);
+    db.run_observed(&q, ReoptMode::Full, &obs)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    let mut rows = Vec::new();
+    let mut verdicts = Vec::new();
+    for line in sink.lines() {
+        match json_str(&line, "event").as_deref() {
+            Some("collector") => rows.push(EstActualRow {
+                node: json_u64(&line, "node").unwrap_or(0),
+                estimated_rows: json_f64(&line, "estimated_rows").unwrap_or(0.0),
+                observed_rows: json_u64(&line, "observed_rows").unwrap_or(0),
+                inaccuracy: json_f64(&line, "inaccuracy").unwrap_or(0.0),
+                complete: json_raw_bool(&line),
+            }),
+            Some("reopt") => {
+                let verdict = json_str(&line, "verdict").unwrap_or_default();
+                let t_cur = json_f64(&line, "t_cur_ms").unwrap_or(0.0);
+                let t_new = json_f64(&line, "t_new_ms").unwrap_or(0.0);
+                verdicts.push(format!("{verdict}: t_cur={t_cur:.1}ms t_new={t_new:.1}ms"));
+            }
+            _ => {}
+        }
+    }
+    (rows, verdicts)
+}
+
+/// `complete` is an unquoted JSON bool; [`midq::obs::json_str`] only
+/// reads quoted strings, so fall back to the raw token.
+fn json_raw_bool(line: &str) -> bool {
+    midq::obs::json_raw(line, "complete") == Some("true")
 }
 
 #[cfg(test)]

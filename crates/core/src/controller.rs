@@ -35,9 +35,18 @@ use mq_plan::{LogicalPlan, NodeId, PhysOp, PhysPlan};
 use mq_storage::Storage;
 use parking_lot::Mutex;
 
+use mq_obs::{ObsEvent, ReoptVerdict};
+
 use crate::improve::ImprovedEstimates;
 use crate::remainder::{remainder_join_count, remainder_query};
 use crate::ReoptMode;
+
+/// Inaccuracy factor of an observation: `max(obs/est, est/obs)` (≥ 1;
+/// 1 = the estimate was exact). Degenerate estimates clamp to ≥ ~0.
+fn inaccuracy_factor(observed: u64, estimated: f64) -> f64 {
+    let r = (observed as f64 / estimated.max(1e-9)).max(1e-9);
+    r.max(1.0 / r)
+}
 
 /// A decided-but-not-yet-executed plan switch.
 #[derive(Debug, Clone)]
@@ -277,6 +286,11 @@ impl ReoptController {
                     st,
                     format!("memory: {} grant {} -> {} bytes", g.node, old, g.granted),
                 );
+                mq_obs::emit(|| ObsEvent::GrantChange {
+                    node: g.node.0 as u64,
+                    old_bytes: old as u64,
+                    new_bytes: g.granted as u64,
+                });
             }
         }
         if changed {
@@ -334,6 +348,14 @@ impl ReoptController {
                     "replan@{node}: below θ2 (time degradation {degradation:.2}, stat divergence {stat_divergence:.2})"
                 ),
             );
+            mq_obs::emit(|| ObsEvent::Reopt {
+                node: node.0 as u64,
+                verdict: ReoptVerdict::BelowThreshold,
+                t_new_ms: 0.0,
+                t_cur_ms: t_cur_improved,
+                degradation,
+                divergence: stat_divergence,
+            });
             return Ok(None);
         }
 
@@ -355,6 +377,14 @@ impl ReoptController {
                     "replan@{node}: skipped by Eq.1 (T_opt {t_opt_est:.1}ms vs remaining {t_cur_improved:.1}ms)"
                 ),
             );
+            mq_obs::emit(|| ObsEvent::Reopt {
+                node: node.0 as u64,
+                verdict: ReoptVerdict::Eq1Skip,
+                t_new_ms: t_opt_est,
+                t_cur_ms: t_cur_improved,
+                degradation,
+                divergence: stat_divergence,
+            });
             return Ok(None);
         }
 
@@ -477,6 +507,14 @@ impl ReoptController {
                         "replan@{node}: ACCEPT (new {t_new:.1}ms + mat {t_mat:.1}ms < continue {t_cur_basis:.1}ms; trigger improved {t_cur_improved:.1}ms vs planned {t_cur_optimizer:.1}ms)"
                     ),
                 );
+                mq_obs::emit(|| ObsEvent::Reopt {
+                    node: node.0 as u64,
+                    verdict: ReoptVerdict::Accept,
+                    t_new_ms: t_new + t_mat,
+                    t_cur_ms: t_cur_basis,
+                    degradation,
+                    divergence: stat_divergence,
+                });
                 Ok(Some(PendingSwitch {
                     cut: node,
                     temp_name: temp_name.clone(),
@@ -491,6 +529,14 @@ impl ReoptController {
                         "replan@{node}: rejected (new {t_new:.1}ms + mat {t_mat:.1}ms ≥ continue {t_cur_basis:.1}ms)"
                     ),
                 );
+                mq_obs::emit(|| ObsEvent::Reopt {
+                    node: node.0 as u64,
+                    verdict: ReoptVerdict::RejectCost,
+                    t_new_ms: t_new + t_mat,
+                    t_cur_ms: t_cur_basis,
+                    degradation,
+                    divergence: stat_divergence,
+                });
                 Ok(None)
             }
         };
@@ -596,6 +642,13 @@ impl ExecMonitor for ReoptController {
                 "progress {node}: ≥{rows} rows vs estimate {est:.0} — provisional re-allocation"
             ),
         );
+        mq_obs::emit(|| ObsEvent::Collector {
+            node: node.0 as u64,
+            observed_rows: rows,
+            estimated_rows: est,
+            inaccuracy: inaccuracy_factor(rows, est),
+            complete: false,
+        });
         st.improved.record(ObservedStats {
             node,
             rows,
@@ -628,6 +681,13 @@ impl ExecMonitor for ReoptController {
                 stats.node, stats.rows
             ),
         );
+        mq_obs::emit(|| ObsEvent::Collector {
+            node: stats.node.0 as u64,
+            observed_rows: stats.rows,
+            estimated_rows: est,
+            inaccuracy: inaccuracy_factor(stats.rows, est),
+            complete: stats.complete,
+        });
         st.improved.record(stats);
         Ok(())
     }

@@ -8,6 +8,7 @@
 //! observed while writing it, re-optimize the remainder, and continue —
 //! "this process continues until the query completes execution" (§3.1).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,8 +18,9 @@ use mq_catalog::Catalog;
 use mq_common::{
     CancelToken, CostSnapshot, EngineConfig, FaultInjector, MqError, Result, Row, SimClock,
 };
-use mq_exec::{materialize, run_to_vec, ExecContext};
+use mq_exec::{materialize, run_to_vec, ExecContext, OpActuals};
 use mq_memory::MemoryManager;
+use mq_obs::{ObsEvent, SegmentOutcome};
 use mq_optimizer::{recost, OptCalibration, Optimizer};
 use mq_plan::{LogicalPlan, NodeId, PhysPlan};
 use mq_storage::Storage;
@@ -50,6 +52,11 @@ pub struct QueryOutcome {
     pub events: Vec<String>,
     /// The plan that produced the final rows (last attempt).
     pub final_plan: PhysPlan,
+    /// Per-operator observed execution counters of the final attempt,
+    /// keyed by node id of [`QueryOutcome::final_plan`]. Row counts are
+    /// always collected; cpu/io deltas only when an observability sink
+    /// was active during the run.
+    pub actuals: HashMap<NodeId, OpActuals>,
 }
 
 impl QueryOutcome {
@@ -91,6 +98,13 @@ impl QueryOutcome {
         let _ = write!(out, "{}", self.final_plan);
         out
     }
+
+    /// Render the EXPLAIN ANALYZE view of this outcome: the final plan
+    /// annotated with estimated vs actual per-operator rows, re-opt
+    /// point markers, and the controller's decision log.
+    pub fn explain_analyze(&self) -> String {
+        crate::explain::explain_analyze(self)
+    }
 }
 
 /// Per-job execution environment: which clock to charge, which memory
@@ -116,6 +130,12 @@ pub struct JobEnv {
     /// Deterministic fault schedule scoped onto the job's thread for
     /// the duration of the query (chaos testing). `None` = no faults.
     pub fault: Option<FaultInjector>,
+    /// Observability handle scoped onto the job's thread for the
+    /// duration of the query. `None` (or an inactive handle) keeps
+    /// whatever scope the caller already installed — the engine only
+    /// *adds* a scope when the handle actually carries a sink or a
+    /// metrics registry.
+    pub obs: Option<mq_obs::Obs>,
 }
 
 /// Resource-leak audit over the engine's shared state. Only valid at
@@ -199,10 +219,18 @@ impl<'a> CleanupGuard<'a> {
 impl Drop for CleanupGuard<'_> {
     fn drop(&mut self) {
         self.ctx.clear_artifacts();
-        let _ = self.ctx.release_temp_files();
-        for name in std::mem::take(&mut self.temps) {
+        let released = self.ctx.release_temp_files();
+        let failures_before = self.engine.cleanup_failure_count();
+        let temps = std::mem::take(&mut self.temps);
+        let temp_tables = temps.len() as u64;
+        for name in temps {
             self.engine.drop_temp(&name);
         }
+        mq_obs::emit(|| ObsEvent::Cleanup {
+            temp_tables,
+            temp_files: released as u64,
+            failures: self.engine.cleanup_failure_count() - failures_before,
+        });
     }
 }
 
@@ -288,6 +316,7 @@ impl Engine {
             deadline_ms: None,
             temp_prefix: format!("tmp_reopt_q{}_", self.next_query_id()),
             fault: None,
+            obs: None,
         }
     }
 
@@ -339,9 +368,29 @@ impl Engine {
         // live in the injector (shared across scopes), so a segment
         // retry continues the schedule past the fault it just absorbed.
         let _fault_scope = env.fault.as_ref().map(FaultInjector::enter_scope);
+        // Observability scope: events emitted anywhere below (broker
+        // grants, executor spills, controller decisions) flow to this
+        // job's sink and metrics registry. Inactive handles are skipped
+        // so an outer scope the caller installed keeps receiving the
+        // events instead of being shadowed by a no-op.
+        let _obs_scope = env
+            .obs
+            .as_ref()
+            .filter(|o| o.is_active())
+            .map(mq_obs::Obs::enter_scope);
+        let mode_str = match mode {
+            ReoptMode::Off => "off",
+            ReoptMode::MemoryOnly => "memory-only",
+            ReoptMode::PlanOnly => "plan-only",
+            ReoptMode::Full => "full",
+        };
+        mq_obs::emit(|| ObsEvent::QueryStart { mode: mode_str });
         let t0 = env.clock.snapshot();
-        let ctx = ExecContext::new(self.storage.clone(), env.clock.clone(), self.cfg.clone())
+        let mut ctx = ExecContext::new(self.storage.clone(), env.clock.clone(), self.cfg.clone())
             .with_interrupts(env.cancel.clone(), env.deadline_ms);
+        // Per-operator cpu/io profiling costs two clock snapshots per
+        // operator call; only pay it when a sink is listening.
+        ctx.profile_detail = mq_obs::sink_active();
         let controller = Rc::new(ReoptController::new(
             mode,
             self.cfg.clone(),
@@ -366,23 +415,49 @@ impl Engine {
         // any path having to remember to clean up.
         let mut guard = CleanupGuard::new(self, &ctx);
         let mut segment_retries: u32 = 0;
+        let mut attempt: u32 = 0;
         let mut current = logical.clone();
-        let outcome = loop {
-            let mut optimized = self
-                .optimizer
-                .optimize(&current, &self.catalog, &self.storage)?;
+        let result = loop {
+            let mut optimized =
+                match self
+                    .optimizer
+                    .optimize(&current, &self.catalog, &self.storage)
+                {
+                    Ok(o) => o,
+                    Err(e) => break Err(e),
+                };
             env.clock.add_opt_work(optimized.work_units);
             if mode.collects() {
-                insert_collectors(&mut optimized.plan, &self.catalog, &self.cfg)?;
+                if let Err(e) = insert_collectors(&mut optimized.plan, &self.catalog, &self.cfg) {
+                    break Err(e);
+                }
             }
-            env.mm.allocate(&mut optimized.plan, &self.cfg)?;
+            if let Err(e) = env.mm.allocate(&mut optimized.plan, &self.cfg) {
+                break Err(e);
+            }
             recost(&mut optimized.plan, &self.cfg);
             controller.begin_attempt(optimized.plan.clone());
+            attempt += 1;
+            mq_obs::emit(|| {
+                let mut nodes = 0u64;
+                optimized.plan.walk(&mut |_| nodes += 1);
+                ObsEvent::SegmentStart {
+                    attempt,
+                    plan_nodes: nodes,
+                }
+            });
+            // The actuals of an abandoned attempt describe nodes of an
+            // abandoned plan; the final attempt starts from scratch.
+            ctx.reset_actuals();
 
             match run_to_vec(&optimized.plan, &ctx) {
                 Ok(rows) => {
+                    mq_obs::emit(|| ObsEvent::SegmentEnd {
+                        attempt,
+                        outcome: SegmentOutcome::Done,
+                    });
                     let (memory_reallocs, collector_reports) = controller.counters();
-                    break QueryOutcome {
+                    break Ok(QueryOutcome {
                         rows,
                         cost: env.clock.snapshot().since(&t0),
                         time_ms: env.clock.snapshot().since(&t0).time_ms(&self.cfg),
@@ -393,12 +468,19 @@ impl Engine {
                         collector_reports,
                         events: controller.take_events(),
                         final_plan: optimized.plan,
-                    };
+                        actuals: ctx.take_actuals(),
+                    });
                 }
                 Err(MqError::PlanSwitch(raw)) => {
-                    let pending = controller.take_pending().ok_or_else(|| {
-                        MqError::Internal("plan switch without pending decision".into())
-                    })?;
+                    mq_obs::emit(|| ObsEvent::SegmentEnd {
+                        attempt,
+                        outcome: SegmentOutcome::PlanSwitch,
+                    });
+                    let Some(pending) = controller.take_pending() else {
+                        break Err(MqError::Internal(
+                            "plan switch without pending decision".into(),
+                        ));
+                    };
                     debug_assert_eq!(pending.cut, NodeId(raw));
                     // Finish the cut subtree into the temp table. The
                     // build artifact survived the unwind, so only the
@@ -436,19 +518,24 @@ impl Engine {
                                 // materialized inputs.
                                 continue;
                             }
-                            return Err(e);
+                            break Err(e);
                         }
                     };
 
                     // Swap the placeholder for the real file + stats.
-                    let placeholder = self.catalog.drop_table(&pending.temp_name)?;
+                    let placeholder = match self.catalog.drop_table(&pending.temp_name) {
+                        Ok(p) => p,
+                        Err(e) => break Err(e),
+                    };
                     let _ = self.storage.drop_file(placeholder.file);
-                    self.catalog.register_materialized(
+                    if let Err(e) = self.catalog.register_materialized(
                         &pending.temp_name,
                         mat.file,
                         mat.schema,
                         mat.stats,
-                    )?;
+                    ) {
+                        break Err(e);
+                    }
                     guard.track(pending.temp_name.clone());
                     // The catalog owns the materialized file now.
                     ctx.forget_temp_file(mat.file);
@@ -460,6 +547,10 @@ impl Engine {
                     continue;
                 }
                 Err(other) => {
+                    mq_obs::emit(|| ObsEvent::SegmentEnd {
+                        attempt,
+                        outcome: SegmentOutcome::Error,
+                    });
                     if self.should_retry_segment(&other, segment_retries) {
                         segment_retries += 1;
                         self.prepare_segment_retry(
@@ -474,14 +565,86 @@ impl Engine {
                         // tables the guard still holds).
                         continue;
                     }
-                    return Err(other);
+                    break Err(other);
                 }
             }
         };
-        if self.cfg.stats_feedback && mode.collects() {
-            self.apply_stats_feedback(&outcome.final_plan, &controller, guard.temps());
+        if let Ok(outcome) = &result {
+            if self.cfg.stats_feedback && mode.collects() {
+                self.apply_stats_feedback(&outcome.final_plan, &controller, guard.temps());
+            }
         }
-        Ok(outcome)
+        // Cleanup runs (and emits its event) before the query-end
+        // marker so a trace reads in causal order.
+        drop(guard);
+        self.emit_query_end(&result, &env, &t0, &controller, segment_retries);
+        result
+    }
+
+    /// Emit the end-of-query trace event and fold the final attempt's
+    /// per-operator actuals into the scoped metrics registry. No-op
+    /// when no observability scope is active.
+    fn emit_query_end(
+        &self,
+        result: &Result<QueryOutcome>,
+        env: &JobEnv,
+        t0: &CostSnapshot,
+        controller: &ReoptController,
+        segment_retries: u32,
+    ) {
+        if !mq_obs::active() {
+            return;
+        }
+        let cost = env.clock.snapshot().since(t0);
+        let (memory_reallocs, collector_reports) = controller.counters();
+        let (outcome_str, rows) = match result {
+            Ok(o) => ("ok".to_string(), o.rows.len() as u64),
+            Err(e) => (e.kind().to_string(), 0),
+        };
+        mq_obs::emit(|| ObsEvent::QueryEnd {
+            outcome: outcome_str,
+            rows,
+            sim_ms: cost.time_ms(&self.cfg),
+            pages_read: cost.pages_read,
+            pages_written: cost.pages_written,
+            cpu_ops: cost.cpu_ops,
+            opt_work: cost.opt_work,
+            plan_switches: u64::from(controller.switches()),
+            segment_retries: u64::from(segment_retries),
+            memory_reallocs: u64::from(memory_reallocs),
+            collector_reports: u64::from(collector_reports),
+        });
+        if let Ok(o) = result {
+            mq_obs::with_metrics(|m| {
+                o.final_plan.walk(&mut |n| {
+                    let Some(a) = o.actuals.get(&n.id) else {
+                        return;
+                    };
+                    let op = n.op.name();
+                    let labels = [("op", op)];
+                    m.inc(
+                        "midq_operator_rows_total",
+                        &labels,
+                        mq_obs::Stability::Stable,
+                        a.rows,
+                    );
+                    // cpu/io deltas depend on physical shared state
+                    // (buffer-pool hits vary with interleaving).
+                    m.inc(
+                        "midq_operator_cpu_ops_total",
+                        &labels,
+                        mq_obs::Stability::Volatile,
+                        a.cpu_ops,
+                    );
+                    m.inc(
+                        "midq_operator_io_pages_total",
+                        &labels,
+                        mq_obs::Stability::Volatile,
+                        a.io_pages,
+                    );
+                });
+            });
+        }
     }
 
     /// Is this error a transient fault with retry budget left?
@@ -504,6 +667,11 @@ impl Engine {
             "segment retry {retry}/{}: transient fault absorbed ({cause})",
             self.cfg.transient_retry_limit
         ));
+        mq_obs::emit(|| ObsEvent::SegmentRetry {
+            retry,
+            limit: self.cfg.transient_retry_limit,
+            cause: cause.to_string(),
+        });
         ctx.clear_artifacts();
         let _ = ctx.release_temp_files();
         ctx.clear_grants();

@@ -1,0 +1,165 @@
+//! EXPLAIN / EXPLAIN ANALYZE rendering.
+//!
+//! `EXPLAIN` shows the optimizer's annotated plan before execution;
+//! `EXPLAIN ANALYZE` re-renders the plan that actually produced the
+//! rows, lining the optimizer's estimates up against the observed
+//! per-operator counters ([`QueryOutcome::actuals`]) — the
+//! estimated-vs-actual cardinality comparison is the heart of the
+//! paper's argument, so the renderer puts it front and center on every
+//! line. Statistics collectors are marked as the potential
+//! re-optimization points they are, and scans over `tmp_reopt_*` temp
+//! tables are marked as the materialized cut of an accepted switch.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use mq_exec::OpActuals;
+use mq_plan::{NodeId, PhysOp, PhysPlan};
+
+use crate::engine::QueryOutcome;
+
+/// Render a plan for `EXPLAIN`: estimates only, no execution.
+pub fn explain_plan(plan: &PhysPlan) -> String {
+    let mut out = String::new();
+    render_node(&mut out, plan, 0, None);
+    out
+}
+
+/// Render a finished query for `EXPLAIN ANALYZE`: headline counters,
+/// the final plan with per-operator estimated vs actual rows, and the
+/// controller's decision log.
+pub fn explain_analyze(outcome: &QueryOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN ANALYZE ({} mode): {} rows in {:.1} ms simulated",
+        outcome.mode,
+        outcome.rows.len(),
+        outcome.time_ms
+    );
+    let _ = writeln!(
+        out,
+        "plan switches: {}   memory re-allocations: {}   collector reports: {}   segment retries: {}",
+        outcome.plan_switches,
+        outcome.memory_reallocs,
+        outcome.collector_reports,
+        outcome.segment_retries
+    );
+    render_node(&mut out, &outcome.final_plan, 0, Some(&outcome.actuals));
+    if !outcome.events.is_empty() {
+        let _ = writeln!(out, "re-optimization events:");
+        for (i, e) in outcome.events.iter().enumerate() {
+            let _ = writeln!(out, "{:>3}. {e}", i + 1);
+        }
+    }
+    out
+}
+
+/// Marker suffix identifying a node's role in re-optimization, if any.
+fn marker(plan: &PhysPlan) -> &'static str {
+    match &plan.op {
+        PhysOp::StatsCollector { .. } => "  <-- collector (re-opt point)",
+        PhysOp::SeqScan { spec, .. } if spec.table.starts_with("tmp_reopt_") => {
+            "  <-- materialized by plan switch"
+        }
+        _ => "",
+    }
+}
+
+fn render_node(
+    out: &mut String,
+    plan: &PhysPlan,
+    indent: usize,
+    actuals: Option<&HashMap<NodeId, OpActuals>>,
+) {
+    let pad = "  ".repeat(indent);
+    let _ = write!(out, "{pad}{} {}", plan.op.name(), plan.op_detail());
+    match actuals {
+        Some(map) => match map.get(&plan.id) {
+            Some(a) => {
+                let _ = write!(
+                    out,
+                    "  (est rows={:.0}, actual rows={}",
+                    plan.annot.est_rows, a.rows
+                );
+                if a.cpu_ops > 0 || a.io_pages > 0 {
+                    let _ = write!(out, ", cpu={}, io={}", a.cpu_ops, a.io_pages);
+                }
+                let _ = write!(
+                    out,
+                    ", est time≈{:.1}ms, mem={}KB)",
+                    plan.annot.est_time_ms,
+                    plan.annot.mem_grant_bytes / 1024
+                );
+            }
+            // A node with no actuals never produced a row (e.g. it sat
+            // above a LIMIT that closed early, or the attempt restarted
+            // before reaching it).
+            None => {
+                let _ = write!(
+                    out,
+                    "  (est rows={:.0}, actual rows=0, never executed)",
+                    plan.annot.est_rows
+                );
+            }
+        },
+        None => {
+            let _ = write!(
+                out,
+                "  (est rows={:.0}, est time≈{:.1}ms, total≈{:.1}ms, mem={}KB)",
+                plan.annot.est_rows,
+                plan.annot.est_time_ms,
+                plan.annot.est_total_time_ms,
+                plan.annot.mem_grant_bytes / 1024
+            );
+        }
+    }
+    let _ = writeln!(out, "{}", marker(plan));
+    for c in &plan.children {
+        render_node(out, c, indent + 1, actuals);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_plan::ScanSpec;
+
+    fn scan(table: &str) -> PhysPlan {
+        let schema = mq_common::Schema::new(vec![mq_common::Field::qualified(
+            table,
+            "a",
+            mq_common::DataType::Int,
+        )])
+        .unwrap();
+        let mut p = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: table.into(),
+                    file: mq_common::FileId(0),
+                    pages: 10,
+                    rows: 100,
+                },
+                filter: None,
+            },
+            vec![],
+            schema,
+        );
+        p.annot.est_rows = 100.0;
+        p
+    }
+
+    #[test]
+    fn explain_shows_estimates_without_actuals() {
+        let text = explain_plan(&scan("lineitem"));
+        assert!(text.contains("SeqScan lineitem"), "{text}");
+        assert!(text.contains("est rows=100"), "{text}");
+        assert!(!text.contains("actual rows"), "{text}");
+    }
+
+    #[test]
+    fn temp_table_scan_is_marked_as_switch_materialization() {
+        let text = explain_plan(&scan("tmp_reopt_q7_1"));
+        assert!(text.contains("materialized by plan switch"), "{text}");
+    }
+}

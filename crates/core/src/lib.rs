@@ -28,6 +28,7 @@
 
 pub mod controller;
 pub mod engine;
+pub mod explain;
 pub mod improve;
 pub mod remainder;
 pub mod scia;
@@ -37,6 +38,7 @@ mod engine_tests;
 
 pub use controller::ReoptController;
 pub use engine::{AuditReport, Engine, JobEnv, QueryOutcome};
+pub use explain::{explain_analyze, explain_plan};
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 
 /// Which parts of Dynamic Re-Optimization are active (Figure 11).

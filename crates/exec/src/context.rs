@@ -35,6 +35,23 @@ pub trait ExecMonitor {
     }
 }
 
+/// Observed per-operator execution totals, recorded by the profiling
+/// wrapper every operator runs inside (see `build_executor`). Row
+/// counts are always collected (one counter increment per row);
+/// inclusive cpu/io deltas are collected only when an event sink is
+/// scoped (`profile_detail`), since they cost two clock snapshots per
+/// pull.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpActuals {
+    /// Rows this operator produced.
+    pub rows: u64,
+    /// Inclusive CPU ops charged while this operator (and its subtree)
+    /// ran. Zero unless detailed profiling was on.
+    pub cpu_ops: u64,
+    /// Inclusive logical page I/O (reads + writes), same caveat.
+    pub io_pages: u64,
+}
+
 /// State a blocking operator externalizes between phases (and across a
 /// plan switch).
 #[derive(Debug)]
@@ -92,6 +109,12 @@ pub struct ExecContext {
     /// [`ExecContext::release_temp_files`] — the leak-proofing
     /// backstop for spill files dropped mid-flight.
     temp_files: RefCell<HashSet<FileId>>,
+    /// Per-operator observed totals for the *current* segment attempt
+    /// (EXPLAIN ANALYZE's actual side). Reset at attempt start.
+    pub actuals: RefCell<HashMap<NodeId, OpActuals>>,
+    /// Collect inclusive cpu/io deltas per operator (set by the engine
+    /// when an event sink is scoped; row counts are collected always).
+    pub profile_detail: bool,
 }
 
 impl ExecContext {
@@ -107,7 +130,24 @@ impl ExecContext {
             cancel: None,
             deadline_ms: None,
             temp_files: RefCell::new(HashSet::new()),
+            actuals: RefCell::new(HashMap::new()),
+            profile_detail: false,
         }
+    }
+
+    /// Record (overwrite) the observed totals for one operator.
+    pub fn record_actuals(&self, node: NodeId, a: OpActuals) {
+        self.actuals.borrow_mut().insert(node, a);
+    }
+
+    /// Clear per-operator actuals (a fresh segment attempt starts).
+    pub fn reset_actuals(&self) {
+        self.actuals.borrow_mut().clear();
+    }
+
+    /// Take the per-operator actuals of the attempt that just ran.
+    pub fn take_actuals(&self) -> HashMap<NodeId, OpActuals> {
+        std::mem::take(&mut self.actuals.borrow_mut())
     }
 
     /// Create a temp file registered for unwind-time reclamation.

@@ -148,6 +148,11 @@ impl HashJoinExec {
                                 self.node, grant, bytes
                             );
                         }
+                        mq_obs::emit(|| mq_obs::ObsEvent::Spill {
+                            node: self.node.0 as u64,
+                            operator: "HashJoin",
+                            bytes: bytes as u64,
+                        });
                         // Overflow: switch to spilling. Flush the table.
                         let nparts =
                             partition_count(grant, ctx.cfg.page_size, ctx.cfg.buffer_pool_pages);

@@ -34,7 +34,7 @@ use mq_common::{MqError, Result, Row};
 use mq_plan::{PhysOp, PhysPlan};
 
 pub use collector::ObservedStats;
-pub use context::{Artifact, ExecContext, ExecMonitor, HashBuild};
+pub use context::{Artifact, ExecContext, ExecMonitor, HashBuild, OpActuals};
 pub use sink::{materialize, MaterializedResult};
 
 /// A pull-based physical operator.
@@ -49,7 +49,15 @@ pub trait Operator {
 }
 
 /// Instantiate the operator tree for an annotated physical plan.
+/// Every operator is wrapped in a [`Profiled`] shim that records its
+/// observed row count (and, under an active event sink, inclusive
+/// cpu/io deltas) into [`ExecContext::actuals`] — the "actual" side of
+/// EXPLAIN ANALYZE.
 pub fn build_executor(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
+    Ok(Box::new(Profiled::new(plan.id, build_inner(plan)?)))
+}
+
+fn build_inner(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
     let children: Vec<Box<dyn Operator>> = plan
         .children
         .iter()
@@ -137,6 +145,73 @@ pub fn build_executor(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
             plan.schema.clone(),
         )),
     })
+}
+
+/// The profiling shim around every operator. Row counting is one
+/// integer increment per row; the clock-snapshot deltas (inclusive of
+/// the operator's subtree) are taken only in `profile_detail` mode.
+/// Totals flush to the context on exhaustion *and* on close — a
+/// `PlanSwitch` unwinds without either, which is correct: the next
+/// attempt resets the actuals and re-runs from artifacts.
+struct Profiled {
+    node: mq_plan::NodeId,
+    inner: Box<dyn Operator>,
+    acc: context::OpActuals,
+}
+
+impl Profiled {
+    fn new(node: mq_plan::NodeId, inner: Box<dyn Operator>) -> Profiled {
+        Profiled {
+            node,
+            inner,
+            acc: context::OpActuals::default(),
+        }
+    }
+
+    fn flush(&self, ctx: &ExecContext) {
+        ctx.record_actuals(self.node, self.acc);
+    }
+
+    fn measured<T>(
+        &mut self,
+        ctx: &ExecContext,
+        f: impl FnOnce(&mut Box<dyn Operator>, &ExecContext) -> Result<T>,
+    ) -> Result<T> {
+        if !ctx.profile_detail {
+            return f(&mut self.inner, ctx);
+        }
+        let before = ctx.clock.snapshot();
+        let out = f(&mut self.inner, ctx);
+        let delta = ctx.clock.snapshot().since(&before);
+        self.acc.cpu_ops += delta.cpu_ops;
+        self.acc.io_pages += delta.io_total();
+        out
+    }
+}
+
+impl Operator for Profiled {
+    fn open(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.measured(ctx, |op, ctx| op.open(ctx))
+    }
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Option<Row>> {
+        let out = self.measured(ctx, |op, ctx| op.next(ctx))?;
+        match out {
+            Some(row) => {
+                self.acc.rows += 1;
+                Ok(Some(row))
+            }
+            None => {
+                self.flush(ctx);
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.flush(ctx);
+        self.inner.close(ctx)
+    }
 }
 
 fn take_one(children: &mut Vec<Box<dyn Operator>>) -> Result<Box<dyn Operator>> {

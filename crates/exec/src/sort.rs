@@ -192,6 +192,11 @@ impl Operator for SortExec {
                 if std::env::var("MQ_SPILL").is_ok() {
                     eprintln!("SPILL sort {:?} grant={}", self.node, grant);
                 }
+                mq_obs::emit(|| mq_obs::ObsEvent::Spill {
+                    node: self.node.0 as u64,
+                    operator: "Sort",
+                    bytes: bytes as u64,
+                });
                 self.sort_rows(&mut buffer, ctx);
                 runs.push(self.write_run(&buffer, ctx)?);
                 buffer.clear();

@@ -92,6 +92,7 @@ impl MemoryBroker {
         let desired = if mq_common::fault::grant_allowed() {
             desired.max(min)
         } else {
+            mq_obs::emit(|| mq_obs::ObsEvent::LeaseDeny { site: "acquire" });
             min
         };
         let mut st = self.lock();
@@ -110,6 +111,12 @@ impl MemoryBroker {
         // The next ticket may also be admittable (we did not drain the
         // whole pool); wake the queue to find out.
         self.inner.admitted.notify_all();
+        drop(st);
+        mq_obs::emit(|| mq_obs::ObsEvent::LeaseAcquire {
+            min_bytes: min as u64,
+            desired_bytes: desired as u64,
+            granted_bytes: grant as u64,
+        });
         Arc::new(Lease {
             broker: self.clone(),
             granted: AtomicUsize::new(grant),
@@ -141,10 +148,16 @@ impl Lease {
             return 0;
         }
         if !mq_common::fault::grant_allowed() {
+            mq_obs::emit(|| mq_obs::ObsEvent::LeaseDeny { site: "grow" });
             return 0;
         }
         let mut st = self.broker.lock();
         if st.next_ticket > st.serving {
+            drop(st);
+            mq_obs::emit(|| mq_obs::ObsEvent::LeaseGrow {
+                asked_bytes: extra as u64,
+                granted_bytes: 0,
+            });
             return 0;
         }
         let available = self.broker.inner.budget.saturating_sub(st.used);
@@ -154,6 +167,11 @@ impl Lease {
             st.high_water = st.high_water.max(st.used);
             self.granted.fetch_add(add, Ordering::AcqRel);
         }
+        drop(st);
+        mq_obs::emit(|| mq_obs::ObsEvent::LeaseGrow {
+            asked_bytes: extra as u64,
+            granted_bytes: add as u64,
+        });
         add
     }
 

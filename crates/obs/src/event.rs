@@ -1,0 +1,368 @@
+//! The typed event taxonomy of the observability bus.
+//!
+//! Every event names one decision or state transition of the
+//! re-optimization machinery (KabraD98 §3–§4): collector checkpoints
+//! carry the estimated-vs-observed cardinality and the resulting
+//! inaccuracy factor, re-optimization triggers carry the SCIA decision
+//! together with both cost estimates, and the segment/lease/fault
+//! events frame them with the execution context they fired in.
+//!
+//! Events serialize to a flat, hand-rolled JSON object (the build has
+//! no serde); [`ObsEvent::write_json_fields`] appends the event's
+//! `"event":"<kind>"` discriminator and payload fields to an envelope
+//! the sink owns (sequence number, job id, label).
+
+use std::fmt::Write as _;
+
+/// How a segment attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// Ran to completion; the query is done.
+    Done,
+    /// Unwound on a plan-switch point; the remainder is re-planned.
+    PlanSwitch,
+    /// Failed with an error (possibly retried as a fresh attempt).
+    Error,
+}
+
+impl SegmentOutcome {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SegmentOutcome::Done => "done",
+            SegmentOutcome::PlanSwitch => "plan_switch",
+            SegmentOutcome::Error => "error",
+        }
+    }
+}
+
+/// The SCIA verdict at a potential re-optimization point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptVerdict {
+    /// Divergence stayed below the re-optimization threshold (θ2).
+    BelowThreshold,
+    /// Equation 1 skipped re-optimization: the optimizer call itself
+    /// would cost too much relative to the remaining work (θ1).
+    Eq1Skip,
+    /// The re-planned remainder plus materialization does not beat
+    /// finishing the current plan.
+    RejectCost,
+    /// The switch is taken; the remainder is re-planned.
+    Accept,
+}
+
+impl ReoptVerdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReoptVerdict::BelowThreshold => "below_threshold",
+            ReoptVerdict::Eq1Skip => "eq1_skip",
+            ReoptVerdict::RejectCost => "reject_cost",
+            ReoptVerdict::Accept => "accept",
+        }
+    }
+}
+
+/// One typed observability event. Numeric fields are plain integers /
+/// floats so the JSONL rendering is deterministic.
+#[derive(Debug, Clone)]
+pub enum ObsEvent {
+    /// A query entered the engine.
+    QueryStart {
+        /// Re-optimization mode (`off`, `memory`, `plan`, `full`).
+        mode: &'static str,
+    },
+    /// One segment attempt started.
+    SegmentStart {
+        /// 1-based attempt number within the query.
+        attempt: u32,
+        /// Number of operators in the (current) physical plan.
+        plan_nodes: u64,
+    },
+    /// One segment attempt ended.
+    SegmentEnd {
+        attempt: u32,
+        outcome: SegmentOutcome,
+    },
+    /// A statistics collector checkpointed: observed cardinality
+    /// against the optimizer's estimate.
+    Collector {
+        /// Plan node id of the collector site.
+        node: u64,
+        observed_rows: u64,
+        estimated_rows: f64,
+        /// Inaccuracy factor `max(obs/est, est/obs)` (≥ 1; 1 = exact).
+        inaccuracy: f64,
+        /// True for a final checkpoint, false for a provisional
+        /// (mid-stream) report.
+        complete: bool,
+    },
+    /// The SCIA weighed re-planning at a collector checkpoint.
+    Reopt {
+        /// Plan node the remainder would be cut at.
+        node: u64,
+        verdict: ReoptVerdict,
+        /// Estimated cost (ms) of the re-planned remainder, including
+        /// materialization of the cut subtree. 0 when not computed.
+        t_new_ms: f64,
+        /// Estimated cost (ms) of finishing the current plan.
+        t_cur_ms: f64,
+        /// Observed degradation factor of the running estimate.
+        degradation: f64,
+        /// Statistics divergence that triggered the consideration.
+        divergence: f64,
+    },
+    /// The memory manager changed an operator's grant mid-query.
+    GrantChange {
+        node: u64,
+        old_bytes: u64,
+        new_bytes: u64,
+    },
+    /// A query was admitted by the global broker.
+    LeaseAcquire {
+        min_bytes: u64,
+        desired_bytes: u64,
+        granted_bytes: u64,
+    },
+    /// A running query asked its lease to grow.
+    LeaseGrow {
+        asked_bytes: u64,
+        granted_bytes: u64,
+    },
+    /// A grant decision was denied (fault injection or contention).
+    LeaseDeny {
+        /// `acquire` or `grow`.
+        site: &'static str,
+    },
+    /// An operator ran out of memory and spilled to disk.
+    Spill {
+        node: u64,
+        operator: &'static str,
+        bytes: u64,
+    },
+    /// A transient fault was absorbed; the segment re-runs.
+    SegmentRetry {
+        /// 1-based retry number.
+        retry: u32,
+        limit: u32,
+        cause: String,
+    },
+    /// End-of-query cleanup (temp tables, artifacts, spill files).
+    Cleanup {
+        temp_tables: u64,
+        temp_files: u64,
+        failures: u64,
+    },
+    /// The query left the engine.
+    QueryEnd {
+        /// `ok` or the error kind (`storage`, `cancelled`, `oom`, …).
+        outcome: String,
+        rows: u64,
+        sim_ms: f64,
+        pages_read: u64,
+        pages_written: u64,
+        cpu_ops: u64,
+        opt_work: u64,
+        plan_switches: u64,
+        segment_retries: u64,
+        memory_reallocs: u64,
+        collector_reports: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The `"event"` discriminator used in the JSONL rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::QueryStart { .. } => "query_start",
+            ObsEvent::SegmentStart { .. } => "segment_start",
+            ObsEvent::SegmentEnd { .. } => "segment_end",
+            ObsEvent::Collector { .. } => "collector",
+            ObsEvent::Reopt { .. } => "reopt",
+            ObsEvent::GrantChange { .. } => "grant_change",
+            ObsEvent::LeaseAcquire { .. } => "lease_acquire",
+            ObsEvent::LeaseGrow { .. } => "lease_grow",
+            ObsEvent::LeaseDeny { .. } => "lease_deny",
+            ObsEvent::Spill { .. } => "spill",
+            ObsEvent::SegmentRetry { .. } => "segment_retry",
+            ObsEvent::Cleanup { .. } => "cleanup",
+            ObsEvent::QueryEnd { .. } => "query_end",
+        }
+    }
+
+    /// Append `"event":"<kind>"` plus the payload fields (each
+    /// preceded by a comma) to a JSON object under construction.
+    pub fn write_json_fields(&self, out: &mut String) {
+        let _ = write!(out, "\"event\":\"{}\"", self.kind());
+        match self {
+            ObsEvent::QueryStart { mode } => {
+                let _ = write!(out, ",\"mode\":\"{mode}\"");
+            }
+            ObsEvent::SegmentStart {
+                attempt,
+                plan_nodes,
+            } => {
+                let _ = write!(out, ",\"attempt\":{attempt},\"plan_nodes\":{plan_nodes}");
+            }
+            ObsEvent::SegmentEnd { attempt, outcome } => {
+                let _ = write!(
+                    out,
+                    ",\"attempt\":{attempt},\"outcome\":\"{}\"",
+                    outcome.as_str()
+                );
+            }
+            ObsEvent::Collector {
+                node,
+                observed_rows,
+                estimated_rows,
+                inaccuracy,
+                complete,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"observed_rows\":{observed_rows},\
+                     \"estimated_rows\":{estimated_rows},\"inaccuracy\":{inaccuracy},\
+                     \"complete\":{complete}"
+                );
+            }
+            ObsEvent::Reopt {
+                node,
+                verdict,
+                t_new_ms,
+                t_cur_ms,
+                degradation,
+                divergence,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"verdict\":\"{}\",\"t_new_ms\":{t_new_ms},\
+                     \"t_cur_ms\":{t_cur_ms},\"degradation\":{degradation},\
+                     \"divergence\":{divergence}",
+                    verdict.as_str()
+                );
+            }
+            ObsEvent::GrantChange {
+                node,
+                old_bytes,
+                new_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"old_bytes\":{old_bytes},\"new_bytes\":{new_bytes}"
+                );
+            }
+            ObsEvent::LeaseAcquire {
+                min_bytes,
+                desired_bytes,
+                granted_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"min_bytes\":{min_bytes},\"desired_bytes\":{desired_bytes},\
+                     \"granted_bytes\":{granted_bytes}"
+                );
+            }
+            ObsEvent::LeaseGrow {
+                asked_bytes,
+                granted_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"asked_bytes\":{asked_bytes},\"granted_bytes\":{granted_bytes}"
+                );
+            }
+            ObsEvent::LeaseDeny { site } => {
+                let _ = write!(out, ",\"site\":\"{site}\"");
+            }
+            ObsEvent::Spill {
+                node,
+                operator,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"operator\":\"{operator}\",\"bytes\":{bytes}"
+                );
+            }
+            ObsEvent::SegmentRetry {
+                retry,
+                limit,
+                cause,
+            } => {
+                let _ = write!(out, ",\"retry\":{retry},\"limit\":{limit},\"cause\":");
+                crate::json::write_json_string(out, cause);
+            }
+            ObsEvent::Cleanup {
+                temp_tables,
+                temp_files,
+                failures,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"temp_tables\":{temp_tables},\"temp_files\":{temp_files},\
+                     \"failures\":{failures}"
+                );
+            }
+            ObsEvent::QueryEnd {
+                outcome,
+                rows,
+                sim_ms,
+                pages_read,
+                pages_written,
+                cpu_ops,
+                opt_work,
+                plan_switches,
+                segment_retries,
+                memory_reallocs,
+                collector_reports,
+            } => {
+                let _ = write!(out, ",\"outcome\":");
+                crate::json::write_json_string(out, outcome);
+                let _ = write!(
+                    out,
+                    ",\"rows\":{rows},\"sim_ms\":{sim_ms},\"pages_read\":{pages_read},\
+                     \"pages_written\":{pages_written},\"cpu_ops\":{cpu_ops},\
+                     \"opt_work\":{opt_work},\"plan_switches\":{plan_switches},\
+                     \"segment_retries\":{segment_retries},\"memory_reallocs\":{memory_reallocs},\
+                     \"collector_reports\":{collector_reports}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_event_renders_flat_json_fields() {
+        let ev = ObsEvent::Collector {
+            node: 4,
+            observed_rows: 1200,
+            estimated_rows: 100.0,
+            inaccuracy: 12.0,
+            complete: true,
+        };
+        let mut out = String::new();
+        ev.write_json_fields(&mut out);
+        assert_eq!(
+            out,
+            "\"event\":\"collector\",\"node\":4,\"observed_rows\":1200,\
+             \"estimated_rows\":100,\"inaccuracy\":12,\"complete\":true"
+        );
+    }
+
+    #[test]
+    fn retry_cause_is_escaped() {
+        let ev = ObsEvent::SegmentRetry {
+            retry: 1,
+            limit: 3,
+            cause: "fault \"quoted\"\nline".into(),
+        };
+        let mut out = String::new();
+        ev.write_json_fields(&mut out);
+        assert!(
+            out.contains("\"cause\":\"fault \\\"quoted\\\"\\nline\""),
+            "{out}"
+        );
+    }
+}

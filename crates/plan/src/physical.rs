@@ -354,14 +354,17 @@ impl PhysPlan {
                 .sum::<f64>();
     }
 
-    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
-        let pad = "  ".repeat(indent);
-        write!(f, "{pad}{} ", self.op.name())?;
+    /// The operator's operand summary (no name, no annotations), e.g.
+    /// `lineitem [l_qty < 10]` for a filtered scan. Shared by the plan
+    /// `Display` impl and the EXPLAIN ANALYZE renderer.
+    pub fn op_detail(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
         match &self.op {
             PhysOp::SeqScan { spec, filter } => {
-                write!(f, "{}", spec.table)?;
+                let _ = write!(out, "{}", spec.table);
                 if let Some(p) = filter {
-                    write!(f, " [{p}]")?;
+                    let _ = write!(out, " [{p}]");
                 }
             }
             PhysOp::IndexScan {
@@ -371,38 +374,54 @@ impl PhysPlan {
                 hi,
                 ..
             } => {
-                write!(f, "{} on {column}", spec.table)?;
+                let _ = write!(out, "{} on {column}", spec.table);
                 if let Some(lo) = lo {
-                    write!(f, " ≥{lo}")?;
+                    let _ = write!(out, " ≥{lo}");
                 }
                 if let Some(hi) = hi {
-                    write!(f, " ≤{hi}")?;
+                    let _ = write!(out, " ≤{hi}");
                 }
             }
-            PhysOp::Filter { predicate } => write!(f, "[{predicate}]")?,
+            PhysOp::Filter { predicate } => {
+                let _ = write!(out, "[{predicate}]");
+            }
             PhysOp::Project { exprs } => {
-                write!(f, "[{} exprs]", exprs.len())?;
+                let _ = write!(out, "[{} exprs]", exprs.len());
             }
             PhysOp::HashJoin {
                 build_keys,
                 probe_keys,
-            } => write!(f, "build{build_keys:?} = probe{probe_keys:?}")?,
+            } => {
+                let _ = write!(out, "build{build_keys:?} = probe{probe_keys:?}");
+            }
             PhysOp::IndexNLJoin {
                 inner,
                 inner_column,
                 outer_key,
                 ..
-            } => write!(f, "outer[{outer_key}] = {}.{inner_column}", inner.table)?,
-            PhysOp::Sort { keys } => write!(f, "{keys:?}")?,
-            PhysOp::HashAggregate { group, aggs } => {
-                write!(f, "group={group:?} aggs={}", aggs.len())?
+            } => {
+                let _ = write!(out, "outer[{outer_key}] = {}.{inner_column}", inner.table);
             }
-            PhysOp::Limit { n } => write!(f, "{n}")?,
+            PhysOp::Sort { keys } => {
+                let _ = write!(out, "{keys:?}");
+            }
+            PhysOp::HashAggregate { group, aggs } => {
+                let _ = write!(out, "group={group:?} aggs={}", aggs.len());
+            }
+            PhysOp::Limit { n } => {
+                let _ = write!(out, "{n}");
+            }
             PhysOp::StatsCollector { specs, site } => {
                 let cols: Vec<&str> = specs.iter().map(|s| s.column.as_str()).collect();
-                write!(f, "@{site} [{}]", cols.join(", "))?;
+                let _ = write!(out, "@{site} [{}]", cols.join(", "));
             }
         }
+        out
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        write!(f, "{pad}{} {}", self.op.name(), self.op_detail())?;
         writeln!(
             f,
             "  (rows≈{:.0}, time≈{:.1}ms, total≈{:.1}ms, mem={}KB)",

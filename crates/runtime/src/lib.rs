@@ -131,7 +131,16 @@ impl Runtime {
                         break;
                     };
                     let q = &workload.queries[index];
-                    let r = run_one(&self.engine, broker, q, index, w, in_flight, max_in_flight);
+                    let r = run_one(
+                        &self.engine,
+                        broker,
+                        q,
+                        workload.obs.as_ref(),
+                        index,
+                        w,
+                        in_flight,
+                        max_in_flight,
+                    );
                     worker_sim_ms.lock()[w] += r.sim_ms;
                     results.lock()[index] = Some(r);
                 });
@@ -174,6 +183,9 @@ struct JobCtl<'a> {
     /// Deterministic fault schedule for chaos testing; also active
     /// during admission (grant denials apply to the initial lease).
     fault: Option<&'a FaultInjector>,
+    /// Observability handle, scoped over admission (so lease events
+    /// are traced) and passed into the engine for the query body.
+    obs: Option<&'a mq_obs::Obs>,
 }
 
 /// Admit and run one query: acquire a lease (blocking FIFO admission),
@@ -200,6 +212,14 @@ fn run_admitted(
     // (The engine re-enters the same injector for the query body —
     // nested scopes over shared counters compose.)
     let _fault_scope = ctl.fault.map(FaultInjector::enter_scope);
+    // Scope observability over admission too: the broker's lease
+    // acquire/deny events fire while this job waits in the queue. The
+    // engine re-enters the same handle for the query body (nested
+    // scopes over a shared sequence counter compose).
+    let _obs_scope = ctl
+        .obs
+        .filter(|o| o.is_active())
+        .map(mq_obs::Obs::enter_scope);
     loop {
         let lease = broker.acquire(min, desired);
         let granted = lease.granted();
@@ -214,6 +234,7 @@ fn run_admitted(
             deadline_ms: ctl.deadline_ms,
             temp_prefix: format!("tmp_reopt_q{}_", engine.next_query_id()),
             fault: ctl.fault.cloned(),
+            obs: ctl.obs.cloned(),
         };
         let outcome = engine.run_with(plan, mode, env);
         if let Some(g) = gauges {
@@ -229,10 +250,12 @@ fn run_admitted(
 }
 
 /// Execute one workload query on the calling thread.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     engine: &Engine,
     broker: &Arc<MemoryBroker>,
     q: &WorkloadQuery,
+    base_obs: Option<&mq_obs::Obs>,
     index: usize,
     worker: usize,
     in_flight: &AtomicUsize,
@@ -249,9 +272,18 @@ fn run_one(
                 sim_ms: 0.0,
                 granted_bytes: 0,
                 outcome: Err(MqError::Cancelled("cancelled before admission".into())),
+                metrics: mq_obs::MetricsSnapshot::default(),
             };
         }
     }
+    // Per-job observability: same sink, span identity restamped to
+    // this job, and a *fresh* metrics registry so the job's snapshot
+    // is independent of scheduling (the chaos tests compare these
+    // byte-for-byte across worker counts).
+    let job_obs = base_obs.map(|o| {
+        o.for_job(index as u64 + 1, &q.label)
+            .with_metrics(mq_obs::MetricsRegistry::new())
+    });
     let job_clock = engine.clock().child();
     let plan = match &q.spec {
         QuerySpec::Plan(plan) => Ok(plan.clone()),
@@ -268,6 +300,7 @@ fn run_one(
                 cancel: q.cancel.as_ref(),
                 deadline_ms: q.deadline_ms,
                 fault: q.fault.as_ref(),
+                obs: job_obs.as_ref(),
             },
             Some(&Gauges {
                 in_flight,
@@ -276,6 +309,21 @@ fn run_one(
         ),
         Err(e) => (Err(e), 0),
     };
+    let metrics = match &job_obs {
+        Some(o) => {
+            let snap = o
+                .metrics_registry()
+                .expect("per-job registry attached above")
+                .snapshot();
+            // Merge into the workload-level registry, if the base
+            // handle carries one.
+            if let Some(base) = base_obs.and_then(mq_obs::Obs::metrics_registry) {
+                base.absorb(&snap);
+            }
+            snap
+        }
+        None => mq_obs::MetricsSnapshot::default(),
+    };
     JobResult {
         index,
         label: q.label.clone(),
@@ -283,6 +331,7 @@ fn run_one(
         sim_ms: job_clock.elapsed_ms(cfg),
         granted_bytes,
         outcome,
+        metrics,
     }
 }
 
@@ -297,6 +346,8 @@ pub struct Session {
     cancel: CancelToken,
     /// Per-query deadline in simulated milliseconds, if set.
     deadline_ms: Option<f64>,
+    /// Observability handle applied to every query of the session.
+    obs: Option<mq_obs::Obs>,
 }
 
 impl Session {
@@ -309,7 +360,20 @@ impl Session {
             clock,
             cancel: CancelToken::new(),
             deadline_ms: None,
+            obs: None,
         }
+    }
+
+    /// Set (or clear) the session's observability handle: every
+    /// subsequent query runs under its scope (events to its sink,
+    /// metrics into its registry).
+    pub fn set_obs(&mut self, obs: Option<mq_obs::Obs>) {
+        self.obs = obs;
+    }
+
+    /// The session's observability handle, if set.
+    pub fn obs(&self) -> Option<&mq_obs::Obs> {
+        self.obs.as_ref()
     }
 
     /// The shared engine.
@@ -368,6 +432,7 @@ impl Session {
                 cancel: Some(&self.cancel),
                 deadline_ms,
                 fault: None,
+                obs: self.obs.as_ref(),
             },
             None,
         );

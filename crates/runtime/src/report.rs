@@ -1,6 +1,7 @@
 //! Per-job and per-workload results.
 
 use mq_common::Result;
+use mq_obs::MetricsSnapshot;
 use mq_reopt::QueryOutcome;
 
 /// The result of one workload query.
@@ -20,6 +21,11 @@ pub struct JobResult {
     pub granted_bytes: usize,
     /// The outcome — or the error (cancellation, deadline, OOM, ...).
     pub outcome: Result<QueryOutcome>,
+    /// Per-job metrics snapshot (empty when the workload ran without
+    /// an observability handle). Unlike `outcome`, this is populated
+    /// even for failed queries — the events up to the failure folded
+    /// into the job's registry before it unwound.
+    pub metrics: MetricsSnapshot,
 }
 
 impl JobResult {
@@ -31,6 +37,41 @@ impl JobResult {
     /// Result cardinality (0 for failed queries).
     pub fn rows(&self) -> usize {
         self.outcome.as_ref().map(|o| o.rows.len()).unwrap_or(0)
+    }
+
+    /// `ok` or the error kind (`oom`, `cancelled`, ...).
+    pub fn outcome_str(&self) -> &'static str {
+        match &self.outcome {
+            Ok(_) => "ok",
+            Err(e) => e.kind(),
+        }
+    }
+
+    /// Segments re-run after a transient fault — from the metrics
+    /// snapshot when one was collected, else from the outcome.
+    pub fn segment_retries(&self) -> u64 {
+        if self.metrics.is_empty() {
+            self.outcome
+                .as_ref()
+                .map(|o| u64::from(o.segment_retries))
+                .unwrap_or(0)
+        } else {
+            self.metrics.counter("midq_segment_retries_total")
+        }
+    }
+
+    /// Re-optimization decisions the controller weighed (all verdicts)
+    /// — from the metrics snapshot when one was collected, else the
+    /// accepted switches from the outcome.
+    pub fn reopt_decisions(&self) -> u64 {
+        if self.metrics.is_empty() {
+            self.outcome
+                .as_ref()
+                .map(|o| u64::from(o.plan_switches))
+                .unwrap_or(0)
+        } else {
+            self.metrics.counter("midq_reopt_decisions_total")
+        }
     }
 }
 
@@ -96,29 +137,28 @@ impl WorkloadReport {
             self.workers
         );
         for r in &self.results {
+            let _ = write!(
+                out,
+                "{:>3}. {:<16} worker {} {:>10.1} ms  {:<9} {:>7} rows  retries={}  reopts={}",
+                r.index + 1,
+                r.label,
+                r.worker,
+                r.sim_ms,
+                r.outcome_str(),
+                r.rows(),
+                r.segment_retries(),
+                r.reopt_decisions()
+            );
             match &r.outcome {
                 Ok(o) => {
                     let _ = writeln!(
                         out,
-                        "{:>3}. {:<16} worker {} {:>10.1} ms  {:>7} rows  {} switches  {} reallocs",
-                        r.index + 1,
-                        r.label,
-                        r.worker,
-                        r.sim_ms,
-                        o.rows.len(),
-                        o.plan_switches,
-                        o.memory_reallocs
+                        "  {} switches  {} reallocs",
+                        o.plan_switches, o.memory_reallocs
                     );
                 }
                 Err(e) => {
-                    let _ = writeln!(
-                        out,
-                        "{:>3}. {:<16} worker {} {:>10.1} ms  FAILED: {e}",
-                        r.index + 1,
-                        r.label,
-                        r.worker,
-                        r.sim_ms
-                    );
+                    let _ = writeln!(out, "  ({e})");
                 }
             }
         }

@@ -95,6 +95,11 @@ pub struct Workload {
     /// `workers × query_memory_bytes` (every worker can hold a full
     /// per-query budget, so admission never throttles).
     pub global_memory_bytes: Option<usize>,
+    /// Base observability handle for the run: each job gets a
+    /// [`mq_obs::Obs::for_job`] restamp of it (shared sink, fresh
+    /// per-job metrics registry; per-job snapshots are merged back into
+    /// this handle's registry, when it carries one).
+    pub obs: Option<mq_obs::Obs>,
 }
 
 impl Workload {
@@ -104,7 +109,14 @@ impl Workload {
             queries: Vec::new(),
             workers: workers.max(1),
             global_memory_bytes: None,
+            obs: None,
         }
+    }
+
+    /// Attach an observability handle (builder style).
+    pub fn with_obs(mut self, obs: mq_obs::Obs) -> Workload {
+        self.obs = Some(obs);
+        self
     }
 
     /// Append a query (builder style).

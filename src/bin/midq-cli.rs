@@ -15,8 +15,10 @@
 //! terminal.
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 use midq::common::EngineConfig;
+use midq::obs::{JsonlSink, MetricsRegistry, Obs};
 use midq::tpcd::{queries, TpcdConfig};
 use midq::{Database, QueryOutcome, ReoptMode, SqlOutcome, Workload, WorkloadQuery};
 
@@ -24,6 +26,12 @@ struct Shell {
     db: Database,
     mode: ReoptMode,
     last: Option<QueryOutcome>,
+    /// JSONL trace of the last `\analyze` run (cleared per run).
+    sink: Arc<JsonlSink>,
+    /// Metrics accumulated across the whole shell session.
+    metrics: MetricsRegistry,
+    /// Job counter stamped on traced runs.
+    jobs: u64,
 }
 
 const HELP: &str = "\
@@ -35,9 +43,16 @@ meta-commands:
                                   skew for non-key columns)
   \\tables                         list tables with row counts
   \\schema <table>                 show a table's columns and statistics
-  \\analyze <table>                re-ANALYZE one table
   \\mode [off|memory|plan|full]    show or set the re-optimization mode
   \\explain <SELECT ...>           annotated physical plan, no execution
+  \\analyze <table>                re-ANALYZE one table
+  \\analyze <SELECT ...| Qn>       EXPLAIN ANALYZE: run traced, show the
+                                  plan with est vs actual rows, re-opt
+                                  markers and the decision log
+  \\trace [file]                   JSONL event trace of the last
+                                  \\analyze run (print, or write to file)
+  \\metrics                        Prometheus-text metrics accumulated
+                                  across this session
   \\q <name>                       run a built-in TPC-D query (Q1..Q10)
   \\report                         EXPLAIN ANALYZE-style report of the
                                   last query (events, final plan)
@@ -73,6 +88,9 @@ impl Shell {
             db: Database::new(cfg).expect("engine"),
             mode: ReoptMode::Full,
             last: None,
+            sink: Arc::new(JsonlSink::new()),
+            metrics: MetricsRegistry::new(),
+            jobs: 0,
         }
     }
 
@@ -95,10 +113,32 @@ impl Shell {
             ["load", "tpcd", rest @ ..] => self.load_tpcd(rest),
             ["tables"] => self.tables(),
             ["schema", t] => self.schema(t),
-            ["analyze", t] => match self.db.analyze(t) {
-                Ok(()) => println!("analyzed {t}"),
-                Err(e) => println!("error: {e}"),
-            },
+            // `\analyze <table>` keeps its historical meaning
+            // (re-ANALYZE); anything else is EXPLAIN ANALYZE.
+            ["analyze", t] if self.db.engine().catalog().table(t).is_ok() => {
+                match self.db.analyze(t) {
+                    Ok(()) => println!("analyzed {t}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["analyze", ..] => {
+                let arg = cmd.trim_start_matches("analyze").trim().to_string();
+                if arg.is_empty() {
+                    println!("usage: \\analyze <table> | \\analyze <SELECT ...> | \\analyze Qn");
+                } else {
+                    self.explain_analyze(&arg);
+                }
+            }
+            ["trace"] => self.trace(None),
+            ["trace", path] => self.trace(Some(path)),
+            ["metrics"] => {
+                let snap = self.metrics.snapshot();
+                if snap.is_empty() {
+                    println!("no metrics yet — run \\analyze or \\workload first");
+                } else {
+                    print!("{}", snap.prometheus_text());
+                }
+            }
             ["mode"] => println!("mode: {:?}", self.mode),
             ["mode", m] => match parse_mode(m) {
                 Some(mode) => {
@@ -208,6 +248,62 @@ impl Shell {
         }
     }
 
+    /// Resolve `\analyze`'s argument: a built-in query name (Q1..Q10)
+    /// or SQL text.
+    fn resolve_query(&self, arg: &str) -> Option<(String, midq::LogicalPlan)> {
+        let upper = arg.to_uppercase();
+        if let Some((name, plan)) = queries::all().into_iter().find(|(n, _)| *n == upper) {
+            return Some((name.to_string(), plan));
+        }
+        match self.db.plan_sql(arg) {
+            Ok(plan) => Some(("query".to_string(), plan)),
+            Err(e) => {
+                println!("error: {e}");
+                None
+            }
+        }
+    }
+
+    /// EXPLAIN ANALYZE: run the query with a fresh JSONL trace and the
+    /// session metrics attached, then render the annotated plan.
+    fn explain_analyze(&mut self, arg: &str) {
+        let Some((label, plan)) = self.resolve_query(arg) else {
+            return;
+        };
+        self.sink.clear();
+        self.jobs += 1;
+        let obs = Obs::none()
+            .with_sink(self.sink.clone())
+            .with_metrics(self.metrics.clone())
+            .for_job(self.jobs, &label);
+        match self.db.run_observed(&plan, self.mode, &obs) {
+            Ok(out) => {
+                print!("{}", out.explain_analyze());
+                println!(
+                    "-- {} trace events captured; \\trace to inspect, \\metrics for counters",
+                    self.sink.len()
+                );
+                self.last = Some(out);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// Print (or save) the JSONL trace of the last `\analyze` run.
+    fn trace(&self, path: Option<&str>) {
+        if self.sink.is_empty() {
+            println!("no trace captured — run \\analyze <query> first");
+            return;
+        }
+        match path {
+            Some(p) => match self.sink.write_to(std::path::Path::new(p)) {
+                Ok(()) => println!("wrote {} events to {p}", self.sink.len()),
+                Err(e) => println!("cannot write {p}: {e}"),
+            },
+            None => print!("{}", self.sink.dump()),
+        }
+    }
+
     fn run_builtin(&mut self, name: &str) {
         let Some((_, plan)) = queries::all().into_iter().find(|(n, _)| *n == name) else {
             let names: Vec<&str> = queries::all().iter().map(|(n, _)| *n).collect();
@@ -304,6 +400,9 @@ impl Shell {
             println!("{path}: no statements");
             return;
         }
+        // Metrics-only handle: per-job snapshots drive the summary
+        // lines and accumulate into the session registry (\metrics).
+        wl.obs = Some(Obs::none().with_metrics(self.metrics.clone()));
         let report = self.db.run_concurrent(&wl);
         print!("{}", report.summary());
     }

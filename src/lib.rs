@@ -50,6 +50,7 @@ pub use mq_common as common;
 pub use mq_exec as exec;
 pub use mq_expr as expr;
 pub use mq_memory as memory;
+pub use mq_obs as obs;
 pub use mq_optimizer as optimizer;
 pub use mq_plan as plan;
 pub use mq_reopt as reopt;
@@ -61,7 +62,7 @@ pub use mq_tpcd as tpcd;
 
 pub use mq_common::{EngineConfig, MqError, Result};
 pub use mq_plan::LogicalPlan;
-pub use mq_reopt::{Engine, QueryOutcome, ReoptMode};
+pub use mq_reopt::{explain_analyze, explain_plan, Engine, QueryOutcome, ReoptMode};
 pub use mq_runtime::{JobResult, Runtime, Session, Workload, WorkloadQuery, WorkloadReport};
 pub use mq_tpcd::TpcdConfig;
 
@@ -276,6 +277,34 @@ impl Database {
     /// Run a logical plan under the given re-optimization mode.
     pub fn run(&self, plan: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
         self.engine.run(plan, mode)
+    }
+
+    /// Run a logical plan with an observability handle attached: every
+    /// event of the execution (collector checkpoints, re-opt verdicts,
+    /// lease traffic, spills) goes to the handle's sink and metrics
+    /// registry, and the outcome carries per-operator actuals for
+    /// [`QueryOutcome::explain_analyze`].
+    pub fn run_observed(
+        &self,
+        plan: &LogicalPlan,
+        mode: ReoptMode,
+        obs: &mq_obs::Obs,
+    ) -> Result<QueryOutcome> {
+        let mut env = self.engine.default_env();
+        env.obs = Some(obs.clone());
+        self.engine.run_with(plan, mode, env)
+    }
+
+    /// Parse and run SQL with an observability handle attached (see
+    /// [`Database::run_observed`]).
+    pub fn run_sql_observed(
+        &self,
+        sql_text: &str,
+        mode: ReoptMode,
+        obs: &mq_obs::Obs,
+    ) -> Result<QueryOutcome> {
+        let plan = self.plan_sql(sql_text)?;
+        self.run_observed(&plan, mode, obs)
     }
 
     /// EXPLAIN: the annotated physical plan the optimizer would run.
