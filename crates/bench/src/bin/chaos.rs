@@ -5,12 +5,13 @@
 //! and 4 workers and exits nonzero if any robustness invariant is
 //! violated (see `mq_bench::chaos`).
 
-use mq_bench::chaos::run_chaos;
+use mq_bench::chaos::{run_chaos, run_chaos_partitioned};
 
 fn main() {
     let mut seeds: u64 = 50;
     let mut first_seed: u64 = 1;
     let mut verbose = false;
+    let mut partitioned = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -23,16 +24,21 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--first-seed S");
             }
+            "--partitioned" => partitioned = true,
             "--verbose" | "-v" => verbose = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: chaos [--seeds N] [--first-seed S] [--verbose]");
+                eprintln!("usage: chaos [--seeds N] [--first-seed S] [--partitioned] [--verbose]");
                 std::process::exit(2);
             }
         }
     }
 
-    let report = run_chaos(first_seed, seeds, verbose);
+    let report = if partitioned {
+        run_chaos_partitioned(first_seed, seeds, verbose)
+    } else {
+        run_chaos(first_seed, seeds, verbose)
+    };
     println!("{}", report.summary());
     for v in &report.violations {
         eprintln!("violation: {v}");

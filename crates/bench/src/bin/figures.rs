@@ -7,13 +7,25 @@
 
 use mq_bench::{
     ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin, est_vs_actual,
-    fig03_memory_realloc, fig10, fig11, fig12, overhead, render_pairs, sensitivity,
-    throughput_vs_budget, throughput_vs_workers, BenchSetup, Knob,
+    fig03_memory_realloc, fig10, fig11, fig12, overhead, par_skew, par_speedup, render_pairs,
+    sensitivity, throughput_vs_budget, throughput_vs_workers, BenchSetup, Knob,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    // `par` accepts an optional partition list: `par=1,4` (CI smoke)
+    // instead of the default 1,2,4,8 curve.
+    let par_partitions: Vec<usize> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("par="))
+        .map(|list| {
+            list.split(',')
+                .map(|v| v.parse().expect("par=P1,P2,..."))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let want_par = want("par") || args.iter().any(|a| a.starts_with("par="));
     let setup = BenchSetup::default();
 
     if want("fig03") {
@@ -186,6 +198,63 @@ fn main() {
                 p.high_water_bytes / 1024
             );
         }
+        println!();
+    }
+
+    if want_par {
+        println!("== PAR (a): Q10 elapsed vs partition count (Off mode) ==");
+        println!(
+            "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>6}",
+            "partitions",
+            "elapsed(ms)",
+            "speedup",
+            "saved(ms)",
+            "io-pages",
+            "cpu-ops",
+            "exchanges",
+            "rows"
+        );
+        let points = par_speedup(&setup, "Q10", &par_partitions);
+        let base = points.first().map(|p| p.time_ms).unwrap_or(0.0);
+        for p in &points {
+            println!(
+                "{:>10} {:>12.1} {:>9.2}x {:>10.1} {:>10} {:>10} {:>9} {:>6}",
+                p.partitions,
+                p.time_ms,
+                base / p.time_ms,
+                p.saved_ms,
+                p.io_pages,
+                p.cpu_ops,
+                p.exchanges,
+                p.rows
+            );
+        }
+        println!();
+        let (stat, reb) = par_skew(&setup, 1.0, 4, setup.cfg.par_skew_theta.min(1.15));
+        println!("== PAR (b): skewed Q10 (z=1.0, P=4) — static vs skew-aware assignment ==");
+        println!(
+            "{:<12} {:>12} {:>10} {:>14} {:>18} {:>6}",
+            "assignment", "elapsed(ms)", "saved(ms)", "skew verdicts", "worst max/mean", "rows"
+        );
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>14} {:>18} {:>6}",
+            "static", stat.time_ms, stat.saved_ms, stat.skew_verdicts, "(disabled)", stat.rows
+        );
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>14} {:>18} {:>6}",
+            "rebalanced",
+            reb.time_ms,
+            reb.saved_ms,
+            reb.skew_verdicts,
+            format!("{:.2} -> {:.2}", reb.worst_skew.0, reb.worst_skew.1),
+            reb.rows
+        );
+        println!(
+            "re-partitioning: elapsed {:.1} -> {:.1} ms, same rows: {}",
+            stat.time_ms,
+            reb.time_ms,
+            stat.rows == reb.rows
+        );
         println!();
     }
 

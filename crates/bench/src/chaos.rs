@@ -49,6 +49,12 @@ pub const CHAOS_QUERIES: [&str; 4] = ["Q1", "Q3", "Q6", "Q10"];
 /// Worker counts every seed is replayed at.
 pub const WORKER_CONFIGS: [usize; 2] = [1, 4];
 
+/// Intra-query partition counts the partitioned campaign replays every
+/// seed at. Bucket composition is partition-count invariant, so the
+/// fault schedules (Nth logical buffer access) — and with them the
+/// fingerprints and stable metrics — must replay byte-identically.
+pub const PARTITION_CONFIGS: [usize; 2] = [1, 4];
+
 /// A broker budget large enough that lease growth is never contended:
 /// pure accounting, no actual allocation behind it.
 const AMPLE_BUDGET: usize = 1 << 30;
@@ -165,8 +171,10 @@ fn run_once(
     plans: &[(&'static str, midq::LogicalPlan)],
     seed: u64,
     workers: usize,
+    partitions: Option<usize>,
 ) -> RunOutcome {
     let mut wl = Workload::new(workers);
+    wl.partitions = partitions;
     let mut injectors = Vec::new();
     for (qi, (name, plan)) in plans.iter().enumerate() {
         // Alternate modes so fault unwinding is exercised both with and
@@ -227,6 +235,38 @@ fn run_once(
 /// Run the chaos campaign over `seeds` consecutive seeds starting at
 /// `first_seed`. `verbose` prints one line per seed.
 pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
+    // Replays: twice at 1 worker (same-config determinism), once at 4.
+    let configs = [(1, None, 2), (4, None, 1)];
+    run_campaign(first_seed, seeds, verbose, &configs)
+}
+
+/// The partitioned chaos campaign: the same seeded fault schedules,
+/// but every query runs through the intra-query partitioned driver
+/// (`mq-par`), so faults now fire inside partition bucket runs — mid
+/// hash-join build, mid chunked scan — and the unwinding path crosses
+/// the exchange barriers. Invariants are unchanged: oracle rows or a
+/// clean typed error, a clean audit after every run, and byte-identical
+/// fingerprints *and* stable metrics across partition counts (bucket
+/// composition does not depend on the partition count).
+pub fn run_chaos_partitioned(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
+    // Replays: twice at P=1 (same-config determinism), once at P=4 on
+    // two workers (group lease admission + partitioned execution).
+    let configs = [
+        (1, Some(PARTITION_CONFIGS[0]), 2),
+        (2, Some(PARTITION_CONFIGS[1]), 1),
+    ];
+    run_campaign(first_seed, seeds, verbose, &configs)
+}
+
+/// The shared campaign loop: replay every seed under each
+/// `(workers, partitions, repetitions)` configuration and check the
+/// three robustness invariants.
+fn run_campaign(
+    first_seed: u64,
+    seeds: u64,
+    verbose: bool,
+    configs: &[(usize, Option<usize>, usize)],
+) -> ChaosReport {
     let db = chaos_database();
     let plans: Vec<(&'static str, midq::LogicalPlan)> = {
         let all = queries::all();
@@ -243,9 +283,21 @@ pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
 
     // The oracle: every query fault-free, in both modes' row sets
     // (modes agree on rows; the fingerprint is order-insensitive).
+    // The partitioned campaign computes its oracle through the
+    // partitioned driver too: bucketed execution sums floats in bucket
+    // order, which differs from serial order at the ulp level — but is
+    // invariant across partition counts, so one fault-free P=1 run
+    // anchors every configuration.
+    let partitioned = configs.iter().any(|&(_, p, _)| p.is_some());
     let oracle: Vec<String> = plans
         .iter()
-        .map(|(_, p)| fingerprint(&db.run(p, ReoptMode::Off)))
+        .map(|(_, p)| {
+            if partitioned {
+                fingerprint(&db.run_partitioned(p, ReoptMode::Off, 1))
+            } else {
+                fingerprint(&db.run(p, ReoptMode::Off))
+            }
+        })
         .collect();
 
     let mut report = ChaosReport {
@@ -260,11 +312,13 @@ pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
 
     for seed in first_seed..first_seed + seeds {
         let mut runs: Vec<(String, RunOutcome)> = Vec::new();
-        for &workers in &WORKER_CONFIGS {
-            let reps = if workers == 1 { 2 } else { 1 };
+        for &(workers, partitions, reps) in configs {
             for rep in 0..reps {
-                let label = format!("seed {seed} w{workers} rep{rep}");
-                let run = run_once(&db, &plans, seed, workers);
+                let label = match partitions {
+                    Some(p) => format!("seed {seed} w{workers} p{p} rep{rep}"),
+                    None => format!("seed {seed} w{workers} rep{rep}"),
+                };
+                let run = run_once(&db, &plans, seed, workers, partitions);
                 report.executions += run.fingerprints.len().min(plans.len());
                 report.fired_transient += run.fired.0;
                 report.fired_permanent += run.fired.1;

@@ -524,6 +524,84 @@ pub fn throughput_vs_budget(
         .collect()
 }
 
+/// One point of the intra-query partitioned execution experiment.
+#[derive(Debug, Clone)]
+pub struct ParPoint {
+    /// Partition (simulated worker) count.
+    pub partitions: usize,
+    /// Simulated elapsed time (overlap-adjusted).
+    pub time_ms: f64,
+    /// Simulated time the overlap absorbed.
+    pub saved_ms: f64,
+    /// Total I/O pages (reads + writes) — partition-count invariant.
+    pub io_pages: u64,
+    /// Total CPU ops — partition-count invariant (modulo routing).
+    pub cpu_ops: u64,
+    /// Exchange stages in the executed plan.
+    pub exchanges: usize,
+    /// Skew verdicts the driver emitted.
+    pub skew_verdicts: usize,
+    /// Worst observed max/mean per-partition load ratio before and
+    /// after re-balancing (both 1.0 when no verdict fired).
+    pub worst_skew: (f64, f64),
+    /// Result cardinality (sanity).
+    pub rows: usize,
+}
+
+fn par_point(db: &Database, query: &'static str, partitions: usize) -> ParPoint {
+    let q = queries::all()
+        .into_iter()
+        .find(|(n, _)| *n == query)
+        .unwrap_or_else(|| panic!("unknown query {query}"))
+        .1;
+    let out = db
+        .run_partitioned(&q, ReoptMode::Off, partitions)
+        .unwrap_or_else(|e| panic!("{query} P={partitions}: {e}"));
+    let par = out.par.expect("partitioned outcome carries a report");
+    let worst = par
+        .skew
+        .iter()
+        .max_by(|a, b| a.ratio.total_cmp(&b.ratio))
+        .map(|s| (s.ratio, s.after_ratio))
+        .unwrap_or((1.0, 1.0));
+    ParPoint {
+        partitions,
+        time_ms: out.time_ms,
+        saved_ms: par.saved_ms,
+        io_pages: out.cost.pages_read + out.cost.pages_written,
+        cpu_ops: out.cost.cpu_ops,
+        exchanges: par.exchanges.len(),
+        skew_verdicts: par.skew.len(),
+        worst_skew: worst,
+        rows: out.rows.len(),
+    }
+}
+
+/// PAR figure, panel (a): one query's simulated elapsed time as the
+/// partition count grows. Each point runs on a freshly loaded database
+/// (identical pool state), so the io/cpu columns demonstrate that only
+/// the overlap — never the work — changes with the partition count.
+pub fn par_speedup(setup: &BenchSetup, query: &'static str, partitions: &[usize]) -> Vec<ParPoint> {
+    partitions
+        .iter()
+        .map(|&p| par_point(&setup.database(), query, p))
+        .collect()
+}
+
+/// PAR figure, panel (b): skewed Q10 under a static bucket → partition
+/// assignment (skew verdict disabled via an effectively infinite θ)
+/// versus the skew-aware driver (verdict fires, hot buckets get spread
+/// by the capped re-balance). Returns `(static, rebalanced)`.
+pub fn par_skew(setup: &BenchSetup, z: f64, partitions: usize, theta: f64) -> (ParPoint, ParPoint) {
+    let run = |theta: f64| {
+        let mut s = setup.clone();
+        s.zipf_z = Some(z);
+        s.cfg.par_skew_theta = theta;
+        par_point(&s.database(), "Q10", partitions)
+    };
+    (run(1e18), run(theta))
+}
+
 /// One collector checkpoint pulled out of a JSONL trace: the paper's
 /// est-vs-actual evidence row (§2.2 — "detecting suboptimality").
 #[derive(Debug, Clone)]

@@ -1,7 +1,7 @@
 //! Chaos harness smoke test: a reduced seed range of the same campaign
 //! the `chaos` binary (and the CI chaos job) runs at 50 seeds.
 
-use mq_bench::chaos::run_chaos;
+use mq_bench::chaos::{run_chaos, run_chaos_partitioned};
 
 #[test]
 fn chaos_campaign_small_seed_range() {
@@ -20,4 +20,24 @@ fn chaos_campaign_small_seed_range() {
     // 12 seeds × 4 queries × 3 runs some faults of each I/O class fire.
     assert!(report.fired_transient > 0, "{}", report.summary());
     assert!(report.fired_permanent > 0, "{}", report.summary());
+}
+
+/// The same campaign through the partitioned driver: faults fire
+/// inside bucket runs, unwinding crosses exchange barriers, and the
+/// results must still be oracle-or-clean-error with a clean audit and
+/// byte-identical replays across partition counts.
+#[test]
+fn partitioned_chaos_campaign_small_seed_range() {
+    let report = run_chaos_partitioned(1, 12, false);
+    assert!(
+        report.violations.is_empty(),
+        "partitioned chaos violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.transient_recoveries > 0,
+        "no transient fault was absorbed under partitioned execution: {}",
+        report.summary()
+    );
+    assert!(report.fired_transient > 0, "{}", report.summary());
 }

@@ -59,6 +59,30 @@ struct Counters {
     pages_written: AtomicU64,
     cpu_ops: AtomicU64,
     opt_work: AtomicU64,
+    /// Simulated milliseconds *saved* by partitioned parallelism, stored
+    /// as `f64` bits. Resource counters above stay sums over all work;
+    /// per-stage elapsed time is max-over-partitions, and the difference
+    /// (sum − max) accumulates here so `elapsed − saved` reproduces the
+    /// parallel wall-clock deterministically for any partition count.
+    parallel_saved_ms_bits: AtomicU64,
+}
+
+impl Counters {
+    fn add_saved_ms(&self, ms: f64) {
+        let mut cur = self.parallel_saved_ms_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + ms).to_bits();
+            match self.parallel_saved_ms_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
 }
 
 /// A point-in-time copy of the counters; subtract two snapshots to cost
@@ -188,6 +212,22 @@ impl SimClock {
         });
     }
 
+    /// Record simulated milliseconds saved by running partitions in
+    /// parallel (sum-over-buckets minus max-over-partitions for one
+    /// exchange stage). Propagates like any other charge so per-job and
+    /// global clocks stay consistent.
+    pub fn add_parallel_saved_ms(&self, ms: f64) {
+        if ms <= 0.0 || !ms.is_finite() {
+            return;
+        }
+        self.charge(|c| c.add_saved_ms(ms));
+    }
+
+    /// Total simulated milliseconds saved by parallelism so far.
+    pub fn parallel_saved_ms(&self) -> f64 {
+        f64::from_bits(self.inner.parallel_saved_ms_bits.load(Ordering::Relaxed))
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
@@ -293,6 +333,20 @@ mod tests {
         assert_eq!(other.snapshot().pages_read, 4);
         assert_eq!(job.snapshot().pages_read, 0);
         assert_eq!(global.snapshot().pages_read, 0);
+    }
+
+    #[test]
+    fn parallel_saved_ms_accumulates_and_propagates() {
+        let global = SimClock::new();
+        let job = global.child();
+        job.add_parallel_saved_ms(12.5);
+        job.add_parallel_saved_ms(7.5);
+        assert!((job.parallel_saved_ms() - 20.0).abs() < 1e-12);
+        assert!((global.parallel_saved_ms() - 20.0).abs() < 1e-12);
+        // Non-positive and non-finite amounts are ignored.
+        job.add_parallel_saved_ms(-1.0);
+        job.add_parallel_saved_ms(f64::NAN);
+        assert!((job.parallel_saved_ms() - 20.0).abs() < 1e-12);
     }
 
     #[test]

@@ -85,6 +85,20 @@ pub struct EngineConfig {
     /// Simulated-clock backoff before the first segment retry, in
     /// milliseconds; doubles on each further retry.
     pub transient_retry_backoff_ms: f64,
+    /// Number of logical hash buckets used by partitioned (exchange)
+    /// execution. Buckets — not partitions — are the unit of routing
+    /// and of per-bucket pipeline runs, so results are byte-identical
+    /// for any partition count; partitions only group buckets for the
+    /// max-over-partitions elapsed-time accounting.
+    pub par_buckets: usize,
+    /// Skew-verdict threshold: an exchange stage whose max/mean
+    /// per-partition cardinality ratio exceeds this fires a skew
+    /// verdict and re-balances the bucket→partition assignment.
+    pub par_skew_theta: f64,
+    /// Broadcast threshold: a hash-join build side whose estimated
+    /// cardinality is at or below this is broadcast (replicated to
+    /// every partition) instead of hash-repartitioned.
+    pub par_broadcast_rows: f64,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +124,9 @@ impl Default for EngineConfig {
             stats_feedback: false,
             transient_retry_limit: 2,
             transient_retry_backoff_ms: 5.0,
+            par_buckets: 64,
+            par_skew_theta: 4.0,
+            par_broadcast_rows: 64.0,
         }
     }
 }
@@ -180,6 +197,23 @@ impl EngineConfig {
                 "reservoir_size and histogram_buckets must be positive".into(),
             ));
         }
+        if self.par_buckets == 0 {
+            return Err(MqError::InvalidConfig(
+                "par_buckets must be positive".into(),
+            ));
+        }
+        if self.par_skew_theta < 1.0 || !self.par_skew_theta.is_finite() {
+            return Err(MqError::InvalidConfig(format!(
+                "par_skew_theta {} must be ≥ 1",
+                self.par_skew_theta
+            )));
+        }
+        if !(self.par_broadcast_rows.is_finite() && self.par_broadcast_rows >= 0.0) {
+            return Err(MqError::InvalidConfig(format!(
+                "par_broadcast_rows {} must be finite and non-negative",
+                self.par_broadcast_rows
+            )));
+        }
         Ok(())
     }
 
@@ -231,6 +265,18 @@ mod tests {
             },
             EngineConfig {
                 transient_retry_backoff_ms: f64::INFINITY,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                par_buckets: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                par_skew_theta: 0.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                par_broadcast_rows: f64::NAN,
                 ..EngineConfig::default()
             },
         ];

@@ -22,6 +22,7 @@ use mq_exec::{materialize, run_to_vec, ExecContext, OpActuals};
 use mq_memory::MemoryManager;
 use mq_obs::{ObsEvent, SegmentOutcome};
 use mq_optimizer::{recost, OptCalibration, Optimizer};
+use mq_par::{parallelize, run_partitioned, ParReport, ParSpec};
 use mq_plan::{LogicalPlan, NodeId, PhysPlan};
 use mq_storage::Storage;
 
@@ -57,6 +58,10 @@ pub struct QueryOutcome {
     /// always collected; cpu/io deltas only when an observability sink
     /// was active during the run.
     pub actuals: HashMap<NodeId, OpActuals>,
+    /// Partitioned-execution report (exchange routing, skew verdicts,
+    /// parallel time saved) when the job ran with a [`ParSpec`];
+    /// `None` for serial execution.
+    pub par: Option<ParReport>,
 }
 
 impl QueryOutcome {
@@ -136,6 +141,10 @@ pub struct JobEnv {
     /// *adds* a scope when the handle actually carries a sink or a
     /// metrics registry.
     pub obs: Option<mq_obs::Obs>,
+    /// Intra-query partitioned execution: when set, the optimized plan
+    /// is parallelized with exchange operators and run by the
+    /// partitioned driver (`mq-par`). `None` = serial execution.
+    pub par: Option<ParSpec>,
 }
 
 /// Resource-leak audit over the engine's shared state. Only valid at
@@ -317,6 +326,7 @@ impl Engine {
             temp_prefix: format!("tmp_reopt_q{}_", self.next_query_id()),
             fault: None,
             obs: None,
+            par: None,
         }
     }
 
@@ -386,6 +396,9 @@ impl Engine {
         };
         mq_obs::emit(|| ObsEvent::QueryStart { mode: mode_str });
         let t0 = env.clock.snapshot();
+        // Parallel savings already credited to this (shared) clock by
+        // earlier jobs must not be attributed to this query.
+        let saved0 = env.clock.parallel_saved_ms();
         let mut ctx = ExecContext::new(self.storage.clone(), env.clock.clone(), self.cfg.clone())
             .with_interrupts(env.cancel.clone(), env.deadline_ms);
         // Per-operator cpu/io profiling costs two clock snapshots per
@@ -432,6 +445,15 @@ impl Engine {
                     break Err(e);
                 }
             }
+            // Parallelize after collector insertion (exchanges go above
+            // collectors, which then run per bucket in capture mode) and
+            // before allocation/recost, so grants and costs see the
+            // final node ids.
+            if let Some(par) = &env.par {
+                if let Err(e) = parallelize(&mut optimized.plan, par, &self.cfg) {
+                    break Err(e);
+                }
+            }
             if let Err(e) = env.mm.allocate(&mut optimized.plan, &self.cfg) {
                 break Err(e);
             }
@@ -450,17 +472,26 @@ impl Engine {
             // abandoned plan; the final attempt starts from scratch.
             ctx.reset_actuals();
 
-            match run_to_vec(&optimized.plan, &ctx) {
-                Ok(rows) => {
+            let run = match &env.par {
+                Some(par) => run_partitioned(&optimized.plan, &ctx, par, &self.cfg)
+                    .map(|(rows, report)| (rows, Some(report))),
+                None => run_to_vec(&optimized.plan, &ctx).map(|rows| (rows, None)),
+            };
+            match run {
+                Ok((rows, par_report)) => {
                     mq_obs::emit(|| ObsEvent::SegmentEnd {
                         attempt,
                         outcome: SegmentOutcome::Done,
                     });
                     let (memory_reallocs, collector_reports) = controller.counters();
+                    // Elapsed simulated time = serial cost minus what
+                    // overlapping partitions absorbed (zero when serial).
+                    let saved = (env.clock.parallel_saved_ms() - saved0).max(0.0);
                     break Ok(QueryOutcome {
                         rows,
                         cost: env.clock.snapshot().since(&t0),
-                        time_ms: env.clock.snapshot().since(&t0).time_ms(&self.cfg),
+                        time_ms: (env.clock.snapshot().since(&t0).time_ms(&self.cfg) - saved)
+                            .max(0.0),
                         mode,
                         plan_switches: controller.switches(),
                         segment_retries,
@@ -469,6 +500,7 @@ impl Engine {
                         events: controller.take_events(),
                         final_plan: optimized.plan,
                         actuals: ctx.take_actuals(),
+                        par: par_report,
                     });
                 }
                 Err(MqError::PlanSwitch(raw)) => {
@@ -577,7 +609,7 @@ impl Engine {
         // Cleanup runs (and emits its event) before the query-end
         // marker so a trace reads in causal order.
         drop(guard);
-        self.emit_query_end(&result, &env, &t0, &controller, segment_retries);
+        self.emit_query_end(&result, &env, &t0, saved0, &controller, segment_retries);
         result
     }
 
@@ -589,6 +621,7 @@ impl Engine {
         result: &Result<QueryOutcome>,
         env: &JobEnv,
         t0: &CostSnapshot,
+        saved0: f64,
         controller: &ReoptController,
         segment_retries: u32,
     ) {
@@ -596,6 +629,7 @@ impl Engine {
             return;
         }
         let cost = env.clock.snapshot().since(t0);
+        let saved = (env.clock.parallel_saved_ms() - saved0).max(0.0);
         let (memory_reallocs, collector_reports) = controller.counters();
         let (outcome_str, rows) = match result {
             Ok(o) => ("ok".to_string(), o.rows.len() as u64),
@@ -604,7 +638,7 @@ impl Engine {
         mq_obs::emit(|| ObsEvent::QueryEnd {
             outcome: outcome_str,
             rows,
-            sim_ms: cost.time_ms(&self.cfg),
+            sim_ms: (cost.time_ms(&self.cfg) - saved).max(0.0),
             pages_read: cost.pages_read,
             pages_written: cost.pages_written,
             cpu_ops: cost.cpu_ops,

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use mq_exec::OpActuals;
+use mq_par::ParReport;
 use mq_plan::{NodeId, PhysOp, PhysPlan};
 
 use crate::engine::QueryOutcome;
@@ -21,7 +22,7 @@ use crate::engine::QueryOutcome;
 /// Render a plan for `EXPLAIN`: estimates only, no execution.
 pub fn explain_plan(plan: &PhysPlan) -> String {
     let mut out = String::new();
-    render_node(&mut out, plan, 0, None);
+    render_node(&mut out, plan, 0, None, None);
     out
 }
 
@@ -45,7 +46,24 @@ pub fn explain_analyze(outcome: &QueryOutcome) -> String {
         outcome.collector_reports,
         outcome.segment_retries
     );
-    render_node(&mut out, &outcome.final_plan, 0, Some(&outcome.actuals));
+    if let Some(par) = &outcome.par {
+        let _ = writeln!(
+            out,
+            "partitions: {}   buckets: {}   exchange stages: {}   skew verdicts: {}   parallel saving: {:.1} ms",
+            par.partitions,
+            par.buckets,
+            par.exchanges.len(),
+            par.skew.len(),
+            par.saved_ms
+        );
+    }
+    render_node(
+        &mut out,
+        &outcome.final_plan,
+        0,
+        Some(&outcome.actuals),
+        outcome.par.as_ref(),
+    );
     if !outcome.events.is_empty() {
         let _ = writeln!(out, "re-optimization events:");
         for (i, e) in outcome.events.iter().enumerate() {
@@ -59,6 +77,7 @@ pub fn explain_analyze(outcome: &QueryOutcome) -> String {
 fn marker(plan: &PhysPlan) -> &'static str {
     match &plan.op {
         PhysOp::StatsCollector { .. } => "  <-- collector (re-opt point)",
+        PhysOp::Exchange { .. } => "  <-- exchange (partition boundary)",
         PhysOp::SeqScan { spec, .. } if spec.table.starts_with("tmp_reopt_") => {
             "  <-- materialized by plan switch"
         }
@@ -71,6 +90,7 @@ fn render_node(
     plan: &PhysPlan,
     indent: usize,
     actuals: Option<&HashMap<NodeId, OpActuals>>,
+    par: Option<&ParReport>,
 ) {
     let pad = "  ".repeat(indent);
     let _ = write!(out, "{pad}{} {}", plan.op.name(), plan.op_detail());
@@ -115,8 +135,34 @@ fn render_node(
         }
     }
     let _ = writeln!(out, "{}", marker(plan));
+    // Exchange operators get the partitioned view: what the optimizer
+    // would estimate per partition (uniform split) against the rows the
+    // driver actually routed to each one — per-partition est vs actual,
+    // the skew story at a glance.
+    if let (PhysOp::Exchange { partitions, .. }, Some(report)) = (&plan.op, par) {
+        if let Some(ex) = report.exchange(plan.id) {
+            let est_each = plan.annot.est_rows / (*partitions).max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{pad}    per-partition rows (est≈{est_each:.0} each): {:?}",
+                ex.per_partition_rows,
+                pad = "  ".repeat(indent)
+            );
+        }
+        for skew in report.skew.iter().filter(|s| s.node == plan.id) {
+            let _ = writeln!(
+                out,
+                "{pad}    skew verdict: max/mean {:.2} > θ {:.2} → {} (now {:.2})",
+                skew.ratio,
+                skew.theta,
+                skew.action,
+                skew.after_ratio,
+                pad = "  ".repeat(indent)
+            );
+        }
+    }
     for c in &plan.children {
-        render_node(out, c, indent + 1, actuals);
+        render_node(out, c, indent + 1, actuals, par);
     }
 }
 

@@ -39,6 +39,7 @@ mod engine_tests;
 pub use controller::ReoptController;
 pub use engine::{AuditReport, Engine, JobEnv, QueryOutcome};
 pub use explain::{explain_analyze, explain_plan};
+pub use mq_par::{ExchangeReport, ParReport, ParSpec, SkewReport};
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 
 /// Which parts of Dynamic Re-Optimization are active (Figure 11).

@@ -145,7 +145,11 @@ fn convert(p: &PhysPlan, cut: NodeId, temp: &str) -> Result<LogicalPlan> {
             input: Box::new(convert(&p.children[0], cut, temp)?),
             n: *n,
         },
-        PhysOp::StatsCollector { .. } => convert(&p.children[0], cut, temp)?,
+        // Collectors and exchanges are physical artifacts with no
+        // logical content; the remainder sees straight through them.
+        PhysOp::StatsCollector { .. } | PhysOp::Exchange { .. } => {
+            convert(&p.children[0], cut, temp)?
+        }
     })
 }
 

@@ -36,6 +36,93 @@ pub struct ObservedStats {
     pub complete: bool,
 }
 
+/// The raw, still-mergeable state of one collector run — what a
+/// capture-mode finalize deposits into
+/// [`crate::ExecContext::collector_capture`]. The partitioned driver
+/// merges the parts of every bucket run of the same site
+/// ([`merge_parts`]) and finishes them into one [`ObservedStats`].
+#[derive(Debug, Clone)]
+pub struct CollectorParts {
+    /// The collector's plan-node id.
+    pub node: NodeId,
+    /// The specs, parallel to `accs`.
+    pub specs: Vec<CollectorSpec>,
+    /// One accumulator per spec.
+    pub accs: Vec<ColumnAccumulator>,
+    /// Rows observed by this run.
+    pub rows: u64,
+    /// Encoded bytes observed by this run.
+    pub bytes: u64,
+    /// Whether this run drained its input.
+    pub complete: bool,
+}
+
+impl CollectorParts {
+    /// Fold another run of the same site into this one. The merged
+    /// parts describe the concatenation of both streams; `complete`
+    /// only if every constituent run was.
+    pub fn merge(&mut self, other: &CollectorParts) {
+        debug_assert_eq!(self.node, other.node);
+        debug_assert_eq!(self.accs.len(), other.accs.len());
+        for (a, b) in self.accs.iter_mut().zip(&other.accs) {
+            a.merge(b);
+        }
+        self.rows += other.rows;
+        self.bytes += other.bytes;
+        self.complete &= other.complete;
+    }
+
+    /// Finish the (possibly merged) parts into the [`ObservedStats`]
+    /// the monitor consumes.
+    pub fn finish(&self, cfg: &mq_common::EngineConfig) -> ObservedStats {
+        finish_observed(
+            self.node,
+            &self.specs,
+            &self.accs,
+            self.rows,
+            self.bytes,
+            self.complete,
+            cfg,
+        )
+    }
+}
+
+/// Build an [`ObservedStats`] from raw accumulators — the single
+/// finalize recipe shared by the in-stream collector and the
+/// partitioned driver's barrier merge.
+pub fn finish_observed(
+    node: NodeId,
+    specs: &[CollectorSpec],
+    accs: &[ColumnAccumulator],
+    rows: u64,
+    bytes: u64,
+    complete: bool,
+    cfg: &mq_common::EngineConfig,
+) -> ObservedStats {
+    let mut columns = HashMap::new();
+    for (spec, acc) in specs.iter().zip(accs) {
+        let mut obs = acc.finish(HistogramKind::MaxDiff, cfg.histogram_buckets);
+        if !spec.histogram {
+            obs.histogram = None;
+        }
+        // `distinct` stays populated either way: once the sketch
+        // exists the estimate is free, and extra information never
+        // hurts the controller.
+        columns.insert(spec.column.clone(), obs);
+    }
+    ObservedStats {
+        node,
+        rows,
+        avg_row_bytes: if rows > 0 {
+            bytes as f64 / rows as f64
+        } else {
+            0.0
+        },
+        columns,
+        complete,
+    }
+}
+
 /// Pass-through operator that observes the stream.
 pub struct StatsCollectorExec {
     node: NodeId,
@@ -93,28 +180,28 @@ impl StatsCollectorExec {
             return Ok(());
         }
         self.reported = true;
-        let mut columns = HashMap::new();
-        for ((spec, _), acc) in self.specs.iter().zip(&self.accs) {
-            let mut obs = acc.finish(HistogramKind::MaxDiff, ctx.cfg.histogram_buckets);
-            if !spec.histogram {
-                obs.histogram = None;
-            }
-            // `distinct` stays populated either way: once the sketch
-            // exists the estimate is free, and extra information never
-            // hurts the controller.
-            columns.insert(spec.column.clone(), obs);
+        if let Some(capture) = &ctx.collector_capture {
+            // Capture mode: deposit raw, still-mergeable state; the
+            // partitioned driver merges bucket runs and reports once.
+            capture.borrow_mut().push(CollectorParts {
+                node: self.node,
+                specs: self.specs.iter().map(|(s, _)| s.clone()).collect(),
+                accs: self.accs.clone(),
+                rows: self.rows,
+                bytes: self.bytes,
+                complete,
+            });
+            return Ok(());
         }
-        let stats = ObservedStats {
-            node: self.node,
-            rows: self.rows,
-            avg_row_bytes: if self.rows > 0 {
-                self.bytes as f64 / self.rows as f64
-            } else {
-                0.0
-            },
-            columns,
+        let stats = finish_observed(
+            self.node,
+            &self.raw_specs,
+            &self.accs,
+            self.rows,
+            self.bytes,
             complete,
-        };
+            &ctx.cfg,
+        );
         ctx.notify_collector(stats)
     }
 }

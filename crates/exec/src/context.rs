@@ -11,7 +11,7 @@ use mq_plan::NodeId;
 use mq_storage::Storage;
 use parking_lot::Mutex;
 
-use crate::collector::ObservedStats;
+use crate::collector::{CollectorParts, ObservedStats};
 
 /// Observer the Dynamic Re-Optimization controller implements.
 ///
@@ -115,6 +115,13 @@ pub struct ExecContext {
     /// Collect inclusive cpu/io deltas per operator (set by the engine
     /// when an event sink is scoped; row counts are collected always).
     pub profile_detail: bool,
+    /// When set, statistics collectors deposit their *raw* accumulator
+    /// state here at finalize instead of reporting to the monitor. The
+    /// partitioned driver runs a segment once per bucket with capture
+    /// on, merges the per-bucket parts at the exchange barrier, and
+    /// reports the merged statistics once (§2.2 in a partitioned
+    /// setting: local collection, merge at the exchange).
+    pub collector_capture: Option<Rc<RefCell<Vec<CollectorParts>>>>,
 }
 
 impl ExecContext {
@@ -132,6 +139,30 @@ impl ExecContext {
             temp_files: RefCell::new(HashSet::new()),
             actuals: RefCell::new(HashMap::new()),
             profile_detail: false,
+            collector_capture: None,
+        }
+    }
+
+    /// A fresh context for one bucket run of the partitioned driver:
+    /// same storage, clock, config, cancellation, deadline and grants
+    /// table (so per-node grants agree with the serial plan), but its
+    /// own artifact store, temp-file registry and actuals — and no
+    /// monitor, since collector reports are merged and delivered at
+    /// exchange barriers by the driver itself.
+    pub fn bucket_context(&self) -> ExecContext {
+        ExecContext {
+            storage: self.storage.clone(),
+            clock: self.clock.clone(),
+            cfg: self.cfg.clone(),
+            artifacts: RefCell::new(HashMap::new()),
+            grants: Arc::clone(&self.grants),
+            monitor: None,
+            cancel: self.cancel.clone(),
+            deadline_ms: self.deadline_ms,
+            temp_files: RefCell::new(HashSet::new()),
+            actuals: RefCell::new(HashMap::new()),
+            profile_detail: self.profile_detail,
+            collector_capture: None,
         }
     }
 

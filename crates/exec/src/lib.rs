@@ -30,10 +30,12 @@ pub mod scan;
 pub mod sink;
 pub mod sort;
 
-use mq_common::{MqError, Result, Row};
-use mq_plan::{PhysOp, PhysPlan};
+use std::collections::HashMap;
 
-pub use collector::ObservedStats;
+use mq_common::{MqError, Result, Row};
+use mq_plan::{NodeId, PhysOp, PhysPlan};
+
+pub use collector::{finish_observed, CollectorParts, ObservedStats};
 pub use context::{Artifact, ExecContext, ExecMonitor, HashBuild, OpActuals};
 pub use sink::{materialize, MaterializedResult};
 
@@ -54,14 +56,36 @@ pub trait Operator {
 /// cpu/io deltas) into [`ExecContext::actuals`] — the "actual" side of
 /// EXPLAIN ANALYZE.
 pub fn build_executor(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
-    Ok(Box::new(Profiled::new(plan.id, build_inner(plan)?)))
+    build_executor_with(plan, &mut HashMap::new())
 }
 
-fn build_inner(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
+/// Like [`build_executor`], but any node whose id appears in
+/// `overrides` is replaced by the supplied operator (wrapped in the
+/// same [`Profiled`] shim, so actuals are still recorded against that
+/// node). The partitioned driver uses this to substitute pre-routed
+/// bucket inputs ([`RowsExec`]) at exchange-child positions while the
+/// rest of the segment builds normally.
+pub fn build_executor_with(
+    plan: &PhysPlan,
+    overrides: &mut HashMap<NodeId, Box<dyn Operator>>,
+) -> Result<Box<dyn Operator>> {
+    if let Some(op) = overrides.remove(&plan.id) {
+        return Ok(Box::new(Profiled::new(plan.id, op)));
+    }
+    Ok(Box::new(Profiled::new(
+        plan.id,
+        build_inner(plan, overrides)?,
+    )))
+}
+
+fn build_inner(
+    plan: &PhysPlan,
+    overrides: &mut HashMap<NodeId, Box<dyn Operator>>,
+) -> Result<Box<dyn Operator>> {
     let children: Vec<Box<dyn Operator>> = plan
         .children
         .iter()
-        .map(build_executor)
+        .map(|c| build_executor_with(c, overrides))
         .collect::<Result<_>>()?;
     let mut children = children;
     let node = plan.id;
@@ -144,7 +168,45 @@ fn build_inner(plan: &PhysPlan) -> Result<Box<dyn Operator>> {
             specs.clone(),
             plan.schema.clone(),
         )),
+        // In serial execution an exchange is the identity: rows flow
+        // straight through. The partitioned driver (mq-par) never
+        // builds an executor *at* an exchange — it evaluates the child
+        // per bucket and routes rows itself — so this arm only runs
+        // when a parallelized plan is executed by the serial engine.
+        PhysOp::Exchange { .. } => take_one(&mut children)?,
     })
+}
+
+/// An operator that replays a pre-materialized row buffer. The
+/// partitioned driver substitutes one of these (via
+/// [`build_executor_with`]) at each exchange-child position inside a
+/// segment, feeding the bucket's already-routed input rows. It charges
+/// nothing: scan/route costs were booked when the rows were produced.
+pub struct RowsExec {
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl RowsExec {
+    /// Wrap a buffer of rows.
+    pub fn new(rows: Vec<Row>) -> RowsExec {
+        RowsExec {
+            rows: rows.into_iter(),
+        }
+    }
+}
+
+impl Operator for RowsExec {
+    fn open(&mut self, _ctx: &ExecContext) -> Result<()> {
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+
+    fn close(&mut self, _ctx: &ExecContext) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// The profiling shim around every operator. Row counting is one

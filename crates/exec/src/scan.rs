@@ -14,6 +14,9 @@ pub struct SeqScanExec {
     node: NodeId,
     spec: ScanSpec,
     filter: Option<Expr>,
+    /// Restrict the scan to positions `lo..hi` of the file's page list
+    /// (partitioned driver chunks); `None` scans the whole file.
+    page_range: Option<(usize, usize)>,
     iter: Option<RowScan>,
     filter_ops: u64,
 }
@@ -26,15 +29,32 @@ impl SeqScanExec {
             node,
             spec,
             filter,
+            page_range: None,
             iter: None,
             filter_ops,
         }
+    }
+
+    /// Create a scan over one contiguous page-chunk of the file.
+    pub fn ranged(
+        node: NodeId,
+        spec: ScanSpec,
+        filter: Option<Expr>,
+        page_lo: usize,
+        page_hi: usize,
+    ) -> SeqScanExec {
+        let mut s = SeqScanExec::new(node, spec, filter);
+        s.page_range = Some((page_lo, page_hi));
+        s
     }
 }
 
 impl Operator for SeqScanExec {
     fn open(&mut self, ctx: &ExecContext) -> Result<()> {
-        self.iter = Some(ctx.storage.scan_file(self.spec.file)?);
+        self.iter = Some(match self.page_range {
+            Some((lo, hi)) => ctx.storage.scan_file_range(self.spec.file, lo, hi)?,
+            None => ctx.storage.scan_file(self.spec.file)?,
+        });
         Ok(())
     }
 

@@ -151,6 +151,30 @@ pub enum ObsEvent {
         temp_files: u64,
         failures: u64,
     },
+    /// An exchange stage finished routing/merging its input.
+    Exchange {
+        /// Plan node id of the exchange.
+        node: u64,
+        /// `repartition`, `merge` or `broadcast`.
+        mode: &'static str,
+        /// Partition count the stage ran with.
+        partitions: u64,
+        /// Logical bucket count rows were routed into.
+        buckets: u64,
+        /// Total rows through the exchange.
+        rows: u64,
+    },
+    /// Per-partition loads at an exchange exceeded the skew threshold.
+    SkewVerdict {
+        /// Plan node id of the exchange.
+        node: u64,
+        /// Observed max/mean per-partition cardinality ratio.
+        ratio: f64,
+        /// Configured threshold θ the ratio was compared against.
+        theta: f64,
+        /// `rebalance` (buckets reassigned) or `none` (kept static).
+        action: &'static str,
+    },
     /// The query left the engine.
     QueryEnd {
         /// `ok` or the error kind (`storage`, `cancelled`, `oom`, …).
@@ -184,6 +208,8 @@ impl ObsEvent {
             ObsEvent::Spill { .. } => "spill",
             ObsEvent::SegmentRetry { .. } => "segment_retry",
             ObsEvent::Cleanup { .. } => "cleanup",
+            ObsEvent::Exchange { .. } => "exchange",
+            ObsEvent::SkewVerdict { .. } => "skew_verdict",
             ObsEvent::QueryEnd { .. } => "query_end",
         }
     }
@@ -299,6 +325,31 @@ impl ObsEvent {
                     out,
                     ",\"temp_tables\":{temp_tables},\"temp_files\":{temp_files},\
                      \"failures\":{failures}"
+                );
+            }
+            ObsEvent::Exchange {
+                node,
+                mode,
+                partitions,
+                buckets,
+                rows,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"mode\":\"{mode}\",\"partitions\":{partitions},\
+                     \"buckets\":{buckets},\"rows\":{rows}"
+                );
+            }
+            ObsEvent::SkewVerdict {
+                node,
+                ratio,
+                theta,
+                action,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"ratio\":{ratio},\"theta\":{theta},\
+                     \"action\":\"{action}\""
                 );
             }
             ObsEvent::QueryEnd {

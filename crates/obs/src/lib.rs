@@ -277,6 +277,24 @@ pub fn fold_event(m: &MetricsRegistry, ev: &ObsEvent) {
             m.inc("midq_cleanup_temp_files_total", &[], Stable, *temp_files);
             m.inc("midq_cleanup_failures_total", &[], Stable, *failures);
         }
+        ObsEvent::Exchange { mode, rows, .. } => {
+            // Rows through an exchange are a logical property of the
+            // plan (the child's output), identical for any partition
+            // count — stable. The stage count per mode is too, because
+            // exchanges are inserted even at partitions=1.
+            m.inc("midq_exchange_stages_total", &[("mode", mode)], Stable, 1);
+            m.inc("midq_exchange_rows_total", &[("mode", mode)], Stable, *rows);
+        }
+        ObsEvent::SkewVerdict { action, .. } => {
+            // Whether skew trips depends on the partition count, so
+            // this cannot be part of the partition-invariant surface.
+            m.inc(
+                "midq_skew_verdicts_total",
+                &[("action", action)],
+                Volatile,
+                1,
+            );
+        }
         ObsEvent::QueryEnd {
             outcome,
             rows,

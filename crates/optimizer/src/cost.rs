@@ -274,6 +274,11 @@ pub fn recost(plan: &mut PhysPlan, cfg: &EngineConfig) {
             io_pages: 0.0,
             cpu_ops: out_rows,
         },
+        PhysOp::Exchange { .. } => CostEst {
+            // Routing is pure CPU: one hash-and-enqueue per input row.
+            io_pages: 0.0,
+            cpu_ops: plan.children[0].annot.est_rows,
+        },
         PhysOp::StatsCollector { specs, .. } => {
             let per_row: f64 = specs
                 .iter()

@@ -348,7 +348,9 @@ fn derive_props(
             )];
             child_props[0].joined(&inner_props, &on, cfg).0
         }
-        PhysOp::Sort { .. } | PhysOp::StatsCollector { .. } => child_props[0].clone(),
+        PhysOp::Sort { .. } | PhysOp::StatsCollector { .. } | PhysOp::Exchange { .. } => {
+            child_props[0].clone()
+        }
         PhysOp::Limit { n } => {
             let mut p = child_props[0].clone();
             p.rows = p.rows.min(*n as f64);

@@ -15,4 +15,6 @@ pub mod logical;
 pub mod physical;
 
 pub use logical::{AggExpr, AggFunc, LogicalPlan};
-pub use physical::{Annotation, CollectorSpec, CostEst, NodeId, PhysOp, PhysPlan, ScanSpec};
+pub use physical::{
+    Annotation, CollectorSpec, CostEst, ExchangeMode, NodeId, PhysOp, PhysPlan, ScanSpec,
+};

@@ -199,6 +199,43 @@ pub enum PhysOp {
         /// Human-readable site label for diagnostics.
         site: String,
     },
+    /// Exchange (1 child): a partition boundary of the parallel
+    /// (partitioned) execution mode. Rows cross between partitionings
+    /// here; the partitioned driver runs the segments between exchanges
+    /// once per logical hash bucket and merges statistics collectors at
+    /// the exchange barrier.
+    Exchange {
+        /// How rows cross the boundary.
+        mode: ExchangeMode,
+        /// Partition count the plan was parallelized for.
+        partitions: usize,
+    },
+}
+
+/// How an [`PhysOp::Exchange`] moves rows across a partition boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeMode {
+    /// Hash-repartition on the given child-schema column positions.
+    Repartition {
+        /// Partitioning key columns.
+        keys: Vec<usize>,
+    },
+    /// Concatenate all buckets back into a single stream, in bucket
+    /// order (deterministic for any partition count).
+    Merge,
+    /// Replicate the (small) child to every partition.
+    Broadcast,
+}
+
+impl ExchangeMode {
+    /// Short label for display and events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExchangeMode::Repartition { .. } => "repartition",
+            ExchangeMode::Merge => "merge",
+            ExchangeMode::Broadcast => "broadcast",
+        }
+    }
 }
 
 impl PhysOp {
@@ -215,6 +252,7 @@ impl PhysOp {
             PhysOp::HashAggregate { .. } => "HashAggregate",
             PhysOp::Limit { .. } => "Limit",
             PhysOp::StatsCollector { .. } => "StatsCollector",
+            PhysOp::Exchange { .. } => "Exchange",
         }
     }
 
@@ -414,6 +452,12 @@ impl PhysPlan {
             PhysOp::StatsCollector { specs, site } => {
                 let cols: Vec<&str> = specs.iter().map(|s| s.column.as_str()).collect();
                 let _ = write!(out, "@{site} [{}]", cols.join(", "));
+            }
+            PhysOp::Exchange { mode, partitions } => {
+                let _ = write!(out, "{} P={partitions}", mode.label());
+                if let ExchangeMode::Repartition { keys } = mode {
+                    let _ = write!(out, " on{keys:?}");
+                }
             }
         }
         out

@@ -37,6 +37,7 @@ use std::time::Instant;
 
 use mq_common::{CancelToken, CostSnapshot, FaultInjector, MqError, Result, SimClock};
 use mq_memory::{MemoryBroker, MemoryManager};
+use mq_par::ParSpec;
 use mq_plan::LogicalPlan;
 use mq_reopt::{Engine, JobEnv, QueryOutcome, ReoptMode};
 
@@ -136,6 +137,7 @@ impl Runtime {
                         broker,
                         q,
                         workload.obs.as_ref(),
+                        workload.partitions,
                         index,
                         w,
                         in_flight,
@@ -186,6 +188,10 @@ struct JobCtl<'a> {
     /// Observability handle, scoped over admission (so lease events
     /// are traced) and passed into the engine for the query body.
     obs: Option<&'a mq_obs::Obs>,
+    /// Intra-query partition count; `None` = serial execution. With
+    /// `Some(p)` admission atomically acquires one lease per simulated
+    /// worker and the engine runs the partitioned driver.
+    partitions: Option<usize>,
 }
 
 /// Admit and run one query: acquire a lease (blocking FIFO admission),
@@ -221,7 +227,20 @@ fn run_admitted(
         .filter(|o| o.is_active())
         .map(mq_obs::Obs::enter_scope);
     loop {
-        let lease = broker.acquire(min, desired);
+        // Partitioned jobs admit all-or-nothing: one lease per
+        // simulated worker, granted atomically so two partitioned jobs
+        // cannot deadlock each other holding half their workers. The
+        // job's memory manager draws from the first lease (buckets are
+        // time-multiplexed on the job thread); the rest model the
+        // other workers' memory and are held for the query's duration.
+        let (lease, _worker_leases) = match ctl.partitions {
+            Some(p) if p > 1 => {
+                let mut group = broker.acquire_group(p, min, desired);
+                let first = group.remove(0);
+                (first, group)
+            }
+            _ => (broker.acquire(min, desired), Vec::new()),
+        };
         let granted = lease.granted();
         if let Some(g) = gauges {
             let cur = g.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
@@ -235,6 +254,7 @@ fn run_admitted(
             temp_prefix: format!("tmp_reopt_q{}_", engine.next_query_id()),
             fault: ctl.fault.cloned(),
             obs: ctl.obs.cloned(),
+            par: ctl.partitions.map(ParSpec::new),
         };
         let outcome = engine.run_with(plan, mode, env);
         if let Some(g) = gauges {
@@ -256,6 +276,7 @@ fn run_one(
     broker: &Arc<MemoryBroker>,
     q: &WorkloadQuery,
     base_obs: Option<&mq_obs::Obs>,
+    default_partitions: Option<usize>,
     index: usize,
     worker: usize,
     in_flight: &AtomicUsize,
@@ -301,6 +322,7 @@ fn run_one(
                 deadline_ms: q.deadline_ms,
                 fault: q.fault.as_ref(),
                 obs: job_obs.as_ref(),
+                partitions: q.partitions.or(default_partitions),
             },
             Some(&Gauges {
                 in_flight,
@@ -348,6 +370,9 @@ pub struct Session {
     deadline_ms: Option<f64>,
     /// Observability handle applied to every query of the session.
     obs: Option<mq_obs::Obs>,
+    /// Intra-query partition count applied to every query of the
+    /// session; `None` = serial execution.
+    partitions: Option<usize>,
 }
 
 impl Session {
@@ -361,6 +386,7 @@ impl Session {
             cancel: CancelToken::new(),
             deadline_ms: None,
             obs: None,
+            partitions: None,
         }
     }
 
@@ -384,6 +410,18 @@ impl Session {
     /// Set (or clear) a per-query deadline in simulated milliseconds.
     pub fn set_deadline_ms(&mut self, deadline_ms: Option<f64>) {
         self.deadline_ms = deadline_ms;
+    }
+
+    /// Set (or clear) the intra-query partition count: subsequent
+    /// queries run through the partitioned driver with `p` simulated
+    /// workers (admission acquires `p` leases atomically).
+    pub fn set_partitions(&mut self, partitions: Option<usize>) {
+        self.partitions = partitions.map(|p| p.max(1));
+    }
+
+    /// The session's intra-query partition count, if set.
+    pub fn partitions(&self) -> Option<usize> {
+        self.partitions
     }
 
     /// A clone of the session's cancellation token — cancel it from
@@ -433,6 +471,7 @@ impl Session {
                 deadline_ms,
                 fault: None,
                 obs: self.obs.as_ref(),
+                partitions: self.partitions,
             },
             None,
         );

@@ -32,6 +32,11 @@ pub struct WorkloadQuery {
     /// Optional deterministic fault schedule (chaos testing): scoped
     /// over admission and the whole query execution.
     pub fault: Option<FaultInjector>,
+    /// Intra-query partition count: `Some(p)` runs the query through
+    /// the partitioned driver with `p` simulated workers (admission
+    /// then acquires `p` leases atomically). `None` falls back to the
+    /// workload-level default, and serial execution if that is unset.
+    pub partitions: Option<usize>,
 }
 
 impl WorkloadQuery {
@@ -44,6 +49,7 @@ impl WorkloadQuery {
             deadline_ms: None,
             cancel: None,
             fault: None,
+            partitions: None,
         }
     }
 
@@ -56,6 +62,7 @@ impl WorkloadQuery {
             deadline_ms: None,
             cancel: None,
             fault: None,
+            partitions: None,
         }
     }
 
@@ -82,6 +89,12 @@ impl WorkloadQuery {
         self.fault = Some(fault);
         self
     }
+
+    /// Run through the partitioned driver with `p` simulated workers.
+    pub fn with_partitions(mut self, p: usize) -> WorkloadQuery {
+        self.partitions = Some(p.max(1));
+        self
+    }
 }
 
 /// A batch of queries plus the degree of parallelism to run them with.
@@ -100,6 +113,9 @@ pub struct Workload {
     /// per-job metrics registry; per-job snapshots are merged back into
     /// this handle's registry, when it carries one).
     pub obs: Option<mq_obs::Obs>,
+    /// Default intra-query partition count applied to every query that
+    /// does not set its own. `None` = serial execution.
+    pub partitions: Option<usize>,
 }
 
 impl Workload {
@@ -110,6 +126,7 @@ impl Workload {
             workers: workers.max(1),
             global_memory_bytes: None,
             obs: None,
+            partitions: None,
         }
     }
 
@@ -128,6 +145,12 @@ impl Workload {
     /// Set an explicit global memory budget (builder style).
     pub fn with_global_memory(mut self, bytes: usize) -> Workload {
         self.global_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the default intra-query partition count (builder style).
+    pub fn with_partitions(mut self, p: usize) -> Workload {
+        self.partitions = Some(p.max(1));
         self
     }
 }

@@ -79,6 +79,37 @@ impl ColumnAccumulator {
         3
     }
 
+    /// Merge another accumulator into this one, as if this accumulator
+    /// had observed `self`'s stream followed by `other`'s. Counts,
+    /// nulls, min/max and the FM sketch merge exactly; the reservoir
+    /// merges exactly while unsaturated (see [`Reservoir::merge`]); the
+    /// clustering pair counts add, losing only the single unobservable
+    /// pair that straddles the split boundary (bounded error of one
+    /// pair per merge).
+    pub fn merge(&mut self, other: &ColumnAccumulator) {
+        self.rows += other.rows;
+        self.nulls += other.nulls;
+        if let Some(b) = &other.min {
+            match &self.min {
+                Some(a) if a <= b => {}
+                _ => self.min = Some(b.clone()),
+            }
+        }
+        if let Some(b) = &other.max {
+            match &self.max {
+                Some(a) if a >= b => {}
+                _ => self.max = Some(b.clone()),
+            }
+        }
+        self.reservoir.merge(&other.reservoir);
+        self.sketch.merge(&other.sketch);
+        self.pairs += other.pairs;
+        self.nondecreasing += other.nondecreasing;
+        if other.prev_rank.is_some() {
+            self.prev_rank = other.prev_rank;
+        }
+    }
+
     /// Rows observed.
     pub fn rows(&self) -> u64 {
         self.rows
@@ -100,13 +131,17 @@ impl ColumnAccumulator {
         let histogram = if self.reservoir.items().is_empty() {
             None
         } else {
-            Some(Histogram::build(
+            let mut h = Histogram::build(
                 kind,
                 self.reservoir.items(),
                 buckets,
                 self.null_frac(),
                 distinct,
-            ))
+            );
+            // The accumulator knows the true stream length; record it
+            // as the histogram's merge weight.
+            h.set_weight(self.rows as f64);
+            Some(h)
         };
         ObservedColumn {
             rows: self.rows,
@@ -215,5 +250,84 @@ mod tests {
         let mut acc = ColumnAccumulator::new(16, 5);
         assert_eq!(acc.observe(&Value::Null), 1);
         assert_eq!(acc.observe(&Value::Int(1)), 3);
+    }
+
+    /// Merge-of-splits equals whole-input statistics: exact for row and
+    /// null counts, min/max and histogram buckets (unsaturated
+    /// reservoirs over a small domain); distinct within the sketch's
+    /// bounded error of the whole-input estimate.
+    #[test]
+    fn merge_of_splits_matches_whole_input() {
+        let values: Vec<Value> = (0..4000i64)
+            .map(|i| {
+                if i % 10 == 3 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 7)
+                }
+            })
+            .collect();
+        let mut whole = ColumnAccumulator::new(8192, 42);
+        for v in &values {
+            whole.observe(v);
+        }
+        let (a, b) = values.split_at(1234);
+        let mut left = ColumnAccumulator::new(8192, 42);
+        let mut right = ColumnAccumulator::new(8192, 43);
+        for v in a {
+            left.observe(v);
+        }
+        for v in b {
+            right.observe(v);
+        }
+        left.merge(&right);
+
+        assert_eq!(left.rows(), whole.rows());
+        assert!((left.null_frac() - whole.null_frac()).abs() < 1e-12);
+        let om = left.finish(HistogramKind::MaxDiff, 16);
+        let ow = whole.finish(HistogramKind::MaxDiff, 16);
+        assert_eq!(om.min, ow.min);
+        assert_eq!(om.max, ow.max);
+        // Sketch merge is a bitmap union: the distinct estimate of the
+        // merged splits equals the whole-input estimate exactly.
+        assert!(
+            (om.distinct - ow.distinct).abs() < 1e-9,
+            "distinct {} vs {}",
+            om.distinct,
+            ow.distinct
+        );
+        // Same multiset in both reservoirs (unsaturated) ⇒ identical
+        // singleton histogram buckets.
+        let (hm, hw) = (om.histogram.unwrap(), ow.histogram.unwrap());
+        assert_eq!(hm.buckets().len(), hw.buckets().len());
+        for (bm, bw) in hm.buckets().iter().zip(hw.buckets()) {
+            assert_eq!(bm.lo, bw.lo);
+            assert!((bm.frac - bw.frac).abs() < 1e-9);
+        }
+    }
+
+    /// Clustering survives merging up to the one unobservable
+    /// boundary pair.
+    #[test]
+    fn merge_clustering_bounded_error() {
+        let mut whole = ColumnAccumulator::new(64, 1);
+        let mut left = ColumnAccumulator::new(64, 1);
+        let mut right = ColumnAccumulator::new(64, 2);
+        for i in 0..1000i64 {
+            whole.observe(&Value::Int(i));
+            if i < 500 {
+                left.observe(&Value::Int(i));
+            } else {
+                right.observe(&Value::Int(i));
+            }
+        }
+        left.merge(&right);
+        assert!((whole.clustering() - 1.0).abs() < 1e-12);
+        assert!(
+            (left.clustering() - whole.clustering()).abs() < 0.01,
+            "clustering {} vs {}",
+            left.clustering(),
+            whole.clustering()
+        );
     }
 }

@@ -89,6 +89,11 @@ pub struct Histogram {
     max: f64,
     null_frac: f64,
     distinct: f64,
+    /// Number of rows (including nulls) this histogram summarizes;
+    /// the mass basis for [`Histogram::merge`]. Estimated from the
+    /// sample by [`Histogram::build`]; callers that know the true
+    /// stream length should override via [`Histogram::set_weight`].
+    weight: f64,
 }
 
 impl Histogram {
@@ -113,6 +118,7 @@ impl Histogram {
                 max: 0.0,
                 null_frac: null_frac.clamp(0.0, 1.0),
                 distinct: total_distinct.max(0.0),
+                weight: 0.0,
             };
         }
         let nonnull_frac = (1.0 - null_frac).clamp(0.0, 1.0);
@@ -147,6 +153,13 @@ impl Histogram {
                 b.distinct = (b.distinct * distinct_scale).max(1.0);
             }
         }
+        // Mass basis: total rows (incl. nulls) the sample stands for —
+        // `frac × weight` recovers a bucket's row count.
+        let weight = if nonnull_frac > 0.0 {
+            n / nonnull_frac
+        } else {
+            n
+        };
         Histogram {
             kind,
             buckets,
@@ -154,6 +167,7 @@ impl Histogram {
             max: *vals.last().unwrap(),
             null_frac: null_frac.clamp(0.0, 1.0),
             distinct,
+            weight,
         }
     }
 
@@ -207,6 +221,113 @@ impl Histogram {
     /// Whether the histogram carries any distribution information.
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
+    }
+
+    /// The number of rows this histogram summarizes (the mass basis
+    /// used by [`Histogram::merge`]).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Override the row weight with the true stream length (builders
+    /// only see the reservoir sample; the accumulator knows the exact
+    /// count).
+    pub fn set_weight(&mut self, rows: f64) {
+        if rows.is_finite() && rows >= 0.0 {
+            self.weight = rows;
+        }
+    }
+
+    /// Merge another histogram into this one, weighting each side by
+    /// the number of rows it summarizes. Bucket boundaries become the
+    /// union of both sides'; overlapping buckets split their mass
+    /// proportionally to span overlap (continuous-uniform assumption),
+    /// so the merge is **exact** whenever boundaries align — in
+    /// particular for singleton buckets (MaxDiff/V-optimal/end-biased
+    /// on small domains). Distinct counts take the max per merged
+    /// bucket (a lower bound; the FM sketch is the exact-merging
+    /// distinct authority).
+    pub fn merge(&mut self, other: &Histogram) {
+        let w1 = self.weight.max(0.0);
+        let w2 = other.weight.max(0.0);
+        if w2 <= 0.0 && other.buckets.is_empty() {
+            return;
+        }
+        if w1 <= 0.0 && self.buckets.is_empty() {
+            let kind = self.kind;
+            *self = other.clone();
+            self.kind = kind;
+            return;
+        }
+        let w = w1 + w2;
+        let self_had_domain = !self.buckets.is_empty();
+        // Atoms: (lo, hi, absolute mass, distinct).
+        let mut atoms: Vec<(f64, f64, f64, f64)> = Vec::new();
+        for b in &self.buckets {
+            atoms.push((b.lo, b.hi, b.frac * w1, b.distinct));
+        }
+        for b in &other.buckets {
+            atoms.push((b.lo, b.hi, b.frac * w2, b.distinct));
+        }
+        // Union of boundaries; split every interval atom at the cut
+        // points that fall strictly inside it.
+        let mut cuts: Vec<f64> = atoms.iter().flat_map(|a| [a.0, a.1]).collect();
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        let mut pieces: Vec<(f64, f64, f64, f64)> = Vec::new();
+        for &(lo, hi, mass, distinct) in &atoms {
+            if lo == hi {
+                pieces.push((lo, hi, mass, distinct));
+                continue;
+            }
+            let span = hi - lo;
+            let mut prev = lo;
+            for &c in cuts.iter().filter(|&&c| c > lo && c < hi) {
+                let f = (c - prev) / span;
+                pieces.push((prev, c, mass * f, (distinct * f).max(1.0)));
+                prev = c;
+            }
+            let f = (hi - prev) / span;
+            pieces.push((prev, hi, mass * f, (distinct * f).max(1.0)));
+        }
+        pieces.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut buckets: Vec<Bucket> = Vec::new();
+        for (lo, hi, mass, distinct) in pieces {
+            match buckets.last_mut() {
+                Some(b) if b.lo == lo && b.hi == hi => {
+                    b.frac += mass;
+                    b.distinct = b.distinct.max(distinct);
+                }
+                _ => buckets.push(Bucket {
+                    lo,
+                    hi,
+                    frac: mass,
+                    distinct,
+                }),
+            }
+        }
+        if w > 0.0 {
+            for b in &mut buckets {
+                b.frac /= w;
+            }
+        }
+        self.buckets = buckets;
+        if !other.buckets.is_empty() {
+            if self_had_domain {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            } else {
+                self.min = other.min;
+                self.max = other.max;
+            }
+        }
+        self.null_frac = if w > 0.0 {
+            ((self.null_frac * w1 + other.null_frac * w2) / w).clamp(0.0, 1.0)
+        } else {
+            self.null_frac
+        };
+        self.distinct = self.distinct.max(other.distinct);
+        self.weight = w;
     }
 
     /// Selectivity of `col = rank` as a fraction of all rows.
@@ -795,6 +916,78 @@ mod tests {
             err_eb < err_ew,
             "end-biased {err_eb} should beat equi-width {err_ew} under skew"
         );
+    }
+
+    #[test]
+    fn merge_of_splits_equals_whole_for_singleton_buckets() {
+        // Small domain ⇒ MaxDiff gives exact singleton buckets; the
+        // merged splits must reproduce the whole-input histogram's
+        // bucket fractions exactly (up to fp round-off).
+        let whole: Vec<f64> = (0..900).map(|i| (i % 9) as f64).collect();
+        let (a, b) = whole.split_at(333);
+        let hw = Histogram::build(HistogramKind::MaxDiff, &whole, 16, 0.0, 9.0);
+        let mut ha = Histogram::build(HistogramKind::MaxDiff, a, 16, 0.0, 9.0);
+        let hb = Histogram::build(HistogramKind::MaxDiff, b, 16, 0.0, 9.0);
+        ha.merge(&hb);
+        assert_eq!(ha.buckets().len(), hw.buckets().len());
+        for (ba, bw) in ha.buckets().iter().zip(hw.buckets()) {
+            assert_eq!(ba.lo, bw.lo);
+            assert_eq!(ba.hi, bw.hi);
+            assert!(
+                (ba.frac - bw.frac).abs() < 1e-9,
+                "frac {} vs {}",
+                ba.frac,
+                bw.frac
+            );
+        }
+        assert!((ha.weight() - hw.weight()).abs() < 1e-9);
+        assert_eq!(ha.min(), hw.min());
+        assert_eq!(ha.max(), hw.max());
+    }
+
+    #[test]
+    fn merge_weights_null_fraction() {
+        let a = uniform_sample(100, 0, 9);
+        let b = uniform_sample(300, 0, 9);
+        let mut ha = Histogram::build(HistogramKind::EquiDepth, &a, 4, 0.5, 10.0);
+        let hb = Histogram::build(HistogramKind::EquiDepth, &b, 4, 0.0, 10.0);
+        // Weights: 100/(1-0.5)=200 rows and 300 rows ⇒ merged null
+        // fraction (0.5·200 + 0·300)/500 = 0.2.
+        ha.merge(&hb);
+        assert!((ha.null_frac() - 0.2).abs() < 1e-9, "nf {}", ha.null_frac());
+        // Mass (non-null) is conserved: 100 + 300 of 500 rows.
+        let mass: f64 = ha.buckets().iter().map(|x| x.frac).sum();
+        assert!((mass - 0.8).abs() < 1e-9, "mass {mass}");
+    }
+
+    #[test]
+    fn merge_overlapping_interval_buckets_conserves_mass() {
+        let a = uniform_sample(4000, 0, 999);
+        let b = uniform_sample(2000, 500, 1499);
+        let mut ha = Histogram::build(HistogramKind::EquiDepth, &a, 8, 0.0, 1000.0);
+        let hb = Histogram::build(HistogramKind::EquiDepth, &b, 8, 0.0, 1000.0);
+        ha.merge(&hb);
+        let mass: f64 = ha.buckets().iter().map(|x| x.frac).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        assert_eq!(ha.min(), 0.0);
+        assert_eq!(ha.max(), 1499.0);
+        // Two thirds of all rows came from the first sample's domain
+        // half [0, 500): they must still be found there.
+        let lower = ha.sel_range(Some(0.0), Some(499.0));
+        assert!((lower - 4000.0 / 12000.0).abs() < 0.08, "lower {lower}");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let sample = uniform_sample(500, 0, 49);
+        let mut h = Histogram::build(HistogramKind::MaxDiff, &sample, 8, 0.0, 50.0);
+        let before = h.clone();
+        h.merge(&Histogram::build(HistogramKind::MaxDiff, &[], 8, 0.0, 0.0));
+        assert_eq!(h, before);
+        let mut empty = Histogram::build(HistogramKind::MaxDiff, &[], 8, 0.0, 0.0);
+        empty.merge(&before);
+        assert_eq!(empty.buckets(), before.buckets());
+        assert_eq!(empty.weight(), before.weight());
     }
 
     #[test]

@@ -52,6 +52,38 @@ impl<T> Reservoir<T> {
         }
     }
 
+    /// Merge another reservoir into this one, as if this reservoir had
+    /// observed both streams. When the union of the kept items fits the
+    /// capacity (neither side overflowed) the merge is **exact** — the
+    /// result holds every item of both streams. Otherwise each side
+    /// contributes a deterministic without-replacement draw sized
+    /// proportionally to the stream length it represents (the standard
+    /// weighted reservoir-merge; this reservoir's own [`DetRng`] drives
+    /// the draw, so merging is reproducible).
+    pub fn merge(&mut self, other: &Reservoir<T>)
+    where
+        T: Clone,
+    {
+        if other.seen == 0 {
+            return;
+        }
+        let total = self.seen + other.seen;
+        if self.items.len() + other.items.len() <= self.capacity {
+            self.items.extend(other.items.iter().cloned());
+            self.seen = total;
+            return;
+        }
+        let k = self.capacity;
+        let mut ka = ((k as u128 * self.seen as u128) / total as u128) as usize;
+        ka = ka.clamp(k.saturating_sub(other.items.len()), self.items.len().min(k));
+        let kb = (k - ka).min(other.items.len());
+        let mut merged = Vec::with_capacity(ka + kb);
+        sample_into(&mut merged, &mut self.rng, &self.items, ka);
+        sample_into(&mut merged, &mut self.rng, &other.items, kb);
+        self.items = merged;
+        self.seen = total;
+    }
+
     /// Number of elements observed so far.
     pub fn seen(&self) -> u64 {
         self.seen
@@ -80,6 +112,21 @@ impl<T> Reservoir<T> {
         } else {
             (self.items.len() as f64 / self.seen as f64).min(1.0)
         }
+    }
+}
+
+/// Append a uniform without-replacement draw of `k` items (partial
+/// Fisher–Yates over indices; deterministic given the rng state).
+fn sample_into<T: Clone>(out: &mut Vec<T>, rng: &mut DetRng, items: &[T], k: usize) {
+    if k >= items.len() {
+        out.extend(items.iter().cloned());
+        return;
+    }
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    for i in 0..k {
+        let j = i + rng.gen_range((idx.len() - i) as u64) as usize;
+        idx.swap(i, j);
+        out.push(items[idx[i]].clone());
     }
 }
 
@@ -151,5 +198,70 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = Reservoir::<u32>::new(0, 0);
+    }
+
+    #[test]
+    fn merge_of_unsaturated_splits_is_exact() {
+        let mut a = Reservoir::new(100, 7);
+        let mut b = Reservoir::new(100, 8);
+        for i in 0..30 {
+            a.observe(i);
+        }
+        for i in 30..70 {
+            b.observe(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.seen(), 70);
+        let mut items = a.items().to_vec();
+        items.sort_unstable();
+        assert_eq!(items, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_of_saturated_sides_caps_and_weights() {
+        let mut a = Reservoir::new(64, 9);
+        let mut b = Reservoir::new(64, 10);
+        for i in 0..9000u64 {
+            a.observe(i);
+        }
+        for i in 9000..12000u64 {
+            b.observe(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.seen(), 12_000);
+        assert_eq!(a.items().len(), 64);
+        // Contribution proportional to stream length: 9000/12000 → 48.
+        let from_a = a.items().iter().filter(|&&x| x < 9000).count();
+        assert_eq!(from_a, 48, "weighted split {from_a}/64");
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let run = || {
+            let mut a = Reservoir::new(32, 11);
+            let mut b = Reservoir::new(32, 12);
+            for i in 0..500u64 {
+                a.observe(i);
+            }
+            for i in 500..900u64 {
+                b.observe(i);
+            }
+            a.merge(&b);
+            a.items().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Reservoir::new(16, 13);
+        for i in 0..10 {
+            a.observe(i);
+        }
+        let before = a.items().to_vec();
+        let b: Reservoir<i32> = Reservoir::new(16, 14);
+        a.merge(&b);
+        assert_eq!(a.items(), &before[..]);
+        assert_eq!(a.seen(), 10);
     }
 }

@@ -142,6 +142,26 @@ impl Storage {
         })
     }
 
+    /// Scan a contiguous slice of a heap file's pages: positions
+    /// `page_lo..page_hi` of the file's page list (half-open, clamped
+    /// to the file length). The partitioned driver carves a table scan
+    /// into disjoint chunks with this; chunks concatenated in order
+    /// replay exactly the rows of [`Storage::scan_file`].
+    pub fn scan_file_range(&self, file: FileId, page_lo: usize, page_hi: usize) -> Result<RowScan> {
+        let mut pages = self.file_page_list(file)?;
+        let hi = page_hi.min(pages.len());
+        let lo = page_lo.min(hi);
+        pages.truncate(hi);
+        pages.drain(..lo);
+        Ok(RowScan {
+            storage: self.clone(),
+            pages,
+            page_idx: 0,
+            buffered: Vec::new(),
+            buf_idx: 0,
+        })
+    }
+
     /// Fetch a single row by record id (used by index scans).
     pub fn fetch(&self, rid: Rid) -> Result<Row> {
         self.inner.pool.with_page(rid.page, |data| {

@@ -25,6 +25,9 @@ use midq::{Database, QueryOutcome, ReoptMode, SqlOutcome, Workload, WorkloadQuer
 struct Shell {
     db: Database,
     mode: ReoptMode,
+    /// Intra-query partition count for `\analyze` and `\q` runs
+    /// (`None` = serial execution).
+    partitions: Option<usize>,
     last: Option<QueryOutcome>,
     /// JSONL trace of the last `\analyze` run (cleared per run).
     sink: Arc<JsonlSink>,
@@ -44,6 +47,10 @@ meta-commands:
   \\tables                         list tables with row counts
   \\schema <table>                 show a table's columns and statistics
   \\mode [off|memory|plan|full]    show or set the re-optimization mode
+  \\partitions [P|off]             show or set the intra-query partition
+                                  count: \\analyze and \\q then run
+                                  through the partitioned driver
+                                  (exchange operators, skew verdicts)
   \\explain <SELECT ...>           annotated physical plan, no execution
   \\analyze <table>                re-ANALYZE one table
   \\analyze <SELECT ...| Qn>       EXPLAIN ANALYZE: run traced, show the
@@ -58,9 +65,13 @@ meta-commands:
                                   last query (events, final plan)
   \\source <file>                  run statements from a file (one per
                                   line or ;-terminated)
-  \\workload <file> [--workers N]  replay a file of SELECTs (one per
+  \\workload <file> [--workers N] [--partitions P]
+                                  replay a file of SELECTs (one per
                                   line or ;-terminated) through the
-                                  concurrent runtime (default N=4):
+                                  concurrent runtime (default N=4);
+                                  --partitions runs every query through
+                                  the partitioned driver with P workers
+                                  (admission takes P leases atomically):
                                   per-query summaries + throughput
   \\quit                           exit
 anything else is parsed as SQL: SELECT runs under the current mode;
@@ -87,6 +98,7 @@ impl Shell {
         Shell {
             db: Database::new(cfg).expect("engine"),
             mode: ReoptMode::Full,
+            partitions: None,
             last: None,
             sink: Arc::new(JsonlSink::new()),
             metrics: MetricsRegistry::new(),
@@ -146,6 +158,21 @@ impl Shell {
                     println!("mode: {:?}", self.mode);
                 }
                 None => println!("unknown mode {m:?} (off|memory|plan|full)"),
+            },
+            ["partitions"] => match self.partitions {
+                Some(p) => println!("partitions: {p}"),
+                None => println!("partitions: off (serial execution)"),
+            },
+            ["partitions", "off"] => {
+                self.partitions = None;
+                println!("partitions: off (serial execution)");
+            }
+            ["partitions", p] => match p.parse::<usize>() {
+                Ok(p) if p >= 1 => {
+                    self.partitions = Some(p);
+                    println!("partitions: {p}");
+                }
+                _ => println!("usage: \\partitions <P >= 1 | off>"),
             },
             ["explain", ..] => {
                 let sql = cmd.trim_start_matches("explain").trim();
@@ -276,7 +303,11 @@ impl Shell {
             .with_sink(self.sink.clone())
             .with_metrics(self.metrics.clone())
             .for_job(self.jobs, &label);
-        match self.db.run_observed(&plan, self.mode, &obs) {
+        let run = match self.partitions {
+            Some(p) => self.db.run_partitioned_observed(&plan, self.mode, p, &obs),
+            None => self.db.run_observed(&plan, self.mode, &obs),
+        };
+        match run {
             Ok(out) => {
                 print!("{}", out.explain_analyze());
                 println!(
@@ -310,7 +341,11 @@ impl Shell {
             println!("unknown query {name} — available: {}", names.join(", "));
             return;
         };
-        match self.db.run(&plan, self.mode) {
+        let run = match self.partitions {
+            Some(p) => self.db.run_partitioned(&plan, self.mode, p),
+            None => self.db.run(&plan, self.mode),
+        };
+        match run {
             Ok(out) => self.finish(out),
             Err(e) => println!("error: {e}"),
         }
@@ -346,15 +381,25 @@ impl Shell {
     /// `;`- or newline-separated; `--` comments are skipped. Built-in
     /// TPC-D queries may be named as `\q <name>` lines.
     fn workload(&mut self, args: &[&str]) {
+        const USAGE: &str = "usage: \\workload <file> [--workers N] [--partitions P]";
         let mut path: Option<&str> = None;
         let mut workers = 4usize;
+        let mut partitions: Option<usize> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if *a == "--workers" {
                 match it.next().and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n >= 1 => workers = n,
                     _ => {
-                        println!("usage: \\workload <file> [--workers N]");
+                        println!("{USAGE}");
+                        return;
+                    }
+                }
+            } else if *a == "--partitions" {
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(p) if p >= 1 => partitions = Some(p),
+                    _ => {
+                        println!("{USAGE}");
                         return;
                     }
                 }
@@ -363,7 +408,7 @@ impl Shell {
             }
         }
         let Some(path) = path else {
-            println!("usage: \\workload <file> [--workers N]");
+            println!("{USAGE}");
             return;
         };
         let text = match std::fs::read_to_string(path) {
@@ -399,6 +444,9 @@ impl Shell {
         if wl.queries.is_empty() {
             println!("{path}: no statements");
             return;
+        }
+        if let Some(p) = partitions {
+            wl = wl.with_partitions(p);
         }
         // Metrics-only handle: per-job snapshots drive the summary
         // lines and accumulate into the session registry (\metrics).

@@ -295,6 +295,40 @@ impl Database {
         self.engine.run_with(plan, mode, env)
     }
 
+    /// Run a logical plan through the intra-query partitioned driver
+    /// (`mq-par`) with `partitions` simulated workers: the optimized
+    /// plan gets exchange operators, pipeline segments execute per
+    /// routing bucket, and the outcome carries a
+    /// [`mq_reopt::ParReport`] (exchange routing, skew verdicts,
+    /// parallel time saved). Results are byte-identical across
+    /// partition counts, and equal to serial execution up to
+    /// floating-point summation order.
+    pub fn run_partitioned(
+        &self,
+        plan: &LogicalPlan,
+        mode: ReoptMode,
+        partitions: usize,
+    ) -> Result<QueryOutcome> {
+        let mut env = self.engine.default_env();
+        env.par = Some(mq_reopt::ParSpec::new(partitions));
+        self.engine.run_with(plan, mode, env)
+    }
+
+    /// [`Database::run_partitioned`] with an observability handle
+    /// attached (exchange and skew-verdict events go to its sink).
+    pub fn run_partitioned_observed(
+        &self,
+        plan: &LogicalPlan,
+        mode: ReoptMode,
+        partitions: usize,
+        obs: &mq_obs::Obs,
+    ) -> Result<QueryOutcome> {
+        let mut env = self.engine.default_env();
+        env.par = Some(mq_reopt::ParSpec::new(partitions));
+        env.obs = Some(obs.clone());
+        self.engine.run_with(plan, mode, env)
+    }
+
     /// Parse and run SQL with an observability handle attached (see
     /// [`Database::run_observed`]).
     pub fn run_sql_observed(
