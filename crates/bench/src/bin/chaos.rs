@@ -1,22 +1,56 @@
 //! Chaos campaign CLI: `cargo run --release -p mq-bench --bin chaos
-//! -- [--seeds N] [--first-seed S] [--verbose]`.
+//! -- [--seeds N | --seeds A..B] [--first-seed S] [--verbose]`.
 //!
-//! Runs the TPC-D mini-workload under N seeded fault schedules at 1
-//! and 4 workers and exits nonzero if any robustness invariant is
-//! violated (see `mq_bench::chaos`).
+//! Runs the TPC-D mini-workload under seeded fault schedules at 1 and
+//! 4 workers and exits nonzero if any robustness invariant is violated
+//! (see `mq_bench::chaos`). `--seeds` accepts either a count (`50`) or
+//! an explicit seed range (`10..60` exclusive, `10..=59` inclusive);
+//! a range overrides `--first-seed`. `--crash` runs the kill-point
+//! crash/recovery campaign instead (see `mq_bench::recovery`).
 
 use mq_bench::chaos::{run_chaos, run_chaos_partitioned};
+use mq_bench::recovery::run_crash_campaign;
+
+/// Parse a `--seeds` value: a plain count, or an `A..B` / `A..=B`
+/// seed range returned as `(first_seed, count)`.
+fn parse_seeds(v: &str) -> Option<(Option<u64>, u64)> {
+    if let Some((a, b)) = v.split_once("..") {
+        let first: u64 = a.parse().ok()?;
+        let (last_text, inclusive) = match b.strip_prefix('=') {
+            Some(rest) => (rest, true),
+            None => (b, false),
+        };
+        let last: u64 = last_text.parse().ok()?;
+        let end = if inclusive {
+            last.checked_add(1)?
+        } else {
+            last
+        };
+        if end <= first {
+            return None;
+        }
+        Some((Some(first), end - first))
+    } else {
+        Some((None, v.parse().ok()?))
+    }
+}
 
 fn main() {
     let mut seeds: u64 = 50;
     let mut first_seed: u64 = 1;
+    let mut seeds_range_start: Option<u64> = None;
     let mut verbose = false;
     let mut partitioned = false;
+    let mut crash = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seeds" => {
-                seeds = args.next().and_then(|v| v.parse().ok()).expect("--seeds N");
+                let v = args.next().expect("--seeds N or --seeds A..B");
+                let (start, count) =
+                    parse_seeds(&v).unwrap_or_else(|| panic!("bad --seeds value: {v}"));
+                seeds_range_start = start;
+                seeds = count;
             }
             "--first-seed" => {
                 first_seed = args
@@ -25,13 +59,37 @@ fn main() {
                     .expect("--first-seed S");
             }
             "--partitioned" => partitioned = true,
+            "--crash" => crash = true,
             "--verbose" | "-v" => verbose = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: chaos [--seeds N] [--first-seed S] [--partitioned] [--verbose]");
+                eprintln!(
+                    "usage: chaos [--seeds N | --seeds A..B] [--first-seed S] \
+                     [--partitioned] [--crash] [--verbose]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(start) = seeds_range_start {
+        first_seed = start;
+    }
+
+    if crash {
+        let report = run_crash_campaign(verbose);
+        println!("{}", report.summary());
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        if !report.passed() {
+            if report.violations.is_empty() {
+                eprintln!(
+                    "no salvaged recovery observed — the campaign never crashed past a checkpoint"
+                );
+            }
+            std::process::exit(1);
+        }
+        return;
     }
 
     let report = if partitioned {

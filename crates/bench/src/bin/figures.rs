@@ -5,6 +5,7 @@
 //! cargo run --release -p mq-bench --bin figures -- fig10   # one figure
 //! ```
 
+use mq_bench::recovery::recovery_figure;
 use mq_bench::{
     ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin, est_vs_actual,
     fig03_memory_realloc, fig10, fig11, fig12, overhead, par_skew, par_speedup, render_pairs,
@@ -282,6 +283,26 @@ fn main() {
         println!("re-optimization decisions:");
         for v in &verdicts {
             println!("  {v}");
+        }
+        println!();
+    }
+
+    if want("recovery") {
+        println!("== RECOVERY: crash at final checkpoint — salvaged resume vs cold re-run ==");
+        println!(
+            "{:<6} {:>11} {:>9} {:>11} {:>13} {:>7}",
+            "query", "boundaries", "salvaged", "cold(ms)", "recover(ms)", "ratio"
+        );
+        for p in recovery_figure() {
+            println!(
+                "{:<6} {:>11} {:>9} {:>11.1} {:>13.1} {:>7.2}",
+                p.query,
+                p.boundaries,
+                p.segments_salvaged,
+                p.cold_ms,
+                p.recovery_ms,
+                p.recovery_ms / p.cold_ms
+            );
         }
         println!();
     }

@@ -17,6 +17,7 @@
 //! | §2.2 est-vs-actual trace table | [`est_vs_actual`] |
 
 pub mod chaos;
+pub mod recovery;
 
 use midq::common::EngineConfig;
 use midq::tpcd::{queries, TpcdConfig};

@@ -85,6 +85,16 @@ pub struct EngineConfig {
     /// Simulated-clock backoff before the first segment retry, in
     /// milliseconds; doubles on each further retry.
     pub transient_retry_backoff_ms: f64,
+    /// Maximum recovery attempts the runtime makes after an injected
+    /// crash (simulated process kill) before reporting the query as
+    /// failed. 0 disables recovery — crashed queries stay crashed and
+    /// their artifacts wait for the next stale-temp sweep.
+    pub recovery_attempt_limit: u32,
+    /// Simulated-clock backoff before the first recovery attempt, in
+    /// milliseconds; doubles on each further attempt (mirrors
+    /// `transient_retry_backoff_ms` but models process restart, not an
+    /// I/O hiccup, hence the larger default).
+    pub recovery_backoff_ms: f64,
     /// Number of logical hash buckets used by partitioned (exchange)
     /// execution. Buckets — not partitions — are the unit of routing
     /// and of per-bucket pipeline runs, so results are byte-identical
@@ -124,6 +134,8 @@ impl Default for EngineConfig {
             stats_feedback: false,
             transient_retry_limit: 2,
             transient_retry_backoff_ms: 5.0,
+            recovery_attempt_limit: 3,
+            recovery_backoff_ms: 50.0,
             par_buckets: 64,
             par_skew_theta: 4.0,
             par_broadcast_rows: 64.0,
@@ -190,6 +202,12 @@ impl EngineConfig {
             return Err(MqError::InvalidConfig(format!(
                 "transient_retry_backoff_ms {} must be finite and non-negative",
                 self.transient_retry_backoff_ms
+            )));
+        }
+        if !(self.recovery_backoff_ms.is_finite() && self.recovery_backoff_ms >= 0.0) {
+            return Err(MqError::InvalidConfig(format!(
+                "recovery_backoff_ms {} must be finite and non-negative",
+                self.recovery_backoff_ms
             )));
         }
         if self.reservoir_size == 0 || self.histogram_buckets == 0 {
@@ -269,6 +287,10 @@ mod tests {
             },
             EngineConfig {
                 par_buckets: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                recovery_backoff_ms: -1.0,
                 ..EngineConfig::default()
             },
             EngineConfig {

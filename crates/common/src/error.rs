@@ -39,6 +39,12 @@ pub enum MqError {
     /// The query was cancelled (explicit request or deadline expiry),
     /// detected cooperatively at a segment boundary.
     Cancelled(String),
+    /// A simulated process kill: the query's in-flight state is
+    /// abandoned *without* cleanup, exactly as a real kill would leave
+    /// it. Unlike every other variant this one must NOT run the
+    /// engine's `CleanupGuard` — the engine forgets the guard and
+    /// leaves recovery to the checkpoint manifest.
+    Crash(String),
     /// Not an error: a control-flow signal used by the Dynamic
     /// Re-Optimization controller to unwind execution at a plan-switch
     /// point (§2.4). Carries the plan node id of the cut. Operators
@@ -81,6 +87,7 @@ impl MqError {
             MqError::InvalidConfig(_) => "config",
             MqError::Internal(_) => "internal",
             MqError::Cancelled(_) => "cancelled",
+            MqError::Crash(_) => "crash",
             MqError::PlanSwitch(_) => "plan_switch",
         }
     }
@@ -101,6 +108,7 @@ impl fmt::Display for MqError {
             MqError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             MqError::Internal(m) => write!(f, "internal error: {m}"),
             MqError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            MqError::Crash(m) => write!(f, "crash: {m}"),
             MqError::PlanSwitch(n) => write!(f, "plan switch requested at node {n}"),
         }
     }
@@ -134,6 +142,7 @@ mod tests {
             MqError::InvalidConfig(String::new()),
             MqError::Internal(String::new()),
             MqError::Cancelled(String::new()),
+            MqError::Crash(String::new()),
             MqError::PlanSwitch(0),
         ];
         let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();

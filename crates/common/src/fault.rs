@@ -41,6 +41,11 @@ pub enum FaultSite {
     PageWrite,
     /// A memory-broker grant decision (`acquire` or `Lease::grow`).
     Grant,
+    /// A segment boundary: the executor's phase notification between
+    /// pipeline stages (and the engine's materialization points). Only
+    /// [`FaultKind::Crash`] is meaningful here — a transient hiccup
+    /// between segments has nothing to retry.
+    SegmentBoundary,
 }
 
 /// Severity of an injected I/O fault.
@@ -51,6 +56,11 @@ pub enum FaultKind {
     Transient,
     /// Persists: the query must fail with a clean typed error.
     Permanent,
+    /// Simulated process kill: the query unwinds with
+    /// [`MqError::Crash`] and its in-flight state (registered temp
+    /// tables, partial materializations, manifest records) is
+    /// deliberately abandoned — recovery, not cleanup, reclaims it.
+    Crash,
 }
 
 /// One scheduled fault: fire at the `at`-th (1-based) operation
@@ -79,6 +89,16 @@ pub struct FaultProfile {
     pub transient_percent: u32,
     /// Percent chance the schedule includes a cancellation trigger.
     pub cancel_percent: u32,
+    /// Percent chance the schedule includes a crash trigger (simulated
+    /// process kill at a segment boundary or mid-materialization).
+    /// Zero by default so pre-existing seeded schedules stay
+    /// byte-identical; the crash draw happens *after* every other draw
+    /// for the same reason.
+    pub crash_percent: u32,
+    /// Crash positions are drawn in `1..=crash_horizon` segment
+    /// boundaries (boundary crashes) or `1..=io_horizon` writes
+    /// (mid-materialization crashes).
+    pub crash_horizon: u64,
 }
 
 impl Default for FaultProfile {
@@ -89,6 +109,8 @@ impl Default for FaultProfile {
             grant_horizon: 8,
             transient_percent: 70,
             cancel_percent: 10,
+            crash_percent: 0,
+            crash_horizon: 6,
         }
     }
 }
@@ -100,11 +122,12 @@ pub struct FaultsFired {
     pub permanent: u64,
     pub denials: u64,
     pub cancels: u64,
+    pub crashes: u64,
 }
 
 impl FaultsFired {
     pub fn total(&self) -> u64 {
-        self.transient + self.permanent + self.denials + self.cancels
+        self.transient + self.permanent + self.denials + self.cancels + self.crashes
     }
 }
 
@@ -115,16 +138,20 @@ struct Inner {
     write_faults: Vec<(u64, FaultKind)>,
     /// Sorted grant-decision positions to deny.
     grant_denials: Vec<u64>,
+    /// Sorted segment-boundary positions to crash at.
+    boundary_crashes: Vec<u64>,
     /// Report cancellation once total logical I/O ops reach this.
     cancel_at_io: Option<u64>,
 
     reads: AtomicU64,
     writes: AtomicU64,
     grants: AtomicU64,
+    boundaries: AtomicU64,
     fired_transient: AtomicU64,
     fired_permanent: AtomicU64,
     fired_denials: AtomicU64,
     fired_cancels: AtomicU64,
+    fired_crashes: AtomicU64,
 }
 
 /// A shared, seeded fault schedule. Cheap to clone; clones share the
@@ -148,11 +175,13 @@ impl FaultInjector {
                 FaultSite::PageRead => inner.read_faults.push((s.at, s.kind)),
                 FaultSite::PageWrite => inner.write_faults.push((s.at, s.kind)),
                 FaultSite::Grant => inner.grant_denials.push(s.at),
+                FaultSite::SegmentBoundary => inner.boundary_crashes.push(s.at),
             }
         }
         inner.read_faults.sort_by_key(|(at, _)| *at);
         inner.write_faults.sort_by_key(|(at, _)| *at);
         inner.grant_denials.sort_unstable();
+        inner.boundary_crashes.sort_unstable();
         FaultInjector {
             inner: Arc::new(inner),
         }
@@ -195,6 +224,21 @@ impl FaultInjector {
         }
         let cancel_at_io = (rng.gen_range(100) < u64::from(profile.cancel_percent))
             .then(|| rng.gen_range(profile.io_horizon.max(1)) + 1);
+        // The crash draws come last so schedules from profiles with
+        // `crash_percent: 0` (including every pre-existing seed) are
+        // byte-identical to what they were before crashes existed.
+        if rng.gen_range(100) < u64::from(profile.crash_percent) {
+            let (site, horizon) = if rng.gen_range(100) < 50 {
+                (FaultSite::SegmentBoundary, profile.crash_horizon)
+            } else {
+                (FaultSite::PageWrite, profile.io_horizon)
+            };
+            specs.push(FaultSpec {
+                site,
+                kind: FaultKind::Crash,
+                at: rng.gen_range(horizon.max(1)) + 1,
+            });
+        }
         FaultInjector::new(specs, cancel_at_io)
     }
 
@@ -205,6 +249,7 @@ impl FaultInjector {
             permanent: self.inner.fired_permanent.load(Ordering::Relaxed),
             denials: self.inner.fired_denials.load(Ordering::Relaxed),
             cancels: self.inner.fired_cancels.load(Ordering::Relaxed),
+            crashes: self.inner.fired_crashes.load(Ordering::Relaxed),
         }
     }
 
@@ -213,7 +258,33 @@ impl FaultInjector {
         self.inner.read_faults.is_empty()
             && self.inner.write_faults.is_empty()
             && self.inner.grant_denials.is_empty()
+            && self.inner.boundary_crashes.is_empty()
             && self.inner.cancel_at_io.is_none()
+    }
+
+    /// True if the schedule contains at least one crash
+    /// ([`FaultKind::Crash`] at any site).
+    pub fn has_crash(&self) -> bool {
+        !self.inner.boundary_crashes.is_empty()
+            || self
+                .inner
+                .read_faults
+                .iter()
+                .chain(self.inner.write_faults.iter())
+                .any(|(_, k)| *k == FaultKind::Crash)
+    }
+
+    /// Operations counted so far at `site`. A fault-free "counting
+    /// run" under a no-fault injector uses these to enumerate the
+    /// query's kill points (how many boundaries / writes exist), which
+    /// the crash campaign then iterates over.
+    pub fn ops_at(&self, site: FaultSite) -> u64 {
+        match site {
+            FaultSite::PageRead => self.inner.reads.load(Ordering::Relaxed),
+            FaultSite::PageWrite => self.inner.writes.load(Ordering::Relaxed),
+            FaultSite::Grant => self.inner.grants.load(Ordering::Relaxed),
+            FaultSite::SegmentBoundary => self.inner.boundaries.load(Ordering::Relaxed),
+        }
     }
 
     /// Enter a scope: until the returned guard drops, fault hooks on
@@ -229,7 +300,7 @@ impl FaultInjector {
         let (counter, faults) = match site {
             FaultSite::PageRead => (&self.inner.reads, &self.inner.read_faults),
             FaultSite::PageWrite => (&self.inner.writes, &self.inner.write_faults),
-            FaultSite::Grant => unreachable!("grants are not I/O"),
+            _ => unreachable!("grants and boundaries are not I/O"),
         };
         let op = counter.fetch_add(1, Ordering::Relaxed) + 1;
         if let Ok(idx) = faults.binary_search_by_key(&op, |(at, _)| *at) {
@@ -250,7 +321,24 @@ impl FaultInjector {
                         "injected permanent I/O fault at page {word} #{op}"
                     )))
                 }
+                FaultKind::Crash => {
+                    self.inner.fired_crashes.fetch_add(1, Ordering::Relaxed);
+                    Err(MqError::Crash(format!(
+                        "injected kill at page {word} #{op}"
+                    )))
+                }
             };
+        }
+        Ok(())
+    }
+
+    fn check_boundary(&self) -> Result<()> {
+        let op = self.inner.boundaries.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.inner.boundary_crashes.binary_search(&op).is_ok() {
+            self.inner.fired_crashes.fetch_add(1, Ordering::Relaxed);
+            return Err(MqError::Crash(format!(
+                "injected kill at segment boundary #{op}"
+            )));
         }
         Ok(())
     }
@@ -326,6 +414,13 @@ pub fn grant_allowed() -> bool {
 /// without a scope.
 pub fn cancel_requested() -> bool {
     with_scoped(false, FaultInjector::check_cancel)
+}
+
+/// Hook for segment boundaries (executor phase transitions). Counts
+/// the boundary and fires a scheduled [`FaultKind::Crash`], if any.
+/// No-op without a scope.
+pub fn on_segment_boundary() -> Result<()> {
+    with_scoped(Ok(()), FaultInjector::check_boundary)
 }
 
 #[cfg(test)]
@@ -415,6 +510,79 @@ mod tests {
         let _ = on_page_read();
         assert!(cancel_requested());
         assert_eq!(inj.fired().denials, 1);
+    }
+
+    #[test]
+    fn boundary_crash_fires_at_exact_boundary() {
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::SegmentBoundary,
+                kind: FaultKind::Crash,
+                at: 2,
+            }],
+            None,
+        );
+        assert!(inj.has_crash());
+        let _scope = inj.enter_scope();
+        assert!(on_segment_boundary().is_ok());
+        let err = on_segment_boundary().expect_err("second boundary crashes");
+        assert_eq!(err.kind(), "crash");
+        assert!(on_segment_boundary().is_ok(), "crash does not repeat");
+        assert_eq!(inj.fired().crashes, 1);
+        assert_eq!(inj.ops_at(FaultSite::SegmentBoundary), 3);
+    }
+
+    #[test]
+    fn write_crash_is_a_crash_not_storage() {
+        let inj = FaultInjector::new(
+            vec![FaultSpec {
+                site: FaultSite::PageWrite,
+                kind: FaultKind::Crash,
+                at: 1,
+            }],
+            None,
+        );
+        assert!(inj.has_crash());
+        let _scope = inj.enter_scope();
+        let err = on_page_write().expect_err("first write crashes");
+        assert_eq!(err.kind(), "crash");
+        assert!(!err.is_transient());
+        assert_eq!(inj.fired().crashes, 1);
+    }
+
+    #[test]
+    fn counting_run_exposes_kill_points() {
+        let inj = FaultInjector::none();
+        assert!(!inj.has_crash());
+        let _scope = inj.enter_scope();
+        for _ in 0..3 {
+            on_segment_boundary().unwrap();
+        }
+        let _ = on_page_write();
+        assert_eq!(inj.ops_at(FaultSite::SegmentBoundary), 3);
+        assert_eq!(inj.ops_at(FaultSite::PageWrite), 1);
+        assert_eq!(inj.ops_at(FaultSite::PageRead), 0);
+    }
+
+    #[test]
+    fn crash_free_profiles_keep_legacy_schedules() {
+        // crash_percent: 0 must leave every seeded schedule exactly as
+        // it was before the crash draw existed.
+        let p = FaultProfile::default();
+        assert_eq!(p.crash_percent, 0);
+        for seed in 0..256 {
+            let inj = FaultInjector::from_seed(seed, &p);
+            assert!(!inj.has_crash(), "seed {seed} drew a crash at 0%");
+        }
+        // And a crash-heavy profile actually draws them.
+        let crashy = FaultProfile {
+            crash_percent: 100,
+            ..FaultProfile::default()
+        };
+        let drawn = (0..64)
+            .filter(|&s| FaultInjector::from_seed(s, &crashy).has_crash())
+            .count();
+        assert_eq!(drawn, 64, "crash_percent: 100 must always schedule one");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use mq_plan::{LogicalPlan, NodeId, PhysPlan};
 use mq_storage::Storage;
 
 use crate::controller::ReoptController;
+use crate::manifest::{plan_hash, CheckpointRecord, ManifestStore, QueryManifest};
 use crate::scia::insert_collectors;
 use crate::ReoptMode;
 
@@ -119,6 +120,10 @@ impl QueryOutcome {
 /// engine-wide clock and memory manager, no interrupts);
 /// [`Engine::run_with`] lets the runtime supply a per-query one.
 pub struct JobEnv {
+    /// Engine query id: keys the checkpoint manifest, so a crashed
+    /// query can be recovered by id. Must agree with `temp_prefix`
+    /// (both come from [`Engine::next_query_id`]).
+    pub query_id: u64,
     /// Clock all of this job's work is charged to (a
     /// [`SimClock::child`] of the engine clock under the runtime, so
     /// the global aggregate still sees every charge).
@@ -163,6 +168,11 @@ pub struct AuditReport {
     /// [`Engine::cleanup_failure_count`]). Informational — failures
     /// leave survivors that the leak counters above already flag.
     pub cleanup_failures: u64,
+    /// Stale `tmp_reopt_*` leftovers (tables + scratch files) swept
+    /// since engine start by [`Engine::sweep_stale_temps`] — crashed
+    /// queries nobody recovered. Informational: swept means reclaimed,
+    /// not leaked, so this does not affect [`AuditReport::is_clean`].
+    pub stale_swept: u64,
 }
 
 impl AuditReport {
@@ -176,14 +186,56 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "audit: {} leaked temp table(s) {:?}, {} orphan page(s), {} stuck pin(s), {} cleanup failure(s)",
+            "audit: {} leaked temp table(s) {:?}, {} orphan page(s), {} stuck pin(s), {} cleanup failure(s), {} stale object(s) swept",
             self.leaked_temp_tables.len(),
             self.leaked_temp_tables,
             self.orphan_pages,
             self.pinned_frames,
-            self.cleanup_failures
+            self.cleanup_failures,
+            self.stale_swept
         )
     }
+}
+
+/// What [`Engine::recover`] did for one crashed query.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Outcome of the resumed execution (rows are the full query
+    /// result — salvaged segments feed the remainder plan).
+    pub outcome: QueryOutcome,
+    /// Recovery generation the resume ran as (1 = first recovery).
+    pub generation: u32,
+    /// Checkpointed segments whose temp tables validated and were
+    /// reused instead of being recomputed.
+    pub segments_salvaged: u32,
+    /// Rows re-scanned while validating checkpoint fingerprints.
+    pub validated_rows: u64,
+    /// Unrecorded / partial temp tables swept during recovery.
+    pub swept_tables: u64,
+    /// Orphaned scratch files swept during recovery.
+    pub swept_files: u64,
+    /// Total simulated milliseconds recovery cost on the job clock:
+    /// validation re-scans + sweep + the resumed execution itself.
+    pub recovery_ms: f64,
+}
+
+/// Internal result of manifest validation + orphan sweep.
+struct Salvage {
+    salvaged: u32,
+    validated_rows: u64,
+    swept_tables: u64,
+    swept_files: u64,
+    resume_plan: LogicalPlan,
+    salvaged_tables: Vec<String>,
+}
+
+/// Which query owns a `tmp_reopt_*` object: parses the query id out of
+/// a temp-table name or scratch tag (`tmp_reopt_q<id>_…` for the
+/// original run, `tmp_reopt_q<id>r<gen>_…` for recovery generations).
+fn temp_owner(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("tmp_reopt_q")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 /// RAII unwinding for one query execution: whatever happens — success,
@@ -254,6 +306,8 @@ pub struct Engine {
     calibration: Arc<OptCalibration>,
     query_seq: AtomicU64,
     cleanup_failures: AtomicU64,
+    manifests: ManifestStore,
+    stale_swept: AtomicU64,
 }
 
 impl Engine {
@@ -266,7 +320,7 @@ impl Engine {
         let optimizer = Optimizer::new(cfg.clone());
         let mm = MemoryManager::new(&cfg);
         let calibration = Arc::new(OptCalibration::run(&cfg, 6)?);
-        Ok(Engine {
+        let engine = Engine {
             cfg,
             clock,
             storage,
@@ -276,7 +330,14 @@ impl Engine {
             calibration,
             query_seq: AtomicU64::new(0),
             cleanup_failures: AtomicU64::new(0),
-        })
+            manifests: ManifestStore::new(),
+            stale_swept: AtomicU64::new(0),
+        };
+        // Startup invariant: no stale re-optimizer leftovers survive an
+        // engine (re)start. Vacuous on a fresh catalog, but loaders that
+        // restore a snapshot with crash debris start clean.
+        engine.sweep_stale_temps();
+        Ok(engine)
     }
 
     /// The engine configuration.
@@ -318,16 +379,25 @@ impl Engine {
     /// The default per-job environment: the engine-wide clock and
     /// memory manager, no interrupts, and a unique temp prefix.
     pub fn default_env(&self) -> JobEnv {
+        let query_id = self.next_query_id();
         JobEnv {
+            query_id,
             clock: self.clock.clone(),
             mm: self.mm.clone(),
             cancel: None,
             deadline_ms: None,
-            temp_prefix: format!("tmp_reopt_q{}_", self.next_query_id()),
+            temp_prefix: format!("tmp_reopt_q{query_id}_"),
             fault: None,
             obs: None,
             par: None,
         }
+    }
+
+    /// The engine's checkpoint-manifest store. A query id listed in
+    /// [`ManifestStore::open_queries`] after its job returned
+    /// [`MqError::Crash`] is recoverable via [`Engine::recover`].
+    pub fn manifests(&self) -> &ManifestStore {
+        &self.manifests
     }
 
     /// Audit the engine's shared state for resource leaks. Only
@@ -344,6 +414,7 @@ impl Engine {
             orphan_pages: self.storage.orphan_pages(),
             pinned_frames: self.storage.pool().pinned(),
             cleanup_failures: self.cleanup_failures.load(Ordering::Relaxed),
+            stale_swept: self.stale_swept.load(Ordering::Relaxed),
         }
     }
 
@@ -404,6 +475,10 @@ impl Engine {
         // Per-operator cpu/io profiling costs two clock snapshots per
         // operator call; only pay it when a sink is listening.
         ctx.profile_detail = mq_obs::sink_active();
+        // Tag every temp file this job creates with its temp prefix —
+        // the simulated per-query scratch directory. After a crash,
+        // recovery finds the abandoned partial outputs by this tag.
+        ctx.scratch_tag = Some(env.temp_prefix.clone());
         let controller = Rc::new(ReoptController::new(
             mode,
             self.cfg.clone(),
@@ -427,8 +502,14 @@ impl Engine {
         // path — success, error, cancellation, plan switch — without
         // any path having to remember to clean up.
         let mut guard = CleanupGuard::new(self, &ctx);
+        // Open the checkpoint manifest before any segment can complete.
+        // On a recovery resume this rolls the generation over instead
+        // (the salvaged temp tables become the protected set).
+        self.manifests
+            .begin(env.query_id, logical.clone(), mode, env.temp_prefix.clone());
         let mut segment_retries: u32 = 0;
         let mut attempt: u32 = 0;
+        let mut completed_segments: u32 = 0;
         let mut current = logical.clone();
         let result = loop {
             let mut optimized =
@@ -531,6 +612,13 @@ impl Engine {
                     controller.set_suppressed(false);
                     let mat = match mat {
                         Ok(mat) => mat,
+                        Err(e @ MqError::Crash(_)) => {
+                            // Killed mid-materialization: the placeholder
+                            // table and the partial (still scratch-tagged)
+                            // output stay behind for recovery to sweep —
+                            // a real kill cleans up nothing either.
+                            break Err(e);
+                        }
                         Err(e) => {
                             // The controller registered a placeholder
                             // for the temp table; it must not survive a
@@ -555,6 +643,7 @@ impl Engine {
                     };
 
                     // Swap the placeholder for the real file + stats.
+                    let mat_rows = mat.stats.rows;
                     let placeholder = match self.catalog.drop_table(&pending.temp_name) {
                         Ok(p) => p,
                         Err(e) => break Err(e),
@@ -571,6 +660,23 @@ impl Engine {
                     guard.track(pending.temp_name.clone());
                     // The catalog owns the materialized file now.
                     ctx.forget_temp_file(mat.file);
+
+                    // Data before manifest: only now that the temp table
+                    // is fully written *and* registered does the segment
+                    // get its completion record. A crash between the two
+                    // leaves at worst an unrecorded, sweepable table.
+                    completed_segments += 1;
+                    self.manifests.append(
+                        env.query_id,
+                        CheckpointRecord {
+                            segment: completed_segments,
+                            temp_table: pending.temp_name.clone(),
+                            rows: mat_rows,
+                            fingerprint: mat.fingerprint,
+                            remainder_hash: plan_hash(&pending.remainder),
+                        },
+                        pending.remainder.clone(),
+                    );
 
                     // Stale per-attempt state.
                     ctx.clear_artifacts();
@@ -601,6 +707,20 @@ impl Engine {
                 }
             }
         };
+        if let Err(MqError::Crash(cause)) = &result {
+            // Simulated `kill -9`: abandon all in-flight state exactly
+            // as a dying process would. The guard is *forgotten*, not
+            // dropped — artifacts, scratch files and materialized temp
+            // tables stay behind — and the manifest stays open so
+            // [`Engine::recover`] can salvage the completed segments.
+            mq_obs::emit(|| ObsEvent::CrashInjected {
+                query_id: env.query_id,
+                cause: cause.clone(),
+            });
+            std::mem::forget(guard);
+            return result;
+        }
+        self.manifests.remove(env.query_id);
         if let Ok(outcome) = &result {
             if self.cfg.stats_feedback && mode.collects() {
                 self.apply_stats_feedback(&outcome.final_plan, &controller, guard.temps());
@@ -779,6 +899,227 @@ impl Engine {
                 &columns,
             );
         });
+    }
+
+    /// Recover a crashed query by id: validate its checkpoint manifest
+    /// against the surviving artifacts, sweep what did not survive
+    /// intact, rebuild the remainder query over the salvaged temp
+    /// tables (re-entering the optimizer with their exact checkpoint
+    /// statistics) and resume execution to completion.
+    ///
+    /// Uses a default environment (engine clock, no interrupts); the
+    /// runtime supplies its own via [`Engine::recover_with`].
+    pub fn recover(&self, query_id: u64) -> Result<RecoveryReport> {
+        let mut env = self.default_env();
+        env.query_id = query_id;
+        self.recover_with(query_id, env)
+    }
+
+    /// [`Engine::recover`] under an explicit job environment. The
+    /// env's `temp_prefix` is overwritten with the recovery
+    /// generation's prefix (`tmp_reopt_q<id>r<gen>_`), which can never
+    /// collide with the crashed generation's names.
+    ///
+    /// Validation and sweep are charged to `env.clock` and run under
+    /// the env's fault scope, so an injected crash *during recovery*
+    /// propagates out with the manifest intact — the caller simply
+    /// calls recover again. A crash during the resumed execution rolls
+    /// the manifest generation instead; already-salvaged tables join
+    /// the protected set and survive the next recovery's sweep.
+    pub fn recover_with(&self, query_id: u64, mut env: JobEnv) -> Result<RecoveryReport> {
+        let manifest = self.manifests.get(query_id).ok_or_else(|| {
+            MqError::NotFound(format!("no open checkpoint manifest for query {query_id}"))
+        })?;
+        let generation = manifest.generation + 1;
+        env.query_id = query_id;
+        env.temp_prefix = format!("tmp_reopt_q{query_id}r{generation}_");
+        let clock = env.clock.clone();
+        let t0 = clock.snapshot();
+
+        let salvage = {
+            let _scope = env.clock.enter_scope();
+            let _fault_scope = env.fault.as_ref().map(FaultInjector::enter_scope);
+            let _obs_scope = env
+                .obs
+                .as_ref()
+                .filter(|o| o.is_active())
+                .map(mq_obs::Obs::enter_scope);
+            mq_obs::emit(|| ObsEvent::RecoveryStarted {
+                query_id,
+                generation,
+                manifest_records: manifest.records.len() as u64,
+            });
+            self.salvage_and_sweep(&manifest)
+        };
+        let salvage = salvage?;
+
+        // Resume: re-enter the normal execution path with the last
+        // valid remainder plan. `run_with` rolls the manifest over to
+        // the new generation and keeps checkpointing, so recovery is
+        // itself crash-safe.
+        let result = self.run_with(&salvage.resume_plan, manifest.mode, env);
+        match result {
+            Ok(outcome) => {
+                // The salvaged inputs (this and earlier generations)
+                // are consumed; the resume's own temps and manifest
+                // were already handled by `run_with`.
+                for name in salvage.salvaged_tables.iter().chain(&manifest.protected) {
+                    self.drop_temp(name);
+                }
+                Ok(RecoveryReport {
+                    outcome,
+                    generation,
+                    segments_salvaged: salvage.salvaged,
+                    validated_rows: salvage.validated_rows,
+                    swept_tables: salvage.swept_tables,
+                    swept_files: salvage.swept_files,
+                    recovery_ms: clock.snapshot().since(&t0).time_ms(&self.cfg),
+                })
+            }
+            // Crashed again: everything stays for the next recovery.
+            Err(e @ MqError::Crash(_)) => Err(e),
+            Err(e) => {
+                // Permanent failure: the query is dead, so the salvaged
+                // capital is reclaimed too (the resume's guard cleaned
+                // its own state and removed the manifest).
+                for name in salvage.salvaged_tables.iter().chain(&manifest.protected) {
+                    self.drop_temp(name);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Validate a crashed generation's checkpoint records in order and
+    /// sweep everything of that generation that did not validate.
+    ///
+    /// A record is valid iff its temp table is still catalog-registered,
+    /// the heap file holds exactly the recorded row count, a charged
+    /// re-scan reproduces the recorded content fingerprint, and the
+    /// stored remainder plan matches its recorded hash. Validation
+    /// stops at the first failure — later segments' remainder plans
+    /// reference the failed table, so only the longest valid prefix is
+    /// salvageable.
+    fn salvage_and_sweep(&self, manifest: &QueryManifest) -> Result<Salvage> {
+        let mut salvaged = 0usize;
+        let mut validated_rows = 0u64;
+        'validate: for (i, rec) in manifest.records.iter().enumerate() {
+            if plan_hash(&manifest.remainders[i]) != rec.remainder_hash {
+                break;
+            }
+            let Ok(entry) = self.catalog.table(&rec.temp_table) else {
+                break;
+            };
+            match self.storage.file_rows(entry.file) {
+                Ok(rows) if rows == rec.rows => {}
+                _ => break,
+            }
+            let mut fingerprint = 0u64;
+            match self.storage.scan_file(entry.file) {
+                Ok(scan) => {
+                    for item in scan {
+                        let Ok((_, row)) = item else { break 'validate };
+                        fingerprint = fingerprint.wrapping_add(mq_exec::row_fingerprint(&row));
+                        validated_rows += 1;
+                    }
+                }
+                Err(_) => break,
+            }
+            if fingerprint != rec.fingerprint {
+                break;
+            }
+            salvaged = i + 1;
+        }
+        let salvaged_tables: Vec<String> = manifest.records[..salvaged]
+            .iter()
+            .map(|r| r.temp_table.clone())
+            .collect();
+        mq_obs::emit(|| ObsEvent::SegmentsSalvaged {
+            query_id: manifest.query_id,
+            salvaged: salvaged as u64,
+            validated_rows,
+        });
+
+        // Sweep the crashed generation's leftovers: every catalog
+        // entry under its temp prefix that is not a salvaged record
+        // (placeholders, invalidated checkpoints), then every scratch
+        // file still carrying its tag (partial materializations,
+        // abandoned spills). Protected tables belong to *earlier*
+        // generations — different prefix — and are untouched by
+        // construction.
+        let mut swept_tables = 0u64;
+        for name in self.catalog.table_names() {
+            if !name.starts_with(&manifest.temp_prefix) {
+                continue;
+            }
+            if salvaged_tables.iter().any(|t| t == &name) {
+                continue;
+            }
+            self.drop_temp(&name);
+            swept_tables += 1;
+        }
+        let mut swept_files = 0u64;
+        for file in self.storage.files_with_tag(&manifest.temp_prefix) {
+            if self.storage.drop_file(file).is_ok() {
+                swept_files += 1;
+            }
+        }
+        mq_obs::emit(|| ObsEvent::OrphansSwept {
+            query_id: manifest.query_id,
+            tables: swept_tables,
+            files: swept_files,
+        });
+
+        let resume_plan = if salvaged > 0 {
+            manifest.remainders[salvaged - 1].clone()
+        } else {
+            manifest.original.clone()
+        };
+        Ok(Salvage {
+            salvaged: salvaged as u32,
+            validated_rows,
+            swept_tables,
+            swept_files,
+            resume_plan,
+            salvaged_tables,
+        })
+    }
+
+    /// Reclaim stale `tmp_reopt_*` leftovers: temp tables and tagged
+    /// scratch files whose owning query has no open manifest — crash
+    /// debris nobody will ever recover. Queries in flight or awaiting
+    /// recovery keep an open manifest, so their state is never touched.
+    /// Runs at engine startup and on demand; swept objects are counted
+    /// on [`AuditReport::stale_swept`]. Returns (tables, files) swept.
+    pub fn sweep_stale_temps(&self) -> (u64, u64) {
+        let open: std::collections::HashSet<u64> =
+            self.manifests.open_queries().into_iter().collect();
+        let mut tables = 0u64;
+        for name in self.catalog.table_names() {
+            let Some(owner) = temp_owner(&name) else {
+                continue;
+            };
+            if open.contains(&owner) {
+                continue;
+            }
+            self.drop_temp(&name);
+            tables += 1;
+        }
+        let mut files = 0u64;
+        for (file, tag) in self.storage.tagged_files("tmp_reopt_") {
+            let Some(owner) = temp_owner(&tag) else {
+                continue;
+            };
+            if open.contains(&owner) {
+                continue;
+            }
+            if self.storage.drop_file(file).is_ok() {
+                files += 1;
+            }
+        }
+        self.stale_swept
+            .fetch_add(tables + files, Ordering::Relaxed);
+        (tables, files)
     }
 
     /// Drop one re-optimizer temp table and its heap file. Failures are

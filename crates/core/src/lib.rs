@@ -30,6 +30,7 @@ pub mod controller;
 pub mod engine;
 pub mod explain;
 pub mod improve;
+pub mod manifest;
 pub mod remainder;
 pub mod scia;
 
@@ -37,8 +38,9 @@ pub mod scia;
 mod engine_tests;
 
 pub use controller::ReoptController;
-pub use engine::{AuditReport, Engine, JobEnv, QueryOutcome};
+pub use engine::{AuditReport, Engine, JobEnv, QueryOutcome, RecoveryReport};
 pub use explain::{explain_analyze, explain_plan};
+pub use manifest::{CheckpointRecord, ManifestStore, QueryManifest};
 pub use mq_par::{ExchangeReport, ParReport, ParSpec, SkewReport};
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 

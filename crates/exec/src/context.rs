@@ -109,6 +109,12 @@ pub struct ExecContext {
     /// [`ExecContext::release_temp_files`] — the leak-proofing
     /// backstop for spill files dropped mid-flight.
     temp_files: RefCell<HashSet<FileId>>,
+    /// Scratch-ownership label stamped on every temp file this context
+    /// creates (the query's temp prefix under the engine). A crash
+    /// abandons the registry above without running it; the storage-
+    /// level tag is what lets recovery find the partial files anyway.
+    /// `None` = untagged (standalone executor tests).
+    pub scratch_tag: Option<String>,
     /// Per-operator observed totals for the *current* segment attempt
     /// (EXPLAIN ANALYZE's actual side). Reset at attempt start.
     pub actuals: RefCell<HashMap<NodeId, OpActuals>>,
@@ -137,6 +143,7 @@ impl ExecContext {
             cancel: None,
             deadline_ms: None,
             temp_files: RefCell::new(HashSet::new()),
+            scratch_tag: None,
             actuals: RefCell::new(HashMap::new()),
             profile_detail: false,
             collector_capture: None,
@@ -160,6 +167,7 @@ impl ExecContext {
             cancel: self.cancel.clone(),
             deadline_ms: self.deadline_ms,
             temp_files: RefCell::new(HashSet::new()),
+            scratch_tag: self.scratch_tag.clone(),
             actuals: RefCell::new(HashMap::new()),
             profile_detail: self.profile_detail,
             collector_capture: None,
@@ -187,6 +195,9 @@ impl ExecContext {
     pub fn create_temp_file(&self) -> FileId {
         let f = self.storage.create_file();
         self.temp_files.borrow_mut().insert(f);
+        if let Some(tag) = &self.scratch_tag {
+            self.storage.tag_file(f, tag);
+        }
         f
     }
 
@@ -197,9 +208,12 @@ impl ExecContext {
     }
 
     /// Unregister a temp file whose ownership moved to a durable owner
-    /// (a catalog-registered materialized table).
+    /// (a catalog-registered materialized table). The scratch tag
+    /// moves with it: the file is no longer anonymous scratch, so a
+    /// recovery sweep must not reclaim it out from under the catalog.
     pub fn forget_temp_file(&self, f: FileId) {
         self.temp_files.borrow_mut().remove(&f);
+        self.storage.untag_file(f);
     }
 
     /// Drop every still-registered temp file; returns how many were
@@ -311,7 +325,11 @@ impl ExecContext {
     /// Fire the phase-complete hook. A segment boundary is also where
     /// cancellation and deadlines are honoured — before the monitor
     /// runs, so a cancelled query never triggers a re-optimization.
+    /// Injected crashes fire here too (before the interrupt check):
+    /// the boundary count is a logical property of the query, so a
+    /// scheduled kill lands at the same point at any worker count.
     pub fn notify_phase(&self, node: NodeId) -> Result<()> {
+        mq_common::fault::on_segment_boundary()?;
         self.check_interrupt()?;
         match &self.monitor {
             Some(m) => m.on_phase_complete(node),

@@ -37,7 +37,7 @@ use mq_plan::{NodeId, PhysOp, PhysPlan};
 
 pub use collector::{finish_observed, CollectorParts, ObservedStats};
 pub use context::{Artifact, ExecContext, ExecMonitor, HashBuild, OpActuals};
-pub use sink::{materialize, MaterializedResult};
+pub use sink::{materialize, row_fingerprint, rows_fingerprint, MaterializedResult};
 
 /// A pull-based physical operator.
 pub trait Operator {
@@ -283,7 +283,9 @@ fn take_one(children: &mut Vec<Box<dyn Operator>>) -> Result<Box<dyn Operator>> 
             children.len()
         )));
     }
-    Ok(children.pop().unwrap())
+    children
+        .pop()
+        .ok_or_else(|| MqError::Internal("operator child vanished after arity check".to_string()))
 }
 
 fn take_two(
@@ -295,8 +297,11 @@ fn take_two(
             children.len()
         )));
     }
-    let second = children.pop().unwrap();
-    let first = children.pop().unwrap();
+    let (Some(second), Some(first)) = (children.pop(), children.pop()) else {
+        return Err(MqError::Internal(
+            "operator children vanished after arity check".to_string(),
+        ));
+    };
     Ok((first, second))
 }
 

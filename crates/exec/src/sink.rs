@@ -21,6 +21,23 @@ pub struct MaterializedResult {
     pub schema: Schema,
     /// Exact statistics observed while writing.
     pub stats: TableStats,
+    /// Order-insensitive content fingerprint of the written rows
+    /// (see [`rows_fingerprint`]). The checkpoint manifest records it
+    /// so recovery can verify a salvaged temp table holds exactly the
+    /// rows the crashed query wrote.
+    pub fingerprint: u64,
+}
+
+/// Per-row content hash used by [`rows_fingerprint`].
+pub fn row_fingerprint(row: &mq_common::Row) -> u64 {
+    crate::context::hash_key(row.values(), 0x5EED_F00D)
+}
+
+/// Order-insensitive fingerprint of a row multiset: the wrapping sum
+/// of per-row hashes. Summation (not XOR) so duplicate rows do not
+/// cancel; order-insensitive so it is stable under any scan order.
+pub fn rows_fingerprint<'a>(rows: impl Iterator<Item = &'a mq_common::Row>) -> u64 {
+    rows.fold(0u64, |acc, r| acc.wrapping_add(row_fingerprint(r)))
 }
 
 /// Execute `plan` to completion, writing every output row to a fresh
@@ -38,11 +55,13 @@ pub fn materialize(plan: &PhysPlan, ctx: &ExecContext) -> Result<MaterializedRes
         .collect();
     let mut rows = 0u64;
     let mut bytes = 0u64;
+    let mut fingerprint = 0u64;
 
     exec.open(ctx)?;
     while let Some(row) = exec.next(ctx)? {
         rows += 1;
         bytes += row.encoded_len() as u64;
+        fingerprint = fingerprint.wrapping_add(row_fingerprint(&row));
         for (i, acc) in accs.iter_mut().enumerate() {
             let ops = acc.observe(row.get(i));
             ctx.clock.add_cpu(ops);
@@ -73,6 +92,7 @@ pub fn materialize(plan: &PhysPlan, ctx: &ExecContext) -> Result<MaterializedRes
     let pages = ctx.storage.file_pages(file)? as u64;
     Ok(MaterializedResult {
         file,
+        fingerprint,
         schema,
         stats: TableStats {
             rows,

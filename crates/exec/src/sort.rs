@@ -125,9 +125,16 @@ impl MergeState {
                     None => best = Some(i),
                     Some(b) => {
                         ctx.clock.add_cpu(1);
-                        if SortExec::compare(keys, row, self.heads[b].as_ref().unwrap())
-                            == Ordering::Less
-                        {
+                        // `best` only ever indexes a non-empty head, so a
+                        // missing row means this run is exhausted — yield
+                        // to the current candidate instead of panicking.
+                        let better = match self.heads[b].as_ref() {
+                            Some(best_row) => {
+                                SortExec::compare(keys, row, best_row) == Ordering::Less
+                            }
+                            None => true,
+                        };
+                        if better {
                             best = Some(i);
                         }
                     }

@@ -175,6 +175,41 @@ pub enum ObsEvent {
         /// `rebalance` (buckets reassigned) or `none` (kept static).
         action: &'static str,
     },
+    /// An injected crash (simulated process kill) abandoned the
+    /// query's in-flight state without cleanup.
+    CrashInjected {
+        /// Engine query id the crash hit (recovery is keyed by it).
+        query_id: u64,
+        /// Where the kill landed (the error message of the crash).
+        cause: String,
+    },
+    /// Recovery of a crashed query began.
+    RecoveryStarted {
+        query_id: u64,
+        /// 1-based recovery generation (2 = recovering a crash that
+        /// itself happened during recovery).
+        generation: u32,
+        /// Checkpoint records found in the manifest.
+        manifest_records: u64,
+    },
+    /// Manifest validation finished: how much completed work survived.
+    SegmentsSalvaged {
+        query_id: u64,
+        /// Checkpointed segments that validated (rows + fingerprint).
+        salvaged: u64,
+        /// Rows re-scanned by the charged validation pass.
+        validated_rows: u64,
+    },
+    /// Recovery swept the crashed generation's unusable leftovers.
+    OrphansSwept {
+        query_id: u64,
+        /// Catalog temp-table entries dropped (placeholders, invalid
+        /// checkpoints).
+        tables: u64,
+        /// Anonymous scratch files dropped (partial materializations,
+        /// spill files).
+        files: u64,
+    },
     /// The query left the engine.
     QueryEnd {
         /// `ok` or the error kind (`storage`, `cancelled`, `oom`, …).
@@ -210,6 +245,10 @@ impl ObsEvent {
             ObsEvent::Cleanup { .. } => "cleanup",
             ObsEvent::Exchange { .. } => "exchange",
             ObsEvent::SkewVerdict { .. } => "skew_verdict",
+            ObsEvent::CrashInjected { .. } => "crash_injected",
+            ObsEvent::RecoveryStarted { .. } => "recovery_started",
+            ObsEvent::SegmentsSalvaged { .. } => "segments_salvaged",
+            ObsEvent::OrphansSwept { .. } => "orphans_swept",
             ObsEvent::QueryEnd { .. } => "query_end",
         }
     }
@@ -352,6 +391,42 @@ impl ObsEvent {
                      \"action\":\"{action}\""
                 );
             }
+            ObsEvent::CrashInjected { query_id, cause } => {
+                let _ = write!(out, ",\"query_id\":{query_id},\"cause\":");
+                crate::json::write_json_string(out, cause);
+            }
+            ObsEvent::RecoveryStarted {
+                query_id,
+                generation,
+                manifest_records,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"query_id\":{query_id},\"generation\":{generation},\
+                     \"manifest_records\":{manifest_records}"
+                );
+            }
+            ObsEvent::SegmentsSalvaged {
+                query_id,
+                salvaged,
+                validated_rows,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"query_id\":{query_id},\"salvaged\":{salvaged},\
+                     \"validated_rows\":{validated_rows}"
+                );
+            }
+            ObsEvent::OrphansSwept {
+                query_id,
+                tables,
+                files,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"query_id\":{query_id},\"tables\":{tables},\"files\":{files}"
+                );
+            }
             ObsEvent::QueryEnd {
                 outcome,
                 rows,
@@ -400,6 +475,30 @@ mod tests {
             "\"event\":\"collector\",\"node\":4,\"observed_rows\":1200,\
              \"estimated_rows\":100,\"inaccuracy\":12,\"complete\":true"
         );
+    }
+
+    #[test]
+    fn recovery_events_render_flat_json_fields() {
+        let ev = ObsEvent::SegmentsSalvaged {
+            query_id: 7,
+            salvaged: 2,
+            validated_rows: 1500,
+        };
+        let mut out = String::new();
+        ev.write_json_fields(&mut out);
+        assert_eq!(
+            out,
+            "\"event\":\"segments_salvaged\",\"query_id\":7,\"salvaged\":2,\
+             \"validated_rows\":1500"
+        );
+        let ev = ObsEvent::CrashInjected {
+            query_id: 7,
+            cause: "kill at boundary #2".into(),
+        };
+        let mut out = String::new();
+        ev.write_json_fields(&mut out);
+        assert!(out.starts_with("\"event\":\"crash_injected\",\"query_id\":7"));
+        assert!(out.contains("\"cause\":\"kill at boundary #2\""));
     }
 
     #[test]

@@ -295,6 +295,19 @@ pub fn fold_event(m: &MetricsRegistry, ev: &ObsEvent) {
                 1,
             );
         }
+        ObsEvent::CrashInjected { .. } => {
+            m.inc("midq_crashes_injected_total", &[], Stable, 1);
+        }
+        ObsEvent::RecoveryStarted { .. } => {
+            m.inc("midq_recoveries_total", &[], Stable, 1);
+        }
+        ObsEvent::SegmentsSalvaged { salvaged, .. } => {
+            m.inc("midq_segments_salvaged_total", &[], Stable, *salvaged);
+        }
+        ObsEvent::OrphansSwept { tables, files, .. } => {
+            m.inc("midq_orphans_swept_tables_total", &[], Stable, *tables);
+            m.inc("midq_orphans_swept_files_total", &[], Stable, *files);
+        }
         ObsEvent::QueryEnd {
             outcome,
             rows,

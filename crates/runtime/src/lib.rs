@@ -194,6 +194,18 @@ struct JobCtl<'a> {
     partitions: Option<usize>,
 }
 
+/// What [`run_admitted`] returns: the outcome plus admission and
+/// crash-recovery accounting.
+struct AdmittedRun {
+    outcome: Result<QueryOutcome>,
+    /// Bytes the broker had granted at (final) admission.
+    granted: usize,
+    /// Crash-recovery attempts made (crashed → recovering → done).
+    recoveries: u32,
+    /// Checkpointed segments salvaged across those attempts.
+    segments_salvaged: u32,
+}
+
 /// Admit and run one query: acquire a lease (blocking FIFO admission),
 /// run under a lease-backed memory manager, and — if the plan's
 /// minimum demands exceed what a contended pool could grant — retry
@@ -201,7 +213,14 @@ struct JobCtl<'a> {
 /// until one is free). A second OOM is genuine: the plan needs more
 /// than the per-query or global budget allows.
 ///
-/// Returns the outcome and the bytes granted at (final) admission.
+/// A job that dies of an injected crash ([`MqError::Crash`]) moves
+/// through the crashed → recovering → done state machine: the runtime
+/// charges a doubling simulated backoff, then asks the engine to
+/// recover the query from its checkpoint manifest (salvaging completed
+/// segments, sweeping orphans, resuming the remainder). The budget is
+/// bounded by `recovery_attempt_limit`; a query still crashed after
+/// the last attempt is reaped — manifest closed, debris swept — and
+/// fails with the final crash error.
 fn run_admitted(
     engine: &Engine,
     broker: &MemoryBroker,
@@ -209,7 +228,7 @@ fn run_admitted(
     mode: ReoptMode,
     ctl: &JobCtl<'_>,
     gauges: Option<&Gauges<'_>>,
-) -> (Result<QueryOutcome>, usize) {
+) -> AdmittedRun {
     let cfg = engine.config();
     let desired = cfg.query_memory_bytes;
     let mut min = min_admission_bytes(cfg);
@@ -226,6 +245,8 @@ fn run_admitted(
         .obs
         .filter(|o| o.is_active())
         .map(mq_obs::Obs::enter_scope);
+    let mut recoveries = 0u32;
+    let mut segments_salvaged = 0u32;
     loop {
         // Partitioned jobs admit all-or-nothing: one lease per
         // simulated worker, granted atomically so two partitioned jobs
@@ -246,17 +267,46 @@ fn run_admitted(
             let cur = g.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
             g.max_in_flight.fetch_max(cur, Ordering::SeqCst);
         }
-        let env = JobEnv {
+        let query_id = engine.next_query_id();
+        let mm = MemoryManager::with_lease(lease);
+        let make_env = |temp_prefix: String| JobEnv {
+            query_id,
             clock: ctl.clock.clone(),
-            mm: MemoryManager::with_lease(lease),
+            mm: mm.clone(),
             cancel: ctl.cancel.cloned(),
             deadline_ms: ctl.deadline_ms,
-            temp_prefix: format!("tmp_reopt_q{}_", engine.next_query_id()),
+            temp_prefix,
             fault: ctl.fault.cloned(),
             obs: ctl.obs.cloned(),
             par: ctl.partitions.map(ParSpec::new),
         };
-        let outcome = engine.run_with(plan, mode, env);
+        let mut outcome = engine.run_with(plan, mode, make_env(format!("tmp_reopt_q{query_id}_")));
+        // crashed → recovering → done. The job keeps its memory lease
+        // across attempts (a recovering query does not re-queue for
+        // admission), and each attempt charges a doubling simulated
+        // backoff before the engine salvages and resumes.
+        while matches!(outcome, Err(MqError::Crash(_)))
+            && recoveries < engine.config().recovery_attempt_limit
+        {
+            recoveries += 1;
+            charge_recovery_backoff(cfg, ctl.clock, recoveries);
+            // `recover_with` overwrites the temp prefix with the
+            // recovery generation's own.
+            match engine.recover_with(query_id, make_env(String::new())) {
+                Ok(recovery) => {
+                    segments_salvaged += recovery.segments_salvaged;
+                    outcome = Ok(recovery.outcome);
+                }
+                Err(e) => outcome = Err(e),
+            }
+        }
+        if matches!(outcome, Err(MqError::Crash(_))) {
+            // Recovery budget exhausted: the query is dead. Reap its
+            // manifest and sweep the debris so the engine stays clean —
+            // the salvageable capital is lost, the leak is not.
+            engine.manifests().remove(query_id);
+            engine.sweep_stale_temps();
+        }
         if let Some(g) = gauges {
             g.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
@@ -265,8 +315,25 @@ fn run_admitted(
             min = desired;
             continue;
         }
-        return (outcome, granted);
+        return AdmittedRun {
+            outcome,
+            granted,
+            recoveries,
+            segments_salvaged,
+        };
     }
+}
+
+/// Charge the simulated clock for recovery-attempt backoff:
+/// `recovery_backoff_ms × 2^(attempt−1)`, expressed in CPU ops on the
+/// job's clock (the simulated analogue of waiting out a restart).
+fn charge_recovery_backoff(cfg: &mq_common::EngineConfig, clock: &SimClock, attempt: u32) {
+    if cfg.cpu_op_ms <= 0.0 {
+        return;
+    }
+    let factor = f64::from(1u32 << attempt.saturating_sub(1).min(16));
+    let backoff_ms = cfg.recovery_backoff_ms * factor;
+    clock.add_cpu((backoff_ms / cfg.cpu_op_ms).ceil() as u64);
 }
 
 /// Execute one workload query on the calling thread.
@@ -293,6 +360,8 @@ fn run_one(
                 sim_ms: 0.0,
                 granted_bytes: 0,
                 outcome: Err(MqError::Cancelled("cancelled before admission".into())),
+                recoveries: 0,
+                segments_salvaged: 0,
                 metrics: mq_obs::MetricsSnapshot::default(),
             };
         }
@@ -310,7 +379,7 @@ fn run_one(
         QuerySpec::Plan(plan) => Ok(plan.clone()),
         QuerySpec::Sql(sql) => mq_sql::plan_sql(sql, engine.catalog()),
     };
-    let (outcome, granted_bytes) = match plan {
+    let run = match plan {
         Ok(plan) => run_admitted(
             engine,
             broker,
@@ -329,7 +398,12 @@ fn run_one(
                 max_in_flight,
             }),
         ),
-        Err(e) => (Err(e), 0),
+        Err(e) => AdmittedRun {
+            outcome: Err(e),
+            granted: 0,
+            recoveries: 0,
+            segments_salvaged: 0,
+        },
     };
     let metrics = match &job_obs {
         Some(o) => {
@@ -351,8 +425,10 @@ fn run_one(
         label: q.label.clone(),
         worker,
         sim_ms: job_clock.elapsed_ms(cfg),
-        granted_bytes,
-        outcome,
+        granted_bytes: run.granted,
+        outcome: run.outcome,
+        recoveries: run.recoveries,
+        segments_salvaged: run.segments_salvaged,
         metrics,
     }
 }
@@ -460,7 +536,7 @@ impl Session {
         // The session clock accumulates across queries, so a per-query
         // deadline becomes absolute against the current session time.
         let deadline_ms = self.deadline_ms.map(|d| self.clock.elapsed_ms(cfg) + d);
-        let (outcome, _granted) = run_admitted(
+        run_admitted(
             &self.engine,
             &self.broker,
             plan,
@@ -474,8 +550,8 @@ impl Session {
                 partitions: self.partitions,
             },
             None,
-        );
-        outcome
+        )
+        .outcome
     }
 
     /// Parse and run a SQL query under the given mode.

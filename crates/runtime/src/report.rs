@@ -21,6 +21,13 @@ pub struct JobResult {
     pub granted_bytes: usize,
     /// The outcome — or the error (cancellation, deadline, OOM, ...).
     pub outcome: Result<QueryOutcome>,
+    /// Crash-recovery attempts the runtime made for this job (a
+    /// simulated kill leaves a checkpoint manifest; each attempt
+    /// salvages completed segments and resumes).
+    pub recoveries: u32,
+    /// Checkpointed segments salvaged across all recovery attempts —
+    /// work that survived the crash instead of being recomputed.
+    pub segments_salvaged: u32,
     /// Per-job metrics snapshot (empty when the workload ran without
     /// an observability handle). Unlike `outcome`, this is populated
     /// even for failed queries — the events up to the failure folded
@@ -110,6 +117,16 @@ impl WorkloadReport {
         self.results.len() - self.succeeded()
     }
 
+    /// Total crash-recovery attempts across the workload.
+    pub fn recoveries(&self) -> u32 {
+        self.results.iter().map(|r| r.recoveries).sum()
+    }
+
+    /// Total checkpointed segments salvaged across the workload.
+    pub fn segments_salvaged(&self) -> u32 {
+        self.results.iter().map(|r| r.segments_salvaged).sum()
+    }
+
     /// Queries per simulated second, against the parallel makespan.
     pub fn throughput_qps(&self) -> f64 {
         if self.makespan_sim_ms <= 0.0 {
@@ -149,6 +166,13 @@ impl WorkloadReport {
                 r.segment_retries(),
                 r.reopt_decisions()
             );
+            if r.recoveries > 0 {
+                let _ = write!(
+                    out,
+                    "  recoveries={} salvaged={}",
+                    r.recoveries, r.segments_salvaged
+                );
+            }
             match &r.outcome {
                 Ok(o) => {
                     let _ = writeln!(
@@ -172,6 +196,14 @@ impl WorkloadReport {
             self.speedup(),
             self.throughput_qps()
         );
+        if self.recoveries() > 0 {
+            let _ = writeln!(
+                out,
+                "crash recovery: {} attempt(s), {} segment(s) salvaged",
+                self.recoveries(),
+                self.segments_salvaged()
+            );
+        }
         let _ = writeln!(
             out,
             "memory: budget {} KiB, high water {} KiB   max in flight {}   wall {:.0} ms",

@@ -81,7 +81,10 @@ impl Node {
     }
 
     fn decode(data: &[u8]) -> Result<Node> {
-        let is_leaf = *need(data, 0, 1)?.first().expect("one byte") == 1;
+        let tag = need(data, 0, 1)?.first().copied().ok_or_else(|| {
+            MqError::Storage("btree node truncated: missing leaf tag byte".to_string())
+        })?;
+        let is_leaf = tag == 1;
         let nk = need(data, 1, 2)?;
         let nkeys = u16::from_le_bytes([nk[0], nk[1]]) as usize;
         let first = read_u64(data, 3)?;
@@ -132,15 +135,17 @@ fn need(data: &[u8], off: usize, len: usize) -> Result<&[u8]> {
 }
 
 fn read_u64(data: &[u8], off: usize) -> Result<u64> {
-    Ok(u64::from_le_bytes(
-        need(data, off, 8)?.try_into().expect("8 bytes"),
-    ))
+    let bytes: [u8; 8] = need(data, off, 8)?
+        .try_into()
+        .map_err(|_| MqError::Storage(format!("btree node: bad u64 slice at offset {off}")))?;
+    Ok(u64::from_le_bytes(bytes))
 }
 
 fn read_u16(data: &[u8], off: usize) -> Result<u16> {
-    Ok(u16::from_le_bytes(
-        need(data, off, 2)?.try_into().expect("2 bytes"),
-    ))
+    let bytes: [u8; 2] = need(data, off, 2)?
+        .try_into()
+        .map_err(|_| MqError::Storage(format!("btree node: bad u16 slice at offset {off}")))?;
+    Ok(u16::from_le_bytes(bytes))
 }
 
 impl BTree {

@@ -101,8 +101,16 @@ impl BufferPool {
         self.ensure_resident(&mut inner, pid)?;
         Self::touch(&mut inner, pid);
         inner.pins += 1;
-        let frame = inner.frames.get(&pid).expect("resident");
-        let r = f(&frame.data);
+        let r = match inner.frames.get(&pid) {
+            Some(frame) => f(&frame.data),
+            None => {
+                inner.pins -= 1;
+                return Err(MqError::Storage(format!(
+                    "page {} not resident after fault-in",
+                    pid.0
+                )));
+            }
+        };
         inner.pins -= 1;
         Ok(r)
     }
@@ -114,9 +122,19 @@ impl BufferPool {
         self.ensure_resident(&mut inner, pid)?;
         Self::touch(&mut inner, pid);
         inner.pins += 1;
-        let frame = inner.frames.get_mut(&pid).expect("resident");
-        frame.dirty = true;
-        let r = f(&mut frame.data);
+        let r = match inner.frames.get_mut(&pid) {
+            Some(frame) => {
+                frame.dirty = true;
+                f(&mut frame.data)
+            }
+            None => {
+                inner.pins -= 1;
+                return Err(MqError::Storage(format!(
+                    "page {} not resident after fault-in",
+                    pid.0
+                )));
+            }
+        };
         inner.pins -= 1;
         Ok(r)
     }
@@ -138,7 +156,9 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         let pids: Vec<PageId> = inner.frames.keys().copied().collect();
         for pid in pids {
-            let frame = inner.frames.get_mut(&pid).expect("listed");
+            let Some(frame) = inner.frames.get_mut(&pid) else {
+                continue; // evicted between listing and flush: nothing to write
+            };
             if frame.dirty {
                 self.disk.write(pid, &frame.data)?;
                 frame.dirty = false;

@@ -52,6 +52,12 @@ struct StorageInner {
     pool: Arc<BufferPool>,
     files: Mutex<HashMap<FileId, HeapFile>>,
     indexes: Mutex<HashMap<IndexId, BTree>>,
+    /// Scratch tags: per-query ownership labels on in-flight temp
+    /// files — the simulated equivalent of a per-query scratch
+    /// directory. A crashed query's partial outputs are findable by
+    /// tag even though nothing else references them; recovery sweeps
+    /// exactly its own query's tag, so concurrent queries are safe.
+    tags: Mutex<HashMap<FileId, String>>,
     next_file: Mutex<u32>,
     next_index: Mutex<u32>,
     page_size: usize,
@@ -68,6 +74,7 @@ impl Storage {
                 pool,
                 files: Mutex::new(HashMap::new()),
                 indexes: Mutex::new(HashMap::new()),
+                tags: Mutex::new(HashMap::new()),
                 next_file: Mutex::new(0),
                 next_index: Mutex::new(0),
                 page_size: cfg.page_size,
@@ -179,10 +186,54 @@ impl Storage {
             .lock()
             .remove(&file)
             .ok_or_else(|| MqError::NotFound(format!("{file}")))?;
+        self.inner.tags.lock().remove(&file);
         for pid in hf.pages() {
             self.inner.pool.discard(*pid);
         }
         Ok(())
+    }
+
+    /// Label a file with a scratch tag (per-query scratch ownership).
+    /// Overwrites any previous tag. No-op if the file does not exist.
+    pub fn tag_file(&self, file: FileId, tag: &str) {
+        if self.inner.files.lock().contains_key(&file) {
+            self.inner.tags.lock().insert(file, tag.to_string());
+        }
+    }
+
+    /// Remove a file's scratch tag — called when ownership moves
+    /// elsewhere (e.g. the file became a catalog-registered temp
+    /// table, so it is no longer anonymous scratch).
+    pub fn untag_file(&self, file: FileId) {
+        self.inner.tags.lock().remove(&file);
+    }
+
+    /// Live files whose scratch tag starts with `prefix`, sorted by
+    /// file id. Recovery uses this to find the partial outputs a
+    /// crashed query abandoned mid-materialization.
+    pub fn files_with_tag(&self, prefix: &str) -> Vec<FileId> {
+        let tags = self.inner.tags.lock();
+        let mut out: Vec<FileId> = tags
+            .iter()
+            .filter(|(_, t)| t.starts_with(prefix))
+            .map(|(f, _)| *f)
+            .collect();
+        out.sort_by_key(|f| f.0);
+        out
+    }
+
+    /// Live files whose scratch tag starts with `prefix`, with their
+    /// tags, sorted by file id. The startup stale sweep uses the tag
+    /// value to decide which query a leftover belongs to.
+    pub fn tagged_files(&self, prefix: &str) -> Vec<(FileId, String)> {
+        let tags = self.inner.tags.lock();
+        let mut out: Vec<(FileId, String)> = tags
+            .iter()
+            .filter(|(_, t)| t.starts_with(prefix))
+            .map(|(f, t)| (*f, t.clone()))
+            .collect();
+        out.sort_by_key(|(f, _)| f.0);
+        out
     }
 
     /// Create an empty B+-tree index.
@@ -464,6 +515,28 @@ mod tests {
         assert_eq!(s.file_pages(f).unwrap(), 0);
         // The schedule fired; the file works again afterwards.
         s.append_row(f, &row(2)).unwrap();
+    }
+
+    #[test]
+    fn scratch_tags_track_ownership() {
+        let (s, _, _) = storage();
+        let a = s.create_file();
+        let b = s.create_file();
+        let c = s.create_file();
+        s.tag_file(a, "tmp_reopt_q1_");
+        s.tag_file(b, "tmp_reopt_q1_");
+        s.tag_file(c, "tmp_reopt_q2_");
+        assert_eq!(s.files_with_tag("tmp_reopt_q1_"), vec![a, b]);
+        // Ownership handoff clears the tag.
+        s.untag_file(a);
+        assert_eq!(s.files_with_tag("tmp_reopt_q1_"), vec![b]);
+        // Dropping a tagged file forgets the tag too.
+        s.drop_file(b).unwrap();
+        assert_eq!(s.files_with_tag("tmp_reopt_q1_"), Vec::<FileId>::new());
+        assert_eq!(s.files_with_tag("tmp_reopt_q2_"), vec![c]);
+        // Tagging a nonexistent file is a no-op.
+        s.tag_file(FileId(999), "tmp_reopt_q9_");
+        assert!(s.files_with_tag("tmp_reopt_q9_").is_empty());
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub use mq_tpcd as tpcd;
 
 pub use mq_common::{EngineConfig, MqError, Result};
 pub use mq_plan::LogicalPlan;
-pub use mq_reopt::{explain_analyze, explain_plan, Engine, QueryOutcome, ReoptMode};
+pub use mq_reopt::{
+    explain_analyze, explain_plan, Engine, QueryOutcome, RecoveryReport, ReoptMode,
+};
 pub use mq_runtime::{JobResult, Runtime, Session, Workload, WorkloadQuery, WorkloadReport};
 pub use mq_tpcd::TpcdConfig;
 

@@ -274,6 +274,72 @@ fn explain_analyze_shows_exchange_operators() {
     assert!(text.contains("per-partition rows"), "{text}");
 }
 
+/// ISSUE satellite: a crash injected at a mid-run exchange barrier
+/// under 4-way partitioned execution must leak nothing once recovered —
+/// no bucket partials (temp tables or orphaned pages), no stuck pins,
+/// and no checkpoint manifest left open. The `CleanupGuard` is
+/// deliberately skipped on the crash path, so everything the guard
+/// would have freed has to be reabsorbed by `Engine::recover_with`.
+#[test]
+fn partitioned_crash_at_exchange_barrier_leaks_nothing() {
+    use midq::common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+    use midq::reopt::ParSpec;
+    use midq::MqError;
+
+    let q = queries::q10();
+    let db = load_db(0.002, 1.0);
+    let engine = db.engine();
+
+    // Fault-free counting run: the oracle rows plus the number of
+    // segment boundaries (exchange-barrier crossings) the partitioned
+    // execution passes through.
+    let counter = FaultInjector::none();
+    let mut env = engine.default_env();
+    env.par = Some(ParSpec::new(4));
+    env.fault = Some(counter.clone());
+    let oracle = engine.run_with(&q, ReoptMode::PlanOnly, env).unwrap();
+    let boundaries = counter.ops_at(FaultSite::SegmentBoundary);
+    assert!(
+        boundaries > 2,
+        "Q10 P=4 crossed only {boundaries} boundaries"
+    );
+
+    // Crash at a barrier in the middle of the exchange fan.
+    let mut env = engine.default_env();
+    env.par = Some(ParSpec::new(4));
+    env.fault = Some(FaultInjector::new(
+        vec![FaultSpec {
+            site: FaultSite::SegmentBoundary,
+            kind: FaultKind::Crash,
+            at: boundaries / 2,
+        }],
+        None,
+    ));
+    let query_id = env.query_id;
+    let err = engine.run_with(&q, ReoptMode::PlanOnly, env).unwrap_err();
+    assert!(matches!(err, MqError::Crash(_)), "expected crash: {err}");
+
+    // Recover on a fresh environment and compare against the oracle.
+    let mut env = engine.default_env();
+    env.par = Some(ParSpec::new(4));
+    let rec = engine.recover_with(query_id, env).unwrap();
+    assert_eq!(
+        sorted_rows(&oracle),
+        sorted_rows(&rec.outcome),
+        "recovered rows diverged from the fault-free run"
+    );
+
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+    assert!(audit.leaked_temp_tables.is_empty(), "{audit}");
+    assert_eq!(audit.orphan_pages, 0, "{audit}");
+    assert_eq!(audit.pinned_frames, 0, "{audit}");
+    assert!(
+        engine.manifests().open_queries().is_empty(),
+        "manifest left open after recovery"
+    );
+}
+
 /// The concurrent runtime path: a workload-level partition default
 /// admits each query with an atomic group of leases and runs it
 /// through the partitioned driver; results match the serial workload.
