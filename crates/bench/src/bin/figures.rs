@@ -7,9 +7,10 @@
 
 use mq_bench::recovery::recovery_figure;
 use mq_bench::{
-    ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin, est_vs_actual,
-    fig03_memory_realloc, fig10, fig11, fig12, overhead, par_skew, par_speedup, render_pairs,
-    sensitivity, throughput_vs_budget, throughput_vs_workers, BenchSetup, Knob,
+    ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin,
+    cache_warm_vs_cold, est_vs_actual, fig03_memory_realloc, fig10, fig11, fig12, overhead,
+    par_skew, par_speedup, render_pairs, sensitivity, throughput_vs_budget, throughput_vs_workers,
+    BenchSetup, Knob,
 };
 
 fn main() {
@@ -283,6 +284,28 @@ fn main() {
         println!("re-optimization decisions:");
         for v in &verdicts {
             println!("  {v}");
+        }
+        println!();
+    }
+
+    if want("cache") {
+        println!("== CACHE: warm vs cold on a cache-enabled engine (PlanOnly, margin 1.0) ==");
+        println!(
+            "{:<5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>6} {:>11}",
+            "query", "cold(ms)", "warm(ms)", "ratio", "switches", "promoted", "hits", "saved(KiB)"
+        );
+        for p in cache_warm_vs_cold(&setup, &["Q3", "Q10", "Q5"]) {
+            println!(
+                "{:<5} {:>10.1} {:>10.1} {:>8.2} {:>10} {:>10} {:>6} {:>11}",
+                p.query,
+                p.cold_ms,
+                p.warm_ms,
+                p.cold_ms / p.warm_ms.max(f64::EPSILON),
+                format!("{}->{}", p.cold_switches, p.warm_switches),
+                p.promotions,
+                p.hits,
+                p.saved_bytes / 1024
+            );
         }
         println!();
     }

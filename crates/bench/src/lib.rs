@@ -349,6 +349,62 @@ pub fn render_pairs(title: &str, pairs: &[(Measurement, Measurement)]) -> String
     out
 }
 
+/// One query family's warm-vs-cold cache measurement: the cold run
+/// pays the mid-query switch and promotes its materialization; the
+/// warm run plans from the feedback store and splices the cached
+/// sub-plan back in.
+#[derive(Debug, Clone)]
+pub struct CachePoint {
+    /// Query family.
+    pub query: &'static str,
+    /// Simulated time of the first (cold-cache) run.
+    pub cold_ms: f64,
+    /// Simulated time of the repeat (warm-cache) run.
+    pub warm_ms: f64,
+    /// Plan switches the cold run accepted.
+    pub cold_switches: u32,
+    /// Plan switches the warm run accepted (feedback should drive
+    /// this to zero for a repeated family).
+    pub warm_switches: u32,
+    /// Cache promotions the cold run made.
+    pub promotions: u64,
+    /// Cache hits the warm run scored.
+    pub hits: u64,
+    /// Bytes of intermediates the warm run read instead of recomputed.
+    pub saved_bytes: u64,
+}
+
+/// The cross-query cache experiment: each family runs twice on one
+/// cache-enabled database (bare acceptance margin, PlanOnly — the
+/// regime where stale statistics force mid-query switches). Cold pays
+/// the switch and promotes; warm replans from feedback and reuses.
+pub fn cache_warm_vs_cold(setup: &BenchSetup, names: &[&'static str]) -> Vec<CachePoint> {
+    let mut s = setup.clone();
+    s.cfg.cache_enabled = true;
+    s.cfg.switch_margin = 1.0;
+    let db = s.database();
+    names
+        .iter()
+        .map(|q| {
+            let before = db.cache_stats();
+            let cold = run_query(&db, q, ReoptMode::PlanOnly);
+            let mid = db.cache_stats();
+            let warm = run_query(&db, q, ReoptMode::PlanOnly);
+            let after = db.cache_stats();
+            CachePoint {
+                query: q,
+                cold_ms: cold.time_ms,
+                warm_ms: warm.time_ms,
+                cold_switches: cold.switches,
+                warm_switches: warm.switches,
+                promotions: mid.promotions - before.promotions,
+                hits: after.hits - mid.hits,
+                saved_bytes: after.saved_bytes - mid.saved_bytes,
+            }
+        })
+        .collect()
+}
+
 /// Ablation: the plan-switch acceptance margin. `switch_margin = 1.0`
 /// reproduces the paper's bare `<` acceptance; the default hedges the
 /// winner's-curse bias. Returns (margin, per-query Full-mode
@@ -723,6 +779,24 @@ mod tests {
             assert_eq!(m.switches, 0, "{q}: Off mode never switches");
             assert_eq!(m.reallocs, 0, "{q}: Off mode never reallocates");
         }
+    }
+
+    #[test]
+    fn cache_experiment_promotes_and_reuses() {
+        let points = cache_warm_vs_cold(&BenchSetup::default(), &["Q10"]);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.cold_switches >= 1, "cold Q10 must switch: {p:?}");
+        assert!(p.promotions >= 1, "the switch temp must promote: {p:?}");
+        assert!(p.hits >= 1, "the warm run must reuse it: {p:?}");
+        assert!(
+            p.warm_switches < p.cold_switches,
+            "feedback must reduce repeat re-optimization: {p:?}"
+        );
+        assert!(
+            p.warm_ms < p.cold_ms,
+            "warm must be cheaper than cold: {p:?}"
+        );
     }
 
     /// Two databases built from the same setup give bit-identical

@@ -41,6 +41,10 @@ pub struct TableEntry {
     pub stats: Option<TableStats>,
     /// Rows inserted since the last ANALYZE.
     pub inserts_since_analyze: u64,
+    /// Data version: a catalog-global epoch stamped at creation and
+    /// bumped on every write. Cross-query caches key their validity on
+    /// it — any bump invalidates entries derived from this table.
+    pub data_version: u64,
 }
 
 impl TableEntry {
@@ -71,6 +75,8 @@ pub struct Catalog {
 struct Inner {
     tables: HashMap<String, TableEntry>,
     next_id: u32,
+    /// Monotone data-version epoch shared by all tables.
+    epoch: u64,
 }
 
 impl Catalog {
@@ -98,6 +104,8 @@ impl Catalog {
         let schema = Schema::new(fields)?;
         let id = TableId(inner.next_id);
         inner.next_id += 1;
+        inner.epoch += 1;
+        let data_version = inner.epoch;
         let file = storage.create_file();
         inner.tables.insert(
             name.to_string(),
@@ -109,6 +117,7 @@ impl Catalog {
                 indexes: HashMap::new(),
                 stats: None,
                 inserts_since_analyze: 0,
+                data_version,
             },
         );
         Ok(id)
@@ -130,6 +139,8 @@ impl Catalog {
         }
         let id = TableId(inner.next_id);
         inner.next_id += 1;
+        inner.epoch += 1;
+        let data_version = inner.epoch;
         inner.tables.insert(
             name.to_string(),
             TableEntry {
@@ -140,6 +151,7 @@ impl Catalog {
                 indexes: HashMap::new(),
                 stats: Some(stats),
                 inserts_since_analyze: 0,
+                data_version,
             },
         );
         Ok(id)
@@ -194,10 +206,20 @@ impl Catalog {
             storage.index_insert(*idx, row.get(ci), rid)?;
         }
         let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        let version = inner.epoch;
         if let Some(t) = inner.tables.get_mut(table) {
             t.inserts_since_analyze += 1;
+            t.data_version = version;
         }
         Ok(())
+    }
+
+    /// Current data version of a table (None if unknown). Bumped on
+    /// every write; cache entries recorded at an older version are
+    /// stale.
+    pub fn data_version(&self, table: &str) -> Option<u64> {
+        self.inner.lock().tables.get(table).map(|t| t.data_version)
     }
 
     /// Build a B+-tree index on `column`, back-filling existing rows.
@@ -675,6 +697,22 @@ mod tests {
         let s = cat.table("fresh").unwrap().stats.unwrap();
         assert_eq!(s.rows, 42);
         assert_eq!(s.avg_row_bytes, 8.0);
+    }
+
+    #[test]
+    fn data_version_bumps_on_writes() {
+        let (cat, st) = setup();
+        load_numbers(&cat, &st, 1);
+        let v0 = cat.data_version("nums").unwrap();
+        cat.insert_row(&st, "nums", Row::new(vec![Value::Int(9), Value::Int(9)]))
+            .unwrap();
+        let v1 = cat.data_version("nums").unwrap();
+        assert!(v1 > v0, "insert must bump the data version");
+        // ANALYZE reads only: no bump.
+        cat.analyze(&st, "nums", HistogramKind::MaxDiff, 8, 64, 1)
+            .unwrap();
+        assert_eq!(cat.data_version("nums").unwrap(), v1);
+        assert!(cat.data_version("missing").is_none());
     }
 
     #[test]

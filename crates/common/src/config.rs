@@ -109,6 +109,17 @@ pub struct EngineConfig {
     /// cardinality is at or below this is broadcast (replicated to
     /// every partition) instead of hash-repartitioned.
     pub par_broadcast_rows: f64,
+    /// Cross-query sub-plan caching: promote plan-switch
+    /// materializations into a fingerprint-keyed cache and splice
+    /// `CachedScan` nodes over matching sub-trees of later queries.
+    /// Also enables the statistics feedback store (observed sub-plan
+    /// cardinalities override catalog estimates). Off by default: the
+    /// paper's experiments measure every query cold.
+    pub cache_enabled: bool,
+    /// Byte budget for the sub-plan cache; cost-benefit eviction keeps
+    /// live entries within it (a runtime may re-lease this from the
+    /// global memory broker).
+    pub cache_budget_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -139,6 +150,8 @@ impl Default for EngineConfig {
             par_buckets: 64,
             par_skew_theta: 4.0,
             par_broadcast_rows: 64.0,
+            cache_enabled: false,
+            cache_budget_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -232,6 +245,12 @@ impl EngineConfig {
                 self.par_broadcast_rows
             )));
         }
+        if self.cache_enabled && self.cache_budget_bytes < self.page_size {
+            return Err(MqError::InvalidConfig(format!(
+                "cache_budget_bytes {} must cover at least one page when the cache is enabled",
+                self.cache_budget_bytes
+            )));
+        }
         Ok(())
     }
 
@@ -299,6 +318,11 @@ mod tests {
             },
             EngineConfig {
                 par_broadcast_rows: f64::NAN,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                cache_enabled: true,
+                cache_budget_bytes: 0,
                 ..EngineConfig::default()
             },
         ];

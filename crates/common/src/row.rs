@@ -29,8 +29,27 @@ impl Row {
     }
 
     /// Column accessor.
+    ///
+    /// # Panics
+    /// On an out-of-range index. Executor paths that consume plan- or
+    /// catalog-derived indices should prefer [`Row::try_get`], which
+    /// surfaces the mismatch as a typed error instead of unwinding
+    /// mid-pipeline.
     pub fn get(&self, idx: usize) -> &Value {
         &self.values[idx]
+    }
+
+    /// Column accessor returning a typed error when the row is
+    /// narrower than the requested index (a malformed plan binding,
+    /// never a user error — but one the engine should report, not
+    /// panic over).
+    pub fn try_get(&self, idx: usize) -> Result<&Value> {
+        self.values.get(idx).ok_or_else(|| {
+            crate::error::MqError::Execution(format!(
+                "column index {idx} out of range for a {}-column row",
+                self.values.len()
+            ))
+        })
     }
 
     /// All values.

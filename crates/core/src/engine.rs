@@ -14,16 +14,17 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mq_catalog::Catalog;
+use mq_cache::{CacheEntry, CacheStats, FeedbackStore, PinGuard, SubPlanCache};
+use mq_catalog::{Catalog, TableStats};
 use mq_common::{
-    CancelToken, CostSnapshot, EngineConfig, FaultInjector, MqError, Result, Row, SimClock,
+    CancelToken, CostSnapshot, EngineConfig, FaultInjector, MqError, Result, Row, Schema, SimClock,
 };
 use mq_exec::{materialize, run_to_vec, ExecContext, OpActuals};
 use mq_memory::MemoryManager;
 use mq_obs::{ObsEvent, SegmentOutcome};
-use mq_optimizer::{recost, OptCalibration, Optimizer};
+use mq_optimizer::{apply_feedback, recost, CardFeedback, OptCalibration, Optimizer};
 use mq_par::{parallelize, run_partitioned, ParReport, ParSpec};
-use mq_plan::{LogicalPlan, NodeId, PhysPlan};
+use mq_plan::{base_tables, subplan_fingerprint, LogicalPlan, NodeId, PhysOp, PhysPlan, ScanSpec};
 use mq_storage::Storage;
 
 use crate::controller::ReoptController;
@@ -159,6 +160,10 @@ pub struct JobEnv {
 pub struct AuditReport {
     /// Re-optimizer temp tables still registered in the catalog.
     pub leaked_temp_tables: Vec<String>,
+    /// `cache_*` catalog tables no cache entry (live or pinned-dead)
+    /// knows about — debris of a crash mid-promotion. Reclaimable via
+    /// [`Engine::sweep_cache_orphans`].
+    pub orphan_cache_tables: Vec<String>,
     /// Disk pages owned by no heap file and no index.
     pub orphan_pages: usize,
     /// Buffer-pool accesses that never un-pinned (a closure unwound).
@@ -176,9 +181,13 @@ pub struct AuditReport {
 }
 
 impl AuditReport {
-    /// No leaked temp tables, no orphan pages, no stuck pins.
+    /// No leaked temp tables, no orphan cache tables, no orphan pages,
+    /// no stuck pins.
     pub fn is_clean(&self) -> bool {
-        self.leaked_temp_tables.is_empty() && self.orphan_pages == 0 && self.pinned_frames == 0
+        self.leaked_temp_tables.is_empty()
+            && self.orphan_cache_tables.is_empty()
+            && self.orphan_pages == 0
+            && self.pinned_frames == 0
     }
 }
 
@@ -186,9 +195,11 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "audit: {} leaked temp table(s) {:?}, {} orphan page(s), {} stuck pin(s), {} cleanup failure(s), {} stale object(s) swept",
+            "audit: {} leaked temp table(s) {:?}, {} orphan cache table(s) {:?}, {} orphan page(s), {} stuck pin(s), {} cleanup failure(s), {} stale object(s) swept",
             self.leaked_temp_tables.len(),
             self.leaked_temp_tables,
+            self.orphan_cache_tables.len(),
+            self.orphan_cache_tables,
             self.orphan_pages,
             self.pinned_frames,
             self.cleanup_failures,
@@ -227,6 +238,26 @@ struct Salvage {
     swept_files: u64,
     resume_plan: LogicalPlan,
     salvaged_tables: Vec<String>,
+}
+
+/// For each field of `want`, its position in `have` — `Some` only when
+/// the two schemas hold exactly the same qualified, typed fields (a
+/// column permutation, as produced by the two orientations of a
+/// fingerprint-equivalent join). `Some(identity)` when they are equal.
+fn schema_permutation(have: &Schema, want: &Schema) -> Option<Vec<usize>> {
+    if have.fields().len() != want.fields().len() {
+        return None;
+    }
+    let mut used = vec![false; have.fields().len()];
+    let mut map = Vec::with_capacity(want.fields().len());
+    for f in want.fields() {
+        let (idx, _) = have.fields().iter().enumerate().find(|(i, g)| {
+            !used[*i] && g.dtype == f.dtype && g.qualified_name() == f.qualified_name()
+        })?;
+        used[idx] = true;
+        map.push(idx);
+    }
+    Some(map)
 }
 
 /// Which query owns a `tmp_reopt_*` object: parses the query id out of
@@ -275,6 +306,12 @@ impl<'a> CleanupGuard<'a> {
         self.temps.retain(|t| t != name);
         self.engine.drop_temp(name);
     }
+
+    /// Stop tracking a temp table without dropping it — its file and
+    /// rows changed owner (cache promotion).
+    fn untrack(&mut self, name: &str) {
+        self.temps.retain(|t| t != name);
+    }
 }
 
 impl Drop for CleanupGuard<'_> {
@@ -295,6 +332,41 @@ impl Drop for CleanupGuard<'_> {
     }
 }
 
+/// A plan-switch temp table staged for cross-query promotion. Admitted
+/// into the cache only after the whole query succeeds — a failed
+/// query's temps die with its [`CleanupGuard`] as before.
+struct PendingPromotion {
+    /// Canonical fingerprint of the materialized cut subtree.
+    fingerprint: u64,
+    /// The `tmp_reopt_*` table holding the rows right now.
+    temp_name: String,
+    /// Output schema of the cut (probe-time splices require equality).
+    schema: Schema,
+    /// Exact counts observed while writing the temp.
+    rows: u64,
+    pages: u64,
+    bytes: u64,
+    /// Estimated producer cost — the per-hit saving the entry earns.
+    build_cost_ms: f64,
+    /// Base tables read by the cut, at their promotion-time versions.
+    deps: Vec<(String, u64)>,
+}
+
+/// [`CardFeedback`] over the engine's feedback store: an observation
+/// counts only while every base table it was derived from is still at
+/// its recorded data version.
+struct EngineFeedback<'a>(&'a Engine);
+
+impl CardFeedback for EngineFeedback<'_> {
+    fn observed_rows(&self, fingerprint: u64) -> Option<f64> {
+        let e = self.0.feedback.get(fingerprint)?;
+        e.deps
+            .iter()
+            .all(|(t, v)| self.0.catalog.data_version(t) == Some(*v))
+            .then_some(e.rows)
+    }
+}
+
 /// The engine: shared storage/catalog plus the re-optimization stack.
 pub struct Engine {
     cfg: EngineConfig,
@@ -308,6 +380,12 @@ pub struct Engine {
     cleanup_failures: AtomicU64,
     manifests: ManifestStore,
     stale_swept: AtomicU64,
+    /// Cross-query sub-plan materialization cache (probe/splice is
+    /// gated on [`EngineConfig::cache_enabled`]).
+    cache: SubPlanCache,
+    /// Cross-query observed-cardinality store, consulted by the
+    /// optimizer post-pass before trusting catalog estimates.
+    feedback: FeedbackStore,
 }
 
 impl Engine {
@@ -320,6 +398,7 @@ impl Engine {
         let optimizer = Optimizer::new(cfg.clone());
         let mm = MemoryManager::new(&cfg);
         let calibration = Arc::new(OptCalibration::run(&cfg, 6)?);
+        let cache = SubPlanCache::new(cfg.cache_budget_bytes as u64);
         let engine = Engine {
             cfg,
             clock,
@@ -332,6 +411,8 @@ impl Engine {
             cleanup_failures: AtomicU64::new(0),
             manifests: ManifestStore::new(),
             stale_swept: AtomicU64::new(0),
+            cache,
+            feedback: FeedbackStore::new(),
         };
         // Startup invariant: no stale re-optimizer leftovers survive an
         // engine (re)start. Vacuous on a fresh catalog, but loaders that
@@ -351,6 +432,11 @@ impl Engine {
         cfg.validate()?;
         self.optimizer = Optimizer::new(cfg.clone());
         self.mm = MemoryManager::new(&cfg);
+        // A shrunk cache budget evicts immediately; entries survive a
+        // disable (probing just stops) so a re-enable starts warm.
+        for e in self.cache.set_budget(cfg.cache_budget_bytes as u64) {
+            self.retire_cache_entry(e);
+        }
         self.cfg = cfg;
         Ok(())
     }
@@ -404,12 +490,19 @@ impl Engine {
     /// meaningful at quiescence — while queries run, pins, temp tables
     /// and not-yet-reclaimed pages are all legitimately non-zero.
     pub fn audit(&self) -> AuditReport {
+        let known_cache = self.cache.known_tables();
         AuditReport {
             leaked_temp_tables: self
                 .catalog
                 .table_names()
                 .into_iter()
                 .filter(|n| n.starts_with("tmp_reopt_"))
+                .collect(),
+            orphan_cache_tables: self
+                .catalog
+                .table_names()
+                .into_iter()
+                .filter(|n| n.starts_with("cache_") && !known_cache.contains(n))
                 .collect(),
             orphan_pages: self.storage.orphan_pages(),
             pinned_frames: self.storage.pool().pinned(),
@@ -421,6 +514,83 @@ impl Engine {
     /// Cleanup operations that failed since engine start.
     pub fn cleanup_failure_count(&self) -> u64 {
         self.cleanup_failures.load(Ordering::Relaxed)
+    }
+
+    /// The cross-query sub-plan materialization cache.
+    pub fn cache(&self) -> &SubPlanCache {
+        &self.cache
+    }
+
+    /// The cross-query cardinality feedback store.
+    pub fn feedback(&self) -> &FeedbackStore {
+        &self.feedback
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cache entry (and its backing table and file) and
+    /// forget all cardinality feedback. Entries pinned by in-flight
+    /// queries are marked dead and reclaimed when those queries finish;
+    /// at quiescence the catalog holds no `cache_*` table afterwards.
+    pub fn clear_cache(&self) {
+        for e in self.cache.clear() {
+            self.retire_cache_entry(e);
+        }
+        self.reclaim_dead_cache();
+        self.feedback.clear();
+    }
+
+    /// Invalidate cache entries and feedback derived from `table` at an
+    /// older data version. Probe-time validation already guarantees no
+    /// stale entry is ever served; this eagerly reclaims the space.
+    /// Call after writing to a base table.
+    pub fn invalidate_cache_for(&self, table: &str) {
+        let Some(version) = self.catalog.data_version(table) else {
+            return;
+        };
+        for e in self.cache.invalidate_table(table, version) {
+            self.retire_cache_entry(e);
+        }
+        self.feedback.invalidate_table(table, version);
+    }
+
+    /// Drop `cache_*` catalog tables no cache entry knows about —
+    /// debris of a crash between cache-table registration and cache
+    /// admission. Like the audit, only meaningful at quiescence.
+    /// Returns the number of tables swept.
+    pub fn sweep_cache_orphans(&self) -> u64 {
+        let known = self.cache.known_tables();
+        let mut swept = 0u64;
+        for name in self.catalog.table_names() {
+            if name.starts_with("cache_") && !known.contains(&name) {
+                self.drop_temp(&name);
+                swept += 1;
+            }
+        }
+        self.stale_swept.fetch_add(swept, Ordering::Relaxed);
+        swept
+    }
+
+    /// Retire dead (invalidated-while-pinned) entries whose last pin
+    /// has dropped, reclaiming their tables and files.
+    fn reclaim_dead_cache(&self) {
+        for e in self.cache.drain_dead() {
+            self.retire_cache_entry(e);
+        }
+    }
+
+    /// Drop a retired cache entry's table and file and trace the
+    /// retirement.
+    fn retire_cache_entry(&self, e: CacheEntry) {
+        mq_obs::emit(|| ObsEvent::CacheEvict {
+            fingerprint: e.fingerprint,
+            table: e.table.clone(),
+            bytes: e.bytes,
+        });
+        self.drop_temp(&e.table);
     }
 
     /// Run a query under the given re-optimization mode.
@@ -502,6 +672,13 @@ impl Engine {
         // path — success, error, cancellation, plan switch — without
         // any path having to remember to clean up.
         let mut guard = CleanupGuard::new(self, &ctx);
+        // Pins on spliced cache entries: held for the whole query (all
+        // attempts), so eviction/invalidation can never drop a table a
+        // remainder plan still references.
+        let mut cache_pins: Vec<PinGuard> = Vec::new();
+        // Plan-switch temps staged for cross-query promotion; finalized
+        // only if the query succeeds.
+        let mut promotions: Vec<PendingPromotion> = Vec::new();
         // Open the checkpoint manifest before any segment can complete.
         // On a recovery resume this rolls the generation over instead
         // (the salvaged temp tables become the protected set).
@@ -512,15 +689,42 @@ impl Engine {
         let mut completed_segments: u32 = 0;
         let mut current = logical.clone();
         let result = loop {
-            let mut optimized =
-                match self
-                    .optimizer
-                    .optimize(&current, &self.catalog, &self.storage)
-                {
-                    Ok(o) => o,
-                    Err(e) => break Err(e),
-                };
+            // With the cache on, the feedback store steers planning
+            // itself: observed base-relation cardinalities enter the
+            // join enumeration, so a repeated query family gets the
+            // join order the first run had to discover mid-query.
+            let use_feedback = self.cfg.cache_enabled && !self.feedback.is_empty();
+            let mut optimized = match self.optimizer.optimize_with_feedback(
+                &current,
+                &self.catalog,
+                &self.storage,
+                use_feedback.then_some(&EngineFeedback(self) as &dyn CardFeedback),
+            ) {
+                Ok(o) => o,
+                Err(e) => break Err(e),
+            };
             env.clock.add_opt_work(optimized.work_units);
+            if self.cfg.cache_enabled {
+                for h in &optimized.feedback_hits {
+                    self.feedback.note_applied();
+                    mq_obs::emit(|| ObsEvent::FeedbackApplied {
+                        fingerprint: h.fingerprint,
+                        estimated_rows: h.estimated_rows,
+                        observed_rows: h.observed_rows,
+                    });
+                    controller.note(format!(
+                        "feedback: planned {} with observed {:.0} rows (est {:.0}, fp {:016x})",
+                        h.table, h.observed_rows, h.estimated_rows, h.fingerprint
+                    ));
+                }
+                // Post-pass for sub-trees the graph override cannot
+                // reach (joins observed by collectors), then the probe
+                // splices CachedScans over matching sub-trees — both
+                // before collectors, which would otherwise decorate
+                // sub-trees the splice removes.
+                self.consult_feedback(&mut optimized.plan, &controller);
+                self.probe_cache(&mut optimized.plan, &mut cache_pins, &controller);
+            }
             if mode.collects() {
                 if let Err(e) = insert_collectors(&mut optimized.plan, &self.catalog, &self.cfg) {
                     break Err(e);
@@ -601,14 +805,11 @@ impl Engine {
                     // paper's "finish execution of the last operator
                     // and write the result to a temporary file".
                     controller.set_suppressed(true);
-                    let mat = (|| {
-                        let sub = optimized
-                            .plan
-                            .find(pending.cut)
-                            .ok_or_else(|| MqError::Internal("cut not in plan".into()))?
-                            .clone();
-                        materialize(&sub, &ctx)
-                    })();
+                    let sub = optimized.plan.find(pending.cut).cloned();
+                    let mat = match &sub {
+                        Some(sub) => materialize(sub, &ctx),
+                        None => Err(MqError::Internal("cut not in plan".into())),
+                    };
                     controller.set_suppressed(false);
                     let mat = match mat {
                         Ok(mat) => mat,
@@ -644,6 +845,9 @@ impl Engine {
 
                     // Swap the placeholder for the real file + stats.
                     let mat_rows = mat.stats.rows;
+                    let mat_pages = mat.stats.pages;
+                    let mat_bytes = mat.stats.bytes() as u64;
+                    let mat_schema = mat.schema.clone();
                     let placeholder = match self.catalog.drop_table(&pending.temp_name) {
                         Ok(p) => p,
                         Err(e) => break Err(e),
@@ -677,6 +881,30 @@ impl Engine {
                         },
                         pending.remainder.clone(),
                     );
+
+                    // Stage the fully-written temp for cross-query
+                    // promotion (and feed its exact cardinality back).
+                    if self.cfg.cache_enabled {
+                        if let Some(sub) = &sub {
+                            self.stage_promotion(
+                                &mut promotions,
+                                sub,
+                                &pending.temp_name,
+                                mat_schema,
+                                mat_rows,
+                                mat_pages,
+                                mat_bytes,
+                            );
+                        }
+                        // The abandoned attempt's completed collectors
+                        // observed true cardinalities *below* the cut
+                        // (e.g. the mis-estimated leaf that triggered
+                        // the switch); harvest them before the next
+                        // attempt resets the controller's observations,
+                        // or the next planning of this family repeats
+                        // the same leaf mistake in a new join order.
+                        self.record_collector_feedback(&optimized.plan, &controller, guard.temps());
+                    }
 
                     // Stale per-attempt state.
                     ctx.clear_artifacts();
@@ -720,15 +948,41 @@ impl Engine {
             std::mem::forget(guard);
             return result;
         }
+        // Promote the staged plan-switch temps before closing the
+        // manifest: a crash at the promotion kill point leaves the
+        // manifest open (recoverable) plus at worst one orphan cache
+        // table for [`Engine::sweep_cache_orphans`] — never a cache
+        // entry without its table.
+        if result.is_ok() && self.cfg.cache_enabled {
+            if let Err(e @ MqError::Crash(_)) =
+                self.finalize_promotions(&env, promotions, &mut guard)
+            {
+                if let MqError::Crash(cause) = &e {
+                    mq_obs::emit(|| ObsEvent::CrashInjected {
+                        query_id: env.query_id,
+                        cause: cause.clone(),
+                    });
+                }
+                std::mem::forget(guard);
+                return Err(e);
+            }
+        }
         self.manifests.remove(env.query_id);
         if let Ok(outcome) = &result {
             if self.cfg.stats_feedback && mode.collects() {
                 self.apply_stats_feedback(&outcome.final_plan, &controller, guard.temps());
             }
+            if self.cfg.cache_enabled && mode.collects() {
+                self.record_collector_feedback(&outcome.final_plan, &controller, guard.temps());
+            }
         }
         // Cleanup runs (and emits its event) before the query-end
         // marker so a trace reads in causal order.
         drop(guard);
+        // Pins released only now that the final attempt is done; then
+        // retire anything invalidated while we held it alive.
+        drop(cache_pins);
+        self.reclaim_dead_cache();
         self.emit_query_end(&result, &env, &t0, saved0, &controller, segment_retries);
         result
     }
@@ -842,6 +1096,325 @@ impl Engine {
         let backoff_ms = self.cfg.transient_retry_backoff_ms * factor;
         env.clock
             .add_cpu((backoff_ms / self.cfg.cpu_op_ms).ceil() as u64);
+    }
+
+    /// Optimizer post-pass over the feedback store: re-stamp `est_rows`
+    /// wherever a previous query observed this exact sub-plan's true
+    /// cardinality, so the controller's divergence baseline starts from
+    /// truth and repeated query families re-optimize less.
+    fn consult_feedback(&self, plan: &mut PhysPlan, controller: &ReoptController) {
+        if self.feedback.is_empty() {
+            return;
+        }
+        let hits = apply_feedback(plan, &EngineFeedback(self), &self.cfg);
+        for h in &hits {
+            self.feedback.note_applied();
+            mq_obs::emit(|| ObsEvent::FeedbackApplied {
+                fingerprint: h.fingerprint,
+                estimated_rows: h.estimated_rows,
+                observed_rows: h.observed_rows,
+            });
+            controller.note(format!(
+                "feedback: est {:.0} -> observed {:.0} rows (fp {:016x})",
+                h.estimated_rows, h.observed_rows, h.fingerprint
+            ));
+        }
+    }
+
+    /// Probe the optimized plan top-down against the materialization
+    /// cache and splice a [`PhysOp::CachedScan`] over every largest
+    /// matching sub-tree. Pins pushed onto `pins` must outlive the
+    /// execution of the (possibly re-optimized) plan.
+    fn probe_cache(
+        &self,
+        plan: &mut PhysPlan,
+        pins: &mut Vec<PinGuard>,
+        controller: &ReoptController,
+    ) {
+        let mut probed = 0u64;
+        let spliced = self.probe_rec(plan, pins, &mut probed, controller);
+        if spliced > 0 {
+            plan.assign_ids();
+        } else if probed > 0 {
+            self.cache.record_miss();
+            mq_obs::emit(|| ObsEvent::CacheMiss { probed });
+            controller.note(format!("cache: miss ({probed} sub-trees probed)"));
+        }
+    }
+
+    fn probe_rec(
+        &self,
+        plan: &mut PhysPlan,
+        pins: &mut Vec<PinGuard>,
+        probed: &mut u64,
+        controller: &ReoptController,
+    ) -> u32 {
+        // Every node is probe-worthy — a cut can sit directly above a
+        // scan, so even leaf fingerprints may be cached. Spliced nodes
+        // themselves are the one exception.
+        if !matches!(plan.op, PhysOp::CachedScan { .. }) {
+            *probed += 1;
+            let fp = subplan_fingerprint(plan);
+            if let Some(hit) = self.cache.lookup(fp) {
+                let fresh = hit
+                    .entry
+                    .deps
+                    .iter()
+                    .all(|(t, v)| self.catalog.data_version(t) == Some(*v));
+                if !fresh {
+                    // A dep was written since promotion: retire the
+                    // entry now (dead-until-unpinned if shared).
+                    drop(hit.guard);
+                    if let Some(e) = self.cache.invalidate(fp) {
+                        self.retire_cache_entry(e);
+                    }
+                } else if let Some(mapping) = schema_permutation(&hit.entry.schema, &plan.schema) {
+                    let e = &hit.entry;
+                    mq_obs::emit(|| ObsEvent::CacheHit {
+                        fingerprint: fp,
+                        table: e.table.clone(),
+                        rows: e.rows,
+                        saved_ms: e.build_cost_ms,
+                        saved_bytes: e.bytes,
+                    });
+                    controller.note(format!(
+                        "cache: hit {} ({} rows, ~{:.1} ms saved, fp {:016x})",
+                        e.table, e.rows, e.build_cost_ms, fp
+                    ));
+                    let mut node = PhysPlan::new(
+                        PhysOp::CachedScan {
+                            spec: ScanSpec {
+                                table: e.table.clone(),
+                                file: e.file,
+                                pages: e.pages,
+                                rows: e.rows,
+                            },
+                            fingerprint: fp,
+                        },
+                        vec![],
+                        e.schema.clone(),
+                    );
+                    node.annot.est_rows = e.rows as f64;
+                    node.annot.est_row_bytes = if e.rows > 0 {
+                        e.bytes as f64 / e.rows as f64
+                    } else {
+                        0.0
+                    };
+                    // The entry stores rows in *its* column order; a
+                    // probed sub-tree produced by the opposite join
+                    // orientation wants a permutation of it, which a
+                    // projection restores.
+                    if mapping.iter().enumerate().any(|(i, &s)| i != s) {
+                        let exprs = plan
+                            .schema
+                            .fields()
+                            .iter()
+                            .zip(&mapping)
+                            .map(|(f, &src)| {
+                                (
+                                    mq_expr::Expr::BoundColumn {
+                                        index: src,
+                                        name: f.qualified_name().into(),
+                                    },
+                                    f.qualified_name(),
+                                )
+                            })
+                            .collect();
+                        let mut proj = PhysPlan::new(
+                            PhysOp::Project { exprs },
+                            vec![node],
+                            plan.schema.clone(),
+                        );
+                        proj.annot.est_rows = e.rows as f64;
+                        proj.annot.est_row_bytes = proj.children[0].annot.est_row_bytes;
+                        node = proj;
+                    }
+                    *plan = node;
+                    pins.push(hit.guard);
+                    return 1;
+                }
+                // Schema mismatch (fingerprint collision across
+                // projections): treat as a plain miss.
+            }
+        }
+        let mut spliced = 0;
+        for c in &mut plan.children {
+            spliced += self.probe_rec(c, pins, probed, controller);
+        }
+        spliced
+    }
+
+    /// Stage a fully-materialized plan-switch temp for promotion, and
+    /// feed the cut's exact cardinality into the feedback store. Cuts
+    /// reading another query's temp or cache table are not a pure
+    /// function of base data and are skipped.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_promotion(
+        &self,
+        promotions: &mut Vec<PendingPromotion>,
+        sub: &PhysPlan,
+        temp_name: &str,
+        schema: Schema,
+        rows: u64,
+        pages: u64,
+        bytes: u64,
+    ) {
+        let tables = base_tables(sub);
+        if tables
+            .iter()
+            .any(|t| t.starts_with("tmp_reopt_") || t.starts_with("cache_"))
+        {
+            return;
+        }
+        let mut deps = Vec::with_capacity(tables.len());
+        for t in tables {
+            let Some(v) = self.catalog.data_version(&t) else {
+                return;
+            };
+            deps.push((t, v));
+        }
+        let fp = subplan_fingerprint(sub);
+        // Feedback rides along regardless of cache admission:
+        // materializing the cut observed its exact output cardinality.
+        self.feedback.record(fp, rows as f64, deps.clone());
+        promotions.push(PendingPromotion {
+            fingerprint: fp,
+            temp_name: temp_name.to_string(),
+            schema,
+            rows,
+            pages,
+            bytes,
+            build_cost_ms: sub.annot.est_total_time_ms,
+            deps,
+        });
+    }
+
+    /// Promote this query's staged temps into the cache: re-validate
+    /// deps, re-register the temp's file under a `cache_*` name, then
+    /// admit the entry. The catalog rename happens *before* admission
+    /// (data before metadata): the only crash-window debris is an
+    /// orphan cache table, which [`Engine::sweep_cache_orphans`]
+    /// reclaims. Only [`MqError::Crash`] escapes; per-entry failures
+    /// skip that entry.
+    fn finalize_promotions(
+        &self,
+        env: &JobEnv,
+        promotions: Vec<PendingPromotion>,
+        guard: &mut CleanupGuard<'_>,
+    ) -> Result<()> {
+        for p in promotions {
+            // A dep written mid-query makes the result already stale;
+            // leave the temp to die with the guard.
+            if p.deps
+                .iter()
+                .any(|(t, v)| self.catalog.data_version(t) != Some(*v))
+            {
+                continue;
+            }
+            let cache_name = format!("cache_q{}_{:016x}", env.query_id, p.fingerprint);
+            let Ok(entry) = self.catalog.drop_table(&p.temp_name) else {
+                continue;
+            };
+            guard.untrack(&p.temp_name);
+            let stats = entry.stats.unwrap_or_else(|| TableStats {
+                rows: p.rows,
+                pages: p.pages,
+                avg_row_bytes: if p.rows > 0 {
+                    p.bytes as f64 / p.rows as f64
+                } else {
+                    0.0
+                },
+                columns: HashMap::new(),
+            });
+            if self
+                .catalog
+                .register_materialized(&cache_name, entry.file, entry.schema, stats)
+                .is_err()
+            {
+                // Unregistered file: reclaim it rather than leak it.
+                let _ = self.storage.drop_file(entry.file);
+                continue;
+            }
+            // Chaos kill point: table registered, entry not yet
+            // admitted — the promotion either completes or leaves a
+            // sweepable orphan, never a dangling cache entry.
+            mq_common::fault::on_segment_boundary()?;
+            let bytes = p.bytes.max(1);
+            let cache_entry = CacheEntry {
+                fingerprint: p.fingerprint,
+                table: cache_name.clone(),
+                file: entry.file,
+                schema: p.schema,
+                rows: p.rows,
+                pages: p.pages,
+                bytes,
+                build_cost_ms: p.build_cost_ms,
+                deps: p.deps,
+            };
+            let build_cost_ms = cache_entry.build_cost_ms;
+            let rows = p.rows;
+            let fingerprint = p.fingerprint;
+            let retired = self.cache.insert(cache_entry);
+            if !retired.iter().any(|e| e.table == cache_name) {
+                mq_obs::emit(|| ObsEvent::CachePromote {
+                    fingerprint,
+                    table: cache_name.clone(),
+                    rows,
+                    bytes,
+                    build_cost_ms,
+                });
+            }
+            for e in retired {
+                self.retire_cache_entry(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-query cardinality feedback: every collector that drained
+    /// its input to exhaustion observed the exact output cardinality of
+    /// the sub-plan below it. Key it by canonical fingerprint so the
+    /// *next* query containing that sub-plan plans with truth. Sub-
+    /// plans touching temp or cache tables are skipped (not pure
+    /// functions of base data).
+    fn record_collector_feedback(
+        &self,
+        plan: &PhysPlan,
+        controller: &ReoptController,
+        temp_tables: &[String],
+    ) {
+        let observations = controller.complete_observations();
+        if observations.is_empty() {
+            return;
+        }
+        plan.walk(&mut |node| {
+            if !matches!(node.op, PhysOp::StatsCollector { .. }) {
+                return;
+            }
+            let Some(child) = node.children.first() else {
+                return;
+            };
+            let Some(obs) = observations.iter().find(|o| o.node == node.id) else {
+                return;
+            };
+            let tables = base_tables(child);
+            if tables.iter().any(|t| {
+                t.starts_with("tmp_reopt_")
+                    || t.starts_with("cache_")
+                    || temp_tables.iter().any(|tt| tt == t)
+            }) {
+                return;
+            }
+            let mut deps = Vec::with_capacity(tables.len());
+            for t in tables {
+                let Some(v) = self.catalog.data_version(&t) else {
+                    return;
+                };
+                deps.push((t, v));
+            }
+            self.feedback
+                .record(subplan_fingerprint(child), obs.rows as f64, deps);
+        });
     }
 
     /// §2.2 statistics feedback: a collector that drained the complete,

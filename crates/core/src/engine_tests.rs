@@ -16,7 +16,10 @@ use crate::ReoptMode;
 /// catastrophic at the true cardinality — the exact sub-optimality of
 /// Figure 4.
 fn stale_fact_engine() -> Engine {
-    let cfg = EngineConfig::default();
+    stale_fact_engine_with(EngineConfig::default())
+}
+
+fn stale_fact_engine_with(cfg: EngineConfig) -> Engine {
     let engine = Engine::new(cfg).unwrap();
     let cat = engine.catalog();
     let st = engine.storage();
@@ -828,4 +831,261 @@ fn segment_retries_charge_simulated_backoff() {
         out.time_ms,
         clean.time_ms
     );
+}
+
+// ---------------------------------------------------------------------
+// Cross-query sub-plan cache + feedback store (mq-cache).
+// ---------------------------------------------------------------------
+
+fn cache_cfg() -> EngineConfig {
+    EngineConfig {
+        cache_enabled: true,
+        ..EngineConfig::default()
+    }
+}
+
+fn has_cached_scan(p: &mq_plan::PhysPlan) -> bool {
+    matches!(p.op, PhysOp::CachedScan { .. }) || p.children.iter().any(has_cached_scan)
+}
+
+/// Column-order-insensitive row canonicalization. A cached sub-plan
+/// can re-enter a later plan under the opposite join orientation, so a
+/// bare-join query's *output column order* legitimately differs between
+/// runs; the answer (as name→value tuples) must not.
+fn canon_rows(out: &crate::engine::QueryOutcome) -> Vec<String> {
+    let schema = &out.final_plan.schema;
+    let mut cols: Vec<(String, usize)> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.qualified_name(), i))
+        .collect();
+    cols.sort();
+    let mut rows: Vec<String> = out
+        .rows
+        .iter()
+        .map(|r| {
+            cols.iter()
+                .map(|(n, i)| format!("{n}={:?}", r.get(*i)))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The headline mq-cache property: a plan switch's materialized temp is
+/// promoted into the cache, and a *second* query of the same family
+/// reuses it — byte-identical answer, no re-optimization, and at least
+/// 2× cheaper on the simulated clock.
+#[test]
+fn cache_promotes_and_reuses_across_queries() {
+    let engine = stale_fact_engine_with(cache_cfg());
+    let q = stale_fact_query();
+
+    // Oracle: an identically-loaded engine with the cache off.
+    let off = stale_fact_engine().run(&q, ReoptMode::Full).unwrap();
+
+    let cold = engine.run(&q, ReoptMode::Full).unwrap();
+    assert!(cold.plan_switches >= 1, "cold run must switch plans");
+    let s = engine.cache_stats();
+    assert!(s.promotions >= 1, "switch temp must be promoted: {s:?}");
+    assert_eq!(s.hits, 0, "nothing to hit on the cold run");
+    assert!(!has_cached_scan(&cold.final_plan));
+
+    let warm = engine.run(&q, ReoptMode::Full).unwrap();
+    let s = engine.cache_stats();
+    assert!(
+        s.hits >= 1,
+        "warm run must reuse the cached sub-plan: {s:?}"
+    );
+    assert!(
+        has_cached_scan(&warm.final_plan),
+        "warm plan must splice a CachedScan:\n{}",
+        warm.final_plan
+    );
+    assert_eq!(
+        warm.plan_switches, 0,
+        "cache + feedback must remove the need to re-optimize: {:?}",
+        warm.events
+    );
+    assert!(
+        engine.feedback().applied() >= 1,
+        "feedback store must have corrected at least one estimate"
+    );
+    assert!(
+        warm.time_ms * 2.0 <= cold.time_ms,
+        "warm ({} ms) must be at least 2x cheaper than cold ({} ms)",
+        warm.time_ms,
+        cold.time_ms
+    );
+
+    // Same answer in all three runs (modulo join-orientation column
+    // order — this query has no projection pinning one down).
+    assert_eq!(canon_rows(&off), canon_rows(&cold));
+    assert_eq!(canon_rows(&cold), canon_rows(&warm));
+
+    // Clearing the cache drops every cache_* table and leaves the
+    // engine spotless.
+    engine.clear_cache();
+    assert_eq!(engine.cache_stats().entries, 0);
+    assert!(
+        engine
+            .catalog()
+            .table_names()
+            .iter()
+            .all(|n| !n.starts_with("cache_")),
+        "clear_cache must drop backing tables"
+    );
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+}
+
+/// A write to a base table invalidates every cached sub-plan that
+/// depends on it: the next run rebuilds and the answer matches a
+/// cache-off engine that saw the same write.
+#[test]
+fn writes_invalidate_dependent_cache_entries() {
+    let engine = stale_fact_engine_with(cache_cfg());
+    let twin = stale_fact_engine(); // cache off, same data
+    let q = stale_fact_query();
+
+    engine.run(&q, ReoptMode::Full).unwrap();
+    assert!(engine.cache_stats().promotions >= 1);
+
+    // The new row passes every predicate, so a stale cache entry would
+    // give a visibly wrong (smaller) answer.
+    for e in [&engine, &twin] {
+        e.catalog()
+            .insert_row(
+                e.storage(),
+                "fact",
+                Row::new(vec![Value::Int(1), Value::Int(1), Value::Int(0)]),
+            )
+            .unwrap();
+    }
+    engine.invalidate_cache_for("fact");
+    let s = engine.cache_stats();
+    assert!(s.invalidations >= 1, "write must invalidate: {s:?}");
+
+    let post = engine.run(&q, ReoptMode::Full).unwrap();
+    let oracle = twin.run(&q, ReoptMode::Full).unwrap();
+    assert_eq!(
+        canon_rows(&post),
+        canon_rows(&oracle),
+        "post-write answer must match a cache-off engine"
+    );
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+}
+
+/// Crash injected exactly at the promotion kill point (between
+/// registering the cache table and publishing the cache metadata): the
+/// debris is at most an orphaned `cache_*` table — never metadata
+/// pointing at missing data — and recovery + the orphan sweep restore a
+/// clean audit.
+#[test]
+fn crash_at_promotion_is_recoverable() {
+    use mq_common::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+
+    // Counting run: enumerate the query's segment boundaries. The
+    // promotion kill point is the *last* boundary of a successful run.
+    let counting = stale_fact_engine_with(cache_cfg());
+    let q = stale_fact_query();
+    let inj = FaultInjector::none();
+    let mut env = counting.default_env();
+    env.fault = Some(inj.clone());
+    let oracle = counting.run_with(&q, ReoptMode::Full, env).unwrap();
+    let boundaries = inj.ops_at(FaultSite::SegmentBoundary);
+    assert!(
+        counting.cache_stats().promotions >= 1,
+        "counting run must promote, or there is no kill point to test"
+    );
+    assert!(boundaries >= 1);
+
+    // Fresh identically-built engine, crash at that exact boundary.
+    let engine = stale_fact_engine_with(cache_cfg());
+    let inj = FaultInjector::new(
+        vec![FaultSpec {
+            site: FaultSite::SegmentBoundary,
+            kind: FaultKind::Crash,
+            at: boundaries,
+        }],
+        None,
+    );
+    let mut env = engine.default_env();
+    let qid = env.query_id;
+    env.fault = Some(inj.clone());
+    let err = engine
+        .run_with(&q, ReoptMode::Full, env)
+        .expect_err("crash at the promotion kill point must unwind");
+    assert_eq!(err.kind(), "crash");
+    assert_eq!(inj.fired().crashes, 1);
+
+    // Data-before-metadata: the cache has no entry, but the orphaned
+    // backing table exists and the audit names it.
+    assert_eq!(engine.cache_stats().promotions, 0);
+    let audit = engine.audit();
+    assert!(
+        !audit.orphan_cache_tables.is_empty(),
+        "audit must flag the orphaned cache table: {audit}"
+    );
+
+    engine.recover(qid).unwrap();
+    let swept = engine.sweep_cache_orphans();
+    assert!(swept >= 1, "sweep must reclaim the orphan");
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+
+    // The engine is fully functional, and the *feedback* recorded
+    // before the crash survived it: the repeated family now plans with
+    // truthful cardinalities, answers correctly, and no longer needs
+    // the mid-query switch the first run paid for.
+    let after = engine.run(&q, ReoptMode::Full).unwrap();
+    assert_eq!(canon_rows(&after), canon_rows(&oracle));
+    assert_eq!(after.plan_switches, 0, "{:?}", after.events);
+    assert!(engine.feedback().applied() >= 1);
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
+}
+
+/// Entries survive disabling the cache (probing just stops), so
+/// re-enabling starts warm; and `set_config` with a smaller budget
+/// retires entries to fit.
+#[test]
+fn cache_survives_disable_and_respects_budget() {
+    let mut engine = stale_fact_engine_with(cache_cfg());
+    let q = stale_fact_query();
+    engine.run(&q, ReoptMode::Full).unwrap();
+    let s = engine.cache_stats();
+    assert!(s.promotions >= 1 && s.entries >= 1);
+
+    // Disable: the entry stays, but runs no longer probe.
+    let mut cfg = cache_cfg();
+    cfg.cache_enabled = false;
+    engine.set_config(cfg).unwrap();
+    assert!(engine.cache_stats().entries >= 1, "entries survive disable");
+    let out = engine.run(&q, ReoptMode::Full).unwrap();
+    assert!(!has_cached_scan(&out.final_plan));
+    assert_eq!(engine.cache_stats().hits, 0);
+
+    // Re-enable: starts warm.
+    engine.set_config(cache_cfg()).unwrap();
+    let out = engine.run(&q, ReoptMode::Full).unwrap();
+    assert!(has_cached_scan(&out.final_plan), "re-enable starts warm");
+    assert!(engine.cache_stats().hits >= 1);
+
+    // Shrinking the budget below the entry's size retires it (and its
+    // backing table) via cost-benefit eviction.
+    let mut tiny = cache_cfg();
+    tiny.cache_budget_bytes = engine.config().page_size;
+    engine.set_config(tiny).unwrap();
+    let s = engine.cache_stats();
+    assert!(
+        s.entries == 0 || s.bytes <= s.budget_bytes,
+        "budget must be enforced: {s:?}"
+    );
+    let audit = engine.audit();
+    assert!(audit.is_clean(), "{audit}");
 }

@@ -81,6 +81,7 @@ fn marker(plan: &PhysPlan) -> &'static str {
         PhysOp::SeqScan { spec, .. } if spec.table.starts_with("tmp_reopt_") => {
             "  <-- materialized by plan switch"
         }
+        PhysOp::CachedScan { .. } => "  <-- cached (cross-query reuse)",
         _ => "",
     }
 }

@@ -41,6 +41,7 @@ pub use controller::ReoptController;
 pub use engine::{AuditReport, Engine, JobEnv, QueryOutcome, RecoveryReport};
 pub use explain::{explain_analyze, explain_plan};
 pub use manifest::{CheckpointRecord, ManifestStore, QueryManifest};
+pub use mq_cache::{CacheEntry, CacheStats, FeedbackStore, SubPlanCache};
 pub use mq_par::{ExchangeReport, ParReport, ParSpec, SkewReport};
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 

@@ -33,6 +33,13 @@ fn convert(p: &PhysPlan, cut: NodeId, temp: &str) -> Result<LogicalPlan> {
             table: spec.table.clone(),
             filter: filter.as_ref().map(Expr::unbind),
         },
+        // A cached materialization is catalog-registered under its
+        // cache-table name, so the remainder can re-reference it like
+        // any base table (no predicate: the cache holds final output).
+        PhysOp::CachedScan { spec, .. } => LogicalPlan::Scan {
+            table: spec.table.clone(),
+            filter: None,
+        },
         PhysOp::IndexScan {
             spec,
             column,

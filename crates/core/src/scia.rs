@@ -275,6 +275,9 @@ fn worth_a_site(child: &PhysPlan, cfg: &EngineConfig, staleness: &HashMap<String
         PhysOp::SeqScan { filter, .. } => {
             filter.is_some() || (cfg.stats_feedback && feedback_site(child, staleness))
         }
+        // Cached materializations carry exact statistics (rows/pages
+        // recorded at promotion); observing them teaches us nothing.
+        PhysOp::CachedScan { .. } => false,
         _ => true,
     }
 }

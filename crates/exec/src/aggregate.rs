@@ -181,8 +181,11 @@ impl HashAggregateExec {
         }
     }
 
-    fn group_key(&self, row: &Row) -> Vec<Value> {
-        self.group.iter().map(|&i| row.get(i).clone()).collect()
+    fn group_key(&self, row: &Row) -> Result<Vec<Value>> {
+        self.group
+            .iter()
+            .map(|&i| row.try_get(i).cloned())
+            .collect()
     }
 
     fn fold(&self, states: &mut [AggState], row: &Row) -> Result<()> {
@@ -210,7 +213,7 @@ impl HashAggregateExec {
         let mut bytes = 0usize;
         while let Some(row) = self.input.next(ctx)? {
             ctx.clock.add_cpu(2 + self.aggs.len() as u64);
-            let key = self.group_key(&row);
+            let key = self.group_key(&row)?;
             if let Some(states) = out.get_mut(&key) {
                 // Existing group: in-place update, no growth.
                 for (st, agg) in states.iter_mut().zip(&self.aggs) {
@@ -301,7 +304,7 @@ impl Operator for HashAggregateExec {
             for item in ctx.storage.scan_file(part)? {
                 let (_, row) = item?;
                 ctx.clock.add_cpu(2 + self.aggs.len() as u64);
-                let key = self.group_key(&row);
+                let key = self.group_key(&row)?;
                 let states = sub
                     .entry(key)
                     .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect());

@@ -63,7 +63,7 @@ impl Operator for IndexNLJoinExec {
                 Some(r) => r,
                 None => return Ok(None),
             };
-            let key = outer_row.get(self.outer_key);
+            let key = outer_row.try_get(self.outer_key)?;
             if key.is_null() {
                 continue;
             }

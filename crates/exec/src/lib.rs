@@ -174,6 +174,12 @@ fn build_inner(
         // per bucket and routes rows itself — so this arm only runs
         // when a parallelized plan is executed by the serial engine.
         PhysOp::Exchange { .. } => take_one(&mut children)?,
+        // A cached materialization reads back like any base table: the
+        // cache table is catalog-registered with an exact-statistics
+        // heap file, so a plain unfiltered sequential scan suffices.
+        PhysOp::CachedScan { spec, .. } => {
+            Box::new(scan::SeqScanExec::new(node, spec.clone(), None))
+        }
     })
 }
 

@@ -319,7 +319,7 @@ impl Expr {
             Expr::Column(name) => Err(MqError::Internal(format!(
                 "evaluating unbound column '{name}' (call bind first)"
             ))),
-            Expr::BoundColumn { index, .. } => Ok(row.get(*index).clone()),
+            Expr::BoundColumn { index, .. } => Ok(row.try_get(*index)?.clone()),
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Cmp { op, left, right } => {
                 let l = left.eval(row)?;

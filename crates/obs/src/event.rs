@@ -210,6 +210,50 @@ pub enum ObsEvent {
         /// spill files).
         files: u64,
     },
+    /// A cache probe spliced a `CachedScan` over a matching sub-tree.
+    CacheHit {
+        /// Fingerprint of the matched sub-plan.
+        fingerprint: u64,
+        /// Cache table spliced in.
+        table: String,
+        /// Exact rows of the cached result.
+        rows: u64,
+        /// Simulated ms the producing sub-plan cost (the saving).
+        saved_ms: f64,
+        /// Bytes not re-materialized.
+        saved_bytes: u64,
+    },
+    /// A cache probe found no usable entry for the whole plan.
+    CacheMiss {
+        /// Sub-tree fingerprints probed (root-first count).
+        probed: u64,
+    },
+    /// A plan-switch materialization was promoted into the cache.
+    CachePromote {
+        fingerprint: u64,
+        /// Cache table the temp was renamed to.
+        table: String,
+        rows: u64,
+        bytes: u64,
+        /// Producer cost recorded as the entry's benefit.
+        build_cost_ms: f64,
+    },
+    /// Budget pressure retired a cache entry.
+    CacheEvict {
+        fingerprint: u64,
+        table: String,
+        bytes: u64,
+    },
+    /// The optimizer overrode a cardinality estimate with an observed
+    /// value from the feedback store.
+    FeedbackApplied {
+        /// Fingerprint of the sub-plan whose estimate was overridden.
+        fingerprint: u64,
+        /// The optimizer's catalog-derived estimate.
+        estimated_rows: f64,
+        /// The observed row count that replaced it.
+        observed_rows: f64,
+    },
     /// The query left the engine.
     QueryEnd {
         /// `ok` or the error kind (`storage`, `cancelled`, `oom`, …).
@@ -249,6 +293,11 @@ impl ObsEvent {
             ObsEvent::RecoveryStarted { .. } => "recovery_started",
             ObsEvent::SegmentsSalvaged { .. } => "segments_salvaged",
             ObsEvent::OrphansSwept { .. } => "orphans_swept",
+            ObsEvent::CacheHit { .. } => "cache_hit",
+            ObsEvent::CacheMiss { .. } => "cache_miss",
+            ObsEvent::CachePromote { .. } => "cache_promote",
+            ObsEvent::CacheEvict { .. } => "cache_evict",
+            ObsEvent::FeedbackApplied { .. } => "feedback_applied",
             ObsEvent::QueryEnd { .. } => "query_end",
         }
     }
@@ -425,6 +474,57 @@ impl ObsEvent {
                 let _ = write!(
                     out,
                     ",\"query_id\":{query_id},\"tables\":{tables},\"files\":{files}"
+                );
+            }
+            ObsEvent::CacheHit {
+                fingerprint,
+                table,
+                rows,
+                saved_ms,
+                saved_bytes,
+            } => {
+                let _ = write!(out, ",\"fingerprint\":\"{fingerprint:016x}\",\"table\":");
+                crate::json::write_json_string(out, table);
+                let _ = write!(
+                    out,
+                    ",\"rows\":{rows},\"saved_ms\":{saved_ms},\"saved_bytes\":{saved_bytes}"
+                );
+            }
+            ObsEvent::CacheMiss { probed } => {
+                let _ = write!(out, ",\"probed\":{probed}");
+            }
+            ObsEvent::CachePromote {
+                fingerprint,
+                table,
+                rows,
+                bytes,
+                build_cost_ms,
+            } => {
+                let _ = write!(out, ",\"fingerprint\":\"{fingerprint:016x}\",\"table\":");
+                crate::json::write_json_string(out, table);
+                let _ = write!(
+                    out,
+                    ",\"rows\":{rows},\"bytes\":{bytes},\"build_cost_ms\":{build_cost_ms}"
+                );
+            }
+            ObsEvent::CacheEvict {
+                fingerprint,
+                table,
+                bytes,
+            } => {
+                let _ = write!(out, ",\"fingerprint\":\"{fingerprint:016x}\",\"table\":");
+                crate::json::write_json_string(out, table);
+                let _ = write!(out, ",\"bytes\":{bytes}");
+            }
+            ObsEvent::FeedbackApplied {
+                fingerprint,
+                estimated_rows,
+                observed_rows,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"fingerprint\":\"{fingerprint:016x}\",\
+                     \"estimated_rows\":{estimated_rows},\"observed_rows\":{observed_rows}"
                 );
             }
             ObsEvent::QueryEnd {

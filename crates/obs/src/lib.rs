@@ -308,6 +308,32 @@ pub fn fold_event(m: &MetricsRegistry, ev: &ObsEvent) {
             m.inc("midq_orphans_swept_tables_total", &[], Stable, *tables);
             m.inc("midq_orphans_swept_files_total", &[], Stable, *files);
         }
+        // Cache traffic is a function of the workload's logical query
+        // sequence (the cache is probed/promoted per query, not per
+        // worker), so hits/misses/promotions and the bytes they save
+        // are stable. Evictions depend on the byte budget the runtime
+        // happened to lease — volatile.
+        ObsEvent::CacheHit {
+            saved_bytes, rows, ..
+        } => {
+            m.inc("midq_cache_hits_total", &[], Stable, 1);
+            m.inc("midq_cache_rows_reused_total", &[], Stable, *rows);
+            m.inc("midq_cache_bytes_saved_total", &[], Stable, *saved_bytes);
+        }
+        ObsEvent::CacheMiss { .. } => {
+            m.inc("midq_cache_misses_total", &[], Stable, 1);
+        }
+        ObsEvent::CachePromote { bytes, .. } => {
+            m.inc("midq_cache_promotions_total", &[], Stable, 1);
+            m.inc("midq_cache_promoted_bytes_total", &[], Stable, *bytes);
+        }
+        ObsEvent::CacheEvict { bytes, .. } => {
+            m.inc("midq_cache_evictions_total", &[], Volatile, 1);
+            m.inc("midq_cache_evicted_bytes_total", &[], Volatile, *bytes);
+        }
+        ObsEvent::FeedbackApplied { .. } => {
+            m.inc("midq_feedback_applied_total", &[], Stable, 1);
+        }
         ObsEvent::QueryEnd {
             outcome,
             rows,

@@ -198,6 +198,9 @@ pub fn recost(plan: &mut PhysPlan, cfg: &EngineConfig) {
                 .map(|f| f.eval_cost_ops() as f64)
                 .unwrap_or(0.0),
         ),
+        // Reading a cached materialization back is an unfiltered
+        // sequential scan of its (exactly-sized) heap file.
+        PhysOp::CachedScan { spec, .. } => seq_scan_cost(spec.pages as f64, spec.rows as f64, 0.0),
         PhysOp::IndexScan {
             index_height,
             clustering,

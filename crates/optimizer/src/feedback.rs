@@ -1,0 +1,243 @@
+//! Cardinality feedback: observed sub-plan row counts override the
+//! optimizer's catalog-derived estimates.
+//!
+//! §2.2 notes that collected statistics "can also be used to update the
+//! statistics stored in the database catalogs"; the cross-query cache
+//! subsystem goes one step further and remembers the *exact* observed
+//! cardinality of every checkpointed sub-plan, keyed by its canonical
+//! fingerprint. This module is the optimizer-side consumer: a post-pass
+//! over an annotated physical plan that re-stamps `est_rows` wherever
+//! the feedback store has seen that exact sub-plan before, then recosts.
+//!
+//! The pass deliberately does **not** re-enumerate join orders — the
+//! plan shape is whatever the DP enumeration picked from catalog
+//! statistics. What it fixes is the *baseline* the runtime controller
+//! compares observations against: with truthful annotations, the
+//! divergence `max(obs/est, est/obs)` of a repeated query family stays
+//! under θ2 and the controller stops proposing mid-query switches the
+//! first run already paid for.
+
+use mq_common::EngineConfig;
+use mq_plan::{subplan_fingerprint, NodeId, PhysOp, PhysPlan, ScanSpec};
+
+use crate::cost;
+use crate::enumerate::QueryGraph;
+
+/// Source of observed sub-plan cardinalities. Implemented by the
+/// engine over its feedback store; a trait so the optimizer stays
+/// independent of the cache crate (and tests can use a closure-like
+/// stub).
+pub trait CardFeedback {
+    /// Observed (still-valid) row count for a canonical sub-plan
+    /// fingerprint, or `None`.
+    fn observed_rows(&self, fingerprint: u64) -> Option<f64>;
+}
+
+/// One estimate override performed by [`apply_feedback`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackHit {
+    /// Plan node whose estimate was overridden.
+    pub node: NodeId,
+    /// Canonical fingerprint of the sub-plan rooted there.
+    pub fingerprint: u64,
+    /// The catalog-derived estimate that was replaced.
+    pub estimated_rows: f64,
+    /// The observed row count stamped in.
+    pub observed_rows: f64,
+}
+
+/// One base-relation override performed by [`apply_to_graph`] before
+/// join enumeration.
+#[derive(Debug, Clone)]
+pub struct GraphFeedbackHit {
+    /// Base table whose filtered-scan estimate was overridden.
+    pub table: String,
+    /// Canonical fingerprint of the filtered sequential scan.
+    pub fingerprint: u64,
+    /// The catalog-derived post-predicate estimate that was replaced.
+    pub estimated_rows: f64,
+    /// The observed row count stamped in.
+    pub observed_rows: f64,
+}
+
+/// Steer the *join enumeration* with observed cardinalities: override
+/// each base relation's post-predicate row estimate when the feedback
+/// store has seen that exact filtered scan before (keyed by the
+/// canonical fingerprint of the relation's filtered sequential scan —
+/// the form a promoted plan-switch cut records). Corrections applied
+/// here propagate through the DP's join-selectivity arithmetic, so a
+/// repeated query family gets the join order and operators the first
+/// run had to discover mid-query — not just truthful annotations on
+/// the same mis-chosen shape.
+pub fn apply_to_graph(
+    graph: &mut QueryGraph,
+    feedback: &dyn CardFeedback,
+) -> Vec<GraphFeedbackHit> {
+    let mut hits = Vec::new();
+    for rel in &mut graph.relations {
+        // Mirror the seq-scan alternative `best_access_path` builds;
+        // only the table name and (canonically sorted) conjuncts feed
+        // the fingerprint, so pages/rows placeholders are irrelevant.
+        let filter = match &rel.local {
+            Some(p) => match p.bind(&rel.entry.schema) {
+                Ok(b) => Some(b),
+                Err(_) => continue,
+            },
+            None => None,
+        };
+        let probe = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: rel.entry.name.clone(),
+                    file: rel.entry.file,
+                    pages: 1,
+                    rows: 0,
+                },
+                filter,
+            },
+            vec![],
+            rel.entry.schema.clone(),
+        );
+        let fp = subplan_fingerprint(&probe);
+        if let Some(observed) = feedback.observed_rows(fp) {
+            if observed.is_finite() && observed >= 0.0 && observed != rel.props.rows {
+                hits.push(GraphFeedbackHit {
+                    table: rel.entry.name.clone(),
+                    fingerprint: fp,
+                    estimated_rows: rel.props.rows,
+                    observed_rows: observed,
+                });
+                rel.props.rows = observed;
+            }
+        }
+    }
+    hits
+}
+
+/// Override `est_rows` on every sub-tree the feedback store has an
+/// observation for, then recost the whole plan. Returns the overrides
+/// performed (root-last, matching the bottom-up walk) so the caller
+/// can emit `feedback_applied` events.
+pub fn apply_feedback(
+    plan: &mut PhysPlan,
+    feedback: &dyn CardFeedback,
+    cfg: &EngineConfig,
+) -> Vec<FeedbackHit> {
+    let mut hits = Vec::new();
+    apply_rec(plan, feedback, &mut hits);
+    if !hits.is_empty() {
+        cost::recost(plan, cfg);
+    }
+    hits
+}
+
+fn apply_rec(plan: &mut PhysPlan, feedback: &dyn CardFeedback, hits: &mut Vec<FeedbackHit>) {
+    for c in &mut plan.children {
+        apply_rec(c, feedback, hits);
+    }
+    // Collectors and exchanges share their child's fingerprint (they
+    // are canonically transparent); stamping them too would double-
+    // count the hit, so only structural nodes are probed — their
+    // annotation is copied onto any transparent parent afterwards.
+    if matches!(
+        plan.op,
+        PhysOp::StatsCollector { .. } | PhysOp::Exchange { .. }
+    ) {
+        plan.annot.est_rows = plan.children[0].annot.est_rows;
+        return;
+    }
+    let fp = subplan_fingerprint(plan);
+    if let Some(observed) = feedback.observed_rows(fp) {
+        if observed.is_finite() && observed >= 0.0 && observed != plan.annot.est_rows {
+            hits.push(FeedbackHit {
+                node: plan.id,
+                fingerprint: fp,
+                estimated_rows: plan.annot.est_rows,
+                observed_rows: observed,
+            });
+            plan.annot.est_rows = observed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq_common::{DataType, Field, FileId, Schema};
+    use mq_plan::ScanSpec;
+    use std::collections::HashMap;
+
+    struct MapFeedback(HashMap<u64, f64>);
+
+    impl CardFeedback for MapFeedback {
+        fn observed_rows(&self, fingerprint: u64) -> Option<f64> {
+            self.0.get(&fingerprint).copied()
+        }
+    }
+
+    fn scan(table: &str, est: f64) -> PhysPlan {
+        let mut p = PhysPlan::new(
+            PhysOp::SeqScan {
+                spec: ScanSpec {
+                    table: table.into(),
+                    file: FileId(0),
+                    pages: 10,
+                    rows: 100,
+                },
+                filter: None,
+            },
+            vec![],
+            Schema::new(vec![Field::qualified(table, "k", DataType::Int)]).unwrap(),
+        );
+        p.annot.est_rows = est;
+        p.annot.est_row_bytes = 16.0;
+        p
+    }
+
+    #[test]
+    fn observation_overrides_estimate_and_recosts() {
+        let mut plan = scan("t", 100.0);
+        plan.assign_ids();
+        let fp = subplan_fingerprint(&plan);
+        let fb = MapFeedback(HashMap::from([(fp, 5000.0)]));
+        let cfg = EngineConfig::default();
+        let hits = apply_feedback(&mut plan, &fb, &cfg);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].fingerprint, fp);
+        assert_eq!(hits[0].estimated_rows, 100.0);
+        assert_eq!(plan.annot.est_rows, 5000.0);
+        assert!(plan.annot.est_total_time_ms > 0.0);
+    }
+
+    #[test]
+    fn unknown_fingerprints_leave_plan_untouched() {
+        let mut plan = scan("t", 100.0);
+        plan.assign_ids();
+        let fb = MapFeedback(HashMap::new());
+        let hits = apply_feedback(&mut plan, &fb, &EngineConfig::default());
+        assert!(hits.is_empty());
+        assert_eq!(plan.annot.est_rows, 100.0);
+    }
+
+    #[test]
+    fn transparent_nodes_inherit_without_double_count() {
+        let base = scan("t", 100.0);
+        let schema = base.schema.clone();
+        let mut plan = PhysPlan::new(
+            PhysOp::StatsCollector {
+                specs: vec![],
+                site: "s".into(),
+            },
+            vec![base],
+            schema,
+        );
+        plan.annot.est_rows = 100.0;
+        plan.assign_ids();
+        let fp = subplan_fingerprint(&plan); // = the scan's fingerprint
+        let fb = MapFeedback(HashMap::from([(fp, 7.0)]));
+        let hits = apply_feedback(&mut plan, &fb, &EngineConfig::default());
+        assert_eq!(hits.len(), 1, "one hit, not one per transparent layer");
+        assert_eq!(plan.children[0].annot.est_rows, 7.0);
+        assert_eq!(plan.annot.est_rows, 7.0, "collector inherits the child");
+    }
+}

@@ -22,6 +22,7 @@
 pub mod calibrate;
 pub mod cost;
 pub mod enumerate;
+pub mod feedback;
 pub mod props;
 
 use mq_catalog::Catalog;
@@ -33,6 +34,7 @@ use mq_storage::Storage;
 pub use calibrate::OptCalibration;
 pub use cost::{materialize_cost, recost};
 pub use enumerate::{decompose, enumerate, QueryGraph};
+pub use feedback::{apply_feedback, CardFeedback, FeedbackHit, GraphFeedbackHit};
 pub use props::RelProps;
 
 /// Result of optimization.
@@ -47,6 +49,9 @@ pub struct Optimized {
     pub work_units: u64,
     /// Output statistics of the plan root.
     pub props: RelProps,
+    /// Base-relation estimate overrides taken from a cardinality
+    /// feedback store before enumeration (empty without feedback).
+    pub feedback_hits: Vec<GraphFeedbackHit>,
 }
 
 /// The query optimizer.
@@ -73,10 +78,34 @@ impl Optimizer {
         catalog: &Catalog,
         storage: &Storage,
     ) -> Result<Optimized> {
+        self.optimize_with_feedback(logical, catalog, storage, None)
+    }
+
+    /// [`Optimizer::optimize`] with an optional cardinality feedback
+    /// source: observed row counts for previously-executed sub-plans
+    /// override the catalog-derived base-relation estimates *before*
+    /// join enumeration, steering join order and operator choice (see
+    /// [`feedback::apply_to_graph`]).
+    pub fn optimize_with_feedback(
+        &self,
+        logical: &LogicalPlan,
+        catalog: &Catalog,
+        storage: &Storage,
+        card_feedback: Option<&dyn CardFeedback>,
+    ) -> Result<Optimized> {
         let cfg = &self.cfg;
         let mut post = Vec::new();
-        let graph = decompose(logical, catalog, storage, cfg, &mut post)?;
-        let enumerated = enumerate(&graph, storage, cfg)?;
+        let mut graph = decompose(logical, catalog, storage, cfg, &mut post)?;
+        let mut feedback_hits = match card_feedback {
+            Some(fb) => feedback::apply_to_graph(&mut graph, fb),
+            None => Vec::new(),
+        };
+        let enumerated = enumerate(&graph, storage, cfg, card_feedback)?;
+        for h in enumerated.feedback_hits {
+            if !feedback_hits.iter().any(|e| e.fingerprint == h.fingerprint) {
+                feedback_hits.push(h);
+            }
+        }
         let mut plan = enumerated.plan;
         let mut props = enumerated.props;
         let mut work = enumerated.work_units;
@@ -107,6 +136,7 @@ impl Optimizer {
             plan,
             work_units: work,
             props,
+            feedback_hits,
         })
     }
 
@@ -277,6 +307,9 @@ fn derive_props(
         PhysOp::SeqScan { spec, filter } => {
             scan_props(spec, filter.as_ref(), catalog, storage, cfg)?
         }
+        // A cached materialization is catalog-registered with exact
+        // statistics, so it derives like an unfiltered base-table scan.
+        PhysOp::CachedScan { spec, .. } => scan_props(spec, None, catalog, storage, cfg)?,
         PhysOp::IndexScan {
             spec,
             column,

@@ -133,7 +133,11 @@ fn rewrite(mut plan: PhysPlan, spec: &ParSpec, cfg: &EngineConfig) -> (PhysPlan,
             plan.children = vec![child];
             (plan, part)
         }
-        PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } => (plan, false),
+        // Cached scans stay serial leaves like any other scan; the
+        // driver reads the (small) cache table in one chunk.
+        PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::CachedScan { .. } => {
+            (plan, false)
+        }
         // Already-parallelized input (defensive): keep as-is.
         PhysOp::Exchange { mode, .. } => {
             let part = matches!(mode, ExchangeMode::Repartition { .. });

@@ -11,9 +11,11 @@
 //! * [`physical::CollectorSpec`] — what a statistics-collector operator
 //!   at a given plan point gathers (§2.2/§2.5).
 
+pub mod fingerprint;
 pub mod logical;
 pub mod physical;
 
+pub use fingerprint::{base_tables, subplan_fingerprint};
 pub use logical::{AggExpr, AggFunc, LogicalPlan};
 pub use physical::{
     Annotation, CollectorSpec, CostEst, ExchangeMode, NodeId, PhysOp, PhysPlan, ScanSpec,

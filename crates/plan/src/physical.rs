@@ -210,6 +210,18 @@ pub enum PhysOp {
         /// Partition count the plan was parallelized for.
         partitions: usize,
     },
+    /// Scan of a cross-query cached materialization (0 children): the
+    /// engine's cache probe splices this over a whole sub-tree whose
+    /// fingerprint matched a promoted entry. The cache table is
+    /// catalog-registered like any other, so downstream operators (and
+    /// re-planning) treat it as an exact-statistics base table.
+    CachedScan {
+        /// Cache table info (name, file, exact pages/rows).
+        spec: ScanSpec,
+        /// Canonical fingerprint of the sub-plan this entry replaced
+        /// (see [`crate::fingerprint::subplan_fingerprint`]).
+        fingerprint: u64,
+    },
 }
 
 /// How an [`PhysOp::Exchange`] moves rows across a partition boundary.
@@ -253,6 +265,7 @@ impl PhysOp {
             PhysOp::Limit { .. } => "Limit",
             PhysOp::StatsCollector { .. } => "StatsCollector",
             PhysOp::Exchange { .. } => "Exchange",
+            PhysOp::CachedScan { .. } => "CachedScan",
         }
     }
 
@@ -458,6 +471,9 @@ impl PhysPlan {
                 if let ExchangeMode::Repartition { keys } = mode {
                     let _ = write!(out, " on{keys:?}");
                 }
+            }
+            PhysOp::CachedScan { spec, fingerprint } => {
+                let _ = write!(out, "{} fp={fingerprint:016x}", spec.table);
             }
         }
         out

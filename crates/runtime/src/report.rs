@@ -80,6 +80,40 @@ impl JobResult {
             self.metrics.counter("midq_reopt_decisions_total")
         }
     }
+
+    /// Cross-query cache hits this job benefited from (sub-trees
+    /// replaced by `CachedScan`s) — from the metrics snapshot when one
+    /// was collected, else from the controller event log.
+    pub fn cache_hits(&self) -> u64 {
+        if self.metrics.is_empty() {
+            self.count_events("cache: hit")
+        } else {
+            self.metrics.counter("midq_cache_hits_total")
+        }
+    }
+
+    /// Cache probes of this job that found no usable entry.
+    pub fn cache_misses(&self) -> u64 {
+        if self.metrics.is_empty() {
+            self.count_events("cache: miss")
+        } else {
+            self.metrics.counter("midq_cache_misses_total")
+        }
+    }
+
+    /// Bytes of intermediate results this job read from the cache
+    /// instead of recomputing (0 without a metrics snapshot — the
+    /// event log does not carry byte counts).
+    pub fn cache_bytes_saved(&self) -> u64 {
+        self.metrics.counter("midq_cache_bytes_saved_total")
+    }
+
+    fn count_events(&self, prefix: &str) -> u64 {
+        self.outcome
+            .as_ref()
+            .map(|o| o.events.iter().filter(|e| e.starts_with(prefix)).count() as u64)
+            .unwrap_or(0)
+    }
 }
 
 /// Aggregate report for a concurrent workload run.
@@ -125,6 +159,21 @@ impl WorkloadReport {
     /// Total checkpointed segments salvaged across the workload.
     pub fn segments_salvaged(&self) -> u32 {
         self.results.iter().map(|r| r.segments_salvaged).sum()
+    }
+
+    /// Total cross-query cache hits across the workload.
+    pub fn cache_hits(&self) -> u64 {
+        self.results.iter().map(JobResult::cache_hits).sum()
+    }
+
+    /// Total cache probes that found no usable entry.
+    pub fn cache_misses(&self) -> u64 {
+        self.results.iter().map(JobResult::cache_misses).sum()
+    }
+
+    /// Total bytes read from the cache instead of recomputed.
+    pub fn cache_bytes_saved(&self) -> u64 {
+        self.results.iter().map(JobResult::cache_bytes_saved).sum()
     }
 
     /// Queries per simulated second, against the parallel makespan.
@@ -173,6 +222,9 @@ impl WorkloadReport {
                     r.recoveries, r.segments_salvaged
                 );
             }
+            if r.cache_hits() + r.cache_misses() > 0 {
+                let _ = write!(out, "  cache={}h/{}m", r.cache_hits(), r.cache_misses());
+            }
             match &r.outcome {
                 Ok(o) => {
                     let _ = writeln!(
@@ -202,6 +254,15 @@ impl WorkloadReport {
                 "crash recovery: {} attempt(s), {} segment(s) salvaged",
                 self.recoveries(),
                 self.segments_salvaged()
+            );
+        }
+        if self.cache_hits() + self.cache_misses() > 0 {
+            let _ = writeln!(
+                out,
+                "cache: {} hit(s), {} miss(es), {} KiB saved",
+                self.cache_hits(),
+                self.cache_misses(),
+                self.cache_bytes_saved() / 1024
             );
         }
         let _ = writeln!(

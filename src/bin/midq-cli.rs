@@ -65,14 +65,23 @@ meta-commands:
                                   last query (events, final plan)
   \\source <file>                  run statements from a file (one per
                                   line or ;-terminated)
-  \\workload <file> [--workers N] [--partitions P]
+  \\workload <file> [--workers N] [--partitions P] [--cache]
                                   replay a file of SELECTs (one per
                                   line or ;-terminated) through the
                                   concurrent runtime (default N=4);
                                   --partitions runs every query through
                                   the partitioned driver with P workers
-                                  (admission takes P leases atomically):
-                                  per-query summaries + throughput
+                                  (admission takes P leases atomically);
+                                  --cache enables the cross-query cache
+                                  first (and leaves it on): per-query
+                                  summaries + throughput + cache traffic
+  \\cache [on|off|stats|clear]     cross-query sub-plan cache: toggle it,
+                                  show hit/miss/promotion counters, or
+                                  drop every entry and all cardinality
+                                  feedback
+  \\set <knob> <value>             tune an engine config knob between
+                                  queries: switch_margin, cache_budget_kib
+                                  (e.g. \\set switch_margin 1.0)
   \\quit                           exit
 anything else is parsed as SQL: SELECT runs under the current mode;
 CREATE TABLE t (a INT, ...) / CREATE INDEX ON t (a) /
@@ -188,6 +197,9 @@ impl Shell {
             },
             ["source", path] => self.source(path),
             ["workload", rest @ ..] => self.workload(rest),
+            ["cache", rest @ ..] => self.cache_cmd(rest),
+            ["set", knob, value] => self.set_knob(knob, value),
+            ["set", ..] => println!("usage: \\set <switch_margin|cache_budget_kib> <value>"),
             _ => println!("unknown command \\{cmd} — try \\help"),
         }
     }
@@ -381,13 +393,16 @@ impl Shell {
     /// `;`- or newline-separated; `--` comments are skipped. Built-in
     /// TPC-D queries may be named as `\q <name>` lines.
     fn workload(&mut self, args: &[&str]) {
-        const USAGE: &str = "usage: \\workload <file> [--workers N] [--partitions P]";
+        const USAGE: &str = "usage: \\workload <file> [--workers N] [--partitions P] [--cache]";
         let mut path: Option<&str> = None;
         let mut workers = 4usize;
         let mut partitions: Option<usize> = None;
+        let mut cache = false;
         let mut it = args.iter();
         while let Some(a) = it.next() {
-            if *a == "--workers" {
+            if *a == "--cache" {
+                cache = true;
+            } else if *a == "--workers" {
                 match it.next().and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n >= 1 => workers = n,
                     _ => {
@@ -448,11 +463,93 @@ impl Shell {
         if let Some(p) = partitions {
             wl = wl.with_partitions(p);
         }
+        if cache && !self.db.engine().config().cache_enabled {
+            self.set_cache(true);
+        }
         // Metrics-only handle: per-job snapshots drive the summary
         // lines and accumulate into the session registry (\metrics).
         wl.obs = Some(Obs::none().with_metrics(self.metrics.clone()));
         let report = self.db.run_concurrent(&wl);
         print!("{}", report.summary());
+    }
+
+    /// `\cache [on|off|stats|clear]`: toggle the cross-query cache,
+    /// show its counters, or drop it wholesale.
+    fn cache_cmd(&mut self, args: &[&str]) {
+        match args {
+            [] | ["stats"] => {
+                let enabled = self.db.engine().config().cache_enabled;
+                let s = self.db.cache_stats();
+                println!(
+                    "cache: {}   {} entries, {}/{} KiB",
+                    if enabled { "on" } else { "off" },
+                    s.entries,
+                    s.bytes / 1024,
+                    s.budget_bytes / 1024
+                );
+                println!(
+                    "  hits={} misses={} promotions={} evictions={} invalidations={}",
+                    s.hits, s.misses, s.promotions, s.evictions, s.invalidations
+                );
+                println!(
+                    "  saved ≈{:.1} sim-ms, {} KiB of intermediates reused   feedback: {} fingerprints, {} applied",
+                    s.saved_ms,
+                    s.saved_bytes / 1024,
+                    self.db.engine().feedback().len(),
+                    self.db.engine().feedback().applied()
+                );
+            }
+            ["on"] => self.set_cache(true),
+            ["off"] => self.set_cache(false),
+            ["clear"] => {
+                self.db.clear_cache();
+                println!("cache cleared (entries and cardinality feedback dropped)");
+            }
+            _ => println!("usage: \\cache [on|off|stats|clear]"),
+        }
+    }
+
+    /// `\set <knob> <value>`: tune one engine config knob in place
+    /// (validated by [`EngineConfig::validate`] via `set_config`).
+    fn set_knob(&mut self, knob: &str, value: &str) {
+        let mut cfg = self.db.engine().config().clone();
+        match knob {
+            "switch_margin" => match value.parse::<f64>() {
+                Ok(v) => cfg.switch_margin = v,
+                Err(_) => {
+                    println!("switch_margin wants a number, got {value:?}");
+                    return;
+                }
+            },
+            "cache_budget_kib" => match value.parse::<usize>() {
+                Ok(v) => cfg.cache_budget_bytes = v * 1024,
+                Err(_) => {
+                    println!("cache_budget_kib wants an integer, got {value:?}");
+                    return;
+                }
+            },
+            _ => {
+                println!("unknown knob {knob:?} (switch_margin, cache_budget_kib)");
+                return;
+            }
+        }
+        match self.db.engine_mut().set_config(cfg) {
+            Ok(()) => println!("{knob} = {value}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn set_cache(&mut self, on: bool) {
+        let mut cfg = self.db.engine().config().clone();
+        if cfg.cache_enabled == on {
+            println!("cache already {}", if on { "on" } else { "off" });
+            return;
+        }
+        cfg.cache_enabled = on;
+        match self.db.engine_mut().set_config(cfg) {
+            Ok(()) => println!("cache {}", if on { "on" } else { "off" }),
+            Err(e) => println!("error: {e}"),
+        }
     }
 
     fn run_sql(&mut self, sql: &str) {

@@ -172,11 +172,26 @@ impl Database {
         Ok(())
     }
 
-    /// Insert one row.
+    /// Insert one row. Writes bump the table's data version, so any
+    /// cache entry or cardinality feedback derived from it is
+    /// invalidated here (eagerly reclaiming the space — probe-time
+    /// validation would refuse the stale entry regardless).
     pub fn insert(&self, table: &str, row: Row) -> Result<()> {
         self.engine
             .catalog()
-            .insert_row(self.engine.storage(), table, row)
+            .insert_row(self.engine.storage(), table, row)?;
+        self.engine.invalidate_cache_for(table);
+        Ok(())
+    }
+
+    /// Snapshot of the cross-query cache counters.
+    pub fn cache_stats(&self) -> mq_reopt::CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Drop every cache entry and forget all cardinality feedback.
+    pub fn clear_cache(&self) {
+        self.engine.clear_cache();
     }
 
     /// Gather statistics for a table (MaxDiff histograms, catalog
