@@ -5,10 +5,12 @@
 //! 4 workers and exits nonzero if any robustness invariant is violated
 //! (see `mq_bench::chaos`). `--seeds` accepts either a count (`50`) or
 //! an explicit seed range (`10..60` exclusive, `10..=59` inclusive);
-//! a range overrides `--first-seed`. `--crash` runs the kill-point
-//! crash/recovery campaign instead (see `mq_bench::recovery`).
+//! a range overrides `--first-seed`. `--plan-cache` runs the campaign
+//! over SQL families on a warm plan-cache-enabled engine. `--crash`
+//! runs the kill-point crash/recovery campaign instead (see
+//! `mq_bench::recovery`).
 
-use mq_bench::chaos::{run_chaos, run_chaos_partitioned};
+use mq_bench::chaos::{run_chaos, run_chaos_partitioned, run_chaos_plancache};
 use mq_bench::recovery::run_crash_campaign;
 
 /// Parse a `--seeds` value: a plain count, or an `A..B` / `A..=B`
@@ -41,6 +43,7 @@ fn main() {
     let mut seeds_range_start: Option<u64> = None;
     let mut verbose = false;
     let mut partitioned = false;
+    let mut plan_cache = false;
     let mut crash = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,13 +62,14 @@ fn main() {
                     .expect("--first-seed S");
             }
             "--partitioned" => partitioned = true,
+            "--plan-cache" => plan_cache = true,
             "--crash" => crash = true,
             "--verbose" | "-v" => verbose = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: chaos [--seeds N | --seeds A..B] [--first-seed S] \
-                     [--partitioned] [--crash] [--verbose]"
+                     [--partitioned] [--plan-cache] [--crash] [--verbose]"
                 );
                 std::process::exit(2);
             }
@@ -94,6 +98,8 @@ fn main() {
 
     let report = if partitioned {
         run_chaos_partitioned(first_seed, seeds, verbose)
+    } else if plan_cache {
+        run_chaos_plancache(first_seed, seeds, verbose)
     } else {
         run_chaos(first_seed, seeds, verbose)
     };

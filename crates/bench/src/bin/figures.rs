@@ -9,8 +9,8 @@ use mq_bench::recovery::recovery_figure;
 use mq_bench::{
     ablation_histogram_class, ablation_realloc_headroom, ablation_switch_margin,
     cache_warm_vs_cold, est_vs_actual, fig03_memory_realloc, fig10, fig11, fig12, overhead,
-    par_skew, par_speedup, render_pairs, sensitivity, throughput_vs_budget, throughput_vs_workers,
-    BenchSetup, Knob,
+    par_skew, par_speedup, plancache_arc, render_pairs, sensitivity, throughput_vs_budget,
+    throughput_vs_workers, BenchSetup, Knob,
 };
 
 fn main() {
@@ -305,6 +305,26 @@ fn main() {
                 p.promotions,
                 p.hits,
                 p.saved_bytes / 1024
+            );
+        }
+        println!();
+    }
+
+    if want("plancache") {
+        println!("== PLAN CACHE: one family, cold -> warm -> stale -> re-warmed (Off mode) ==");
+        println!(
+            "{:<18} {:>10} {:>9} {:>8} {:>6} {:>13}",
+            "run (qty, price)", "time(ms)", "opt-work", "outcome", "rows", "rows==oracle"
+        );
+        for r in plancache_arc(&setup) {
+            println!(
+                "{:<18} {:>10.1} {:>9} {:>8} {:>6} {:>13}",
+                r.label,
+                r.time_ms,
+                r.opt_work,
+                r.outcome,
+                r.rows,
+                if r.rows_match_oracle { "yes" } else { "NO" }
             );
         }
         println!();

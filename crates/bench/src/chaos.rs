@@ -62,10 +62,16 @@ const AMPLE_BUDGET: usize = 1 << 30;
 /// Build the chaos database: a small TPC-D load with statistics
 /// feedback disabled (see the module docs on determinism).
 pub fn chaos_database() -> Database {
+    chaos_database_with(false)
+}
+
+/// [`chaos_database`] with the normalized-SQL plan cache toggled.
+pub fn chaos_database_with(plan_cache: bool) -> Database {
     let cfg = EngineConfig {
         buffer_pool_pages: 64,
         query_memory_bytes: 512 * 1024,
         stats_feedback: false,
+        plan_cache_enabled: plan_cache,
         ..EngineConfig::default()
     };
     let db = Database::new(cfg).expect("engine");
@@ -76,6 +82,16 @@ pub fn chaos_database() -> Database {
     })
     .expect("load");
     db
+}
+
+/// How a chaos query is submitted: a built-in logical plan, or SQL
+/// text (which routes through the plan cache when it is enabled).
+#[derive(Debug, Clone)]
+pub enum ChaosQuery {
+    /// A built-in TPC-D plan.
+    Plan(midq::LogicalPlan),
+    /// A SQL statement.
+    Sql(String),
 }
 
 /// Order-insensitive fingerprint of one query outcome: `ok:<rows>:<hash>`
@@ -168,7 +184,7 @@ struct RunOutcome {
 
 fn run_once(
     db: &Database,
-    plans: &[(&'static str, midq::LogicalPlan)],
+    specs: &[(&'static str, ChaosQuery)],
     seed: u64,
     workers: usize,
     partitions: Option<usize>,
@@ -176,7 +192,7 @@ fn run_once(
     let mut wl = Workload::new(workers);
     wl.partitions = partitions;
     let mut injectors = Vec::new();
-    for (qi, (name, plan)) in plans.iter().enumerate() {
+    for (qi, (name, q)) in specs.iter().enumerate() {
         // Alternate modes so fault unwinding is exercised both with and
         // without the re-optimization machinery in the path.
         let mode = if qi % 2 == 0 {
@@ -189,11 +205,11 @@ fn run_once(
             &FaultProfile::default(),
         );
         injectors.push(inj.clone());
-        wl.queries.push(
-            WorkloadQuery::plan(*name, plan.clone())
-                .with_mode(mode)
-                .with_faults(inj),
-        );
+        let query = match q {
+            ChaosQuery::Plan(plan) => WorkloadQuery::plan(*name, plan.clone()),
+            ChaosQuery::Sql(sql) => WorkloadQuery::sql(*name, sql.clone()),
+        };
+        wl.queries.push(query.with_mode(mode).with_faults(inj));
     }
     wl.obs = Some(Obs::none().with_metrics(MetricsRegistry::new()));
     let runtime = Runtime::new(db.engine_arc(), AMPLE_BUDGET);
@@ -232,12 +248,94 @@ fn run_once(
     out
 }
 
+/// The chaos query set as campaign specs (built-in logical plans).
+fn builtin_specs() -> Vec<(&'static str, ChaosQuery)> {
+    let all = queries::all();
+    CHAOS_QUERIES
+        .iter()
+        .map(|name| {
+            all.iter()
+                .find(|(n, _)| n == name)
+                .map(|(n, p)| (*n, ChaosQuery::Plan(p.clone())))
+                .unwrap_or_else(|| panic!("unknown chaos query {name}"))
+        })
+        .collect()
+}
+
+/// Fault-free oracle fingerprint of one spec on `db`.
+fn oracle_fingerprint(db: &Database, q: &ChaosQuery, partitioned: bool) -> String {
+    match q {
+        ChaosQuery::Plan(p) if partitioned => {
+            fingerprint(&db.run_partitioned(p, ReoptMode::Off, 1))
+        }
+        ChaosQuery::Plan(p) => fingerprint(&db.run(p, ReoptMode::Off)),
+        ChaosQuery::Sql(s) => fingerprint(&db.run_sql(s, ReoptMode::Off)),
+    }
+}
+
 /// Run the chaos campaign over `seeds` consecutive seeds starting at
 /// `first_seed`. `verbose` prints one line per seed.
 pub fn run_chaos(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
     // Replays: twice at 1 worker (same-config determinism), once at 4.
     let configs = [(1, None, 2), (4, None, 1)];
-    run_campaign(first_seed, seeds, verbose, &configs)
+    let db = chaos_database();
+    let specs = builtin_specs();
+    let oracle: Vec<String> = specs
+        .iter()
+        .map(|(_, q)| oracle_fingerprint(&db, q, false))
+        .collect();
+    run_campaign(first_seed, seeds, verbose, &configs, &db, &specs, &oracle)
+}
+
+/// The plan-cache chaos campaign: the same robustness invariants with
+/// the normalized-SQL plan cache enabled and warm. Queries arrive as
+/// SQL (two literal-variant families), so every seeded run probes the
+/// cache; the oracle comes from an independent plan-cache-off database
+/// with identical contents, so a wrong rebind can never self-certify.
+/// A fault-free warm pass precedes the campaign: plan-cache traffic is
+/// part of the stable metrics compared across reps and worker counts,
+/// and a warm cache makes it a function of the query sequence alone.
+pub fn run_chaos_plancache(first_seed: u64, seeds: u64, verbose: bool) -> ChaosReport {
+    let configs = [(1, None, 2), (4, None, 1)];
+    let db = chaos_database_with(true);
+    let oracle_db = chaos_database();
+    let join_family = |qty: i64, price: i64| {
+        format!(
+            "SELECT o_orderstatus, count(*) AS n, max(o_totalprice) AS top \
+             FROM orders, lineitem \
+             WHERE o_orderkey = l_orderkey AND l_quantity < {qty} \
+             AND o_totalprice > {price} \
+             GROUP BY o_orderstatus ORDER BY o_orderstatus"
+        )
+    };
+    let agg_family = |qty: i64| {
+        format!(
+            "SELECT l_returnflag, count(*) AS n, max(l_extendedprice) AS top \
+             FROM lineitem WHERE l_quantity < {qty} \
+             GROUP BY l_returnflag ORDER BY l_returnflag"
+        )
+    };
+    let specs = vec![
+        ("j0", ChaosQuery::Sql(join_family(25, 1000))),
+        ("a0", ChaosQuery::Sql(agg_family(30))),
+        ("j1", ChaosQuery::Sql(join_family(40, 500))),
+        ("a1", ChaosQuery::Sql(agg_family(45))),
+    ];
+    let oracle: Vec<String> = specs
+        .iter()
+        .map(|(_, q)| oracle_fingerprint(&oracle_db, q, false))
+        .collect();
+    for (name, q) in &specs {
+        if let ChaosQuery::Sql(s) = q {
+            db.run_sql(s, ReoptMode::Off)
+                .unwrap_or_else(|e| panic!("warm pass {name}: {e}"));
+        }
+    }
+    assert!(
+        db.plan_cache_stats().entries > 0,
+        "warm pass entered no plan-cache template"
+    );
+    run_campaign(first_seed, seeds, verbose, &configs, &db, &specs, &oracle)
 }
 
 /// The partitioned chaos campaign: the same seeded fault schedules,
@@ -255,51 +353,34 @@ pub fn run_chaos_partitioned(first_seed: u64, seeds: u64, verbose: bool) -> Chao
         (1, Some(PARTITION_CONFIGS[0]), 2),
         (2, Some(PARTITION_CONFIGS[1]), 1),
     ];
-    run_campaign(first_seed, seeds, verbose, &configs)
-}
-
-/// The shared campaign loop: replay every seed under each
-/// `(workers, partitions, repetitions)` configuration and check the
-/// three robustness invariants.
-fn run_campaign(
-    first_seed: u64,
-    seeds: u64,
-    verbose: bool,
-    configs: &[(usize, Option<usize>, usize)],
-) -> ChaosReport {
     let db = chaos_database();
-    let plans: Vec<(&'static str, midq::LogicalPlan)> = {
-        let all = queries::all();
-        CHAOS_QUERIES
-            .iter()
-            .map(|name| {
-                all.iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(n, p)| (*n, p.clone()))
-                    .unwrap_or_else(|| panic!("unknown chaos query {name}"))
-            })
-            .collect()
-    };
-
-    // The oracle: every query fault-free, in both modes' row sets
-    // (modes agree on rows; the fingerprint is order-insensitive).
+    let specs = builtin_specs();
     // The partitioned campaign computes its oracle through the
     // partitioned driver too: bucketed execution sums floats in bucket
     // order, which differs from serial order at the ulp level — but is
     // invariant across partition counts, so one fault-free P=1 run
     // anchors every configuration.
-    let partitioned = configs.iter().any(|&(_, p, _)| p.is_some());
-    let oracle: Vec<String> = plans
+    let oracle: Vec<String> = specs
         .iter()
-        .map(|(_, p)| {
-            if partitioned {
-                fingerprint(&db.run_partitioned(p, ReoptMode::Off, 1))
-            } else {
-                fingerprint(&db.run(p, ReoptMode::Off))
-            }
-        })
+        .map(|(_, q)| oracle_fingerprint(&db, q, true))
         .collect();
+    run_campaign(first_seed, seeds, verbose, &configs, &db, &specs, &oracle)
+}
 
+/// The shared campaign loop: replay every seed under each
+/// `(workers, partitions, repetitions)` configuration and check the
+/// three robustness invariants. The oracle: every query fault-free, in
+/// both modes' row sets (modes agree on rows; the fingerprint is
+/// order-insensitive).
+fn run_campaign(
+    first_seed: u64,
+    seeds: u64,
+    verbose: bool,
+    configs: &[(usize, Option<usize>, usize)],
+    db: &Database,
+    specs: &[(&'static str, ChaosQuery)],
+    oracle: &[String],
+) -> ChaosReport {
     let mut report = ChaosReport {
         seeds: seeds as usize,
         ..ChaosReport::default()
@@ -318,8 +399,8 @@ fn run_campaign(
                     Some(p) => format!("seed {seed} w{workers} p{p} rep{rep}"),
                     None => format!("seed {seed} w{workers} rep{rep}"),
                 };
-                let run = run_once(&db, &plans, seed, workers, partitions);
-                report.executions += run.fingerprints.len().min(plans.len());
+                let run = run_once(db, specs, seed, workers, partitions);
+                report.executions += run.fingerprints.len().min(specs.len());
                 report.fired_transient += run.fired.0;
                 report.fired_permanent += run.fired.1;
                 report.fired_denials += run.fired.2;
@@ -342,7 +423,7 @@ fn run_campaign(
 
                 // Invariant 1: oracle result or clean typed error.
                 for (qi, fp) in run.fingerprints.iter().enumerate() {
-                    if qi >= plans.len() {
+                    if qi >= specs.len() {
                         violate(&mut report.violations, format!("{label}: {fp}"));
                         continue;
                     }
@@ -350,7 +431,7 @@ fn run_campaign(
                         if !is_clean_failure(kind) {
                             violate(
                                 &mut report.violations,
-                                format!("{label} {}: dirty failure {fp}", plans[qi].0),
+                                format!("{label} {}: dirty failure {fp}", specs[qi].0),
                             );
                         }
                         report.clean_failures += 1;
@@ -359,7 +440,7 @@ fn run_campaign(
                             &mut report.violations,
                             format!(
                                 "{label} {}: rows diverged from oracle ({fp} vs {})",
-                                plans[qi].0, oracle[qi]
+                                specs[qi].0, oracle[qi]
                             ),
                         );
                     } else if run.retries[qi] > 0 {

@@ -405,6 +405,116 @@ pub fn cache_warm_vs_cold(setup: &BenchSetup, names: &[&'static str]) -> Vec<Cac
         .collect()
 }
 
+/// One run in the plan-cache experiment arc (cold → warm → stale →
+/// re-warmed).
+#[derive(Debug, Clone)]
+pub struct PlanCacheRun {
+    /// What this run demonstrates (cold, warm, stale, ...).
+    pub label: String,
+    /// Simulated time (ms).
+    pub time_ms: f64,
+    /// Optimizer work units this run paid (join enumeration); a
+    /// plan-cache hit pays exactly zero.
+    pub opt_work: u64,
+    /// Plan-cache outcome pulled from the controller event log:
+    /// `hit`, `miss`, or `stale`.
+    pub outcome: &'static str,
+    /// Result cardinality.
+    pub rows: usize,
+    /// Whether the rows are byte-identical to the same statement run
+    /// on a plan-cache-off oracle database with identical contents.
+    pub rows_match_oracle: bool,
+}
+
+/// Canonical row rendering for the oracle comparison.
+fn rendered_rows(out: &QueryOutcome) -> Vec<String> {
+    out.rows.iter().map(|r| r.to_string()).collect()
+}
+
+fn plancache_outcome(out: &QueryOutcome) -> &'static str {
+    if out.events.iter().any(|e| e.starts_with("plancache: stale")) {
+        "stale"
+    } else if out.events.iter().any(|e| e.starts_with("plancache: hit")) {
+        "hit"
+    } else if out.events.iter().any(|e| e.starts_with("plancache: miss")) {
+        "miss"
+    } else {
+        "-"
+    }
+}
+
+/// The plan-cache experiment: one query family (same shape, different
+/// literals) runs through a plan-cache-enabled database. The cold run
+/// pays join enumeration and enters a template; warm runs rebind the
+/// literals and pay zero optimizer work; an insert into a base table
+/// bumps its data version and forces exactly one stale re-enumeration
+/// before the family re-warms. Every run is checked byte-for-byte
+/// against a plan-cache-off oracle kept at identical contents.
+pub fn plancache_arc(setup: &BenchSetup) -> Vec<PlanCacheRun> {
+    use midq::common::{Row, Value};
+
+    let mut s = setup.clone();
+    s.cfg.plan_cache_enabled = true;
+    let db = s.database();
+    let oracle = setup.database(); // plan cache off
+
+    let family = |qty: i64, price: i64| {
+        format!(
+            "SELECT o_orderstatus, count(*) AS n, max(o_totalprice) AS top \
+             FROM orders, lineitem \
+             WHERE o_orderkey = l_orderkey AND l_quantity < {qty} \
+             AND o_totalprice > {price} \
+             GROUP BY o_orderstatus ORDER BY o_orderstatus"
+        )
+    };
+
+    let mut runs = Vec::new();
+    let mut measure = |label: String, sql: &str| {
+        let out = db
+            .run_sql(sql, ReoptMode::Off)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let oracle_out = oracle
+            .run_sql(sql, ReoptMode::Off)
+            .unwrap_or_else(|e| panic!("oracle {label}: {e}"));
+        runs.push(PlanCacheRun {
+            label,
+            time_ms: out.time_ms,
+            opt_work: out.cost.opt_work,
+            outcome: plancache_outcome(&out),
+            rows: out.rows.len(),
+            rows_match_oracle: rendered_rows(&out) == rendered_rows(&oracle_out),
+        });
+    };
+
+    measure("cold (25, 1000)".into(), &family(25, 1000));
+    measure("warm (30, 1000)".into(), &family(30, 1000));
+    measure("warm (25, 2500)".into(), &family(25, 2500));
+    measure("warm (40, 500)".into(), &family(40, 500));
+
+    // A write to a base table bumps its data version: the next probe
+    // of the family must fall through to one full re-enumeration.
+    let extra = Row::new(vec![
+        Value::Int(1),
+        Value::Int(1),
+        Value::Int(1),
+        Value::Int(1),
+        Value::Float(100.0),
+        Value::Float(0.01),
+        Value::Float(0.01),
+        Value::str("N"),
+        Value::str("O"),
+        midq::common::value::date(1996, 1, 1),
+        midq::common::value::date(1996, 1, 15),
+        midq::common::value::date(1996, 2, 1),
+    ]);
+    db.insert("lineitem", extra.clone()).expect("insert");
+    oracle.insert("lineitem", extra).expect("oracle insert");
+
+    measure("stale (25, 1000)".into(), &family(25, 1000));
+    measure("re-warm (30, 1000)".into(), &family(30, 1000));
+    runs
+}
+
 /// Ablation: the plan-switch acceptance margin. `switch_margin = 1.0`
 /// reproduces the paper's bare `<` acceptance; the default hedges the
 /// winner's-curse bias. Returns (margin, per-query Full-mode

@@ -17,7 +17,16 @@
 //!   [`PinGuard`] for the duration of the query, so eviction and
 //!   invalidation can never drop a table a running query is scanning.
 //!   Eviction is cost-benefit under a byte budget: lowest
-//!   `build_cost_ms × (hits + 1) / bytes` goes first.
+//!   `build_cost_ms × (hits + 1) / bytes` goes first, and entries that
+//!   have never been hit are always evicted before entries with hit
+//!   history (one-off queries cannot churn hot residents out).
+//!   Admission is filtered: a fingerprint evicted twice under budget
+//!   pressure is refused re-admission, so a family that keeps losing
+//!   the cost-benefit race stops wasting promotion work.
+//!   The cache is split into hash-routed **shards** (independent locks,
+//!   [`SubPlanCache::with_shards`]) so concurrent probe paths do not
+//!   serialize on one mutex; each shard owns an equal slice of the byte
+//!   budget and evicts independently.
 //! * [`FeedbackStore`] — a map from sub-plan fingerprint to the row
 //!   count actually observed for that sub-plan (by a collector
 //!   checkpoint or an EXPLAIN ANALYZE actual). The optimizer consults
@@ -89,6 +98,25 @@ pub struct CacheStats {
     pub saved_ms: f64,
     /// Lifetime bytes not re-materialized thanks to hits.
     pub saved_bytes: u64,
+    /// Lifetime promotions refused by the admission filter (fingerprint
+    /// already evicted twice under budget pressure).
+    pub admission_rejects: u64,
+}
+
+impl CacheStats {
+    fn absorb(&mut self, other: &CacheStats) {
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.budget_bytes += other.budget_bytes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.promotions += other.promotions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+        self.saved_ms += other.saved_ms;
+        self.saved_bytes += other.saved_bytes;
+        self.admission_rejects += other.admission_rejects;
+    }
 }
 
 struct Slot {
@@ -113,6 +141,9 @@ struct Inner {
     slots: HashMap<u64, Slot>,
     budget_bytes: u64,
     stats: CacheStats,
+    /// Budget-pressure evictions per fingerprint, kept after removal:
+    /// the admission filter refuses fingerprints evicted twice.
+    evicted_counts: HashMap<u64, u32>,
 }
 
 impl Inner {
@@ -124,9 +155,12 @@ impl Inner {
             .sum()
     }
 
-    /// Evict live, unpinned entries (lowest score first) until live
-    /// bytes fit the budget. Pinned entries are untouchable, so the
-    /// cache can sit soft-over-budget while queries hold pins.
+    /// Evict live, unpinned entries until live bytes fit the budget.
+    /// Pinned entries are untouchable, so the cache can sit
+    /// soft-over-budget while queries hold pins. Victim order: entries
+    /// that have never been hit go first (one-off promotions cannot
+    /// churn out a hot resident), then lowest score, then least
+    /// recently hit.
     fn enforce_budget(&mut self, retired: &mut Vec<CacheEntry>) {
         while self.live_bytes() > self.budget_bytes {
             let victim = self
@@ -134,14 +168,16 @@ impl Inner {
                 .values()
                 .filter(|s| !s.dead && s.pins == 0)
                 .min_by(|a, b| {
-                    a.score()
-                        .total_cmp(&b.score())
+                    (a.hits > 0)
+                        .cmp(&(b.hits > 0))
+                        .then(a.score().total_cmp(&b.score()))
                         .then(a.last_hit_seq.cmp(&b.last_hit_seq))
                 })
                 .map(|s| s.entry.fingerprint);
             let Some(fp) = victim else { break };
             let slot = self.slots.remove(&fp).expect("victim slot present");
             self.stats.evictions += 1;
+            *self.evicted_counts.entry(fp).or_insert(0) += 1;
             retired.push(slot.entry);
         }
     }
@@ -170,13 +206,14 @@ pub struct PinnedEntry {
 /// evicted and its table is never dropped; invalidation marks it dead
 /// and retirement waits for the last pin.
 pub struct PinGuard {
-    inner: Arc<Mutex<Inner>>,
+    shards: Arc<Vec<Mutex<Inner>>>,
     fingerprint: u64,
 }
 
 impl Drop for PinGuard {
     fn drop(&mut self) {
-        let mut inner = self.inner.lock();
+        let idx = (self.fingerprint % self.shards.len() as u64) as usize;
+        let mut inner = self.shards[idx].lock();
         if let Some(slot) = inner.slots.get_mut(&self.fingerprint) {
             slot.pins = slot.pins.saturating_sub(1);
         }
@@ -184,27 +221,57 @@ impl Drop for PinGuard {
 }
 
 /// The materialization cache. Cheap to clone (shared interior); one per
-/// engine.
+/// engine. Internally split into hash-routed shards, each with its own
+/// lock and byte-budget slice, so concurrent probes on different
+/// fingerprints never contend.
 #[derive(Clone)]
 pub struct SubPlanCache {
-    inner: Arc<Mutex<Inner>>,
+    shards: Arc<Vec<Mutex<Inner>>>,
     seq: Arc<AtomicU64>,
 }
 
 impl SubPlanCache {
-    /// Create a cache with the given byte budget.
+    /// Create a single-shard cache with the given byte budget (the
+    /// original single-lock behavior; tests and small tools use this).
     pub fn new(budget_bytes: u64) -> SubPlanCache {
+        SubPlanCache::with_shards(budget_bytes, 1)
+    }
+
+    /// Create a cache split into `shards` hash-routed shards. The byte
+    /// budget is divided evenly (the first `budget % shards` shards get
+    /// one extra byte), and each shard evicts independently — so the
+    /// largest admissible entry is roughly `budget / shards` bytes.
+    pub fn with_shards(budget_bytes: u64, shards: usize) -> SubPlanCache {
+        let n = shards.max(1) as u64;
+        let base = budget_bytes / n;
+        let rem = budget_bytes % n;
+        let shards = (0..n)
+            .map(|i| {
+                let budget = base + u64::from(i < rem);
+                Mutex::new(Inner {
+                    slots: HashMap::new(),
+                    budget_bytes: budget,
+                    stats: CacheStats {
+                        budget_bytes: budget,
+                        ..CacheStats::default()
+                    },
+                    evicted_counts: HashMap::new(),
+                })
+            })
+            .collect();
         SubPlanCache {
-            inner: Arc::new(Mutex::new(Inner {
-                slots: HashMap::new(),
-                budget_bytes,
-                stats: CacheStats {
-                    budget_bytes,
-                    ..CacheStats::default()
-                },
-            })),
+            shards: Arc::new(shards),
             seq: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Number of independently-locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<Inner> {
+        &self.shards[(fingerprint % self.shards.len() as u64) as usize]
     }
 
     /// Replace the byte budget (e.g. when a runtime leases memory for
@@ -212,23 +279,39 @@ impl SubPlanCache {
     /// caller must drop their tables.
     #[must_use = "retired entries' tables must be dropped by the caller"]
     pub fn set_budget(&self, budget_bytes: u64) -> Vec<CacheEntry> {
-        let mut inner = self.inner.lock();
-        inner.budget_bytes = budget_bytes;
-        inner.stats.budget_bytes = budget_bytes;
+        let n = self.shards.len() as u64;
+        let base = budget_bytes / n;
+        let rem = budget_bytes % n;
         let mut retired = Vec::new();
-        inner.enforce_budget(&mut retired);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let budget = base + u64::from((i as u64) < rem);
+            let mut inner = shard.lock();
+            inner.budget_bytes = budget;
+            inner.stats.budget_bytes = budget;
+            inner.enforce_budget(&mut retired);
+        }
         retired
     }
 
     /// Admit a promoted materialization. Returns entries retired to
     /// make room (possibly including a previous entry under the same
     /// fingerprint); the caller must drop their tables. An entry larger
-    /// than the whole budget is refused and handed straight back.
+    /// than its shard's budget is refused and handed straight back, as
+    /// is a fingerprint the admission filter has seen evicted twice.
     #[must_use = "retired entries' tables must be dropped by the caller"]
     pub fn insert(&self, entry: CacheEntry) -> Vec<CacheEntry> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(entry.fingerprint).lock();
         let mut retired = Vec::new();
         if entry.bytes > inner.budget_bytes {
+            retired.push(entry);
+            return retired;
+        }
+        if inner
+            .evicted_counts
+            .get(&entry.fingerprint)
+            .is_some_and(|&n| n >= 2)
+        {
+            inner.stats.admission_rejects += 1;
             retired.push(entry);
             return retired;
         }
@@ -260,7 +343,8 @@ impl SubPlanCache {
     /// the catalog's current data versions *while holding the pin* and
     /// calls [`SubPlanCache::invalidate`] if stale.
     pub fn lookup(&self, fingerprint: u64) -> Option<PinnedEntry> {
-        let mut inner = self.inner.lock();
+        let shard = self.shard(fingerprint);
+        let mut inner = shard.lock();
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let slot = inner.slots.get_mut(&fingerprint).filter(|s| !s.dead)?;
         slot.pins += 1;
@@ -273,7 +357,7 @@ impl SubPlanCache {
         Some(PinnedEntry {
             entry,
             guard: PinGuard {
-                inner: Arc::clone(&self.inner),
+                shards: Arc::clone(&self.shards),
                 fingerprint,
             },
         })
@@ -281,7 +365,7 @@ impl SubPlanCache {
 
     /// Record that an enabled probe found no usable entry.
     pub fn record_miss(&self) {
-        self.inner.lock().stats.misses += 1;
+        self.shards[0].lock().stats.misses += 1;
     }
 
     /// Invalidate one entry (stale deps discovered at probe time, or a
@@ -290,7 +374,7 @@ impl SubPlanCache {
     /// from a later [`SubPlanCache::drain_dead`].
     #[must_use = "retired entries' tables must be dropped by the caller"]
     pub fn invalidate(&self, fingerprint: u64) -> Option<CacheEntry> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(fingerprint).lock();
         let killed = inner.kill(fingerprint);
         if killed.is_some() || inner.slots.get(&fingerprint).is_some_and(|s| s.dead) {
             inner.stats.invalidations += 1;
@@ -303,24 +387,26 @@ impl SubPlanCache {
     /// for table drop (pinned ones surface later via `drain_dead`).
     #[must_use = "retired entries' tables must be dropped by the caller"]
     pub fn invalidate_table(&self, table: &str, current_version: u64) -> Vec<CacheEntry> {
-        let mut inner = self.inner.lock();
-        let stale: Vec<u64> = inner
-            .slots
-            .values()
-            .filter(|s| {
-                !s.dead
-                    && s.entry
-                        .deps
-                        .iter()
-                        .any(|(t, v)| t == table && *v < current_version)
-            })
-            .map(|s| s.entry.fingerprint)
-            .collect();
         let mut retired = Vec::new();
-        for fp in stale {
-            inner.stats.invalidations += 1;
-            if let Some(e) = inner.kill(fp) {
-                retired.push(e);
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            let stale: Vec<u64> = inner
+                .slots
+                .values()
+                .filter(|s| {
+                    !s.dead
+                        && s.entry
+                            .deps
+                            .iter()
+                            .any(|(t, v)| t == table && *v < current_version)
+                })
+                .map(|s| s.entry.fingerprint)
+                .collect();
+            for fp in stale {
+                inner.stats.invalidations += 1;
+                if let Some(e) = inner.kill(fp) {
+                    retired.push(e);
+                }
             }
         }
         retired
@@ -328,19 +414,22 @@ impl SubPlanCache {
 
     /// Remove every entry. Unpinned entries come back for table drop;
     /// pinned ones are marked dead and surface via `drain_dead` once
-    /// their queries finish.
+    /// their queries finish. Also resets the admission filter.
     #[must_use = "retired entries' tables must be dropped by the caller"]
     pub fn clear(&self) -> Vec<CacheEntry> {
-        let mut inner = self.inner.lock();
-        let fps: Vec<u64> = inner.slots.keys().copied().collect();
         let mut retired = Vec::new();
-        for fp in fps {
-            if inner.slots.get(&fp).is_some_and(|s| !s.dead) {
-                inner.stats.invalidations += 1;
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            let fps: Vec<u64> = inner.slots.keys().copied().collect();
+            for fp in fps {
+                if inner.slots.get(&fp).is_some_and(|s| !s.dead) {
+                    inner.stats.invalidations += 1;
+                }
+                if let Some(e) = inner.kill(fp) {
+                    retired.push(e);
+                }
             }
-            if let Some(e) = inner.kill(fp) {
-                retired.push(e);
-            }
+            inner.evicted_counts.clear();
         }
         retired
     }
@@ -348,27 +437,38 @@ impl SubPlanCache {
     /// Collect dead entries whose last pin has dropped, for table drop.
     #[must_use = "retired entries' tables must be dropped by the caller"]
     pub fn drain_dead(&self) -> Vec<CacheEntry> {
-        let mut inner = self.inner.lock();
-        let done: Vec<u64> = inner
-            .slots
-            .values()
-            .filter(|s| s.dead && s.pins == 0)
-            .map(|s| s.entry.fingerprint)
-            .collect();
-        done.into_iter()
-            .filter_map(|fp| inner.slots.remove(&fp).map(|s| s.entry))
-            .collect()
+        let mut retired = Vec::new();
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            let done: Vec<u64> = inner
+                .slots
+                .values()
+                .filter(|s| s.dead && s.pins == 0)
+                .map(|s| s.entry.fingerprint)
+                .collect();
+            retired.extend(
+                done.into_iter()
+                    .filter_map(|fp| inner.slots.remove(&fp).map(|s| s.entry)),
+            );
+        }
+        retired
     }
 
     /// Cache table names of all live entries (for the engine's audit:
     /// a `cache_*` catalog table with no live entry is an orphan).
     pub fn live_tables(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut out: Vec<String> = inner
-            .slots
-            .values()
-            .filter(|s| !s.dead)
-            .map(|s| s.entry.table.clone())
+        let mut out: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let inner = shard.lock();
+                inner
+                    .slots
+                    .values()
+                    .filter(|s| !s.dead)
+                    .map(|s| s.entry.table.clone())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         out.sort();
         out
@@ -378,22 +478,32 @@ impl SubPlanCache {
     /// engine's orphan sweep must not touch a dead-but-pinned entry's
     /// table — a query may still be scanning it.
     pub fn known_tables(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut out: Vec<String> = inner
-            .slots
-            .values()
-            .map(|s| s.entry.table.clone())
+        let mut out: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let inner = shard.lock();
+                inner
+                    .slots
+                    .values()
+                    .map(|s| s.entry.table.clone())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         out.sort();
         out
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters, aggregated over every shard.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock();
-        let mut s = inner.stats;
-        s.entries = inner.slots.values().filter(|sl| !sl.dead).count();
-        s.bytes = inner.live_bytes();
+        let mut s = CacheStats::default();
+        for shard in self.shards.iter() {
+            let inner = shard.lock();
+            let mut part = inner.stats;
+            part.entries = inner.slots.values().filter(|sl| !sl.dead).count();
+            part.bytes = inner.live_bytes();
+            s.absorb(&part);
+        }
         s
     }
 }
@@ -414,6 +524,11 @@ pub struct FeedbackEntry {
 pub struct FeedbackStore {
     inner: Arc<Mutex<HashMap<u64, FeedbackEntry>>>,
     applied: Arc<AtomicU64>,
+    /// Lifetime applications per fingerprint — the plan cache's
+    /// staleness signal: corrections accumulating against a cached
+    /// plan's fingerprints mean its shape was picked from estimates
+    /// the store keeps having to fix.
+    applied_by_fp: Arc<Mutex<HashMap<u64, u64>>>,
 }
 
 impl FeedbackStore {
@@ -450,9 +565,36 @@ impl FeedbackStore {
         self.applied.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one application of feedback against a specific sub-plan
+    /// fingerprint (bumps the lifetime total too).
+    pub fn note_applied_for(&self, fingerprint: u64) {
+        self.applied.fetch_add(1, Ordering::Relaxed);
+        *self.applied_by_fp.lock().entry(fingerprint).or_insert(0) += 1;
+    }
+
     /// Lifetime number of estimates overridden by feedback.
     pub fn applied(&self) -> u64 {
         self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Sum of per-fingerprint application counts over `fingerprints`
+    /// (the plan cache compares this against the count captured when an
+    /// entry was admitted).
+    pub fn applied_sum(&self, fingerprints: &[u64]) -> u64 {
+        let m = self.applied_by_fp.lock();
+        fingerprints
+            .iter()
+            .map(|fp| m.get(fp).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Drop every observation depending on `table`, regardless of
+    /// version — used after the table's statistics were rebuilt from
+    /// live data, making stored corrections redundant.
+    pub fn remove_for_table(&self, table: &str) {
+        self.inner
+            .lock()
+            .retain(|_, e| !e.deps.iter().any(|(t, _)| t == table));
     }
 
     /// Number of stored observations.
@@ -603,6 +745,69 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cache_routes_and_aggregates() {
+        let cache = SubPlanCache::with_shards(400, 4);
+        assert_eq!(cache.shard_count(), 4);
+        // Fingerprints 1..=4 land on four different shards.
+        for fp in 1..=4 {
+            assert!(cache.insert(entry(fp, 50, 1.0, vec![("t", 1)])).is_empty());
+        }
+        for fp in 1..=4 {
+            assert!(cache.lookup(fp).is_some(), "fp {fp} lost in routing");
+        }
+        let s = cache.stats();
+        assert_eq!((s.entries, s.hits, s.promotions), (4, 4, 4));
+        assert_eq!(s.bytes, 200);
+        assert_eq!(s.budget_bytes, 400, "shard budgets must sum to total");
+        // Cross-shard operations see every entry.
+        assert_eq!(cache.live_tables().len(), 4);
+        let retired = cache.invalidate_table("t", 2);
+        assert_eq!(retired.len(), 4);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn twice_evicted_fingerprint_is_refused_admission() {
+        let cache = SubPlanCache::new(100);
+        // Evict fp 1 twice via budget pressure from higher-value entries.
+        for round in 0..2 {
+            assert!(cache.insert(entry(1, 100, 1.0, vec![])).is_empty());
+            let retired = cache.insert(entry(10 + round, 100, 50.0, vec![]));
+            assert_eq!(retired.len(), 1, "round {round}: {retired:?}");
+            assert_eq!(retired[0].fingerprint, 1);
+            let _ = cache.invalidate(10 + round); // make room for the next round
+        }
+        // Third promotion of fp 1 is refused outright.
+        let refused = cache.insert(entry(1, 100, 1.0, vec![]));
+        assert_eq!(refused.len(), 1);
+        assert_eq!(refused[0].fingerprint, 1);
+        assert!(cache.lookup(1).is_none());
+        assert_eq!(cache.stats().admission_rejects, 1);
+        // clear() resets the filter: fp 1 is admissible again.
+        assert!(cache.clear().is_empty());
+        assert!(cache.insert(entry(1, 100, 1.0, vec![])).is_empty());
+        assert!(cache.lookup(1).is_some());
+    }
+
+    #[test]
+    fn churn_workload_keeps_hot_entry_resident() {
+        let cache = SubPlanCache::new(200);
+        // A modest-value entry that keeps getting hit...
+        assert!(cache.insert(entry(1, 100, 1.0, vec![])).is_empty());
+        drop(cache.lookup(1));
+        // ...survives a churn of one-off promotions with far better
+        // cost-benefit scores: never-hit entries are evicted first.
+        for fp in 100..110 {
+            let retired = cache.insert(entry(fp, 100, 1000.0, vec![]));
+            for e in &retired {
+                assert_ne!(e.fingerprint, 1, "hot entry churned out by fp {fp}");
+            }
+            drop(cache.lookup(1)); // stays hot throughout
+        }
+        assert!(cache.lookup(1).is_some(), "hot entry must remain resident");
+    }
+
+    #[test]
     fn feedback_store_roundtrip_and_invalidation() {
         let fb = FeedbackStore::new();
         assert!(fb.is_empty());
@@ -619,5 +824,24 @@ mod tests {
         assert_eq!(fb.applied(), 1);
         fb.clear();
         assert_eq!(fb.len(), 0);
+    }
+
+    #[test]
+    fn feedback_per_fingerprint_counters_and_table_removal() {
+        let fb = FeedbackStore::new();
+        fb.note_applied_for(7);
+        fb.note_applied_for(7);
+        fb.note_applied_for(9);
+        assert_eq!(fb.applied(), 3, "per-fp notes bump the lifetime total");
+        assert_eq!(fb.applied_sum(&[7]), 2);
+        assert_eq!(fb.applied_sum(&[7, 9]), 3);
+        assert_eq!(fb.applied_sum(&[8]), 0);
+
+        fb.record(1, 10.0, vec![("a".to_string(), 1), ("b".to_string(), 1)]);
+        fb.record(2, 20.0, vec![("b".to_string(), 5)]);
+        // remove_for_table ignores versions: any dependence drops it.
+        fb.remove_for_table("b");
+        assert!(fb.get(1).is_none());
+        assert!(fb.get(2).is_none());
     }
 }

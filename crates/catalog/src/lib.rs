@@ -316,6 +316,68 @@ impl Catalog {
         Ok(())
     }
 
+    /// Rebuild statistics for a *single column* from live data: one
+    /// scan, one accumulator, histogram of `kind`. The incremental
+    /// form of [`Catalog::analyze`] the adaptive-refresh machinery
+    /// uses when feedback keeps flagging one column's estimates —
+    /// cheaper than a full re-analyze and deliberately *not* resetting
+    /// the update-activity counter, since every other column still
+    /// carries its old statistics. Requires the table to have been
+    /// analyzed before (there must be a stats block to patch).
+    #[allow(clippy::too_many_arguments)]
+    pub fn analyze_column(
+        &self,
+        storage: &Storage,
+        table: &str,
+        column: &str,
+        kind: HistogramKind,
+        buckets: usize,
+        reservoir: usize,
+        seed: u64,
+    ) -> Result<()> {
+        let (file, ci) = {
+            let inner = self.inner.lock();
+            let t = inner
+                .tables
+                .get(table)
+                .ok_or_else(|| MqError::NotFound(format!("table {table}")))?;
+            if t.stats.is_none() {
+                return Err(MqError::NotFound(format!("stats for {table}")));
+            }
+            let ci = t
+                .schema
+                .fields()
+                .iter()
+                .position(|f| &*f.name == column)
+                .ok_or_else(|| MqError::NotFound(format!("column {table}.{column}")))?;
+            (t.file, ci)
+        };
+        let mut acc = ColumnAccumulator::new(reservoir, seed);
+        for item in storage.scan_file(file)? {
+            let (_, row) = item?;
+            acc.observe(row.get(ci));
+        }
+        let observed = acc.finish(kind, buckets);
+        let mut inner = self.inner.lock();
+        if let Some(t) = inner.tables.get_mut(table) {
+            if let Some(stats) = &mut t.stats {
+                stats.columns.insert(
+                    column.to_string(),
+                    ColumnStats {
+                        min: observed.min,
+                        max: observed.max,
+                        distinct: observed.distinct,
+                        null_frac: observed.null_frac,
+                        histogram: observed.histogram,
+                        histogram_kind: Some(kind),
+                        clustering: observed.clustering,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Discard a table's statistics (simulate a never-analyzed table).
     pub fn clear_stats(&self, table: &str) -> Result<()> {
         let mut inner = self.inner.lock();

@@ -120,6 +120,32 @@ pub struct EngineConfig {
     /// live entries within it (a runtime may re-lease this from the
     /// global memory broker).
     pub cache_budget_bytes: usize,
+    /// Number of independently-locked shards the sub-plan cache is
+    /// split into (hash-routed by fingerprint). One shard reproduces
+    /// the single-lock behavior; more shards stop the probe path from
+    /// serializing concurrent workers. Fixed at engine construction.
+    pub cache_shards: usize,
+    /// Normalized-SQL plan caching: canonicalize query text into a
+    /// family key, cache the optimized physical plan template after
+    /// enumeration, and rebind literals on later probes so repeated
+    /// families skip parsing-to-enumeration entirely. Off by default:
+    /// the paper's experiments optimize every query from scratch.
+    pub plan_cache_enabled: bool,
+    /// Maximum number of plan-cache entries (LRU-evicted beyond this).
+    pub plan_cache_entries: usize,
+    /// Staleness threshold for cached plans: once this many feedback
+    /// corrections have been applied against a cached plan's sub-plan
+    /// fingerprints *since it was entered*, the entry is re-enumerated
+    /// on its next probe (`plan_cache_reoptimized`).
+    pub plan_cache_staleness: u64,
+    /// Adaptive histogram refresh trigger: a graph-level feedback hit
+    /// whose `max(obs/est, est/obs)` error exceeds this factor counts
+    /// as a large error for its base-table column.
+    pub hist_refresh_error_factor: f64,
+    /// Number of large errors (see `hist_refresh_error_factor`)
+    /// attributable to one base-table column before its histogram is
+    /// incrementally rebuilt from live data. 0 disables the refresh.
+    pub hist_refresh_hits: u32,
 }
 
 impl Default for EngineConfig {
@@ -152,6 +178,12 @@ impl Default for EngineConfig {
             par_broadcast_rows: 64.0,
             cache_enabled: false,
             cache_budget_bytes: 4 * 1024 * 1024,
+            cache_shards: 8,
+            plan_cache_enabled: false,
+            plan_cache_entries: 64,
+            plan_cache_staleness: 5,
+            hist_refresh_error_factor: 4.0,
+            hist_refresh_hits: 3,
         }
     }
 }
@@ -251,6 +283,27 @@ impl EngineConfig {
                 self.cache_budget_bytes
             )));
         }
+        if self.cache_shards == 0 {
+            return Err(MqError::InvalidConfig(
+                "cache_shards must be positive".into(),
+            ));
+        }
+        if self.plan_cache_enabled && self.plan_cache_entries == 0 {
+            return Err(MqError::InvalidConfig(
+                "plan_cache_entries must be positive when the plan cache is enabled".into(),
+            ));
+        }
+        if self.plan_cache_staleness == 0 {
+            return Err(MqError::InvalidConfig(
+                "plan_cache_staleness must be positive".into(),
+            ));
+        }
+        if self.hist_refresh_error_factor < 1.0 || !self.hist_refresh_error_factor.is_finite() {
+            return Err(MqError::InvalidConfig(format!(
+                "hist_refresh_error_factor {} must be ≥ 1",
+                self.hist_refresh_error_factor
+            )));
+        }
         Ok(())
     }
 
@@ -323,6 +376,23 @@ mod tests {
             EngineConfig {
                 cache_enabled: true,
                 cache_budget_bytes: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                cache_shards: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                plan_cache_enabled: true,
+                plan_cache_entries: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                plan_cache_staleness: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                hist_refresh_error_factor: 0.5,
                 ..EngineConfig::default()
             },
         ];

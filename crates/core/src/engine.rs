@@ -22,10 +22,15 @@ use mq_common::{
 use mq_exec::{materialize, run_to_vec, ExecContext, OpActuals};
 use mq_memory::MemoryManager;
 use mq_obs::{ObsEvent, SegmentOutcome};
-use mq_optimizer::{apply_feedback, recost, CardFeedback, OptCalibration, Optimizer};
+use mq_optimizer::{
+    apply_feedback, recost, CardFeedback, GraphFeedbackHit, OptCalibration, Optimizer,
+};
 use mq_par::{parallelize, run_partitioned, ParReport, ParSpec};
 use mq_plan::{base_tables, subplan_fingerprint, LogicalPlan, NodeId, PhysOp, PhysPlan, ScanSpec};
+use mq_plancache::{normalize, CachedPlan, Freshness, NormalizedQuery, PlanCache, PlanCacheStats};
+use mq_stats::HistogramKind;
 use mq_storage::Storage;
+use parking_lot::Mutex;
 
 use crate::controller::ReoptController;
 use crate::manifest::{plan_hash, CheckpointRecord, ManifestStore, QueryManifest};
@@ -352,6 +357,27 @@ struct PendingPromotion {
     deps: Vec<(String, u64)>,
 }
 
+/// Outcome of the plan-cache probe [`Engine::run_with_sql`] performs
+/// before entering the execution loop. Consumed by the loop's first
+/// attempt only: a plan switch re-optimizes the remainder normally.
+enum PlanCacheAction {
+    /// Fresh template rebound with this query's literals: execute it
+    /// directly, skipping optimization (and its work charge) entirely.
+    Hit {
+        plan: Box<PhysPlan>,
+        /// Optimizer work units the cold run paid — the saving.
+        saved_work: u64,
+    },
+    /// No servable template (miss, or stale-and-dropped): optimize in
+    /// full, then enter the fresh plan under this normalized key.
+    Enter {
+        norm: NormalizedQuery,
+        /// `Some(reason)` when a stale entry was dropped — the re-run
+        /// of the optimizer is the `plan_cache_reoptimized` event.
+        stale: Option<&'static str>,
+    },
+}
+
 /// [`CardFeedback`] over the engine's feedback store: an observation
 /// counts only while every base table it was derived from is still at
 /// its recorded data version.
@@ -386,6 +412,13 @@ pub struct Engine {
     /// Cross-query observed-cardinality store, consulted by the
     /// optimizer post-pass before trusting catalog estimates.
     feedback: FeedbackStore,
+    /// Normalized-SQL plan cache: optimized plan templates keyed by
+    /// query family (probing is gated on
+    /// [`EngineConfig::plan_cache_enabled`]).
+    plancache: PlanCache,
+    /// Large-estimation-error counters per (table, column), driving
+    /// the adaptive histogram refresh.
+    hist_errors: Mutex<HashMap<(String, String), u32>>,
 }
 
 impl Engine {
@@ -398,7 +431,8 @@ impl Engine {
         let optimizer = Optimizer::new(cfg.clone());
         let mm = MemoryManager::new(&cfg);
         let calibration = Arc::new(OptCalibration::run(&cfg, 6)?);
-        let cache = SubPlanCache::new(cfg.cache_budget_bytes as u64);
+        let cache = SubPlanCache::with_shards(cfg.cache_budget_bytes as u64, cfg.cache_shards);
+        let plancache = PlanCache::new(cfg.plan_cache_entries);
         let engine = Engine {
             cfg,
             clock,
@@ -413,6 +447,8 @@ impl Engine {
             stale_swept: AtomicU64::new(0),
             cache,
             feedback: FeedbackStore::new(),
+            plancache,
+            hist_errors: Mutex::new(HashMap::new()),
         };
         // Startup invariant: no stale re-optimizer leftovers survive an
         // engine (re)start. Vacuous on a fresh catalog, but loaders that
@@ -436,6 +472,11 @@ impl Engine {
         // disable (probing just stops) so a re-enable starts warm.
         for e in self.cache.set_budget(cfg.cache_budget_bytes as u64) {
             self.retire_cache_entry(e);
+        }
+        // Same policy for the plan cache: a shrunk capacity evicts
+        // immediately, a disable keeps entries for a warm re-enable.
+        for key in self.plancache.set_capacity(cfg.plan_cache_entries) {
+            mq_obs::emit(|| ObsEvent::PlanCacheEvict { key: key.clone() });
         }
         self.cfg = cfg;
         Ok(())
@@ -531,6 +572,23 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// The normalized-SQL plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plancache
+    }
+
+    /// Snapshot of the plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plancache.stats()
+    }
+
+    /// Drop every cached plan template (counters survive) and reset
+    /// the adaptive histogram-refresh error counters.
+    pub fn clear_plan_cache(&self) {
+        self.plancache.clear();
+        self.hist_errors.lock().clear();
+    }
+
     /// Drop every cache entry (and its backing table and file) and
     /// forget all cardinality feedback. Entries pinned by in-flight
     /// queries are marked dead and reclaimed when those queries finish;
@@ -610,6 +668,77 @@ impl Engine {
         mode: ReoptMode,
         env: JobEnv,
     ) -> Result<QueryOutcome> {
+        self.run_with_pc(logical, mode, env, None)
+    }
+
+    /// [`Engine::run_with`] for a query that arrived as SQL text: the
+    /// plan cache is probed with the normalized family key before the
+    /// optimizer runs, so a warm family skips join enumeration
+    /// entirely (the rebound template executes with zero optimizer
+    /// work charged). Non-SELECT or non-normalizable text degrades to
+    /// the ordinary path.
+    pub fn run_with_sql(
+        &self,
+        logical: &LogicalPlan,
+        sql: &str,
+        mode: ReoptMode,
+        env: JobEnv,
+    ) -> Result<QueryOutcome> {
+        let pc = if self.cfg.plan_cache_enabled {
+            self.consult_plan_cache(sql)
+        } else {
+            None
+        };
+        self.run_with_pc(logical, mode, env, pc)
+    }
+
+    /// Probe the plan cache for `sql`'s family. The freshness closure
+    /// encodes the staleness policy: a dependency table whose data
+    /// version moved, or feedback corrections against the template's
+    /// fingerprints accumulating past `plan_cache_staleness`, drop the
+    /// entry so the caller's full re-optimization re-enters it.
+    fn consult_plan_cache(&self, sql: &str) -> Option<PlanCacheAction> {
+        let norm = normalize(sql)?;
+        let probe = self.plancache.probe(&norm, |e| {
+            if !e
+                .deps
+                .iter()
+                .all(|(t, v)| self.catalog.data_version(t) == Some(*v))
+            {
+                Freshness::StaleWrite
+            } else if self
+                .feedback
+                .applied_sum(&e.fingerprints)
+                .saturating_sub(e.applied_at)
+                >= self.cfg.plan_cache_staleness
+            {
+                Freshness::StaleFeedback
+            } else {
+                Freshness::Fresh
+            }
+        });
+        match probe {
+            mq_plancache::PlanProbe::Hit(plan, saved_work) => {
+                Some(PlanCacheAction::Hit { plan, saved_work })
+            }
+            mq_plancache::PlanProbe::Stale(verdict) => Some(PlanCacheAction::Enter {
+                norm,
+                stale: Some(match verdict {
+                    Freshness::StaleWrite => "write",
+                    _ => "feedback",
+                }),
+            }),
+            mq_plancache::PlanProbe::Miss => Some(PlanCacheAction::Enter { norm, stale: None }),
+        }
+    }
+
+    fn run_with_pc(
+        &self,
+        logical: &LogicalPlan,
+        mode: ReoptMode,
+        env: JobEnv,
+        pc: Option<PlanCacheAction>,
+    ) -> Result<QueryOutcome> {
         // While this job runs on this thread, charges made against the
         // engine-wide clock (by shared Storage / the buffer pool) are
         // also attributed to the job clock — exactly once each.
@@ -688,45 +817,85 @@ impl Engine {
         let mut attempt: u32 = 0;
         let mut completed_segments: u32 = 0;
         let mut current = logical.clone();
+        let mut pc = pc;
         let result = loop {
-            // With the cache on, the feedback store steers planning
-            // itself: observed base-relation cardinalities enter the
-            // join enumeration, so a repeated query family gets the
-            // join order the first run had to discover mid-query.
-            let use_feedback = self.cfg.cache_enabled && !self.feedback.is_empty();
-            let mut optimized = match self.optimizer.optimize_with_feedback(
-                &current,
-                &self.catalog,
-                &self.storage,
-                use_feedback.then_some(&EngineFeedback(self) as &dyn CardFeedback),
-            ) {
-                Ok(o) => o,
-                Err(e) => break Err(e),
-            };
-            env.clock.add_opt_work(optimized.work_units);
-            if self.cfg.cache_enabled {
-                for h in &optimized.feedback_hits {
-                    self.feedback.note_applied();
-                    mq_obs::emit(|| ObsEvent::FeedbackApplied {
-                        fingerprint: h.fingerprint,
-                        estimated_rows: h.estimated_rows,
-                        observed_rows: h.observed_rows,
-                    });
+            // The probe verdict applies to the first attempt only: a
+            // plan-switch remainder is a different logical query.
+            let mut plan_cache_enter: Option<(NormalizedQuery, Option<&'static str>)> = None;
+            let mut plan = match pc.take() {
+                Some(PlanCacheAction::Hit { plan, saved_work }) => {
+                    // Warm family: the rebound template replaces the
+                    // whole optimize step. No optimizer work is
+                    // charged — skipping enumeration is the point.
+                    mq_obs::emit(|| ObsEvent::PlanCacheHit { saved_work });
                     controller.note(format!(
-                        "feedback: planned {} with observed {:.0} rows (est {:.0}, fp {:016x})",
-                        h.table, h.observed_rows, h.estimated_rows, h.fingerprint
+                        "plancache: hit (skipped {saved_work} optimizer work units)"
                     ));
+                    *plan
                 }
-                // Post-pass for sub-trees the graph override cannot
-                // reach (joins observed by collectors), then the probe
-                // splices CachedScans over matching sub-trees — both
-                // before collectors, which would otherwise decorate
-                // sub-trees the splice removes.
-                self.consult_feedback(&mut optimized.plan, &controller);
-                self.probe_cache(&mut optimized.plan, &mut cache_pins, &controller);
+                action => {
+                    // With the cache on, the feedback store steers
+                    // planning itself: observed base-relation
+                    // cardinalities enter the join enumeration, so a
+                    // repeated query family gets the join order the
+                    // first run had to discover mid-query.
+                    let use_feedback = self.cfg.cache_enabled && !self.feedback.is_empty();
+                    let opt = match self.optimizer.optimize_with_feedback(
+                        &current,
+                        &self.catalog,
+                        &self.storage,
+                        use_feedback.then_some(&EngineFeedback(self) as &dyn CardFeedback),
+                    ) {
+                        Ok(o) => o,
+                        Err(e) => break Err(e),
+                    };
+                    env.clock.add_opt_work(opt.work_units);
+                    if self.cfg.cache_enabled {
+                        for h in &opt.feedback_hits {
+                            self.feedback.note_applied_for(h.fingerprint);
+                            mq_obs::emit(|| ObsEvent::FeedbackApplied {
+                                fingerprint: h.fingerprint,
+                                estimated_rows: h.estimated_rows,
+                                observed_rows: h.observed_rows,
+                            });
+                            controller.note(format!(
+                                "feedback: planned {} with observed {:.0} rows (est {:.0}, fp {:016x})",
+                                h.table, h.observed_rows, h.estimated_rows, h.fingerprint
+                            ));
+                        }
+                        // Repeated large errors against one base-table
+                        // column mean the histogram itself is wrong —
+                        // rebuild just that column instead of patching
+                        // around it per fingerprint forever.
+                        self.maybe_refresh_histograms(&opt.feedback_hits, &controller);
+                    }
+                    if let Some(PlanCacheAction::Enter { norm, stale }) = action {
+                        plan_cache_enter = Some((norm, stale));
+                    }
+                    let mut plan = opt.plan;
+                    if self.cfg.cache_enabled {
+                        // Post-pass for sub-trees the graph override
+                        // cannot reach (joins observed by collectors),
+                        // before collectors, which would otherwise
+                        // decorate sub-trees a later splice removes.
+                        self.consult_feedback(&mut plan, &controller);
+                    }
+                    // Capture the template *after* the feedback
+                    // post-pass (so the cached estimates start from
+                    // truth) but *before* the materialization-cache
+                    // splice and collector insertion, which decorate
+                    // the plan with query-local state.
+                    if let Some((norm, stale)) = plan_cache_enter.take() {
+                        self.enter_plan_cache(&plan, &norm, stale, opt.work_units, &controller);
+                    }
+                    plan
+                }
+            };
+            if self.cfg.cache_enabled {
+                self.probe_cache(&mut plan, &mut cache_pins, &controller);
             }
             if mode.collects() {
-                if let Err(e) = insert_collectors(&mut optimized.plan, &self.catalog, &self.cfg) {
+                if let Err(e) = insert_collectors(&mut plan, &self.catalog, &self.cfg) {
                     break Err(e);
                 }
             }
@@ -735,19 +904,19 @@ impl Engine {
             // before allocation/recost, so grants and costs see the
             // final node ids.
             if let Some(par) = &env.par {
-                if let Err(e) = parallelize(&mut optimized.plan, par, &self.cfg) {
+                if let Err(e) = parallelize(&mut plan, par, &self.cfg) {
                     break Err(e);
                 }
             }
-            if let Err(e) = env.mm.allocate(&mut optimized.plan, &self.cfg) {
+            if let Err(e) = env.mm.allocate(&mut plan, &self.cfg) {
                 break Err(e);
             }
-            recost(&mut optimized.plan, &self.cfg);
-            controller.begin_attempt(optimized.plan.clone());
+            recost(&mut plan, &self.cfg);
+            controller.begin_attempt(plan.clone());
             attempt += 1;
             mq_obs::emit(|| {
                 let mut nodes = 0u64;
-                optimized.plan.walk(&mut |_| nodes += 1);
+                plan.walk(&mut |_| nodes += 1);
                 ObsEvent::SegmentStart {
                     attempt,
                     plan_nodes: nodes,
@@ -758,9 +927,9 @@ impl Engine {
             ctx.reset_actuals();
 
             let run = match &env.par {
-                Some(par) => run_partitioned(&optimized.plan, &ctx, par, &self.cfg)
+                Some(par) => run_partitioned(&plan, &ctx, par, &self.cfg)
                     .map(|(rows, report)| (rows, Some(report))),
-                None => run_to_vec(&optimized.plan, &ctx).map(|rows| (rows, None)),
+                None => run_to_vec(&plan, &ctx).map(|rows| (rows, None)),
             };
             match run {
                 Ok((rows, par_report)) => {
@@ -783,7 +952,7 @@ impl Engine {
                         memory_reallocs,
                         collector_reports,
                         events: controller.take_events(),
-                        final_plan: optimized.plan,
+                        final_plan: plan,
                         actuals: ctx.take_actuals(),
                         par: par_report,
                     });
@@ -805,7 +974,7 @@ impl Engine {
                     // paper's "finish execution of the last operator
                     // and write the result to a temporary file".
                     controller.set_suppressed(true);
-                    let sub = optimized.plan.find(pending.cut).cloned();
+                    let sub = plan.find(pending.cut).cloned();
                     let mat = match &sub {
                         Some(sub) => materialize(sub, &ctx),
                         None => Err(MqError::Internal("cut not in plan".into())),
@@ -903,7 +1072,7 @@ impl Engine {
                         // attempt resets the controller's observations,
                         // or the next planning of this family repeats
                         // the same leaf mistake in a new join order.
-                        self.record_collector_feedback(&optimized.plan, &controller, guard.temps());
+                        self.record_collector_feedback(&plan, &controller, guard.temps());
                     }
 
                     // Stale per-attempt state.
@@ -1108,7 +1277,7 @@ impl Engine {
         }
         let hits = apply_feedback(plan, &EngineFeedback(self), &self.cfg);
         for h in &hits {
-            self.feedback.note_applied();
+            self.feedback.note_applied_for(h.fingerprint);
             mq_obs::emit(|| ObsEvent::FeedbackApplied {
                 fingerprint: h.fingerprint,
                 estimated_rows: h.estimated_rows,
@@ -1118,6 +1287,111 @@ impl Engine {
                 "feedback: est {:.0} -> observed {:.0} rows (fp {:016x})",
                 h.estimated_rows, h.observed_rows, h.fingerprint
             ));
+        }
+    }
+
+    /// Enter a freshly optimized plan into the plan cache as the
+    /// template for `norm`'s family, recording the dependencies and
+    /// feedback baseline the staleness policy judges it by. Plans
+    /// reading another query's temp or cache tables are not a pure
+    /// function of base data and are skipped.
+    fn enter_plan_cache(
+        &self,
+        plan: &PhysPlan,
+        norm: &NormalizedQuery,
+        stale: Option<&'static str>,
+        work_units: u64,
+        controller: &ReoptController,
+    ) {
+        let tables = base_tables(plan);
+        let mut deps = Vec::with_capacity(tables.len());
+        for t in tables {
+            if t.starts_with("tmp_reopt_") || t.starts_with("cache_") {
+                return;
+            }
+            let Some(v) = self.catalog.data_version(&t) else {
+                return;
+            };
+            deps.push((t, v));
+        }
+        let mut entry = CachedPlan::capture(plan, norm, work_units, deps, 0);
+        entry.applied_at = self.feedback.applied_sum(&entry.fingerprints);
+        match stale {
+            Some(reason) => {
+                mq_obs::emit(|| ObsEvent::PlanCacheStale { reason });
+                controller.note(format!(
+                    "plancache: stale ({reason}), re-enumerated and re-entered"
+                ));
+            }
+            None => {
+                mq_obs::emit(|| ObsEvent::PlanCacheMiss);
+                controller.note("plancache: miss, template entered".to_string());
+            }
+        }
+        for key in self.plancache.insert(&norm.key, entry) {
+            mq_obs::emit(|| ObsEvent::PlanCacheEvict { key: key.clone() });
+        }
+    }
+
+    /// Adaptive histogram refresh: when graph-level feedback hits keep
+    /// showing large errors (`hist_refresh_error_factor`) attributable
+    /// to exactly one base-table predicate column, rebuild just that
+    /// column's histogram (incremental MaxDiff) from live data and
+    /// drop the per-fingerprint corrections it makes redundant.
+    fn maybe_refresh_histograms(&self, hits: &[GraphFeedbackHit], controller: &ReoptController) {
+        if !self.cfg.plan_cache_enabled || self.cfg.hist_refresh_hits == 0 {
+            return;
+        }
+        for h in hits {
+            // Only errors attributable to one column are actionable;
+            // multi-column (or join-level) errors name no histogram.
+            let [column] = h.columns.as_slice() else {
+                continue;
+            };
+            let est = h.estimated_rows.max(1.0);
+            let obs = h.observed_rows.max(1.0);
+            let err = (obs / est).max(est / obs);
+            if err < self.cfg.hist_refresh_error_factor {
+                continue;
+            }
+            let key = (h.table.clone(), column.clone());
+            let count = {
+                let mut m = self.hist_errors.lock();
+                let c = m.entry(key.clone()).or_insert(0);
+                *c += 1;
+                *c
+            };
+            if count < self.cfg.hist_refresh_hits {
+                continue;
+            }
+            self.hist_errors.lock().remove(&key);
+            if self
+                .catalog
+                .analyze_column(
+                    &self.storage,
+                    &h.table,
+                    column,
+                    HistogramKind::MaxDiff,
+                    self.cfg.histogram_buckets,
+                    self.cfg.reservoir_size,
+                    0xA11A,
+                )
+                .is_ok()
+            {
+                // The rebuilt histogram supersedes the stored
+                // corrections for this table; keeping them would
+                // double-apply the same evidence.
+                self.feedback.remove_for_table(&h.table);
+                mq_obs::emit(|| ObsEvent::HistogramRefresh {
+                    table: h.table.clone(),
+                    column: column.clone(),
+                    error_factor: err,
+                });
+                controller.note(format!(
+                    "stats: refreshed histogram {}.{} (error factor {:.1})",
+                    h.table, column, err
+                ));
+            }
         }
     }
 

@@ -43,6 +43,7 @@ pub use explain::{explain_analyze, explain_plan};
 pub use manifest::{CheckpointRecord, ManifestStore, QueryManifest};
 pub use mq_cache::{CacheEntry, CacheStats, FeedbackStore, SubPlanCache};
 pub use mq_par::{ExchangeReport, ParReport, ParSpec, SkewReport};
+pub use mq_plancache::{normalize, NormalizedQuery, PlanCache, PlanCacheStats};
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 
 /// Which parts of Dynamic Re-Optimization are active (Figure 11).

@@ -254,6 +254,33 @@ pub enum ObsEvent {
         /// The observed row count that replaced it.
         observed_rows: f64,
     },
+    /// The plan cache served a rebound template; enumeration skipped.
+    PlanCacheHit {
+        /// Optimizer work units the cold optimization paid (skipped).
+        saved_work: u64,
+    },
+    /// The plan cache had no usable template; full optimization ran
+    /// and a fresh template was entered.
+    PlanCacheMiss,
+    /// A cached plan went stale (dependency write or accumulated
+    /// feedback) and was re-enumerated from scratch.
+    PlanCacheStale {
+        /// `write` or `feedback`.
+        reason: &'static str,
+    },
+    /// Capacity pressure retired a plan-cache entry.
+    PlanCacheEvict {
+        /// Normalized key of the evicted family.
+        key: String,
+    },
+    /// Repeated large estimation errors on one base-table column
+    /// triggered an incremental histogram rebuild.
+    HistogramRefresh {
+        table: String,
+        column: String,
+        /// Inaccuracy factor of the hit that crossed the threshold.
+        error_factor: f64,
+    },
     /// The query left the engine.
     QueryEnd {
         /// `ok` or the error kind (`storage`, `cancelled`, `oom`, …).
@@ -298,6 +325,11 @@ impl ObsEvent {
             ObsEvent::CachePromote { .. } => "cache_promote",
             ObsEvent::CacheEvict { .. } => "cache_evict",
             ObsEvent::FeedbackApplied { .. } => "feedback_applied",
+            ObsEvent::PlanCacheHit { .. } => "plan_cache_hit",
+            ObsEvent::PlanCacheMiss => "plan_cache_miss",
+            ObsEvent::PlanCacheStale { .. } => "plan_cache_reoptimized",
+            ObsEvent::PlanCacheEvict { .. } => "plan_cache_evict",
+            ObsEvent::HistogramRefresh { .. } => "histogram_refresh",
             ObsEvent::QueryEnd { .. } => "query_end",
         }
     }
@@ -526,6 +558,28 @@ impl ObsEvent {
                     ",\"fingerprint\":\"{fingerprint:016x}\",\
                      \"estimated_rows\":{estimated_rows},\"observed_rows\":{observed_rows}"
                 );
+            }
+            ObsEvent::PlanCacheHit { saved_work } => {
+                let _ = write!(out, ",\"saved_work\":{saved_work}");
+            }
+            ObsEvent::PlanCacheMiss => {}
+            ObsEvent::PlanCacheStale { reason } => {
+                let _ = write!(out, ",\"reason\":\"{reason}\"");
+            }
+            ObsEvent::PlanCacheEvict { key } => {
+                let _ = write!(out, ",\"key\":");
+                crate::json::write_json_string(out, key);
+            }
+            ObsEvent::HistogramRefresh {
+                table,
+                column,
+                error_factor,
+            } => {
+                let _ = write!(out, ",\"table\":");
+                crate::json::write_json_string(out, table);
+                let _ = write!(out, ",\"column\":");
+                crate::json::write_json_string(out, column);
+                let _ = write!(out, ",\"error_factor\":{error_factor}");
             }
             ObsEvent::QueryEnd {
                 outcome,

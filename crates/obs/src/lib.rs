@@ -334,6 +334,33 @@ pub fn fold_event(m: &MetricsRegistry, ev: &ObsEvent) {
         ObsEvent::FeedbackApplied { .. } => {
             m.inc("midq_feedback_applied_total", &[], Stable, 1);
         }
+        // Plan-cache traffic follows the logical query sequence (one
+        // probe per SQL text, before any worker-dependent machinery),
+        // so hits/misses/stale re-optimizations are stable. Evictions
+        // depend on interleaving under capacity pressure, and the
+        // histogram-refresh trigger counts feedback hits whose arrival
+        // order is timing-dependent under concurrency — volatile.
+        ObsEvent::PlanCacheHit { saved_work } => {
+            m.inc("midq_plancache_hits_total", &[], Stable, 1);
+            m.inc("midq_plancache_saved_work_total", &[], Stable, *saved_work);
+        }
+        ObsEvent::PlanCacheMiss => {
+            m.inc("midq_plancache_misses_total", &[], Stable, 1);
+        }
+        ObsEvent::PlanCacheStale { reason } => {
+            m.inc(
+                "midq_plancache_reopts_total",
+                &[("reason", reason)],
+                Stable,
+                1,
+            );
+        }
+        ObsEvent::PlanCacheEvict { .. } => {
+            m.inc("midq_plancache_evictions_total", &[], Volatile, 1);
+        }
+        ObsEvent::HistogramRefresh { .. } => {
+            m.inc("midq_histogram_refresh_total", &[], Volatile, 1);
+        }
         ObsEvent::QueryEnd {
             outcome,
             rows,

@@ -322,6 +322,10 @@ fn consult_feedback(
             fingerprint: fp,
             estimated_rows: plan.annot.est_rows,
             observed_rows: observed,
+            // Join-level hits are never attributable to one base-table
+            // column; only graph-level (single-relation) hits drive the
+            // adaptive histogram refresh.
+            columns: Vec::new(),
         });
     }
     plan.annot.est_rows = observed;

@@ -58,6 +58,10 @@ pub struct GraphFeedbackHit {
     pub estimated_rows: f64,
     /// The observed row count stamped in.
     pub observed_rows: f64,
+    /// Bare column names the relation's local predicate references —
+    /// the candidates for adaptive histogram refresh when this hit's
+    /// error keeps recurring.
+    pub columns: Vec<String>,
 }
 
 /// Steer the *join enumeration* with observed cardinalities: override
@@ -101,11 +105,27 @@ pub fn apply_to_graph(
         let fp = subplan_fingerprint(&probe);
         if let Some(observed) = feedback.observed_rows(fp) {
             if observed.is_finite() && observed >= 0.0 && observed != rel.props.rows {
+                // Bare (unqualified, deduped) predicate columns: the
+                // refresh machinery attributes the error to a column
+                // only when exactly one is involved.
+                let mut columns: Vec<String> = rel
+                    .local
+                    .as_ref()
+                    .map(|p| {
+                        p.referenced_columns()
+                            .iter()
+                            .map(|c| c.rsplit('.').next().unwrap_or(c).to_string())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                columns.sort();
+                columns.dedup();
                 hits.push(GraphFeedbackHit {
                     table: rel.entry.name.clone(),
                     fingerprint: fp,
                     estimated_rows: rel.props.rows,
                     observed_rows: observed,
+                    columns,
                 });
                 rel.props.rows = observed;
             }

@@ -1,0 +1,399 @@
+//! SQL normalization: canonicalize query text into a family key.
+//!
+//! Two queries belong to the same *family* when they differ only in
+//! whitespace, identifier case, WHERE-clause literal values, or the
+//! order of top-level WHERE conjuncts. The normalizer folds all four
+//! away: it re-renders the token stream with single spaces and
+//! lower-cased words, replaces each WHERE-clause literal with `?`
+//! (capturing its value and, where recognizable, the column and
+//! operator it constrains into a [`LiteralSlot`]), and sorts the
+//! parameterized top-level conjuncts into a deterministic order.
+//!
+//! Literals *outside* the WHERE clause (select-list constants,
+//! `LIMIT n`) stay verbatim in the key: they change the plan's shape
+//! or output, so they separate families instead of parameterizing one.
+
+use mq_common::Value;
+use mq_sql::{tokenize, Token};
+
+/// One parameterized literal: the value bound in this query's text,
+/// plus the predicate signature (bare column name and column-on-left
+/// operator) when the surrounding tokens made it recognizable. The
+/// signature steers occurrence matching when a plan template is
+/// captured; `None` fields match anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiteralSlot {
+    /// The literal value as written in this query.
+    pub value: Value,
+    /// Bare (unqualified) column the literal constrains, if evident.
+    pub column: Option<String>,
+    /// Operator in column-on-left normal form (`5 < a` records `>`),
+    /// if evident. Rendered like the SQL tokens: `= <> < <= > >=`.
+    pub op: Option<String>,
+}
+
+/// A normalized query: the family cache key and the literal vector to
+/// rebind into a cached plan template. Slot order follows the *sorted*
+/// conjunct order, so family members always agree on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedQuery {
+    /// Canonical key: lower-cased, single-spaced, WHERE literals as
+    /// `?`, top-level WHERE conjuncts sorted.
+    pub key: String,
+    /// The literal values this query binds, in key order.
+    pub slots: Vec<LiteralSlot>,
+}
+
+/// Normalize a SQL string, or `None` when the text is not a cacheable
+/// SELECT (non-SELECT statements, tokenizer errors). `None` means
+/// "plan it the ordinary way", never an error — the parser reports
+/// real problems to the user.
+pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
+    let tokens = tokenize(sql).ok()?;
+    if !tokens.first().is_some_and(|t| t.is_kw("select")) {
+        return None;
+    }
+
+    // Locate the top-level WHERE region: from the depth-0 `where` to
+    // the next depth-0 clause keyword (or end of statement).
+    let mut depth = 0i32;
+    let mut where_start = None;
+    let mut where_end = tokens.len();
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            Token::Word(w) if depth == 0 => {
+                if where_start.is_none() && w == "where" {
+                    where_start = Some(i);
+                } else if where_start.is_some() && matches!(w.as_str(), "group" | "order" | "limit")
+                {
+                    where_end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let Some(ws) = where_start else {
+        // No WHERE clause: the whole statement is the key, no slots.
+        return Some(NormalizedQuery {
+            key: render(&tokens),
+            slots: Vec::new(),
+        });
+    };
+
+    // Split the WHERE region into top-level conjuncts. An `and` at
+    // paren depth 0 splits, unless it belongs to a pending BETWEEN.
+    let body = &tokens[ws + 1..where_end];
+    let mut conjuncts: Vec<&[Token]> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_between = false;
+    let mut start = 0;
+    for (i, t) in body.iter().enumerate() {
+        match t {
+            Token::Symbol('(') => depth += 1,
+            Token::Symbol(')') => depth -= 1,
+            Token::Word(w) if depth == 0 && w == "between" => pending_between = true,
+            Token::Word(w) if depth == 0 && w == "and" => {
+                if pending_between {
+                    pending_between = false;
+                } else {
+                    conjuncts.push(&body[start..i]);
+                    start = i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    conjuncts.push(&body[start..]);
+
+    // Parameterize each conjunct independently, then sort the rendered
+    // forms: `a = 1 and b = 2` and `b = 2 and a = 1` become one key.
+    let mut parts: Vec<(String, Vec<LiteralSlot>)> = conjuncts
+        .into_iter()
+        .map(parameterize_conjunct)
+        .collect::<Option<Vec<_>>>()?;
+    parts.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut key = render(&tokens[..ws]);
+    key.push_str(" where ");
+    let mut slots = Vec::new();
+    for (i, (text, part_slots)) in parts.iter_mut().enumerate() {
+        if i > 0 {
+            key.push_str(" and ");
+        }
+        key.push_str(text);
+        slots.append(part_slots);
+    }
+    if where_end < tokens.len() {
+        key.push(' ');
+        key.push_str(&render(&tokens[where_end..]));
+    }
+    Some(NormalizedQuery { key, slots })
+}
+
+/// Replace each literal in one conjunct with `?`, extracting its value
+/// and predicate signature. Returns the canonical rendering plus the
+/// slots in textual order.
+fn parameterize_conjunct(toks: &[Token]) -> Option<(String, Vec<LiteralSlot>)> {
+    let mut rendered: Vec<String> = Vec::with_capacity(toks.len());
+    let mut slots = Vec::new();
+    // BETWEEN state at the conjunct's base depth: after `col between`
+    // the first literal is the `>=` bound, the one after `and` is `<=`.
+    let mut between_col: Option<String> = None;
+    let mut between_hi = false;
+    // IN-list state: `col [not] in ( lit, ... )` — every literal inside
+    // the list shares the column with an `=` signature.
+    let mut in_col: Option<String> = None;
+    let mut in_depth = 0i32;
+    let mut depth = 0i32;
+
+    for (i, t) in toks.iter().enumerate() {
+        match t {
+            Token::Symbol('(') => {
+                depth += 1;
+                rendered.push("(".into());
+            }
+            Token::Symbol(')') => {
+                depth -= 1;
+                if in_col.is_some() && depth < in_depth {
+                    in_col = None;
+                }
+                rendered.push(")".into());
+            }
+            Token::Word(w) if w == "between" => {
+                between_col = column_name(i.checked_sub(1).and_then(|j| toks.get(j)));
+                between_hi = false;
+                rendered.push(w.clone());
+            }
+            Token::Word(w) if w == "and" && between_col.is_some() && !between_hi => {
+                between_hi = true;
+                rendered.push(w.clone());
+            }
+            Token::Word(w) if w == "in" => {
+                let before = if i >= 2 && toks[i - 1].is_kw("not") {
+                    toks.get(i - 2)
+                } else {
+                    i.checked_sub(1).and_then(|j| toks.get(j))
+                };
+                in_col = column_name(before);
+                in_depth = depth + 1;
+                rendered.push(w.clone());
+            }
+            Token::Int(_) | Token::Float(_) | Token::Str(_) => {
+                let value = literal_value(t, i.checked_sub(1).and_then(|j| toks.get(j)));
+                let (column, op) = signature(toks, i, &between_col, between_hi, &in_col);
+                slots.push(LiteralSlot { value, column, op });
+                if between_col.is_some() && between_hi {
+                    between_col = None; // the `<=` bound closes the BETWEEN
+                }
+                rendered.push("?".into());
+            }
+            other => rendered.push(render_token(other)),
+        }
+    }
+    Some((rendered.join(" "), slots))
+}
+
+/// The literal's [`Value`], honoring a preceding `date` keyword the
+/// way the parser does (`date '1998-09-02'` → `Value::Date`). A
+/// malformed date string falls back to a plain string value — the
+/// parser will reject the query anyway.
+fn literal_value(t: &Token, prev: Option<&Token>) -> Value {
+    match t {
+        Token::Int(n) => Value::Int(*n),
+        Token::Float(f) => Value::Float(*f),
+        Token::Str(s) => {
+            if prev.is_some_and(|p| p.is_kw("date")) {
+                if let Some(d) = parse_date(s) {
+                    return d;
+                }
+            }
+            Value::Str(s.clone().into())
+        }
+        _ => unreachable!("literal_value called on non-literal"),
+    }
+}
+
+/// `yyyy-mm-dd` → `Value::Date`, mirroring the parser's DATE literal.
+fn parse_date(s: &str) -> Option<Value> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let y: i64 = parts[0].parse().ok()?;
+    let m: u32 = parts[1].parse().ok()?;
+    let d: u32 = parts[2].parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(mq_common::value::date(y, m, d))
+}
+
+/// Predicate signature for the literal at `toks[i]`: the bare column
+/// it constrains and the column-on-left operator, when the local token
+/// shape makes them evident. Unrecognized shapes yield `(None, None)`
+/// — a wildcard during occurrence matching, never an error.
+fn signature(
+    toks: &[Token],
+    i: usize,
+    between_col: &Option<String>,
+    between_hi: bool,
+    in_col: &Option<String>,
+) -> (Option<String>, Option<String>) {
+    if let Some(col) = between_col {
+        let op = if between_hi { "<=" } else { ">=" };
+        return (Some(col.clone()), Some(op.into()));
+    }
+    if let Some(col) = in_col {
+        return (Some(col.clone()), Some("=".into()));
+    }
+    // `col op LIT` — skip a `date` keyword between op and literal.
+    let j = match toks.get(i.wrapping_sub(1)) {
+        Some(t) if t.is_kw("date") => i.wrapping_sub(2),
+        _ => i.wrapping_sub(1),
+    };
+    if let (Some(Token::Op(op)), prev) = (toks.get(j), toks.get(j.wrapping_sub(1))) {
+        if let Some(col) = column_name(prev) {
+            return (Some(col), Some(op.clone()));
+        }
+    }
+    // `LIT op col` — flip into column-on-left form.
+    if let (Some(Token::Op(op)), Some(col)) = (toks.get(i + 1), column_name(toks.get(i + 2))) {
+        return (Some(col), Some(flip_op(op).into()));
+    }
+    (None, None)
+}
+
+fn flip_op(op: &str) -> &'static str {
+    match op {
+        "<" => ">",
+        "<=" => ">=",
+        ">" => "<",
+        ">=" => "<=",
+        "<>" => "<>",
+        _ => "=",
+    }
+}
+
+/// Bare column name of an identifier token (`t.a` → `a`), or `None`
+/// for anything else.
+fn column_name(t: Option<&Token>) -> Option<String> {
+    match t {
+        Some(Token::Word(w)) => Some(w.clone()),
+        Some(Token::QualifiedWord(w)) => Some(w.rsplit('.').next().unwrap_or(w).to_string()),
+        _ => None,
+    }
+}
+
+/// Canonical single-spaced rendering of a token slice.
+fn render(toks: &[Token]) -> String {
+    toks.iter().map(render_token).collect::<Vec<_>>().join(" ")
+}
+
+fn render_token(t: &Token) -> String {
+    match t {
+        Token::Word(w) | Token::QualifiedWord(w) => w.clone(),
+        Token::Int(n) => n.to_string(),
+        Token::Float(f) => format!("{f:?}"),
+        Token::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Token::Symbol(c) => c.to_string(),
+        Token::Op(o) => o.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_and_whitespace_fold() {
+        let a = normalize("SELECT a FROM t WHERE a = 5").unwrap();
+        let b = normalize("select   a\nfrom T where A=5").unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.slots, b.slots);
+    }
+
+    #[test]
+    fn literals_parameterize_with_signatures() {
+        let n = normalize("select a from t where t.a >= 10 and s = 'x'").unwrap();
+        assert!(n.key.contains('?'), "{}", n.key);
+        assert!(!n.key.contains("10"), "literal leaked into key: {}", n.key);
+        assert_eq!(n.slots.len(), 2);
+        // Sorted conjunct order: `s = ?` before `t.a >= ?`.
+        assert_eq!(n.slots[0].value, Value::Str("x".into()));
+        assert_eq!(n.slots[0].column.as_deref(), Some("s"));
+        assert_eq!(n.slots[0].op.as_deref(), Some("="));
+        assert_eq!(n.slots[1].value, Value::Int(10));
+        assert_eq!(n.slots[1].column.as_deref(), Some("a"));
+        assert_eq!(n.slots[1].op.as_deref(), Some(">="));
+    }
+
+    #[test]
+    fn conjunct_order_folds() {
+        let a = normalize("select a from t where a = 1 and b > 2").unwrap();
+        let b = normalize("select a from t where b > 9 and a = 7").unwrap();
+        assert_eq!(a.key, b.key);
+        // Slot order follows the sorted key, identically for both.
+        assert_eq!(a.slots[0].column, b.slots[0].column);
+        assert_eq!(a.slots[1].column, b.slots[1].column);
+    }
+
+    #[test]
+    fn flipped_comparison_normalizes_column_left() {
+        let n = normalize("select a from t where 5 < a").unwrap();
+        assert_eq!(n.slots[0].column.as_deref(), Some("a"));
+        assert_eq!(n.slots[0].op.as_deref(), Some(">"));
+    }
+
+    #[test]
+    fn between_yields_two_bounds() {
+        let n = normalize("select a from t where a between 10 and 20 and b = 1").unwrap();
+        assert_eq!(n.slots.len(), 3);
+        let a_slots: Vec<_> = n
+            .slots
+            .iter()
+            .filter(|s| s.column.as_deref() == Some("a"))
+            .collect();
+        assert_eq!(a_slots.len(), 2);
+        assert_eq!(a_slots[0].op.as_deref(), Some(">="));
+        assert_eq!(a_slots[1].op.as_deref(), Some("<="));
+    }
+
+    #[test]
+    fn date_literals_become_dates() {
+        let n = normalize("select a from t where d <= date '1998-09-02'").unwrap();
+        assert!(matches!(n.slots[0].value, Value::Date(_)));
+        assert_eq!(n.slots[0].op.as_deref(), Some("<="));
+    }
+
+    #[test]
+    fn select_list_and_limit_literals_stay_in_key() {
+        let a = normalize("select a + 1 from t where b = 2 limit 5").unwrap();
+        let b = normalize("select a + 1 from t where b = 3 limit 5").unwrap();
+        let c = normalize("select a + 1 from t where b = 2 limit 9").unwrap();
+        assert_eq!(a.key, b.key, "WHERE literal must parameterize");
+        assert_ne!(a.key, c.key, "LIMIT literal must separate families");
+        assert_eq!(a.slots.len(), 1);
+    }
+
+    #[test]
+    fn different_shapes_never_collide() {
+        let a = normalize("select a from t where a = 5").unwrap();
+        let b = normalize("select a from t where b = 5").unwrap();
+        let c = normalize("select a from t where a < 5").unwrap();
+        let d = normalize("select a, b from t where a = 5").unwrap();
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+        assert_ne!(a.key, d.key);
+    }
+
+    #[test]
+    fn non_select_is_uncacheable() {
+        assert!(normalize("insert into t values (1)").is_none());
+        assert!(normalize("").is_none());
+        assert!(normalize("select a from t where x = 'unterminated").is_none());
+    }
+}

@@ -225,6 +225,7 @@ fn run_admitted(
     engine: &Engine,
     broker: &MemoryBroker,
     plan: &LogicalPlan,
+    sql: Option<&str>,
     mode: ReoptMode,
     ctl: &JobCtl<'_>,
     gauges: Option<&Gauges<'_>>,
@@ -280,7 +281,14 @@ fn run_admitted(
             obs: ctl.obs.cloned(),
             par: ctl.partitions.map(ParSpec::new),
         };
-        let mut outcome = engine.run_with(plan, mode, make_env(format!("tmp_reopt_q{query_id}_")));
+        // A query that arrived as SQL text probes the plan cache with
+        // its normalized family key (plan-only queries have no text to
+        // normalize and always take the ordinary path).
+        let env = make_env(format!("tmp_reopt_q{query_id}_"));
+        let mut outcome = match sql {
+            Some(sql) => engine.run_with_sql(plan, sql, mode, env),
+            None => engine.run_with(plan, mode, env),
+        };
         // crashed → recovering → done. The job keeps its memory lease
         // across attempts (a recovering query does not re-queue for
         // admission), and each attempt charges a doubling simulated
@@ -379,11 +387,16 @@ fn run_one(
         QuerySpec::Plan(plan) => Ok(plan.clone()),
         QuerySpec::Sql(sql) => mq_sql::plan_sql(sql, engine.catalog()),
     };
+    let sql = match &q.spec {
+        QuerySpec::Sql(sql) => Some(sql.as_str()),
+        QuerySpec::Plan(_) => None,
+    };
     let run = match plan {
         Ok(plan) => run_admitted(
             engine,
             broker,
             &plan,
+            sql,
             q.mode,
             &JobCtl {
                 clock: &job_clock,
@@ -529,6 +542,23 @@ impl Session {
 
     /// Run a logical plan under the given mode.
     pub fn run(&self, plan: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
+        self.run_inner(plan, None, mode)
+    }
+
+    /// Parse and run a SQL query under the given mode. The SQL text is
+    /// threaded through to the engine so the plan cache can probe its
+    /// normalized family key.
+    pub fn run_sql(&self, sql: &str, mode: ReoptMode) -> Result<QueryOutcome> {
+        let plan = mq_sql::plan_sql(sql, self.engine.catalog())?;
+        self.run_inner(&plan, Some(sql), mode)
+    }
+
+    fn run_inner(
+        &self,
+        plan: &LogicalPlan,
+        sql: Option<&str>,
+        mode: ReoptMode,
+    ) -> Result<QueryOutcome> {
         if self.cancel.is_cancelled() {
             return Err(MqError::Cancelled("session cancelled".into()));
         }
@@ -540,6 +570,7 @@ impl Session {
             &self.engine,
             &self.broker,
             plan,
+            sql,
             mode,
             &JobCtl {
                 clock: &self.clock,
@@ -552,12 +583,6 @@ impl Session {
             None,
         )
         .outcome
-    }
-
-    /// Parse and run a SQL query under the given mode.
-    pub fn run_sql(&self, sql: &str, mode: ReoptMode) -> Result<QueryOutcome> {
-        let plan = mq_sql::plan_sql(sql, self.engine.catalog())?;
-        self.run(&plan, mode)
     }
 }
 

@@ -108,6 +108,28 @@ impl JobResult {
         self.metrics.counter("midq_cache_bytes_saved_total")
     }
 
+    /// Plan-cache hits: runs of this job served by a rebound plan
+    /// template (join enumeration skipped) — from the metrics snapshot
+    /// when one was collected, else from the controller event log.
+    pub fn plan_cache_hits(&self) -> u64 {
+        if self.metrics.is_empty() {
+            self.count_events("plancache: hit")
+        } else {
+            self.metrics.counter("midq_plancache_hits_total")
+        }
+    }
+
+    /// Plan-cache probes that fell through to full optimization
+    /// (misses plus stale re-optimizations).
+    pub fn plan_cache_misses(&self) -> u64 {
+        if self.metrics.is_empty() {
+            self.count_events("plancache: miss") + self.count_events("plancache: stale")
+        } else {
+            self.metrics.counter("midq_plancache_misses_total")
+                + self.metrics.counter("midq_plancache_reopts_total")
+        }
+    }
+
     fn count_events(&self, prefix: &str) -> u64 {
         self.outcome
             .as_ref()
@@ -176,6 +198,17 @@ impl WorkloadReport {
         self.results.iter().map(JobResult::cache_bytes_saved).sum()
     }
 
+    /// Total plan-cache hits across the workload.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.results.iter().map(JobResult::plan_cache_hits).sum()
+    }
+
+    /// Total plan-cache fall-throughs (misses + stale) across the
+    /// workload.
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.results.iter().map(JobResult::plan_cache_misses).sum()
+    }
+
     /// Queries per simulated second, against the parallel makespan.
     pub fn throughput_qps(&self) -> f64 {
         if self.makespan_sim_ms <= 0.0 {
@@ -225,6 +258,14 @@ impl WorkloadReport {
             if r.cache_hits() + r.cache_misses() > 0 {
                 let _ = write!(out, "  cache={}h/{}m", r.cache_hits(), r.cache_misses());
             }
+            if r.plan_cache_hits() + r.plan_cache_misses() > 0 {
+                let _ = write!(
+                    out,
+                    "  plancache={}h/{}m",
+                    r.plan_cache_hits(),
+                    r.plan_cache_misses()
+                );
+            }
             match &r.outcome {
                 Ok(o) => {
                     let _ = writeln!(
@@ -263,6 +304,14 @@ impl WorkloadReport {
                 self.cache_hits(),
                 self.cache_misses(),
                 self.cache_bytes_saved() / 1024
+            );
+        }
+        if self.plan_cache_hits() + self.plan_cache_misses() > 0 {
+            let _ = writeln!(
+                out,
+                "plan cache: {} hit(s), {} fall-through(s) to full optimization",
+                self.plan_cache_hits(),
+                self.plan_cache_misses()
             );
         }
         let _ = writeln!(

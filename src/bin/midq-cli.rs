@@ -79,8 +79,12 @@ meta-commands:
                                   show hit/miss/promotion counters, or
                                   drop every entry and all cardinality
                                   feedback
+  \\plancache [on|off|stats|clear] normalized-SQL plan cache: toggle it,
+                                  show hit/miss/stale/eviction counters,
+                                  or drop every cached plan template
   \\set <knob> <value>             tune an engine config knob between
-                                  queries: switch_margin, cache_budget_kib
+                                  queries: switch_margin, cache_budget_kib,
+                                  plan_cache_entries
                                   (e.g. \\set switch_margin 1.0)
   \\quit                           exit
 anything else is parsed as SQL: SELECT runs under the current mode;
@@ -198,8 +202,11 @@ impl Shell {
             ["source", path] => self.source(path),
             ["workload", rest @ ..] => self.workload(rest),
             ["cache", rest @ ..] => self.cache_cmd(rest),
+            ["plancache", rest @ ..] => self.plancache_cmd(rest),
             ["set", knob, value] => self.set_knob(knob, value),
-            ["set", ..] => println!("usage: \\set <switch_margin|cache_budget_kib> <value>"),
+            ["set", ..] => {
+                println!("usage: \\set <switch_margin|cache_budget_kib|plan_cache_entries> <value>")
+            }
             _ => println!("unknown command \\{cmd} — try \\help"),
         }
     }
@@ -509,6 +516,47 @@ impl Shell {
         }
     }
 
+    /// `\plancache [on|off|stats|clear]`: toggle the normalized-SQL
+    /// plan cache, show its counters, or drop every template.
+    fn plancache_cmd(&mut self, args: &[&str]) {
+        match args {
+            [] | ["stats"] => {
+                let enabled = self.db.engine().config().plan_cache_enabled;
+                let s = self.db.plan_cache_stats();
+                println!(
+                    "plan cache: {}   {}/{} entries",
+                    if enabled { "on" } else { "off" },
+                    s.entries,
+                    s.capacity
+                );
+                println!(
+                    "  hits={} misses={} stale_reopts={} insertions={} evictions={} rebind_failures={}",
+                    s.hits, s.misses, s.stale_reopts, s.insertions, s.evictions, s.rebind_failures
+                );
+            }
+            ["on"] => self.set_plan_cache(true),
+            ["off"] => self.set_plan_cache(false),
+            ["clear"] => {
+                self.db.clear_plan_cache();
+                println!("plan cache cleared (templates and histogram-error counters dropped)");
+            }
+            _ => println!("usage: \\plancache [on|off|stats|clear]"),
+        }
+    }
+
+    fn set_plan_cache(&mut self, on: bool) {
+        let mut cfg = self.db.engine().config().clone();
+        if cfg.plan_cache_enabled == on {
+            println!("plan cache already {}", if on { "on" } else { "off" });
+            return;
+        }
+        cfg.plan_cache_enabled = on;
+        match self.db.engine_mut().set_config(cfg) {
+            Ok(()) => println!("plan cache {}", if on { "on" } else { "off" }),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
     /// `\set <knob> <value>`: tune one engine config knob in place
     /// (validated by [`EngineConfig::validate`] via `set_config`).
     fn set_knob(&mut self, knob: &str, value: &str) {
@@ -528,8 +576,17 @@ impl Shell {
                     return;
                 }
             },
+            "plan_cache_entries" => match value.parse::<usize>() {
+                Ok(v) => cfg.plan_cache_entries = v,
+                Err(_) => {
+                    println!("plan_cache_entries wants an integer, got {value:?}");
+                    return;
+                }
+            },
             _ => {
-                println!("unknown knob {knob:?} (switch_margin, cache_budget_kib)");
+                println!(
+                    "unknown knob {knob:?} (switch_margin, cache_budget_kib, plan_cache_entries)"
+                );
                 return;
             }
         }

@@ -63,7 +63,8 @@ pub use mq_tpcd as tpcd;
 pub use mq_common::{EngineConfig, MqError, Result};
 pub use mq_plan::LogicalPlan;
 pub use mq_reopt::{
-    explain_analyze, explain_plan, Engine, QueryOutcome, RecoveryReport, ReoptMode,
+    explain_analyze, explain_plan, normalize, Engine, NormalizedQuery, PlanCacheStats,
+    QueryOutcome, RecoveryReport, ReoptMode,
 };
 pub use mq_runtime::{JobResult, Runtime, Session, Workload, WorkloadQuery, WorkloadReport};
 pub use mq_tpcd::TpcdConfig;
@@ -194,6 +195,16 @@ impl Database {
         self.engine.clear_cache();
     }
 
+    /// Snapshot of the normalized-SQL plan-cache counters.
+    pub fn plan_cache_stats(&self) -> mq_reopt::PlanCacheStats {
+        self.engine.plan_cache_stats()
+    }
+
+    /// Drop every cached plan template (counters survive).
+    pub fn clear_plan_cache(&self) {
+        self.engine.clear_plan_cache();
+    }
+
     /// Gather statistics for a table (MaxDiff histograms, catalog
     /// defaults from the engine config).
     pub fn analyze(&self, table: &str) -> Result<()> {
@@ -220,10 +231,14 @@ impl Database {
         mq_sql::plan_sql(sql_text, self.engine.catalog())
     }
 
-    /// Run a SQL query under the given re-optimization mode.
+    /// Run a SQL query under the given re-optimization mode. With
+    /// [`EngineConfig::plan_cache_enabled`], the normalized query text
+    /// probes the plan cache first, so a warm family skips join
+    /// enumeration entirely.
     pub fn run_sql(&self, sql_text: &str, mode: ReoptMode) -> Result<QueryOutcome> {
         let plan = self.plan_sql(sql_text)?;
-        self.engine.run(&plan, mode)
+        self.engine
+            .run_with_sql(&plan, sql_text, mode, self.engine.default_env())
     }
 
     /// Execute any SQL statement: SELECT runs under `mode`; CREATE
@@ -245,7 +260,12 @@ impl Database {
         match mq_sql::parse_statement(sql_text)? {
             mq_sql::Statement::Select(q) => {
                 let plan = mq_sql::bind(&q, self.engine.catalog())?;
-                Ok(SqlOutcome::Query(Box::new(self.engine.run(&plan, mode)?)))
+                Ok(SqlOutcome::Query(Box::new(self.engine.run_with_sql(
+                    &plan,
+                    sql_text,
+                    mode,
+                    self.engine.default_env(),
+                )?)))
             }
             mq_sql::Statement::CreateTable { name, columns } => {
                 let cols: Vec<(&str, DataType)> =
@@ -355,7 +375,9 @@ impl Database {
         obs: &mq_obs::Obs,
     ) -> Result<QueryOutcome> {
         let plan = self.plan_sql(sql_text)?;
-        self.run_observed(&plan, mode, obs)
+        let mut env = self.engine.default_env();
+        env.obs = Some(obs.clone());
+        self.engine.run_with_sql(&plan, sql_text, mode, env)
     }
 
     /// EXPLAIN: the annotated physical plan the optimizer would run.
