@@ -228,6 +228,9 @@ impl Drop for PinGuard {
 pub struct SubPlanCache {
     shards: Arc<Vec<Mutex<Inner>>>,
     seq: Arc<AtomicU64>,
+    /// Probe misses carry no fingerprint routing, so they are counted
+    /// here at cache level instead of being charged to a shard.
+    misses: Arc<AtomicU64>,
 }
 
 impl SubPlanCache {
@@ -262,6 +265,7 @@ impl SubPlanCache {
         SubPlanCache {
             shards: Arc::new(shards),
             seq: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -363,9 +367,11 @@ impl SubPlanCache {
         })
     }
 
-    /// Record that an enabled probe found no usable entry.
+    /// Record that an enabled probe found no usable entry. Misses are
+    /// unrouted (there is no entry to name a shard), so they live in a
+    /// cache-level counter and appear only in the aggregate stats.
     pub fn record_miss(&self) {
-        self.shards[0].lock().stats.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Invalidate one entry (stale deps discovered at probe time, or a
@@ -494,7 +500,8 @@ impl SubPlanCache {
         out
     }
 
-    /// Snapshot of the counters, aggregated over every shard.
+    /// Snapshot of the counters, aggregated over every shard plus the
+    /// cache-level (unrouted) miss count.
     pub fn stats(&self) -> CacheStats {
         let mut s = CacheStats::default();
         for shard in self.shards.iter() {
@@ -504,6 +511,7 @@ impl SubPlanCache {
             part.bytes = inner.live_bytes();
             s.absorb(&part);
         }
+        s.misses += self.misses.load(Ordering::Relaxed);
         s
     }
 }

@@ -1303,31 +1303,38 @@ impl Engine {
         work_units: u64,
         controller: &ReoptController,
     ) {
+        // The probe already counted this run as a miss or stale drop;
+        // emit the matching event before any early return below so the
+        // event stream stays consistent with the probe-side counters
+        // even when the plan turns out to be uncacheable.
+        match stale {
+            Some(reason) => {
+                mq_obs::emit(|| ObsEvent::PlanCacheStale { reason });
+                controller.note(format!("plancache: stale ({reason}), re-enumerated"));
+            }
+            None => {
+                mq_obs::emit(|| ObsEvent::PlanCacheMiss);
+                controller.note("plancache: miss".to_string());
+            }
+        }
         let tables = base_tables(plan);
         let mut deps = Vec::with_capacity(tables.len());
         for t in tables {
             if t.starts_with("tmp_reopt_") || t.starts_with("cache_") {
+                controller.note(format!(
+                    "plancache: not entered ({t} is query-local, plan is not a pure function of base data)"
+                ));
                 return;
             }
             let Some(v) = self.catalog.data_version(&t) else {
+                controller.note(format!("plancache: not entered ({t} has no data version)"));
                 return;
             };
             deps.push((t, v));
         }
         let mut entry = CachedPlan::capture(plan, norm, work_units, deps, 0);
         entry.applied_at = self.feedback.applied_sum(&entry.fingerprints);
-        match stale {
-            Some(reason) => {
-                mq_obs::emit(|| ObsEvent::PlanCacheStale { reason });
-                controller.note(format!(
-                    "plancache: stale ({reason}), re-enumerated and re-entered"
-                ));
-            }
-            None => {
-                mq_obs::emit(|| ObsEvent::PlanCacheMiss);
-                controller.note("plancache: miss, template entered".to_string());
-            }
-        }
+        controller.note("plancache: template entered".to_string());
         for key in self.plancache.insert(&norm.key, entry) {
             mq_obs::emit(|| ObsEvent::PlanCacheEvict { key: key.clone() });
         }

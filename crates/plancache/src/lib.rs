@@ -109,9 +109,12 @@ impl CachedPlan {
     /// enumerate its literal occurrences in deterministic visit order,
     /// and match each against the normalized query's slots (preferring
     /// column+operator+value agreement, then column+value, then value
-    /// alone; implied-predicate duplicates may share a slot). Call
-    /// *before* collectors, exchanges or cached-scan splices decorate
-    /// the plan.
+    /// alone; implied-predicate duplicates may share a slot). An
+    /// occurrence tying between slots that are not provably the same
+    /// predicate stays unbound — rebinding refuses a changed unbound
+    /// slot, so ambiguity degrades to a cache miss, never to a literal
+    /// spliced into the wrong conjunct. Call *before* collectors,
+    /// exchanges or cached-scan splices decorate the plan.
     pub fn capture(
         plan: &PhysPlan,
         norm: &NormalizedQuery,
@@ -133,7 +136,7 @@ impl CachedPlan {
         let mut used = vec![false; norm.slots.len()];
         let mut slot_bound = vec![false; norm.slots.len()];
         for (col, op, value) in &occurrences {
-            let mut best: Option<(u32, bool, usize)> = None;
+            let mut scored: Vec<(u32, usize)> = Vec::new();
             for (si, slot) in norm.slots.iter().enumerate() {
                 if !values_equal(&slot.value, value) {
                     continue;
@@ -149,28 +152,42 @@ impl CachedPlan {
                         score += 1;
                     }
                 }
-                let cand = (score, !used[si], si);
-                // Highest score wins; unused slots break ties; then the
-                // lowest index, for determinism.
-                let better = match &best {
-                    None => true,
-                    Some((s, u, i)) => {
-                        (cand.0, cand.1, std::cmp::Reverse(cand.2))
-                            > (*s, *u, std::cmp::Reverse(*i))
-                    }
-                };
-                if better {
-                    best = Some(cand);
-                }
+                scored.push((score, si));
             }
-            match best {
-                Some((_, _, si)) => {
-                    used[si] = true;
-                    slot_bound[si] = true;
-                    binding.push(Some(si));
-                }
-                None => binding.push(None), // fixed constant, not a family literal
+            let Some(max) = scored.iter().map(|(s, _)| *s).max() else {
+                binding.push(None); // fixed constant, not a family literal
+                continue;
+            };
+            let tied: Vec<usize> = scored
+                .iter()
+                .filter(|(s, _)| *s == max)
+                .map(|(_, si)| *si)
+                .collect();
+            // Slots tied at the same score are interchangeable only
+            // when they all carry one fully-specified column+operator
+            // signature (genuinely duplicated predicates). Any other
+            // tie — e.g. literals inside arithmetic comparisons, whose
+            // occurrences recover no column — is ambiguous: binding
+            // either slot could splice one conjunct's literal into the
+            // other's position. Refuse the occurrence instead; a later
+            // rebind then hits the changed-unbound-slot refusal rather
+            // than silently cross-binding.
+            let first = &norm.slots[tied[0]];
+            let interchangeable = first.column.is_some()
+                && first.op.is_some()
+                && tied
+                    .iter()
+                    .all(|&si| norm.slots[si].column == first.column && norm.slots[si].op == first.op);
+            if tied.len() > 1 && !interchangeable {
+                binding.push(None);
+                continue;
             }
+            // Prefer an unused slot, then the lowest index, for
+            // determinism; implied-predicate duplicates may share one.
+            let si = tied.iter().copied().find(|&si| !used[si]).unwrap_or(tied[0]);
+            used[si] = true;
+            slot_bound[si] = true;
+            binding.push(Some(si));
         }
 
         let fingerprints = structural_fingerprints(&template);
@@ -516,6 +533,7 @@ mod tests {
     fn scan_with_filter(filter: Expr) -> PhysPlan {
         let schema = Schema::new(vec![
             Field::qualified("t", "a", DataType::Int),
+            Field::qualified("t", "b", DataType::Int),
             Field::qualified("t", "s", DataType::Str),
         ])
         .unwrap();
@@ -579,6 +597,33 @@ mod tests {
         // Different 'x': the change cannot take effect — refuse.
         let diff = norm("select a from t where t.a >= 20 and t.s = 'z'");
         assert!(entry.rebind(&diff.slots).is_none());
+    }
+
+    #[test]
+    fn ambiguous_tie_refuses_cross_bind() {
+        use mq_expr::{and, cmp, col, lit, ArithOp};
+        let plus1 = |name: &str| Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(col(name)),
+            right: Box::new(lit(1i64)),
+        };
+        // Both conjuncts bury their literal inside an arithmetic
+        // comparison, so the plan occurrences recover no column — the
+        // two value-5 slots tie at the same score.
+        let n = norm("select a from t where b + 1 = 5 and a + 1 = 5");
+        let plan = scan_with_filter(and(vec![
+            cmp(CmpOp::Eq, plus1("t.b"), lit(5i64)),
+            cmp(CmpOp::Eq, plus1("t.a"), lit(5i64)),
+        ]));
+        let entry = CachedPlan::capture(&plan, &n, 1, vec![], 0);
+        // Changing one conjunct's literal must refuse rather than risk
+        // splicing the value into the other conjunct's position.
+        let changed = norm("select a from t where b + 1 = 7 and a + 1 = 5");
+        assert_eq!(n.key, changed.key);
+        assert!(entry.rebind(&changed.slots).is_none());
+        // Identical literals still rebind: the template is unchanged.
+        let same = norm("select a from t where b + 1 = 5 and a + 1 = 5");
+        assert!(entry.rebind(&same.slots).is_some());
     }
 
     #[test]

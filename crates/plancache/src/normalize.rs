@@ -8,6 +8,10 @@
 //! (capturing its value and, where recognizable, the column and
 //! operator it constrains into a [`LiteralSlot`]), and sorts the
 //! parameterized top-level conjuncts into a deterministic order.
+//! Conjunct sorting only applies when the WHERE body has no depth-0
+//! `or`: AND binds tighter than OR, so reordering around an `or`
+//! would merge semantically different predicates into one key — such
+//! bodies keep their textual order (still parameterized).
 //!
 //! Literals *outside* the WHERE clause (select-list constants,
 //! `LIMIT n`) stay verbatim in the key: they change the plan's shape
@@ -86,15 +90,23 @@ pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
 
     // Split the WHERE region into top-level conjuncts. An `and` at
     // paren depth 0 splits, unless it belongs to a pending BETWEEN.
+    // A depth-0 `or` forbids splitting entirely: AND binds tighter
+    // than OR, so the depth-0 `and`s are not all top-level conjuncts
+    // and sorting the pieces would conflate e.g. `a = 1 or b = 2 and
+    // c = 3` (a OR (b AND c)) with `c = 3 and a = 1 or b = 2`
+    // ((c AND a) OR b). Such bodies stay one verbatim piece — still
+    // parameterized, but textual order is part of the key.
     let body = &tokens[ws + 1..where_end];
     let mut conjuncts: Vec<&[Token]> = Vec::new();
     let mut depth = 0i32;
     let mut pending_between = false;
+    let mut has_top_or = false;
     let mut start = 0;
     for (i, t) in body.iter().enumerate() {
         match t {
             Token::Symbol('(') => depth += 1,
             Token::Symbol(')') => depth -= 1,
+            Token::Word(w) if depth == 0 && w == "or" => has_top_or = true,
             Token::Word(w) if depth == 0 && w == "between" => pending_between = true,
             Token::Word(w) if depth == 0 && w == "and" => {
                 if pending_between {
@@ -108,9 +120,13 @@ pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
         }
     }
     conjuncts.push(&body[start..]);
+    if has_top_or {
+        conjuncts = vec![body];
+    }
 
     // Parameterize each conjunct independently, then sort the rendered
     // forms: `a = 1 and b = 2` and `b = 2 and a = 1` become one key.
+    // (A single verbatim OR body sorts trivially.)
     let mut parts: Vec<(String, Vec<LiteralSlot>)> = conjuncts
         .into_iter()
         .map(parameterize_conjunct)
@@ -339,6 +355,34 @@ mod tests {
         // Slot order follows the sorted key, identically for both.
         assert_eq!(a.slots[0].column, b.slots[0].column);
         assert_eq!(a.slots[1].column, b.slots[1].column);
+    }
+
+    #[test]
+    fn or_precedence_separates_families() {
+        // a OR (b AND c) vs (c AND a) OR b — conjunct sorting must not
+        // collapse these onto one key.
+        let a = normalize("select a from t where a = 1 or b = 2 and c = 3").unwrap();
+        let b = normalize("select a from t where c = 3 and a = 1 or b = 2").unwrap();
+        assert_ne!(a.key, b.key);
+        // Likewise flipped disjuncts: textual order is part of the key.
+        let c = normalize("select a from t where a = 1 or b = 2").unwrap();
+        let d = normalize("select a from t where b = 2 or a = 1").unwrap();
+        assert_ne!(c.key, d.key);
+    }
+
+    #[test]
+    fn or_bodies_still_parameterize() {
+        let a = normalize("select a from t where a = 1 or b = 2 and c = 3").unwrap();
+        let b = normalize("select a from t where a = 9 or b = 8 and c = 7").unwrap();
+        assert_eq!(a.key, b.key, "same text shape, different literals");
+        assert_eq!(a.slots.len(), 3);
+        assert_eq!(a.slots[0].column.as_deref(), Some("a"));
+        assert_eq!(a.slots[1].column.as_deref(), Some("b"));
+        assert_eq!(a.slots[2].column.as_deref(), Some("c"));
+        // Parenthesized ORs below depth 0 don't disable conjunct sorting.
+        let e = normalize("select a from t where (a = 1 or b = 2) and c = 3").unwrap();
+        let f = normalize("select a from t where c = 9 and (a = 8 or b = 7)").unwrap();
+        assert_eq!(e.key, f.key);
     }
 
     #[test]

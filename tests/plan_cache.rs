@@ -115,6 +115,41 @@ fn different_queries_never_collide() {
 }
 
 #[test]
+fn or_precedence_queries_never_collide() {
+    // AND binds tighter than OR, so these predicates differ:
+    // a = qty<10 OR (qty>45 AND supp=3), b = (supp=3 AND qty<10) OR
+    // qty>45. Naive conjunct sorting would conflate them onto one key
+    // and the second query would execute the first's cached plan.
+    let a = "SELECT count(*) AS n FROM lineitem \
+             WHERE l_quantity < 10 OR l_quantity > 45 AND l_suppkey = 3";
+    let b = "SELECT count(*) AS n FROM lineitem \
+             WHERE l_suppkey = 3 AND l_quantity < 10 OR l_quantity > 45";
+    assert_ne!(
+        midq::normalize(a).unwrap().key,
+        midq::normalize(b).unwrap().key,
+        "OR-precedence variants must separate families"
+    );
+
+    let cached = load_db(true);
+    let oracle = load_db(false);
+    for q in [a, b] {
+        let ours = cached.run_sql(q, ReoptMode::Off).unwrap();
+        let theirs = oracle.run_sql(q, ReoptMode::Off).unwrap();
+        assert_eq!(
+            sorted_rows(&ours),
+            sorted_rows(&theirs),
+            "rows diverged from cache-off oracle for: {q}"
+        );
+    }
+    let s = cached.plan_cache_stats();
+    assert_eq!(
+        (s.hits, s.entries),
+        (0, 2),
+        "semantically different queries shared a template: {s:?}"
+    );
+}
+
+#[test]
 fn rebound_literals_match_cache_off_oracle() {
     let cached = load_db(true);
     let oracle = load_db(false);
