@@ -93,7 +93,16 @@ fn bench_hash_join(c: &mut Criterion) {
     for rows in [4_000i64, 16_000] {
         let (db, q) = join_db(rows);
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| black_box(db.run(&q, ReoptMode::Off).unwrap().rows.len()))
+            b.iter(|| {
+                black_box(
+                    db.query_plan(&q)
+                        .mode(ReoptMode::Off)
+                        .run()
+                        .unwrap()
+                        .rows
+                        .len(),
+                )
+            })
         });
     }
     group.finish();
@@ -124,7 +133,16 @@ fn bench_sort(c: &mut Criterion) {
         db.analyze("t").unwrap();
         let q = midq::LogicalPlan::scan("t").sort(vec![("t.a", true)]);
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
-            b.iter(|| black_box(db.run(&q, ReoptMode::Off).unwrap().rows.len()))
+            b.iter(|| {
+                black_box(
+                    db.query_plan(&q)
+                        .mode(ReoptMode::Off)
+                        .run()
+                        .unwrap()
+                        .rows
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

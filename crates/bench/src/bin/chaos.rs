@@ -8,9 +8,12 @@
 //! a range overrides `--first-seed`. `--plan-cache` runs the campaign
 //! over SQL families on a warm plan-cache-enabled engine. `--crash`
 //! runs the kill-point crash/recovery campaign instead (see
-//! `mq_bench::recovery`).
+//! `mq_bench::recovery`); `--save-crash` runs the snapshot save-point
+//! crash campaign (see `mq_bench::persist`), with `--seeds` as the
+//! number of growth cycles.
 
 use mq_bench::chaos::{run_chaos, run_chaos_partitioned, run_chaos_plancache};
+use mq_bench::persist::run_save_crash_campaign;
 use mq_bench::recovery::run_crash_campaign;
 
 /// Parse a `--seeds` value: a plain count, or an `A..B` / `A..=B`
@@ -45,6 +48,7 @@ fn main() {
     let mut partitioned = false;
     let mut plan_cache = false;
     let mut crash = false;
+    let mut save_crash = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,12 +68,13 @@ fn main() {
             "--partitioned" => partitioned = true,
             "--plan-cache" => plan_cache = true,
             "--crash" => crash = true,
+            "--save-crash" => save_crash = true,
             "--verbose" | "-v" => verbose = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: chaos [--seeds N | --seeds A..B] [--first-seed S] \
-                     [--partitioned] [--plan-cache] [--crash] [--verbose]"
+                     [--partitioned] [--plan-cache] [--crash] [--save-crash] [--verbose]"
                 );
                 std::process::exit(2);
             }
@@ -77,6 +82,21 @@ fn main() {
     }
     if let Some(start) = seeds_range_start {
         first_seed = start;
+    }
+
+    if save_crash {
+        let report = run_save_crash_campaign(seeds, verbose);
+        println!("{}", report.summary());
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        if !report.passed() {
+            if report.violations.is_empty() {
+                eprintln!("no save was ever crashed — the injector never fired");
+            }
+            std::process::exit(1);
+        }
+        return;
     }
 
     if crash {

@@ -16,21 +16,20 @@ fn main() {
         .find(|(n, _)| *n == name)
         .unwrap()
         .1;
-    let off = db.run(&q, ReoptMode::Off).unwrap();
+    let off = db.query_plan(&q).mode(ReoptMode::Off).run().unwrap();
     println!(
         "OFF time={:.0}ms io=({} r, {} w)",
         off.time_ms, off.cost.pages_read, off.cost.pages_written
     );
     println!("OFF plan:\n{}", off.final_plan);
     let full = db
-        .run(
-            &q,
-            if std::env::var("MQ_PLANONLY").is_ok() {
-                ReoptMode::PlanOnly
-            } else {
-                ReoptMode::Full
-            },
-        )
+        .query_plan(&q)
+        .mode(if std::env::var("MQ_PLANONLY").is_ok() {
+            ReoptMode::PlanOnly
+        } else {
+            ReoptMode::Full
+        })
+        .run()
         .unwrap();
     println!(
         "FULL time={:.0}ms io=({} r, {} w) switches={}",

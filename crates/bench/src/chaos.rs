@@ -266,10 +266,10 @@ fn builtin_specs() -> Vec<(&'static str, ChaosQuery)> {
 fn oracle_fingerprint(db: &Database, q: &ChaosQuery, partitioned: bool) -> String {
     match q {
         ChaosQuery::Plan(p) if partitioned => {
-            fingerprint(&db.run_partitioned(p, ReoptMode::Off, 1))
+            fingerprint(&db.query_plan(p).mode(ReoptMode::Off).partitions(1).run())
         }
-        ChaosQuery::Plan(p) => fingerprint(&db.run(p, ReoptMode::Off)),
-        ChaosQuery::Sql(s) => fingerprint(&db.run_sql(s, ReoptMode::Off)),
+        ChaosQuery::Plan(p) => fingerprint(&db.query_plan(p).mode(ReoptMode::Off).run()),
+        ChaosQuery::Sql(s) => fingerprint(&db.query(s).mode(ReoptMode::Off).run()),
     }
 }
 
@@ -327,7 +327,9 @@ pub fn run_chaos_plancache(first_seed: u64, seeds: u64, verbose: bool) -> ChaosR
         .collect();
     for (name, q) in &specs {
         if let ChaosQuery::Sql(s) = q {
-            db.run_sql(s, ReoptMode::Off)
+            db.query(s)
+                .mode(ReoptMode::Off)
+                .run()
                 .unwrap_or_else(|e| panic!("warm pass {name}: {e}"));
         }
     }

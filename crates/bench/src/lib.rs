@@ -17,6 +17,7 @@
 //! | §2.2 est-vs-actual trace table | [`est_vs_actual`] |
 
 pub mod chaos;
+pub mod persist;
 pub mod recovery;
 
 use midq::common::EngineConfig;
@@ -102,7 +103,11 @@ pub fn run_query(db: &Database, name: &'static str, mode: ReoptMode) -> Measurem
         .find(|(n, _)| *n == name)
         .unwrap_or_else(|| panic!("unknown query {name}"))
         .1;
-    let out: QueryOutcome = db.run(&q, mode).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let out: QueryOutcome = db
+        .query_plan(&q)
+        .mode(mode)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     Measurement {
         query: name,
         mode,
@@ -303,8 +308,8 @@ pub fn fig03_memory_realloc() -> Fig03 {
         }],
     );
 
-    let off = db.run(&q, ReoptMode::Off).unwrap();
-    let mem = db.run(&q, ReoptMode::MemoryOnly).unwrap();
+    let off = db.query_plan(&q).mode(ReoptMode::Off).run().unwrap();
+    let mem = db.query_plan(&q).mode(ReoptMode::MemoryOnly).run().unwrap();
     Fig03 {
         off_ms: off.time_ms,
         mem_ms: mem.time_ms,
@@ -471,10 +476,14 @@ pub fn plancache_arc(setup: &BenchSetup) -> Vec<PlanCacheRun> {
     let mut runs = Vec::new();
     let mut measure = |label: String, sql: &str| {
         let out = db
-            .run_sql(sql, ReoptMode::Off)
+            .query(sql)
+            .mode(ReoptMode::Off)
+            .run()
             .unwrap_or_else(|e| panic!("{label}: {e}"));
         let oracle_out = oracle
-            .run_sql(sql, ReoptMode::Off)
+            .query(sql)
+            .mode(ReoptMode::Off)
+            .run()
             .unwrap_or_else(|e| panic!("oracle {label}: {e}"));
         runs.push(PlanCacheRun {
             label,
@@ -722,7 +731,10 @@ fn par_point(db: &Database, query: &'static str, partitions: usize) -> ParPoint 
         .unwrap_or_else(|| panic!("unknown query {query}"))
         .1;
     let out = db
-        .run_partitioned(&q, ReoptMode::Off, partitions)
+        .query_plan(&q)
+        .mode(ReoptMode::Off)
+        .partitions(partitions)
+        .run()
         .unwrap_or_else(|e| panic!("{query} P={partitions}: {e}"));
     let par = out.par.expect("partitioned outcome carries a report");
     let worst = par
@@ -803,7 +815,10 @@ pub fn est_vs_actual(setup: &BenchSetup, name: &'static str) -> (Vec<EstActualRo
         .1;
     let sink = std::sync::Arc::new(JsonlSink::new());
     let obs = Obs::none().with_sink(sink.clone()).for_job(1, name);
-    db.run_observed(&q, ReoptMode::Full, &obs)
+    db.query_plan(&q)
+        .mode(ReoptMode::Full)
+        .observed(&obs)
+        .run()
         .unwrap_or_else(|e| panic!("{name}: {e}"));
 
     let mut rows = Vec::new();

@@ -2,6 +2,7 @@
 //! the `chaos` binary (and the CI chaos job) runs at 50 seeds.
 
 use mq_bench::chaos::{run_chaos, run_chaos_partitioned};
+use mq_bench::persist::run_save_crash_campaign;
 
 #[test]
 fn chaos_campaign_small_seed_range() {
@@ -40,4 +41,19 @@ fn partitioned_chaos_campaign_small_seed_range() {
         report.summary()
     );
     assert!(report.fired_transient > 0, "{}", report.summary());
+}
+
+/// A reduced run of the snapshot save-point crash campaign the CI
+/// chaos job runs via `chaos --save-crash`: every save point killed,
+/// the previous good snapshot must survive and reopen warm.
+#[test]
+fn save_crash_campaign_smoke() {
+    let report = run_save_crash_campaign(2, false);
+    assert!(
+        report.violations.is_empty(),
+        "save-crash violations: {:#?}",
+        report.violations
+    );
+    assert!(report.crashes > 0, "{}", report.summary());
+    assert!(report.survivor_reopens > 0, "{}", report.summary());
 }

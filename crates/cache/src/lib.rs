@@ -516,6 +516,18 @@ impl SubPlanCache {
     }
 }
 
+/// A [`FeedbackStore`]'s full serializable state, in deterministic
+/// (fingerprint-sorted) order — the unit `mq-persist` snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackExport {
+    /// Observations, sorted by fingerprint.
+    pub entries: Vec<(u64, FeedbackEntry)>,
+    /// Lifetime applied total.
+    pub applied: u64,
+    /// Per-fingerprint application counts, sorted by fingerprint.
+    pub applied_by_fp: Vec<(u64, u64)>,
+}
+
 /// Observed cardinality for one sub-plan fingerprint.
 #[derive(Debug, Clone)]
 pub struct FeedbackEntry {
@@ -603,6 +615,42 @@ impl FeedbackStore {
         self.inner
             .lock()
             .retain(|_, e| !e.deps.iter().any(|(t, _)| t == table));
+    }
+
+    /// Export the store for a snapshot: observations sorted by
+    /// fingerprint, the lifetime applied total, and the per-fingerprint
+    /// application counters (sorted too — snapshots must be
+    /// byte-deterministic).
+    pub fn export(&self) -> FeedbackExport {
+        let mut entries: Vec<(u64, FeedbackEntry)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(fp, e)| (*fp, e.clone()))
+            .collect();
+        entries.sort_by_key(|(fp, _)| *fp);
+        let mut applied_by_fp: Vec<(u64, u64)> = self
+            .applied_by_fp
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        applied_by_fp.sort_by_key(|(fp, _)| *fp);
+        FeedbackExport {
+            entries,
+            applied: self.applied.load(Ordering::Relaxed),
+            applied_by_fp,
+        }
+    }
+
+    /// Rebuild the store from an export, replacing current contents.
+    /// Restoring the applied counters exactly keeps the plan cache's
+    /// staleness arithmetic (`applied_sum - applied_at`) meaningful
+    /// across a restart.
+    pub fn restore(&self, export: FeedbackExport) {
+        *self.inner.lock() = export.entries.into_iter().collect();
+        self.applied.store(export.applied, Ordering::Relaxed);
+        *self.applied_by_fp.lock() = export.applied_by_fp.into_iter().collect();
     }
 
     /// Number of stored observations.

@@ -215,11 +215,89 @@ impl Catalog {
         Ok(())
     }
 
+    /// Insert a batch of rows as one logical write: the shared epoch is
+    /// bumped once and the table's data version moves once, so caches
+    /// keyed on the version are invalidated once per statement instead
+    /// of once per row. Rows are validated against the schema up front;
+    /// a mid-batch storage error leaves earlier rows appended (no
+    /// statement-level rollback — same contract as repeated
+    /// [`Catalog::insert_row`] calls).
+    pub fn insert_rows(&self, storage: &Storage, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let (file, schema, indexes) = {
+            let inner = self.inner.lock();
+            let t = inner
+                .tables
+                .get(table)
+                .ok_or_else(|| MqError::NotFound(format!("table {table}")))?;
+            (t.file, t.schema.clone(), t.indexes.clone())
+        };
+        for row in &rows {
+            if row.len() != schema.len() {
+                return Err(MqError::SchemaError(format!(
+                    "row arity {} vs schema arity {} for {table}",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+        }
+        let n = rows.len();
+        for row in &rows {
+            let rid = storage.append_row(file, row)?;
+            for (col, idx) in &indexes {
+                let ci = schema.index_of(col)?;
+                storage.index_insert(*idx, row.get(ci), rid)?;
+            }
+        }
+        if n > 0 {
+            let mut inner = self.inner.lock();
+            inner.epoch += 1;
+            let version = inner.epoch;
+            if let Some(t) = inner.tables.get_mut(table) {
+                t.inserts_since_analyze += n as u64;
+                t.data_version = version;
+            }
+        }
+        Ok(n)
+    }
+
     /// Current data version of a table (None if unknown). Bumped on
     /// every write; cache entries recorded at an older version are
     /// stale.
     pub fn data_version(&self, table: &str) -> Option<u64> {
         self.inner.lock().tables.get(table).map(|t| t.data_version)
+    }
+
+    /// The catalog-global data-version epoch. Snapshots record it so a
+    /// restored catalog resumes version numbering where the saved one
+    /// stopped — version comparisons against persisted cache metadata
+    /// stay meaningful across the restart.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Raise the epoch to at least `epoch` (no-op if already past it).
+    /// Restore-time counterpart of [`Catalog::epoch`].
+    pub fn raise_epoch(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.epoch = inner.epoch.max(epoch);
+    }
+
+    /// Re-register a table from a snapshot, preserving its exact id,
+    /// data version, statistics and staleness counter. The caller has
+    /// already recreated the heap file and indexes the entry points at.
+    /// Unlike [`Catalog::create_table`] this does *not* bump the epoch:
+    /// restoring is not a write, and the stamped versions must survive
+    /// byte-for-byte or every persisted cache dependency would
+    /// spuriously read as stale.
+    pub fn restore_table(&self, entry: TableEntry) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.tables.contains_key(&entry.name) {
+            return Err(MqError::AlreadyExists(format!("table {}", entry.name)));
+        }
+        inner.next_id = inner.next_id.max(entry.id.0 + 1);
+        inner.epoch = inner.epoch.max(entry.data_version);
+        inner.tables.insert(entry.name.clone(), entry);
+        Ok(())
     }
 
     /// Build a B+-tree index on `column`, back-filling existing rows.

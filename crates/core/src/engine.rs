@@ -372,6 +372,10 @@ enum PlanCacheAction {
     /// full, then enter the fresh plan under this normalized key.
     Enter {
         norm: NormalizedQuery,
+        /// The query's SQL text, kept on the entry as the family's
+        /// representative member — snapshots rebuild the template from
+        /// it instead of serializing the physical plan.
+        sql: String,
         /// `Some(reason)` when a stale entry was dropped — the re-run
         /// of the optimizer is the `plan_cache_reoptimized` event.
         stale: Option<&'static str>,
@@ -692,6 +696,29 @@ impl Engine {
         self.run_with_pc(logical, mode, env, pc)
     }
 
+    /// [`Engine::run_with_sql`] for a statement bound by the
+    /// prepared-statement layer: the caller already holds the member's
+    /// normalized form, so the probe skips the normalizer entirely —
+    /// the hot path a repeated `Prepared::run` takes. Everything else
+    /// (hit executes the rebound template with zero optimizer work,
+    /// stale forces one full re-enumeration that re-enters the
+    /// template) matches the SQL path.
+    pub fn run_prepared(
+        &self,
+        logical: &LogicalPlan,
+        sql: &str,
+        norm: &NormalizedQuery,
+        mode: ReoptMode,
+        env: JobEnv,
+    ) -> Result<QueryOutcome> {
+        let pc = if self.cfg.plan_cache_enabled {
+            Some(self.consult_norm(norm.clone(), sql))
+        } else {
+            None
+        };
+        self.run_with_pc(logical, mode, env, pc)
+    }
+
     /// Probe the plan cache for `sql`'s family. The freshness closure
     /// encodes the staleness policy: a dependency table whose data
     /// version moved, or feedback corrections against the template's
@@ -699,6 +726,12 @@ impl Engine {
     /// entry so the caller's full re-optimization re-enters it.
     fn consult_plan_cache(&self, sql: &str) -> Option<PlanCacheAction> {
         let norm = normalize(sql)?;
+        Some(self.consult_norm(norm, sql))
+    }
+
+    /// [`Engine::consult_plan_cache`] with the normalization already
+    /// done (the prepared path supplies it).
+    fn consult_norm(&self, norm: NormalizedQuery, sql: &str) -> PlanCacheAction {
         let probe = self.plancache.probe(&norm, |e| {
             if !e
                 .deps
@@ -719,16 +752,21 @@ impl Engine {
         });
         match probe {
             mq_plancache::PlanProbe::Hit(plan, saved_work) => {
-                Some(PlanCacheAction::Hit { plan, saved_work })
+                PlanCacheAction::Hit { plan, saved_work }
             }
-            mq_plancache::PlanProbe::Stale(verdict) => Some(PlanCacheAction::Enter {
+            mq_plancache::PlanProbe::Stale(verdict) => PlanCacheAction::Enter {
                 norm,
+                sql: sql.to_string(),
                 stale: Some(match verdict {
                     Freshness::StaleWrite => "write",
                     _ => "feedback",
                 }),
-            }),
-            mq_plancache::PlanProbe::Miss => Some(PlanCacheAction::Enter { norm, stale: None }),
+            },
+            mq_plancache::PlanProbe::Miss => PlanCacheAction::Enter {
+                norm,
+                sql: sql.to_string(),
+                stale: None,
+            },
         }
     }
 
@@ -821,7 +859,8 @@ impl Engine {
         let result = loop {
             // The probe verdict applies to the first attempt only: a
             // plan-switch remainder is a different logical query.
-            let mut plan_cache_enter: Option<(NormalizedQuery, Option<&'static str>)> = None;
+            let mut plan_cache_enter: Option<(NormalizedQuery, String, Option<&'static str>)> =
+                None;
             let mut plan = match pc.take() {
                 Some(PlanCacheAction::Hit { plan, saved_work }) => {
                     // Warm family: the rebound template replaces the
@@ -869,8 +908,8 @@ impl Engine {
                         // around it per fingerprint forever.
                         self.maybe_refresh_histograms(&opt.feedback_hits, &controller);
                     }
-                    if let Some(PlanCacheAction::Enter { norm, stale }) = action {
-                        plan_cache_enter = Some((norm, stale));
+                    if let Some(PlanCacheAction::Enter { norm, sql, stale }) = action {
+                        plan_cache_enter = Some((norm, sql, stale));
                     }
                     let mut plan = opt.plan;
                     if self.cfg.cache_enabled {
@@ -885,8 +924,15 @@ impl Engine {
                     // truth) but *before* the materialization-cache
                     // splice and collector insertion, which decorate
                     // the plan with query-local state.
-                    if let Some((norm, stale)) = plan_cache_enter.take() {
-                        self.enter_plan_cache(&plan, &norm, stale, opt.work_units, &controller);
+                    if let Some((norm, sql, stale)) = plan_cache_enter.take() {
+                        self.enter_plan_cache(
+                            &plan,
+                            &norm,
+                            &sql,
+                            stale,
+                            opt.work_units,
+                            &controller,
+                        );
                     }
                     plan
                 }
@@ -1299,6 +1345,7 @@ impl Engine {
         &self,
         plan: &PhysPlan,
         norm: &NormalizedQuery,
+        sql: &str,
         stale: Option<&'static str>,
         work_units: u64,
         controller: &ReoptController,
@@ -1317,27 +1364,77 @@ impl Engine {
                 controller.note("plancache: miss".to_string());
             }
         }
+        match self.admit_template(plan, norm, sql, work_units) {
+            Ok(()) => controller.note("plancache: template entered".to_string()),
+            Err(reason) => controller.note(format!("plancache: not entered ({reason})")),
+        }
+    }
+
+    /// Capture `plan` as the template for `norm`'s family and admit it,
+    /// recording dependencies, the feedback baseline and the
+    /// representative SQL. `Err(reason)` when the plan is not a pure
+    /// function of base data (reads temp or cache tables). Shared by
+    /// the execution path ([`Engine::enter_plan_cache`]) and the warm-up
+    /// paths (snapshot restore, [`Engine::prime_template`]).
+    fn admit_template(
+        &self,
+        plan: &PhysPlan,
+        norm: &NormalizedQuery,
+        sql: &str,
+        work_units: u64,
+    ) -> std::result::Result<(), String> {
         let tables = base_tables(plan);
         let mut deps = Vec::with_capacity(tables.len());
         for t in tables {
             if t.starts_with("tmp_reopt_") || t.starts_with("cache_") {
-                controller.note(format!(
-                    "plancache: not entered ({t} is query-local, plan is not a pure function of base data)"
+                return Err(format!(
+                    "{t} is query-local, plan is not a pure function of base data"
                 ));
-                return;
             }
             let Some(v) = self.catalog.data_version(&t) else {
-                controller.note(format!("plancache: not entered ({t} has no data version)"));
-                return;
+                return Err(format!("{t} has no data version"));
             };
             deps.push((t, v));
         }
         let mut entry = CachedPlan::capture(plan, norm, work_units, deps, 0);
         entry.applied_at = self.feedback.applied_sum(&entry.fingerprints);
-        controller.note("plancache: template entered".to_string());
+        entry.sql = Some(sql.to_string());
         for key in self.plancache.insert(&norm.key, entry) {
             mq_obs::emit(|| ObsEvent::PlanCacheEvict { key: key.clone() });
         }
+        Ok(())
+    }
+
+    /// Pin a template for `sql`'s family without executing the query:
+    /// parse, bind and optimize once (off any job clock — no query is
+    /// charged) and admit the captured template. Returns `true` when a
+    /// template was admitted, `false` when the statement is not
+    /// normalizable, the cache is disabled, or a template is already
+    /// present. `Database::prepare` pins templates through this, and
+    /// snapshot restore replays persisted families through it — both
+    /// make the *next* run of the family a hit with zero optimizer
+    /// work.
+    pub fn prime_template(&self, sql: &str) -> Result<bool> {
+        if !self.cfg.plan_cache_enabled {
+            return Ok(false);
+        }
+        let Some(norm) = normalize(sql) else {
+            return Ok(false);
+        };
+        if self.plancache.contains(&norm.key) {
+            return Ok(false);
+        }
+        let logical = mq_sql::plan_sql(sql, &self.catalog)?;
+        let use_feedback = self.cfg.cache_enabled && !self.feedback.is_empty();
+        let opt = self.optimizer.optimize_with_feedback(
+            &logical,
+            &self.catalog,
+            &self.storage,
+            use_feedback.then_some(&EngineFeedback(self) as &dyn CardFeedback),
+        )?;
+        Ok(self
+            .admit_template(&opt.plan, &norm, sql, opt.work_units)
+            .is_ok())
     }
 
     /// Adaptive histogram refresh: when graph-level feedback hits keep

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod explain;
 pub mod improve;
 pub mod manifest;
+pub mod persist;
 pub mod remainder;
 pub mod scia;
 
@@ -44,6 +45,7 @@ pub use manifest::{CheckpointRecord, ManifestStore, QueryManifest};
 pub use mq_cache::{CacheEntry, CacheStats, FeedbackStore, SubPlanCache};
 pub use mq_par::{ExchangeReport, ParReport, ParSpec, SkewReport};
 pub use mq_plancache::{normalize, NormalizedQuery, PlanCache, PlanCacheStats};
+pub use persist::SnapshotReport;
 pub use scia::{insert_collectors, InaccuracyLevel, SciaReport};
 
 /// Which parts of Dynamic Re-Optimization are active (Figure 11).

@@ -23,6 +23,7 @@
 //! not materialized bytes, so a simple count bound suffices.
 
 mod normalize;
+mod prepared;
 
 use std::collections::HashMap;
 
@@ -31,6 +32,7 @@ use mq_plan::{subplan_fingerprint, PhysOp, PhysPlan};
 use parking_lot::Mutex;
 
 pub use normalize::{normalize, LiteralSlot, NormalizedQuery};
+pub use prepared::{BoundSql, PreparedSql};
 
 use mq_common::Value;
 
@@ -101,6 +103,12 @@ pub struct CachedPlan {
     pub applied_at: u64,
     /// Optimizer work units the cold optimization charged.
     pub opt_work_units: u64,
+    /// A representative member's SQL text (the statement whose cold
+    /// optimization produced this template). Snapshots persist it
+    /// instead of the physical plan: re-normalizing and re-optimizing
+    /// the text at restore reproduces the template against the restored
+    /// catalog, so the format never has to version plan internals.
+    pub sql: Option<String>,
     last_used: u64,
 }
 
@@ -175,16 +183,20 @@ impl CachedPlan {
             let first = &norm.slots[tied[0]];
             let interchangeable = first.column.is_some()
                 && first.op.is_some()
-                && tied
-                    .iter()
-                    .all(|&si| norm.slots[si].column == first.column && norm.slots[si].op == first.op);
+                && tied.iter().all(|&si| {
+                    norm.slots[si].column == first.column && norm.slots[si].op == first.op
+                });
             if tied.len() > 1 && !interchangeable {
                 binding.push(None);
                 continue;
             }
             // Prefer an unused slot, then the lowest index, for
             // determinism; implied-predicate duplicates may share one.
-            let si = tied.iter().copied().find(|&si| !used[si]).unwrap_or(tied[0]);
+            let si = tied
+                .iter()
+                .copied()
+                .find(|&si| !used[si])
+                .unwrap_or(tied[0]);
             used[si] = true;
             slot_bound[si] = true;
             binding.push(Some(si));
@@ -200,6 +212,7 @@ impl CachedPlan {
             fingerprints,
             applied_at,
             opt_work_units,
+            sql: None,
             last_used: 0,
         }
     }
@@ -498,6 +511,27 @@ impl PlanCache {
             evicted.push(victim);
         }
         evicted
+    }
+
+    /// Whether a template is cached for `key` (no LRU touch, no
+    /// counter movement — a pure existence check for warm-up code).
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Export the persistable view of the cache: each entry's family
+    /// key and representative SQL text, sorted by key for byte-stable
+    /// snapshots. Entries captured without a SQL text (plans that
+    /// arrived pre-parsed) cannot be rebuilt from text and are skipped.
+    pub fn export_sql(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(String, String)> = inner
+            .map
+            .iter()
+            .filter_map(|(k, e)| e.sql.as_ref().map(|s| (k.clone(), s.clone())))
+            .collect();
+        out.sort();
+        out
     }
 
     /// Drop every entry (counters survive).

@@ -54,6 +54,15 @@ pub struct NormalizedQuery {
 /// real problems to the user.
 pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
     let tokens = tokenize(sql).ok()?;
+    normalize_tokens(&tokens).map(|(norm, _)| norm)
+}
+
+/// [`normalize`] over a pre-tokenized statement, additionally returning
+/// each slot's token index in the original stream (slot `i` came from
+/// `tokens[positions[i]]`). The prepared-statement layer uses the
+/// positions to splice positional parameters back into the text without
+/// re-normalizing.
+pub(crate) fn normalize_tokens(tokens: &[Token]) -> Option<(NormalizedQuery, Vec<usize>)> {
     if !tokens.first().is_some_and(|t| t.is_kw("select")) {
         return None;
     }
@@ -82,10 +91,13 @@ pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
 
     let Some(ws) = where_start else {
         // No WHERE clause: the whole statement is the key, no slots.
-        return Some(NormalizedQuery {
-            key: render(&tokens),
-            slots: Vec::new(),
-        });
+        return Some((
+            NormalizedQuery {
+                key: render(tokens),
+                slots: Vec::new(),
+            },
+            Vec::new(),
+        ));
     };
 
     // Split the WHERE region into top-level conjuncts. An `and` at
@@ -97,7 +109,7 @@ pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
     // ((c AND a) OR b). Such bodies stay one verbatim piece — still
     // parameterized, but textual order is part of the key.
     let body = &tokens[ws + 1..where_end];
-    let mut conjuncts: Vec<&[Token]> = Vec::new();
+    let mut conjuncts: Vec<(usize, &[Token])> = Vec::new();
     let mut depth = 0i32;
     let mut pending_between = false;
     let mut has_top_or = false;
@@ -112,50 +124,59 @@ pub fn normalize(sql: &str) -> Option<NormalizedQuery> {
                 if pending_between {
                     pending_between = false;
                 } else {
-                    conjuncts.push(&body[start..i]);
+                    conjuncts.push((start, &body[start..i]));
                     start = i + 1;
                 }
             }
             _ => {}
         }
     }
-    conjuncts.push(&body[start..]);
+    conjuncts.push((start, &body[start..]));
     if has_top_or {
-        conjuncts = vec![body];
+        conjuncts = vec![(0, body)];
     }
 
     // Parameterize each conjunct independently, then sort the rendered
     // forms: `a = 1 and b = 2` and `b = 2 and a = 1` become one key.
-    // (A single verbatim OR body sorts trivially.)
-    let mut parts: Vec<(String, Vec<LiteralSlot>)> = conjuncts
+    // (A single verbatim OR body sorts trivially.) Each slot keeps the
+    // absolute token index it was lifted from.
+    let mut parts: Vec<(String, Vec<LiteralSlot>, Vec<usize>)> = conjuncts
         .into_iter()
-        .map(parameterize_conjunct)
+        .map(|(off, toks)| {
+            parameterize_conjunct(toks).map(|(text, slots, local)| {
+                let abs = local.into_iter().map(|i| ws + 1 + off + i).collect();
+                (text, slots, abs)
+            })
+        })
         .collect::<Option<Vec<_>>>()?;
     parts.sort_by(|a, b| a.0.cmp(&b.0));
 
     let mut key = render(&tokens[..ws]);
     key.push_str(" where ");
     let mut slots = Vec::new();
-    for (i, (text, part_slots)) in parts.iter_mut().enumerate() {
+    let mut positions = Vec::new();
+    for (i, (text, part_slots, part_pos)) in parts.iter_mut().enumerate() {
         if i > 0 {
             key.push_str(" and ");
         }
         key.push_str(text);
         slots.append(part_slots);
+        positions.append(part_pos);
     }
     if where_end < tokens.len() {
         key.push(' ');
         key.push_str(&render(&tokens[where_end..]));
     }
-    Some(NormalizedQuery { key, slots })
+    Some((NormalizedQuery { key, slots }, positions))
 }
 
 /// Replace each literal in one conjunct with `?`, extracting its value
 /// and predicate signature. Returns the canonical rendering plus the
-/// slots in textual order.
-fn parameterize_conjunct(toks: &[Token]) -> Option<(String, Vec<LiteralSlot>)> {
+/// slots in textual order and each slot's token index within `toks`.
+fn parameterize_conjunct(toks: &[Token]) -> Option<(String, Vec<LiteralSlot>, Vec<usize>)> {
     let mut rendered: Vec<String> = Vec::with_capacity(toks.len());
     let mut slots = Vec::new();
+    let mut positions = Vec::new();
     // BETWEEN state at the conjunct's base depth: after `col between`
     // the first literal is the `>=` bound, the one after `and` is `<=`.
     let mut between_col: Option<String> = None;
@@ -202,6 +223,7 @@ fn parameterize_conjunct(toks: &[Token]) -> Option<(String, Vec<LiteralSlot>)> {
                 let value = literal_value(t, i.checked_sub(1).and_then(|j| toks.get(j)));
                 let (column, op) = signature(toks, i, &between_col, between_hi, &in_col);
                 slots.push(LiteralSlot { value, column, op });
+                positions.push(i);
                 if between_col.is_some() && between_hi {
                     between_col = None; // the `<=` bound closes the BETWEEN
                 }
@@ -210,7 +232,7 @@ fn parameterize_conjunct(toks: &[Token]) -> Option<(String, Vec<LiteralSlot>)> {
             other => rendered.push(render_token(other)),
         }
     }
-    Some((rendered.join(" "), slots))
+    Some((rendered.join(" "), slots, positions))
 }
 
 /// The literal's [`Value`], honoring a preceding `date` keyword the
@@ -305,7 +327,7 @@ fn column_name(t: Option<&Token>) -> Option<String> {
 }
 
 /// Canonical single-spaced rendering of a token slice.
-fn render(toks: &[Token]) -> String {
+pub(crate) fn render(toks: &[Token]) -> String {
     toks.iter().map(render_token).collect::<Vec<_>>().join(" ")
 }
 

@@ -188,6 +188,30 @@ impl Histogram {
         Histogram::build(kind, &ranks, nbuckets, null_frac, total_distinct)
     }
 
+    /// Reassemble a histogram from previously captured parts (the
+    /// getters' view) — the snapshot restore path. No re-derivation
+    /// happens: the caller is trusted to hand back exactly what
+    /// [`Histogram::kind`], [`Histogram::buckets`] and friends produced.
+    pub fn from_parts(
+        kind: HistogramKind,
+        buckets: Vec<Bucket>,
+        min: f64,
+        max: f64,
+        null_frac: f64,
+        distinct: f64,
+        weight: f64,
+    ) -> Histogram {
+        Histogram {
+            kind,
+            buckets,
+            min,
+            max,
+            null_frac: null_frac.clamp(0.0, 1.0),
+            distinct: distinct.max(0.0),
+            weight: weight.max(0.0),
+        }
+    }
+
     /// The construction algorithm.
     pub fn kind(&self) -> HistogramKind {
         self.kind

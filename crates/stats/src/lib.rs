@@ -27,6 +27,6 @@ pub mod zipf;
 
 pub use accumulator::{ColumnAccumulator, ObservedColumn};
 pub use distinct::FmSketch;
-pub use histogram::{Histogram, HistogramKind};
+pub use histogram::{Bucket, Histogram, HistogramKind};
 pub use reservoir::Reservoir;
 pub use zipf::Zipf;

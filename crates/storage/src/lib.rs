@@ -25,6 +25,7 @@ pub mod buffer;
 pub mod disk;
 pub mod heap;
 pub mod page;
+pub mod persist;
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -89,8 +89,8 @@ fn main() -> midq::Result<()> {
 
     println!("== static plan with its estimates ==\n{}", db.explain(&q)?);
 
-    let off = db.run(&q, ReoptMode::Off)?;
-    let mem = db.run(&q, ReoptMode::MemoryOnly)?;
+    let off = db.query_plan(&q).mode(ReoptMode::Off).run()?;
+    let mem = db.query_plan(&q).mode(ReoptMode::MemoryOnly).run()?;
 
     println!("== outcome ==");
     println!(

@@ -88,8 +88,8 @@ fn main() -> midq::Result<()> {
 
     println!("\n== the (sub-optimal) static plan ==\n{}", db.explain(&q)?);
 
-    let off = db.run(&q, ReoptMode::Off)?;
-    let full = db.run(&q, ReoptMode::Full)?;
+    let off = db.query_plan(&q).mode(ReoptMode::Off).run()?;
+    let full = db.query_plan(&q).mode(ReoptMode::Full).run()?;
 
     println!("== outcome ==");
     println!("static plan:        {:>9.1} ms", off.time_ms);

@@ -63,7 +63,7 @@ fn main() -> midq::Result<()> {
     println!("== EXPLAIN ==\n{}", db.explain(&plan)?);
 
     // Run with the full Dynamic Re-Optimization pipeline.
-    let outcome = db.run(&plan, ReoptMode::Full)?;
+    let outcome = db.query_plan(&plan).mode(ReoptMode::Full).run()?;
     println!("== RESULTS ({} rows) ==", outcome.rows.len());
     for row in &outcome.rows {
         println!("  {row}");

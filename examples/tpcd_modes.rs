@@ -32,10 +32,10 @@ fn main() -> midq::Result<()> {
         "query", "off(ms)", "mem-only", "plan-only", "full", "gain%"
     );
     for (name, q) in queries::all() {
-        let off = db.run(&q, ReoptMode::Off)?;
-        let mem = db.run(&q, ReoptMode::MemoryOnly)?;
-        let plan = db.run(&q, ReoptMode::PlanOnly)?;
-        let full = db.run(&q, ReoptMode::Full)?;
+        let off = db.query_plan(&q).mode(ReoptMode::Off).run()?;
+        let mem = db.query_plan(&q).mode(ReoptMode::MemoryOnly).run()?;
+        let plan = db.query_plan(&q).mode(ReoptMode::PlanOnly).run()?;
+        let full = db.query_plan(&q).mode(ReoptMode::Full).run()?;
         println!(
             "{:<5} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>7.1}",
             name,

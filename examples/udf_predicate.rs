@@ -100,8 +100,8 @@ fn main() -> midq::Result<()> {
         db.explain(&q)?
     );
 
-    let off = db.run(&q, ReoptMode::Off)?;
-    let full = db.run(&q, ReoptMode::Full)?;
+    let off = db.query_plan(&q).mode(ReoptMode::Off).run()?;
+    let full = db.query_plan(&q).mode(ReoptMode::Full).run()?;
 
     println!("== outcome ==");
     println!(

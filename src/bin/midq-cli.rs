@@ -86,6 +86,14 @@ meta-commands:
                                   queries: switch_margin, cache_budget_kib,
                                   plan_cache_entries
                                   (e.g. \\set switch_margin 1.0)
+  \\save [file]                    snapshot the catalog, data, statistics,
+                                  feedback and plan-cache templates to a
+                                  file (defaults to the \\open path);
+                                  atomic: a crash mid-save leaves the
+                                  previous snapshot loadable
+  \\open <file>                    reopen the shell on a snapshot file
+                                  (restores it if present, starts empty
+                                  otherwise; \\save then writes back here)
   \\quit                           exit
 anything else is parsed as SQL: SELECT runs under the current mode;
 CREATE TABLE t (a INT, ...) / CREATE INDEX ON t (a) /
@@ -207,6 +215,10 @@ impl Shell {
             ["set", ..] => {
                 println!("usage: \\set <switch_margin|cache_budget_kib|plan_cache_entries> <value>")
             }
+            ["save"] => self.save(None),
+            ["save", path] => self.save(Some(path)),
+            ["open", path] => self.open(path),
+            ["open"] => println!("usage: \\open <file>"),
             _ => println!("unknown command \\{cmd} — try \\help"),
         }
     }
@@ -322,10 +334,11 @@ impl Shell {
             .with_sink(self.sink.clone())
             .with_metrics(self.metrics.clone())
             .for_job(self.jobs, &label);
-        let run = match self.partitions {
-            Some(p) => self.db.run_partitioned_observed(&plan, self.mode, p, &obs),
-            None => self.db.run_observed(&plan, self.mode, &obs),
-        };
+        let mut q = self.db.query_plan(&plan).mode(self.mode).observed(&obs);
+        if let Some(p) = self.partitions {
+            q = q.partitions(p);
+        }
+        let run = q.run();
         match run {
             Ok(out) => {
                 print!("{}", out.explain_analyze());
@@ -360,10 +373,11 @@ impl Shell {
             println!("unknown query {name} — available: {}", names.join(", "));
             return;
         };
-        let run = match self.partitions {
-            Some(p) => self.db.run_partitioned(&plan, self.mode, p),
-            None => self.db.run(&plan, self.mode),
-        };
+        let mut q = self.db.query_plan(&plan).mode(self.mode);
+        if let Some(p) = self.partitions {
+            q = q.partitions(p);
+        }
+        let run = q.run();
         match run {
             Ok(out) => self.finish(out),
             Err(e) => println!("error: {e}"),
@@ -551,7 +565,7 @@ impl Shell {
             return;
         }
         cfg.plan_cache_enabled = on;
-        match self.db.engine_mut().set_config(cfg) {
+        match self.db.engine_mut().and_then(|e| e.set_config(cfg)) {
             Ok(()) => println!("plan cache {}", if on { "on" } else { "off" }),
             Err(e) => println!("error: {e}"),
         }
@@ -590,7 +604,7 @@ impl Shell {
                 return;
             }
         }
-        match self.db.engine_mut().set_config(cfg) {
+        match self.db.engine_mut().and_then(|e| e.set_config(cfg)) {
             Ok(()) => println!("{knob} = {value}"),
             Err(e) => println!("error: {e}"),
         }
@@ -603,8 +617,54 @@ impl Shell {
             return;
         }
         cfg.cache_enabled = on;
-        match self.db.engine_mut().set_config(cfg) {
+        match self.db.engine_mut().and_then(|e| e.set_config(cfg)) {
             Ok(()) => println!("cache {}", if on { "on" } else { "off" }),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `\save [file]`: snapshot the database. With no argument, writes
+    /// back to the path the shell was `\open`ed on.
+    fn save(&mut self, path: Option<&str>) {
+        let result = match path {
+            Some(p) => self.db.save_as(p),
+            None => self.db.save(),
+        };
+        match result {
+            Ok(r) => {
+                let dest = path
+                    .map(str::to_string)
+                    .or_else(|| self.db.snapshot_path().map(|p| p.display().to_string()))
+                    .unwrap_or_default();
+                println!(
+                    "saved {dest}: {} tables, {} rows, {} feedback entries, {} plan templates",
+                    r.tables, r.rows, r.feedback_entries, r.plan_templates
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `\open <file>`: swap the shell onto a snapshot-backed database,
+    /// keeping the current engine configuration.
+    fn open(&mut self, path: &str) {
+        let existed = std::path::Path::new(path).exists();
+        let cfg = self.db.engine().config().clone();
+        match Database::open_with(cfg, path) {
+            Ok(db) => {
+                self.db = db;
+                self.last = None;
+                if existed {
+                    let pc = self.db.plan_cache_stats();
+                    println!(
+                        "opened {path}: {} tables, {} plan templates primed",
+                        self.db.engine().catalog().table_names().len(),
+                        pc.entries
+                    );
+                } else {
+                    println!("opened {path}: new database (\\save writes here)");
+                }
+            }
             Err(e) => println!("error: {e}"),
         }
     }

@@ -12,7 +12,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use midq::{Database, ReoptMode};
+//! use midq::Database;
 //! use midq::common::{DataType, EngineConfig, Row, Value};
 //!
 //! let db = Database::new(EngineConfig::default()).unwrap();
@@ -22,9 +22,35 @@
 //! }
 //! db.analyze("t").unwrap();
 //! let outcome = db
-//!     .run_sql("SELECT v, count(*) AS n FROM t GROUP BY v ORDER BY v", ReoptMode::Full)
+//!     .query("SELECT v, count(*) AS n FROM t GROUP BY v ORDER BY v")
+//!     .run()
 //!     .unwrap();
 //! assert_eq!(outcome.rows.len(), 10);
+//! ```
+//!
+//! ## Durability
+//!
+//! [`Database::new`] is in-memory; [`Database::open`] restores a
+//! database from a snapshot file (or creates a fresh one when the file
+//! does not exist yet), and [`Database::save`] writes the catalog,
+//! heap data, ANALYZE statistics, cardinality feedback and plan-cache
+//! templates back to it atomically:
+//!
+//! ```
+//! use midq::Database;
+//! use midq::common::{DataType, Row, Value};
+//!
+//! let path = std::env::temp_dir().join("midq_doc_quickstart.mqsnap");
+//! # let _ = std::fs::remove_file(&path);
+//! let db = Database::open(&path).unwrap();
+//! db.create_table("t", vec![("k", DataType::Int)]).unwrap();
+//! db.insert("t", Row::new(vec![Value::Int(7)])).unwrap();
+//! db.save().unwrap();
+//!
+//! let db2 = Database::open(&path).unwrap();
+//! let out = db2.query("SELECT k FROM t").run().unwrap();
+//! assert_eq!(out.rows.len(), 1);
+//! # let _ = std::fs::remove_file(&path);
 //! ```
 //!
 //! ## Crate map
@@ -62,6 +88,7 @@ pub use mq_tpcd as tpcd;
 
 pub use mq_common::{EngineConfig, MqError, Result};
 pub use mq_plan::LogicalPlan;
+pub use mq_reopt::SnapshotReport;
 pub use mq_reopt::{
     explain_analyze, explain_plan, normalize, Engine, NormalizedQuery, PlanCacheStats,
     QueryOutcome, RecoveryReport, ReoptMode,
@@ -69,10 +96,12 @@ pub use mq_reopt::{
 pub use mq_runtime::{JobResult, Runtime, Session, Workload, WorkloadQuery, WorkloadReport};
 pub use mq_tpcd::TpcdConfig;
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mq_common::{DataType, Row, Value};
 use mq_memory::MemoryBroker;
+use mq_plancache::PreparedSql;
 
 /// Result of [`Database::execute_sql`].
 #[derive(Debug)]
@@ -109,18 +138,81 @@ pub struct Database {
     engine: Arc<Engine>,
     /// Global memory broker shared by every session of this database.
     broker: Arc<MemoryBroker>,
+    /// Where [`Database::save`] writes; set by [`Database::open`].
+    snapshot_path: Option<PathBuf>,
 }
 
 impl Database {
     /// Open an in-memory database with the given configuration.
     pub fn new(cfg: EngineConfig) -> Result<Database> {
+        Ok(Database::from_engine(Engine::new(cfg)?, None))
+    }
+
+    /// Open a database backed by the snapshot file at `path` with the
+    /// default configuration: restore it if the file exists, start
+    /// empty otherwise. Either way, [`Database::save`] writes back to
+    /// `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(EngineConfig::default(), path)
+    }
+
+    /// [`Database::open`] with explicit configuration. The config is
+    /// not part of the snapshot — buffer pool size, fault injection and
+    /// cache policy belong to the process, not the data — so the same
+    /// snapshot can be reopened under different knobs.
+    pub fn open_with(cfg: EngineConfig, path: impl AsRef<Path>) -> Result<Database> {
+        let path = path.as_ref();
+        let engine = if path.exists() {
+            mq_reopt::persist::restore(cfg, path)?.0
+        } else {
+            Engine::new(cfg)?
+        };
+        Ok(Database::from_engine(engine, Some(path.to_path_buf())))
+    }
+
+    fn from_engine(engine: Engine, snapshot_path: Option<PathBuf>) -> Database {
         let broker = Arc::new(MemoryBroker::new(
-            DEFAULT_SESSION_CONCURRENCY * cfg.query_memory_bytes,
+            DEFAULT_SESSION_CONCURRENCY * engine.config().query_memory_bytes,
         ));
-        Ok(Database {
-            engine: Arc::new(Engine::new(cfg)?),
+        Database {
+            engine: Arc::new(engine),
             broker,
-        })
+            snapshot_path,
+        }
+    }
+
+    /// The snapshot path [`Database::save`] writes to, if any.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
+    }
+
+    /// Snapshot the database to the path it was [`Database::open`]ed
+    /// from. The write is atomic (staged to a temp file, renamed over
+    /// the target), so a crash mid-save leaves the previous snapshot
+    /// loadable. Refuses while queries are in flight.
+    pub fn save(&self) -> Result<SnapshotReport> {
+        match &self.snapshot_path {
+            Some(path) => self.save_to(path.clone()),
+            None => Err(MqError::InvalidConfig(
+                "this database has no snapshot path; use Database::open or save_as".to_string(),
+            )),
+        }
+    }
+
+    /// Snapshot the database to an explicit path (the stored snapshot
+    /// path, if any, is unchanged).
+    pub fn save_as(&self, path: impl AsRef<Path>) -> Result<SnapshotReport> {
+        self.save_to(path.as_ref().to_path_buf())
+    }
+
+    fn save_to(&self, path: PathBuf) -> Result<SnapshotReport> {
+        if self.broker.in_use() != 0 {
+            return Err(MqError::InvalidConfig(format!(
+                "cannot snapshot while sessions hold {} bytes of query memory",
+                self.broker.in_use()
+            )));
+        }
+        mq_reopt::persist::save(&self.engine, &path)
     }
 
     /// The underlying engine.
@@ -135,14 +227,15 @@ impl Database {
     }
 
     /// Mutable engine access (to change configuration between runs).
-    ///
-    /// # Panics
-    /// If the engine is shared — i.e. a [`Session`] or [`Runtime`]
-    /// created from this database is still alive. Reconfigure before
-    /// opening sessions.
-    pub fn engine_mut(&mut self) -> &mut Engine {
-        Arc::get_mut(&mut self.engine)
-            .expect("engine is shared by live sessions; reconfigure before opening them")
+    /// Errors if the engine is shared — i.e. a [`Session`] or
+    /// [`Runtime`] created from this database is still alive.
+    /// Reconfigure before opening them.
+    pub fn engine_mut(&mut self) -> Result<&mut Engine> {
+        Arc::get_mut(&mut self.engine).ok_or_else(|| {
+            MqError::InvalidConfig(
+                "engine is shared by live sessions; reconfigure before opening them".to_string(),
+            )
+        })
     }
 
     /// Open an interactive [`Session`]: per-query memory leases from
@@ -231,14 +324,79 @@ impl Database {
         mq_sql::plan_sql(sql_text, self.engine.catalog())
     }
 
-    /// Run a SQL query under the given re-optimization mode. With
-    /// [`EngineConfig::plan_cache_enabled`], the normalized query text
-    /// probes the plan cache first, so a warm family skips join
+    /// Start building a SQL query. The builder defaults to
+    /// [`ReoptMode::Full`]; chain [`Query::mode`], [`Query::observed`]
+    /// and [`Query::partitions`] before [`Query::run`]:
+    ///
+    /// ```no_run
+    /// # use midq::{Database, ReoptMode};
+    /// # use midq::common::EngineConfig;
+    /// # let db = Database::new(EngineConfig::default()).unwrap();
+    /// let obs = midq::obs::Obs::default();
+    /// let out = db
+    ///     .query("SELECT * FROM t")
+    ///     .mode(ReoptMode::PlanOnly)
+    ///     .observed(&obs)
+    ///     .partitions(4)
+    ///     .run()
+    ///     .unwrap();
+    /// ```
+    ///
+    /// With [`EngineConfig::plan_cache_enabled`], the normalized query
+    /// text probes the plan cache first, so a warm family skips join
     /// enumeration entirely.
+    pub fn query<'a>(&'a self, sql_text: &'a str) -> Query<'a> {
+        Query {
+            db: self,
+            target: Target::Sql(sql_text),
+            mode: ReoptMode::Full,
+            obs: None,
+            partitions: None,
+        }
+    }
+
+    /// Start building a query from an already-planned [`LogicalPlan`].
+    /// Plan-built queries skip the plan cache (there is no SQL text to
+    /// normalize into a family key).
+    pub fn query_plan<'a>(&'a self, plan: &'a LogicalPlan) -> Query<'a> {
+        Query {
+            db: self,
+            target: Target::Plan(plan),
+            mode: ReoptMode::Full,
+            obs: None,
+            partitions: None,
+        }
+    }
+
+    /// Prepare a SQL statement: the normalizer and the optimizer run
+    /// once, here, pinning the statement's template in the plan cache;
+    /// each [`Prepared::run`] then splices positional parameters
+    /// (textual order) into the template and probes the cache directly,
+    /// never re-running the normalizer.
+    ///
+    /// Only plan-cacheable SELECTs are preparable; parameter values
+    /// must stay type-compatible with the exemplar literals in the
+    /// template text.
+    pub fn prepare(&self, sql_text: &str) -> Result<Prepared> {
+        let prepared = PreparedSql::new(sql_text).ok_or_else(|| {
+            MqError::Plan(format!(
+                "statement is not preparable (only normalizable SELECTs are): {sql_text}"
+            ))
+        })?;
+        // Validate against the catalog now — a prepare-time error beats
+        // a bind-time surprise — and pin the template off the job clock.
+        self.plan_sql(sql_text)?;
+        self.engine.prime_template(sql_text)?;
+        Ok(Prepared {
+            engine: Arc::clone(&self.engine),
+            prepared,
+        })
+    }
+
+    /// Run a SQL query under the given re-optimization mode.
+    #[deprecated(note = "use db.query(sql).mode(mode).run()")]
     pub fn run_sql(&self, sql_text: &str, mode: ReoptMode) -> Result<QueryOutcome> {
-        let plan = self.plan_sql(sql_text)?;
-        self.engine
-            .run_with_sql(&plan, sql_text, mode, self.engine.default_env())
+        self.query(sql_text).mode(mode).run()
     }
 
     /// Execute any SQL statement: SELECT runs under `mode`; CREATE
@@ -284,7 +442,7 @@ impl Database {
             }
             mq_sql::Statement::Insert { table, rows } => {
                 let schema = self.engine.catalog().table(&table)?.schema;
-                let n = rows.len();
+                let mut batch = Vec::with_capacity(rows.len());
                 for row in rows {
                     if row.len() != schema.len() {
                         return Err(MqError::SchemaError(format!(
@@ -298,8 +456,16 @@ impl Database {
                         .enumerate()
                         .map(|(i, v)| coerce(v, schema.field(i).dtype))
                         .collect::<Result<_>>()?;
-                    self.insert(&table, Row::new(coerced))?;
+                    batch.push(Row::new(coerced));
                 }
+                // One batched append: the data version bumps once for
+                // the whole statement, so dependent caches are
+                // invalidated once instead of once per row.
+                let n = self
+                    .engine
+                    .catalog()
+                    .insert_rows(self.engine.storage(), &table, batch)?;
+                self.engine.invalidate_cache_for(&table);
                 Ok(SqlOutcome::Command(format!(
                     "inserted {n} rows into {table}"
                 )))
@@ -312,47 +478,38 @@ impl Database {
     }
 
     /// Run a logical plan under the given re-optimization mode.
+    #[deprecated(note = "use db.query_plan(&plan).mode(mode).run()")]
     pub fn run(&self, plan: &LogicalPlan, mode: ReoptMode) -> Result<QueryOutcome> {
-        self.engine.run(plan, mode)
+        self.query_plan(plan).mode(mode).run()
     }
 
-    /// Run a logical plan with an observability handle attached: every
-    /// event of the execution (collector checkpoints, re-opt verdicts,
-    /// lease traffic, spills) goes to the handle's sink and metrics
-    /// registry, and the outcome carries per-operator actuals for
-    /// [`QueryOutcome::explain_analyze`].
+    /// Run a logical plan with an observability handle attached.
+    #[deprecated(note = "use db.query_plan(&plan).mode(mode).observed(obs).run()")]
     pub fn run_observed(
         &self,
         plan: &LogicalPlan,
         mode: ReoptMode,
         obs: &mq_obs::Obs,
     ) -> Result<QueryOutcome> {
-        let mut env = self.engine.default_env();
-        env.obs = Some(obs.clone());
-        self.engine.run_with(plan, mode, env)
+        self.query_plan(plan).mode(mode).observed(obs).run()
     }
 
-    /// Run a logical plan through the intra-query partitioned driver
-    /// (`mq-par`) with `partitions` simulated workers: the optimized
-    /// plan gets exchange operators, pipeline segments execute per
-    /// routing bucket, and the outcome carries a
-    /// [`mq_reopt::ParReport`] (exchange routing, skew verdicts,
-    /// parallel time saved). Results are byte-identical across
-    /// partition counts, and equal to serial execution up to
-    /// floating-point summation order.
+    /// Run a logical plan through the intra-query partitioned driver.
+    #[deprecated(note = "use db.query_plan(&plan).mode(mode).partitions(p).run()")]
     pub fn run_partitioned(
         &self,
         plan: &LogicalPlan,
         mode: ReoptMode,
         partitions: usize,
     ) -> Result<QueryOutcome> {
-        let mut env = self.engine.default_env();
-        env.par = Some(mq_reopt::ParSpec::new(partitions));
-        self.engine.run_with(plan, mode, env)
+        self.query_plan(plan)
+            .mode(mode)
+            .partitions(partitions)
+            .run()
     }
 
-    /// [`Database::run_partitioned`] with an observability handle
-    /// attached (exchange and skew-verdict events go to its sink).
+    /// Partitioned run with an observability handle attached.
+    #[deprecated(note = "use db.query_plan(&plan).mode(mode).partitions(p).observed(obs).run()")]
     pub fn run_partitioned_observed(
         &self,
         plan: &LogicalPlan,
@@ -360,24 +517,22 @@ impl Database {
         partitions: usize,
         obs: &mq_obs::Obs,
     ) -> Result<QueryOutcome> {
-        let mut env = self.engine.default_env();
-        env.par = Some(mq_reopt::ParSpec::new(partitions));
-        env.obs = Some(obs.clone());
-        self.engine.run_with(plan, mode, env)
+        self.query_plan(plan)
+            .mode(mode)
+            .partitions(partitions)
+            .observed(obs)
+            .run()
     }
 
-    /// Parse and run SQL with an observability handle attached (see
-    /// [`Database::run_observed`]).
+    /// Parse and run SQL with an observability handle attached.
+    #[deprecated(note = "use db.query(sql).mode(mode).observed(obs).run()")]
     pub fn run_sql_observed(
         &self,
         sql_text: &str,
         mode: ReoptMode,
         obs: &mq_obs::Obs,
     ) -> Result<QueryOutcome> {
-        let plan = self.plan_sql(sql_text)?;
-        let mut env = self.engine.default_env();
-        env.obs = Some(obs.clone());
-        self.engine.run_with_sql(&plan, sql_text, mode, env)
+        self.query(sql_text).mode(mode).observed(obs).run()
     }
 
     /// EXPLAIN: the annotated physical plan the optimizer would run.
@@ -390,5 +545,122 @@ impl Database {
     /// Load the TPC-D workload.
     pub fn load_tpcd(&self, cfg: &TpcdConfig) -> Result<mq_tpcd::TpcdStats> {
         mq_tpcd::load(cfg, self.engine.catalog(), self.engine.storage())
+    }
+}
+
+/// What a [`Query`] executes: SQL text or a pre-built logical plan.
+enum Target<'a> {
+    Sql(&'a str),
+    Plan(&'a LogicalPlan),
+}
+
+/// A query being built: created by [`Database::query`] or
+/// [`Database::query_plan`], consumed by [`Query::run`].
+///
+/// Defaults: [`ReoptMode::Full`], serial execution, no observability
+/// handle.
+#[must_use = "a Query does nothing until .run()"]
+pub struct Query<'a> {
+    db: &'a Database,
+    target: Target<'a>,
+    mode: ReoptMode,
+    obs: Option<mq_obs::Obs>,
+    partitions: Option<usize>,
+}
+
+impl<'a> Query<'a> {
+    /// Set the re-optimization mode (default [`ReoptMode::Full`]).
+    pub fn mode(mut self, mode: ReoptMode) -> Query<'a> {
+        self.mode = mode;
+        self
+    }
+
+    /// Attach an observability handle: every event of the execution
+    /// (collector checkpoints, re-opt verdicts, lease traffic, spills)
+    /// goes to its sink and metrics registry, and the outcome carries
+    /// per-operator actuals for [`QueryOutcome::explain_analyze`].
+    pub fn observed(mut self, obs: &mq_obs::Obs) -> Query<'a> {
+        self.obs = Some(obs.clone());
+        self
+    }
+
+    /// Execute through the intra-query partitioned driver (`mq-par`)
+    /// with this many simulated workers: the optimized plan gets
+    /// exchange operators, pipeline segments execute per routing
+    /// bucket, and the outcome carries a [`mq_reopt::ParReport`].
+    /// Results are byte-identical across partition counts, and equal
+    /// to serial execution up to floating-point summation order.
+    pub fn partitions(mut self, partitions: usize) -> Query<'a> {
+        self.partitions = Some(partitions);
+        self
+    }
+
+    /// Execute the query and return its outcome.
+    pub fn run(self) -> Result<QueryOutcome> {
+        let engine = &self.db.engine;
+        let mut env = engine.default_env();
+        if let Some(p) = self.partitions {
+            env.par = Some(mq_reopt::ParSpec::new(p));
+        }
+        env.obs = self.obs;
+        match self.target {
+            Target::Sql(sql_text) => {
+                let plan = self.db.plan_sql(sql_text)?;
+                engine.run_with_sql(&plan, sql_text, self.mode, env)
+            }
+            Target::Plan(plan) => engine.run_with(plan, self.mode, env),
+        }
+    }
+}
+
+/// A prepared statement: the template is normalized and its plan
+/// pinned in the plan cache once, at [`Database::prepare`] time;
+/// [`Prepared::run`] rebinds positional parameters without re-running
+/// the normalizer.
+///
+/// ```no_run
+/// # use midq::Database;
+/// # use midq::common::{EngineConfig, Value};
+/// # let db = Database::new(EngineConfig::default()).unwrap();
+/// let stmt = db.prepare("SELECT v FROM t WHERE k = 10 AND v < 0.5").unwrap();
+/// // Parameters are positional in textual order.
+/// let out = stmt.run(&[Value::Int(42), Value::Float(0.25)]).unwrap();
+/// ```
+pub struct Prepared {
+    engine: Arc<Engine>,
+    prepared: PreparedSql,
+}
+
+impl Prepared {
+    /// Number of positional parameters (the template's WHERE-clause
+    /// literals, counted in textual order).
+    pub fn param_count(&self) -> usize {
+        self.prepared.param_count()
+    }
+
+    /// The template's plan-cache family key.
+    pub fn key(&self) -> &str {
+        self.prepared.key()
+    }
+
+    /// Bind `params` and execute under [`ReoptMode::Full`].
+    pub fn run(&self, params: &[Value]) -> Result<QueryOutcome> {
+        self.run_mode(params, ReoptMode::Full)
+    }
+
+    /// Bind `params` and execute under an explicit mode. Staleness is
+    /// still honored: if the template's tables were written or its
+    /// feedback drifted since admission, the probe forces one
+    /// re-enumeration and re-admits the refreshed plan.
+    pub fn run_mode(&self, params: &[Value], mode: ReoptMode) -> Result<QueryOutcome> {
+        let bound = self.prepared.bind(params)?;
+        let logical = mq_sql::plan_sql(&bound.sql, self.engine.catalog())?;
+        self.engine.run_prepared(
+            &logical,
+            &bound.sql,
+            &bound.norm,
+            mode,
+            self.engine.default_env(),
+        )
     }
 }

@@ -70,10 +70,14 @@ fn off_cold_and_warm_answers_are_identical() {
 
     for (name, q) in families() {
         let off = off_db
-            .run(&q, ReoptMode::PlanOnly)
+            .query_plan(&q)
+            .mode(ReoptMode::PlanOnly)
+            .run()
             .unwrap_or_else(|e| panic!("{name} off: {e}"));
         let cold = cached_db
-            .run(&q, ReoptMode::PlanOnly)
+            .query_plan(&q)
+            .mode(ReoptMode::PlanOnly)
+            .run()
             .unwrap_or_else(|e| panic!("{name} cold: {e}"));
         assert_eq!(
             sorted_rows(&off),
@@ -90,10 +94,16 @@ fn off_cold_and_warm_answers_are_identical() {
     let mut warm_switches = 0u32;
     let mut cold_switches = 0u32;
     for (name, q) in families() {
-        let off = off_db.run(&q, ReoptMode::PlanOnly).unwrap();
+        let off = off_db
+            .query_plan(&q)
+            .mode(ReoptMode::PlanOnly)
+            .run()
+            .unwrap();
         cold_switches += off.plan_switches; // off_db never warms: every run re-discovers
         let warm = cached_db
-            .run(&q, ReoptMode::PlanOnly)
+            .query_plan(&q)
+            .mode(ReoptMode::PlanOnly)
+            .run()
             .unwrap_or_else(|e| panic!("{name} warm: {e}"));
         warm_switches += warm.plan_switches;
         assert_eq!(
@@ -189,7 +199,7 @@ fn inserts_invalidate_only_dependent_families() {
     let oracle = load_db(false);
     let q3 = queries::q3();
 
-    db.run(&q3, ReoptMode::PlanOnly).unwrap();
+    db.query_plan(&q3).mode(ReoptMode::PlanOnly).run().unwrap();
     let cold = db.cache_stats();
     if cold.promotions == 0 {
         // Q3 ran without a switch at this scale — nothing to invalidate.
@@ -224,8 +234,12 @@ fn inserts_invalidate_only_dependent_families() {
         "write to orders invalidated nothing: {stats:?}"
     );
 
-    let ours = db.run(&q3, ReoptMode::PlanOnly).unwrap();
-    let theirs = oracle.run(&q3, ReoptMode::PlanOnly).unwrap();
+    let ours = db.query_plan(&q3).mode(ReoptMode::PlanOnly).run().unwrap();
+    let theirs = oracle
+        .query_plan(&q3)
+        .mode(ReoptMode::PlanOnly)
+        .run()
+        .unwrap();
     assert_eq!(
         sorted_rows(&ours),
         sorted_rows(&theirs),

@@ -129,9 +129,9 @@ proptest! {
                 ],
             );
         }
-        let baseline = canon(&db.run(&q, ReoptMode::Off).unwrap());
+        let baseline = canon(&db.query_plan(&q).mode(ReoptMode::Off).run().unwrap());
         for mode in [ReoptMode::MemoryOnly, ReoptMode::PlanOnly, ReoptMode::Full] {
-            let outcome = db.run(&q, mode).unwrap();
+            let outcome = db.query_plan(&q).mode(mode).run().unwrap();
             prop_assert_eq!(
                 &baseline,
                 &canon(&outcome),
@@ -147,7 +147,7 @@ proptest! {
         // against the progressively healed statistics.
         let fb = build_db_cfg(&fact, &d1, &d2, budget_pages, &stale, true);
         for repeat in 0..3 {
-            let outcome = fb.run(&q, ReoptMode::Full).unwrap();
+            let outcome = fb.query_plan(&q).mode(ReoptMode::Full).run().unwrap();
             prop_assert_eq!(
                 &baseline,
                 &canon(&outcome),

@@ -43,7 +43,10 @@ fn q10_skewed_trace_collector_then_one_reopt() {
         .for_job(1, "Q10");
 
     let out = db
-        .run_observed(&queries::q10(), ReoptMode::Full, &obs)
+        .query_plan(&queries::q10())
+        .mode(ReoptMode::Full)
+        .observed(&obs)
+        .run()
         .unwrap();
     assert_eq!(out.plan_switches, 1, "scenario must trigger one switch");
 
@@ -202,9 +205,16 @@ fn disabled_sink_adds_no_simulated_cost() {
         .for_job(1, "Q10");
 
     let observed = observed_db
-        .run_observed(&queries::q10(), ReoptMode::Full, &obs)
+        .query_plan(&queries::q10())
+        .mode(ReoptMode::Full)
+        .observed(&obs)
+        .run()
         .unwrap();
-    let bare = bare_db.run(&queries::q10(), ReoptMode::Full).unwrap();
+    let bare = bare_db
+        .query_plan(&queries::q10())
+        .mode(ReoptMode::Full)
+        .run()
+        .unwrap();
 
     assert!(
         (observed.time_ms - bare.time_ms).abs() <= bare.time_ms * 0.02,
@@ -221,7 +231,10 @@ fn explain_analyze_renders_est_vs_actual() {
         .with_metrics(MetricsRegistry::new())
         .for_job(1, "Q10");
     let out = db
-        .run_observed(&queries::q10(), ReoptMode::Full, &obs)
+        .query_plan(&queries::q10())
+        .mode(ReoptMode::Full)
+        .observed(&obs)
+        .run()
         .unwrap();
     let text = out.explain_analyze();
     assert!(text.contains("est rows="), "no estimates:\n{text}");

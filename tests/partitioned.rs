@@ -67,7 +67,9 @@ fn results_and_stable_metrics_identical_across_partition_counts() {
         ("Q10", queries::q10()),
     ] {
         let serial = load_db(0.002, 1.0)
-            .run(&q, ReoptMode::Off)
+            .query_plan(&q)
+            .mode(ReoptMode::Off)
+            .run()
             .unwrap_or_else(|e| panic!("{name} serial: {e}"));
 
         let mut baseline: Option<(Vec<String>, String)> = None;
@@ -78,7 +80,11 @@ fn results_and_stable_metrics_identical_across_partition_counts() {
             let metrics = MetricsRegistry::new();
             let obs = Obs::none().with_metrics(metrics.clone()).for_job(1, name);
             let out = db
-                .run_partitioned_observed(&q, ReoptMode::Off, partitions, &obs)
+                .query_plan(&q)
+                .mode(ReoptMode::Off)
+                .partitions(partitions)
+                .observed(&obs)
+                .run()
                 .unwrap_or_else(|e| panic!("{name} P={partitions}: {e}"));
 
             let par = out
@@ -121,11 +127,18 @@ fn results_and_stable_metrics_identical_across_partition_counts() {
 #[test]
 fn collector_reports_survive_the_exchange_barrier() {
     let q = queries::q10();
-    let serial = load_db(0.002, 0.5).run(&q, ReoptMode::Off).unwrap();
+    let serial = load_db(0.002, 0.5)
+        .query_plan(&q)
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
     for partitions in [1usize, 4] {
         let db = load_db(0.002, 0.5);
         let out = db
-            .run_partitioned(&q, ReoptMode::Full, partitions)
+            .query_plan(&q)
+            .mode(ReoptMode::Full)
+            .partitions(partitions)
+            .run()
             .unwrap_or_else(|e| panic!("Q10 Full P={partitions}: {e}"));
         assert!(
             out.collector_reports > 0,
@@ -150,10 +163,16 @@ fn collector_reports_survive_the_exchange_barrier() {
 fn q10_four_partitions_halve_elapsed_without_inflating_work() {
     let q = queries::q10();
     let p1 = load_db(0.002, 1.0)
-        .run_partitioned(&q, ReoptMode::Off, 1)
+        .query_plan(&q)
+        .mode(ReoptMode::Off)
+        .partitions(1)
+        .run()
         .unwrap();
     let p4 = load_db(0.002, 1.0)
-        .run_partitioned(&q, ReoptMode::Off, 4)
+        .query_plan(&q)
+        .mode(ReoptMode::Off)
+        .partitions(4)
+        .run()
         .unwrap();
 
     assert!(
@@ -204,10 +223,17 @@ fn skew_verdict_fires_and_rebalance_beats_static() {
     let sink = std::sync::Arc::new(JsonlSink::new());
     let obs = Obs::none().with_sink(sink.clone()).for_job(1, "Q10-skew");
     let rebalanced = load_db_cfg(rebalanced_cfg, 0.002, 1.0, Some(1.0))
-        .run_partitioned_observed(&q, ReoptMode::Off, 4, &obs)
+        .query_plan(&q)
+        .mode(ReoptMode::Off)
+        .partitions(4)
+        .observed(&obs)
+        .run()
         .unwrap();
     let stat = load_db_cfg(static_cfg, 0.002, 1.0, Some(1.0))
-        .run_partitioned(&q, ReoptMode::Off, 4)
+        .query_plan(&q)
+        .mode(ReoptMode::Off)
+        .partitions(4)
+        .run()
         .unwrap();
 
     let par = rebalanced.par.as_ref().unwrap();
@@ -266,7 +292,10 @@ fn skew_verdict_fires_and_rebalance_beats_static() {
 fn explain_analyze_shows_exchange_operators() {
     let db = load_db(0.002, 1.0);
     let out = db
-        .run_partitioned(&queries::q10(), ReoptMode::Off, 4)
+        .query_plan(&queries::q10())
+        .mode(ReoptMode::Off)
+        .partitions(4)
+        .run()
         .unwrap();
     let text = out.explain_analyze();
     assert!(text.contains("partitions: 4"), "{text}");

@@ -83,7 +83,7 @@ fn family_equivalent_queries_share_one_entry() {
     assert_eq!(keys[0], keys[2], "literal variant changed the key");
 
     for v in &variants {
-        db.run_sql(v, ReoptMode::Off).unwrap();
+        db.query(v).mode(ReoptMode::Off).run().unwrap();
     }
     let s = db.plan_cache_stats();
     assert_eq!(s.entries, 1, "family split across entries: {s:?}");
@@ -107,7 +107,7 @@ fn different_queries_never_collide() {
         midq::normalize(c).unwrap().key
     );
     for q in [a, b, c] {
-        db.run_sql(q, ReoptMode::Off).unwrap();
+        db.query(q).mode(ReoptMode::Off).run().unwrap();
     }
     let s = db.plan_cache_stats();
     assert_eq!(s.entries, 3, "distinct queries collided: {s:?}");
@@ -133,8 +133,8 @@ fn or_precedence_queries_never_collide() {
     let cached = load_db(true);
     let oracle = load_db(false);
     for q in [a, b] {
-        let ours = cached.run_sql(q, ReoptMode::Off).unwrap();
-        let theirs = oracle.run_sql(q, ReoptMode::Off).unwrap();
+        let ours = cached.query(q).mode(ReoptMode::Off).run().unwrap();
+        let theirs = oracle.query(q).mode(ReoptMode::Off).run().unwrap();
         assert_eq!(
             sorted_rows(&ours),
             sorted_rows(&theirs),
@@ -161,8 +161,8 @@ fn rebound_literals_match_cache_off_oracle() {
         family(10, 9000),
     ];
     for (i, v) in variants.iter().enumerate() {
-        let ours = cached.run_sql(v, ReoptMode::Off).unwrap();
-        let theirs = oracle.run_sql(v, ReoptMode::Off).unwrap();
+        let ours = cached.query(v).mode(ReoptMode::Off).run().unwrap();
+        let theirs = oracle.query(v).mode(ReoptMode::Off).run().unwrap();
         assert_eq!(
             sorted_rows(&ours),
             sorted_rows(&theirs),
@@ -250,8 +250,15 @@ fn warm_workload_is_stable_across_worker_counts() {
 fn insert_triggers_exactly_one_stale_reenumeration() {
     let db = load_db(true);
     let oracle = load_db(false);
-    db.run_sql(&family(25, 1000), ReoptMode::Off).unwrap();
-    let warm = db.run_sql(&family(30, 1000), ReoptMode::Off).unwrap();
+    db.query(&family(25, 1000))
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
+    let warm = db
+        .query(&family(30, 1000))
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
     assert!(warm.events.iter().any(|e| e.starts_with("plancache: hit")));
 
     // Append one synthesized lineitem row on both databases: the
@@ -272,7 +279,11 @@ fn insert_triggers_exactly_one_stale_reenumeration() {
     db.insert("lineitem", Row::new(values.clone())).unwrap();
     oracle.insert("lineitem", Row::new(values)).unwrap();
 
-    let stale = db.run_sql(&family(25, 1000), ReoptMode::Off).unwrap();
+    let stale = db
+        .query(&family(25, 1000))
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
     assert!(
         stale
             .events
@@ -284,13 +295,23 @@ fn insert_triggers_exactly_one_stale_reenumeration() {
     assert!(stale.cost.opt_work > 0, "stale run skipped enumeration");
     assert_eq!(
         sorted_rows(&stale),
-        sorted_rows(&oracle.run_sql(&family(25, 1000), ReoptMode::Off).unwrap()),
+        sorted_rows(
+            &oracle
+                .query(&family(25, 1000))
+                .mode(ReoptMode::Off)
+                .run()
+                .unwrap()
+        ),
         "post-insert answer diverged from cache-off oracle"
     );
 
     // The re-entered template serves the family again: exactly one
     // stale re-enumeration per write, then warm.
-    let rewarm = db.run_sql(&family(30, 1000), ReoptMode::Off).unwrap();
+    let rewarm = db
+        .query(&family(30, 1000))
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
     assert!(
         rewarm
             .events
@@ -359,7 +380,7 @@ fn adaptive_histogram_refresh_fires_once_and_heals_estimates() {
     let mut total = 0usize;
     let mut fired_at = None;
     for run in 0..8 {
-        let out = db.run(&q, ReoptMode::Full).unwrap();
+        let out = db.query_plan(&q).mode(ReoptMode::Full).run().unwrap();
         let n = refreshes(&out);
         total += n;
         if n > 0 && fired_at.is_none() {
@@ -381,4 +402,73 @@ fn adaptive_histogram_refresh_fires_once_and_heals_estimates() {
     // own: the runs after the refresh accumulated no new error count
     // (else a second refresh would have fired above) even though the
     // per-fingerprint corrections for `sk` were dropped.
+}
+
+/// Prepared statements pin the template once at prepare time, then
+/// every run rebinds positional parameters without the normalizer:
+/// each execution is a plan-cache hit with zero optimizer work charged,
+/// and parameters bind in textual order.
+#[test]
+fn prepared_statements_skip_the_normalizer_and_hit_warm() {
+    let db = load_db(true);
+    let oracle = load_db(false);
+
+    let stmt = db.prepare(&family(25, 1000)).unwrap();
+    assert_eq!(stmt.param_count(), 2);
+    // prepare() itself admitted the template, off any job clock.
+    assert_eq!(db.plan_cache_stats().entries, 1);
+
+    for (qty, price) in [(25i64, 1000i64), (30, 2500), (40, 500)] {
+        // Textual order: qty is the first literal, price the second.
+        let out = stmt
+            .run_mode(&[Value::Int(qty), Value::Int(price)], ReoptMode::Off)
+            .unwrap();
+        assert_eq!(out.cost.opt_work, 0, "({qty},{price}) re-enumerated");
+        assert_eq!(
+            sorted_rows(&out),
+            sorted_rows(
+                &oracle
+                    .query(&family(qty, price))
+                    .mode(ReoptMode::Off)
+                    .run()
+                    .unwrap()
+            ),
+            "({qty},{price}) diverged from oracle"
+        );
+    }
+    let s = db.plan_cache_stats();
+    assert_eq!(s.hits, 3, "{s:?}");
+    assert_eq!(s.misses, 0, "{s:?}");
+
+    // Arity and type drift are bind-time errors, not panics.
+    assert!(stmt.run(&[Value::Int(1)]).is_err());
+    assert!(stmt.run(&[Value::str("no"), Value::Int(1)]).is_err());
+
+    // A write to a dependency makes the template stale: the next
+    // prepared run pays exactly one re-enumeration, then the family is
+    // warm again.
+    db.insert(
+        "orders",
+        Row::new(vec![
+            Value::Int(9_999_999),
+            Value::Int(1),
+            Value::str("F"),
+            Value::Float(42.0),
+            midq::common::value::date(1995, 1, 1),
+            Value::Int(0),
+        ]),
+    )
+    .unwrap();
+    let stale = stmt
+        .run_mode(&[Value::Int(25), Value::Int(1000)], ReoptMode::Off)
+        .unwrap();
+    assert!(
+        stale.cost.opt_work > 0,
+        "stale template served unre-planned"
+    );
+    assert_eq!(db.plan_cache_stats().stale_reopts, 1);
+    let rewarm = stmt
+        .run_mode(&[Value::Int(30), Value::Int(2500)], ReoptMode::Off)
+        .unwrap();
+    assert_eq!(rewarm.cost.opt_work, 0, "family not warm after refresh");
 }

@@ -49,11 +49,12 @@ fn sample_db() -> Database {
 fn aggregates_group_order_limit() {
     let db = sample_db();
     let out = db
-        .run_sql(
+        .query(
             "SELECT dept, count(*) AS n, avg(salary) AS pay, max(salary) AS top \
              FROM emp WHERE salary >= 50000 GROUP BY dept ORDER BY dept",
-            ReoptMode::Full,
         )
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     assert_eq!(out.rows.len(), 3);
     assert_eq!(out.rows[0].get(0), &Value::str("eng"));
@@ -70,12 +71,13 @@ fn aggregates_group_order_limit() {
 fn join_with_date_predicate() {
     let db = sample_db();
     let out = db
-        .run_sql(
+        .query(
             "SELECT id, budget FROM emp, dept \
              WHERE dept = name AND hired >= DATE '2018-01-01' AND budget > 150 \
              ORDER BY id LIMIT 5",
-            ReoptMode::Full,
         )
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     assert_eq!(out.rows.len(), 5);
     // Ordered by id ascending.
@@ -108,14 +110,15 @@ fn explain_mentions_operators() {
 fn empty_results_are_fine() {
     let db = sample_db();
     let out = db
-        .run_sql("SELECT id FROM emp WHERE salary < 0", ReoptMode::Full)
+        .query("SELECT id FROM emp WHERE salary < 0")
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     assert!(out.rows.is_empty());
     let out = db
-        .run_sql(
-            "SELECT count(*) AS n FROM emp WHERE salary < 0",
-            ReoptMode::Full,
-        )
+        .query("SELECT count(*) AS n FROM emp WHERE salary < 0")
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     assert_eq!(out.rows[0].get(0), &Value::Int(0));
 }
@@ -123,11 +126,21 @@ fn empty_results_are_fine() {
 #[test]
 fn errors_are_reported_not_panicked() {
     let db = sample_db();
-    assert!(db.run_sql("SELECT nope FROM emp", ReoptMode::Off).is_err());
-    assert!(db.run_sql("SELECT FROM", ReoptMode::Off).is_err());
-    assert!(db.run_sql("SELECT id FROM ghost", ReoptMode::Off).is_err());
     assert!(db
-        .run_sql("SELECT id, count(*) FROM emp GROUP BY dept", ReoptMode::Off)
+        .query("SELECT nope FROM emp")
+        .mode(ReoptMode::Off)
+        .run()
+        .is_err());
+    assert!(db.query("SELECT FROM").mode(ReoptMode::Off).run().is_err());
+    assert!(db
+        .query("SELECT id FROM ghost")
+        .mode(ReoptMode::Off)
+        .run()
+        .is_err());
+    assert!(db
+        .query("SELECT id, count(*) FROM emp GROUP BY dept")
+        .mode(ReoptMode::Off)
+        .run()
         .is_err());
 }
 
@@ -135,11 +148,12 @@ fn errors_are_reported_not_panicked() {
 fn between_and_or_predicates() {
     let db = sample_db();
     let out = db
-        .run_sql(
+        .query(
             "SELECT count(*) AS n FROM emp \
              WHERE salary BETWEEN 50000 AND 60000 OR dept = 'hr'",
-            ReoptMode::Full,
         )
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     let n = out.rows[0].get(0).as_i64().unwrap();
     // 11 salary steps in [50k,60k] → 99 emps, plus 300 hr minus overlap 33.
@@ -220,24 +234,44 @@ fn sql_inserts_count_as_update_activity() {
 fn in_list_end_to_end() {
     let db = sample_db();
     let out = db
-        .run_sql(
-            "SELECT count(*) AS n FROM emp WHERE dept IN ('eng', 'hr')",
-            ReoptMode::Full,
-        )
+        .query("SELECT count(*) AS n FROM emp WHERE dept IN ('eng', 'hr')")
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     assert_eq!(out.rows[0].get(0), &Value::Int(600));
     let out = db
-        .run_sql(
-            "SELECT count(*) AS n FROM emp WHERE dept NOT IN ('eng', 'hr')",
-            ReoptMode::Full,
-        )
+        .query("SELECT count(*) AS n FROM emp WHERE dept NOT IN ('eng', 'hr')")
+        .mode(ReoptMode::Full)
+        .run()
         .unwrap();
     assert_eq!(out.rows[0].get(0), &Value::Int(300));
     let out = db
-        .run_sql(
-            "SELECT count(*) AS n FROM emp WHERE id IN (0, 1, 2, 899, 9999)",
-            ReoptMode::Off,
-        )
+        .query("SELECT count(*) AS n FROM emp WHERE id IN (0, 1, 2, 899, 9999)")
+        .mode(ReoptMode::Off)
+        .run()
         .unwrap();
     assert_eq!(out.rows[0].get(0), &Value::Int(4));
+}
+
+/// The pre-builder entry points stay as thin wrappers: same results,
+/// same semantics, just deprecated.
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_wrappers_still_work() {
+    let db = sample_db();
+    let sql = "SELECT dept, count(*) AS n FROM emp GROUP BY dept ORDER BY dept";
+    let old = db.run_sql(sql, ReoptMode::Full).unwrap();
+    let new = db.query(sql).run().unwrap();
+    assert_eq!(old.rows, new.rows);
+
+    let plan = db.plan_sql(sql).unwrap();
+    let from_plan = db.run(&plan, ReoptMode::Off).unwrap();
+    assert_eq!(from_plan.rows, new.rows);
+
+    let obs = midq::obs::Obs::default();
+    let observed = db.run_sql_observed(sql, ReoptMode::Full, &obs).unwrap();
+    assert_eq!(observed.rows, new.rows);
+
+    let part = db.run_partitioned(&plan, ReoptMode::Off, 2).unwrap();
+    assert_eq!(part.rows, new.rows);
 }

@@ -43,7 +43,9 @@ fn all_queries_execute_and_agree_across_modes() {
     let db = load_db(0.002, 1.0);
     for (name, q) in queries::all() {
         let off = db
-            .run(&q, ReoptMode::Off)
+            .query_plan(&q)
+            .mode(ReoptMode::Off)
+            .run()
             .unwrap_or_else(|e| panic!("{name} Off: {e}"));
         assert!(
             !off.rows.is_empty() || name == "Q7",
@@ -51,7 +53,9 @@ fn all_queries_execute_and_agree_across_modes() {
         );
         for mode in [ReoptMode::MemoryOnly, ReoptMode::PlanOnly, ReoptMode::Full] {
             let other = db
-                .run(&q, mode)
+                .query_plan(&q)
+                .mode(mode)
+                .run()
                 .unwrap_or_else(|e| panic!("{name} {mode}: {e}"));
             // Sort/limit queries are order-sensitive only in their sort
             // keys; compare unordered multisets for robustness (ties
@@ -69,8 +73,8 @@ fn all_queries_execute_and_agree_across_modes() {
 fn q1_simple_query_overhead_is_bounded() {
     let db = load_db(0.002, 1.0);
     let q = queries::q1();
-    let off = db.run(&q, ReoptMode::Off).unwrap();
-    let full = db.run(&q, ReoptMode::Full).unwrap();
+    let off = db.query_plan(&q).mode(ReoptMode::Off).run().unwrap();
+    let full = db.query_plan(&q).mode(ReoptMode::Full).run().unwrap();
     assert_eq!(full.plan_switches, 0, "simple queries never re-optimize");
     let mu = db.engine().config().mu;
     assert!(
@@ -86,10 +90,14 @@ fn stale_catalog_complex_queries_still_correct() {
     let db = load_db(0.002, 0.3);
     for (name, q) in queries::all() {
         let off = db
-            .run(&q, ReoptMode::Off)
+            .query_plan(&q)
+            .mode(ReoptMode::Off)
+            .run()
             .unwrap_or_else(|e| panic!("{name} Off: {e}"));
         let full = db
-            .run(&q, ReoptMode::Full)
+            .query_plan(&q)
+            .mode(ReoptMode::Full)
+            .run()
             .unwrap_or_else(|e| panic!("{name} Full: {e}"));
         assert_eq!(
             sorted_rows(&off),
@@ -102,7 +110,11 @@ fn stale_catalog_complex_queries_still_correct() {
 #[test]
 fn q1_aggregate_values_are_sane() {
     let db = load_db(0.002, 1.0);
-    let out = db.run(&queries::q1(), ReoptMode::Off).unwrap();
+    let out = db
+        .query_plan(&queries::q1())
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
     // Groups: returnflag × linestatus combinations (≤ 6 feasible).
     assert!(
         out.rows.len() >= 3 && out.rows.len() <= 6,
@@ -124,8 +136,16 @@ fn q1_aggregate_values_are_sane() {
 #[test]
 fn sql_and_builder_q3_agree() {
     let db = load_db(0.002, 1.0);
-    let from_sql = db.run_sql(queries::q3_sql(), ReoptMode::Off).unwrap();
-    let from_builder = db.run(&queries::q3(), ReoptMode::Off).unwrap();
+    let from_sql = db
+        .query(queries::q3_sql())
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
+    let from_builder = db
+        .query_plan(&queries::q3())
+        .mode(ReoptMode::Off)
+        .run()
+        .unwrap();
     // Same shape; Q3's projection order differs (SQL projects group
     // columns first), so compare cardinality and revenue multiset.
     assert_eq!(from_sql.rows.len(), from_builder.rows.len());
@@ -140,8 +160,8 @@ fn sql_variants_match_builders() {
         ("Q6", queries::q6_sql(), queries::q6()),
         ("Q10", queries::q10_sql(), queries::q10()),
     ] {
-        let from_sql = db.run_sql(sql, ReoptMode::Off).unwrap();
-        let from_builder = db.run(&builder, ReoptMode::Off).unwrap();
+        let from_sql = db.query(sql).mode(ReoptMode::Off).run().unwrap();
+        let from_builder = db.query_plan(&builder).mode(ReoptMode::Off).run().unwrap();
         assert_eq!(
             sorted_rows(&from_sql),
             sorted_rows(&from_builder),
